@@ -1,0 +1,102 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these probe the design space around it:
+cluster geometry (replication degree), scheduler policy (the dynamic-
+scheduling sensitivity that motivates runtime-level classification), and
+page size (Section V-E's closing remark that larger pages relieve RRT
+pressure).
+"""
+
+from repro.config import scaled_config
+from repro.experiments import ablations
+from repro.stats.report import format_table
+
+from .conftest import emit
+
+CFG = scaled_config(1 / 256)
+
+
+def test_cluster_size_ablation(benchmark):
+    res = benchmark.pedantic(
+        ablations.sweep_cluster_size,
+        args=("knn", CFG),
+        kwargs={"geometries": ((1, 1), (2, 2), (4, 4))},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            f"{w}x{h}",
+            f"{r.machine.mean_nuca_distance:.2f}",
+            f"{r.machine.llc_hit_ratio:.2%}",
+            f"{r.makespan:,}",
+        ]
+        for (w, h), r in res.items()
+    ]
+    emit(
+        format_table(
+            ["cluster", "NUCA distance", "hit ratio", "makespan"],
+            rows,
+            "Ablation: LLC Cluster Replication geometry (KNN)",
+        )
+    )
+    # Replication degree trades distance against capacity: smaller
+    # clusters must not be farther than chip-wide spreading.
+    assert (
+        res[(1, 1)].machine.mean_nuca_distance
+        <= res[(4, 4)].machine.mean_nuca_distance + 0.05
+    )
+
+
+def test_scheduler_ablation(benchmark):
+    res = benchmark.pedantic(
+        ablations.sweep_scheduler, args=("histo", CFG), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            name,
+            f"{r.machine.mean_nuca_distance:.2f}",
+            f"{r.makespan:,}",
+        ]
+        for name, r in res.items()
+    ]
+    emit(
+        format_table(
+            ["scheduler", "R-NUCA NUCA distance", "makespan"],
+            rows,
+            "Ablation: scheduler policy under R-NUCA (Histo)",
+        )
+    )
+    assert {r.execution.tasks_executed for r in res.values()} == {
+        res["ordered"].execution.tasks_executed
+    }
+
+
+def test_page_size_ablation(benchmark):
+    res = benchmark.pedantic(
+        ablations.sweep_page_size,
+        args=("jacobi", CFG),
+        kwargs={"page_sizes": (512, 2048)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            f"{p}",
+            f"{r.runtime.mean_rrt_occupancy:.1f}",
+            f"{r.isa.translation_tlb_accesses:,}",
+        ]
+        for p, r in res.items()
+    ]
+    emit(
+        format_table(
+            ["page bytes", "mean RRT occupancy", "translation TLB accesses"],
+            rows,
+            "Ablation: page size vs RRT pressure (Jacobi, Section V-E remark)",
+        )
+    )
+    # Larger pages collapse to fewer RRT ranges and fewer TLB walks.
+    assert (
+        res[2048].isa.translation_tlb_accesses
+        < res[512].isa.translation_tlb_accesses
+    )

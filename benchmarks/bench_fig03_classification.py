@@ -1,0 +1,31 @@
+"""Fig. 3 — categorization of access and reuse patterns.
+
+Paper: on average 96% of unique cache blocks belong to task dependencies
+and 72% are predicted non-reused, while an OS-level classifier can only
+call 36% of blocks private or shared read-only (and <1% shared-RO).
+"""
+
+from repro.experiments import figures, paper
+
+from .conftest import emit
+
+
+def test_fig3_classification(benchmark, suite):
+    fig = benchmark(figures.fig3_classification, suite)
+    emit(fig.to_text())
+    by = {s.label: s for s in fig.series}
+
+    # Dependencies cover (almost) all touched blocks.
+    assert by["td_dep_blocks"].average > 0.9
+
+    # NotReused is high exactly where the paper says it is...
+    for bench in paper.FIG3_HIGH_NOT_REUSED:
+        assert by["td_not_reused"].values[bench] > 0.8, bench
+    # ...and low where bypass has nothing to do.
+    for bench in paper.FIG3_LOW_NOT_REUSED:
+        assert by["td_not_reused"].values[bench] < 0.3, bench
+    assert by["td_not_reused"].values["gauss"] > 0.7
+
+    # R-NUCA's optimizable fraction is small, shared-RO nearly absent.
+    assert by["rnuca_private"].average + by["rnuca_shared_ro"].average < 0.6
+    assert by["rnuca_shared_ro"].average < 0.05

@@ -1,0 +1,30 @@
+"""Fig. 8 — performance speedup normalized to S-NUCA.
+
+Paper: TD-NUCA averages 1.18x (Gauss 1.26, LU 1.59, Redblack 1.20, Histo/
+Jacobi/Kmeans 1.09-1.10, KNN/MD5 1.04); R-NUCA averages 1.02x with every
+benchmark below 1.11x.
+"""
+
+from repro.experiments import figures
+
+from .conftest import emit
+
+
+def test_fig8_speedup(benchmark, suite):
+    fig = benchmark(figures.fig8_speedup, suite)
+    emit(fig.to_text())
+    rnuca = next(s for s in fig.series if s.label == "rnuca")
+    tdnuca = next(s for s in fig.series if s.label == "tdnuca")
+
+    # TD-NUCA wins on every benchmark and clearly on average.
+    for bench, speedup in tdnuca.values.items():
+        assert speedup > 1.0, f"TD-NUCA slower on {bench}"
+    assert 1.08 <= tdnuca.average <= 1.35
+
+    # R-NUCA helps far less (paper: 1.02x average).
+    assert rnuca.average < tdnuca.average
+    assert rnuca.average < 1.12
+
+    # TD-NUCA beats R-NUCA on the average and on most benchmarks.
+    wins = sum(tdnuca.values[b] >= rnuca.values[b] for b in tdnuca.values)
+    assert wins >= 6

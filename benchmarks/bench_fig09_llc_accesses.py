@@ -1,0 +1,27 @@
+"""Fig. 9 — LLC accesses normalized to S-NUCA.
+
+Paper: TD-NUCA needs only 0.48x the LLC accesses on average (0.14x for
+MD5, 0.99x for KNN) thanks to bypassing; R-NUCA stays within 0.02x of
+S-NUCA everywhere.
+"""
+
+from repro.experiments import figures
+
+from .conftest import emit
+
+
+def test_fig9_llc_accesses(benchmark, suite):
+    fig = benchmark(figures.fig9_llc_accesses, suite)
+    emit(fig.to_text())
+    rnuca = next(s for s in fig.series if s.label == "rnuca")
+    tdnuca = next(s for s in fig.series if s.label == "tdnuca")
+
+    # R-NUCA never bypasses: access counts track S-NUCA.
+    for bench, ratio in rnuca.values.items():
+        assert abs(ratio - 1.0) < 0.1, bench
+
+    # TD-NUCA cuts accesses overall; extremes land where the paper's do.
+    assert tdnuca.average < 0.7
+    assert tdnuca.values["md5"] < 0.2  # paper: 0.14x
+    assert tdnuca.values["knn"] > 0.85  # paper: 0.99x
+    assert all(r <= 1.02 for r in tdnuca.values.values())

@@ -1,0 +1,26 @@
+"""Fig. 10 — LLC hit ratio (absolute).
+
+Paper: TD-NUCA averages 74% vs 41%/40% for S-NUCA/R-NUCA, because
+bypassing removes the no-reuse traffic that thrashes the LLC; LU and KNN
+are near-100% under every policy.
+"""
+
+from repro.experiments import figures, paper
+
+from .conftest import emit
+
+
+def test_fig10_hit_ratio(benchmark, suite):
+    fig = benchmark(figures.fig10_hit_ratio, suite)
+    emit(fig.to_text())
+    by = {s.label: s for s in fig.series}
+
+    # TD-NUCA's bypass protects the LLC: clearly higher average hit ratio.
+    assert by["tdnuca"].average > by["snuca"].average + 0.15
+    # S-NUCA and R-NUCA are close to each other (paper: 41% vs 40%).
+    assert abs(by["snuca"].average - by["rnuca"].average) < 0.1
+
+    # LU and KNN are high-hit for every policy (paper: ~100%, within 2%).
+    for bench in paper.FIG10_HIGH_HIT_BENCHES:
+        for pol in ("snuca", "rnuca", "tdnuca"):
+            assert by[pol].values[bench] > 0.85, (bench, pol)

@@ -1,0 +1,25 @@
+"""Fig. 12 — NoC data movement (router-bytes) normalized to S-NUCA.
+
+Paper: TD-NUCA moves 0.62x the bytes of S-NUCA on average (0.58-0.70x per
+benchmark, including bypassed DRAM->L1 transfers); R-NUCA manages 0.84x.
+"""
+
+from repro.experiments import figures
+
+from .conftest import emit
+
+
+def test_fig12_data_movement(benchmark, suite):
+    fig = benchmark(figures.fig12_data_movement, suite)
+    emit(fig.to_text())
+    rnuca = next(s for s in fig.series if s.label == "rnuca")
+    tdnuca = next(s for s in fig.series if s.label == "tdnuca")
+
+    # Every benchmark moves less data under TD-NUCA than under S-NUCA...
+    for bench, ratio in tdnuca.values.items():
+        assert ratio < 1.0, bench
+    # ...and the average cut is deep (paper: 0.62x).
+    assert 0.45 <= tdnuca.average <= 0.75
+
+    # R-NUCA helps but much less (paper: 0.84x).
+    assert tdnuca.average < rnuca.average < 1.0

@@ -1,0 +1,30 @@
+"""Fig. 13 — LLC dynamic energy normalized to S-NUCA.
+
+Paper: TD-NUCA consumes 0.52x on average (Jacobi 0.10x); LU is the one
+benchmark where replication pushes TD-NUCA to/above S-NUCA's energy.
+R-NUCA matches S-NUCA on average.
+"""
+
+from repro.experiments import figures
+
+from .conftest import emit
+
+
+def test_fig13_llc_energy(benchmark, suite):
+    fig = benchmark(figures.fig13_llc_energy, suite)
+    emit(fig.to_text())
+    rnuca = next(s for s in fig.series if s.label == "rnuca")
+    tdnuca = next(s for s in fig.series if s.label == "tdnuca")
+
+    # Deep average cut from bypassing (paper: 0.52x).
+    assert tdnuca.average < 0.65
+    assert tdnuca.values["jacobi"] < 0.2  # paper: 0.10x
+
+    # LU: replication costs LLC energy — TD-NUCA's worst ratios are the
+    # replication-heavy benchmarks, LU near the top (paper: above 1x).
+    ranked = sorted(tdnuca.values, key=tdnuca.values.get, reverse=True)
+    assert "lu" in ranked[:2]
+    assert tdnuca.values["lu"] > 0.9
+
+    # R-NUCA is S-NUCA-like (paper: 1.00x average).
+    assert abs(rnuca.average - 1.0) < 0.12

@@ -1,0 +1,31 @@
+"""Fig. 14 — NoC dynamic energy normalized to S-NUCA.
+
+Paper: TD-NUCA 0.55-0.80x (average 0.64x); R-NUCA 0.68-0.98x (average
+0.88x).  Tracks Fig. 12's data movement, which drives NoC energy.
+"""
+
+from repro.experiments import figures
+
+from .conftest import emit
+
+
+def test_fig14_noc_energy(benchmark, suite):
+    fig = benchmark(figures.fig14_noc_energy, suite)
+    emit(fig.to_text())
+    rnuca = next(s for s in fig.series if s.label == "rnuca")
+    tdnuca = next(s for s in fig.series if s.label == "tdnuca")
+
+    assert 0.45 <= tdnuca.average <= 0.75  # paper: 0.64x
+    assert tdnuca.average < rnuca.average < 1.0  # paper: 0.64 < 0.88 < 1
+    for bench, ratio in tdnuca.values.items():
+        assert ratio < 0.95, bench
+
+
+def test_fig14_tracks_fig12(benchmark, suite):
+    """NoC energy follows data movement (the paper notes the same trends)."""
+    noc = benchmark(figures.fig14_noc_energy, suite)
+    move = figures.fig12_data_movement(suite)
+    td_noc = next(s for s in noc.series if s.label == "tdnuca").values
+    td_move = next(s for s in move.series if s.label == "tdnuca").values
+    for bench in td_noc:
+        assert abs(td_noc[bench] - td_move[bench]) < 0.1, bench

@@ -1,0 +1,36 @@
+"""Fig. 15 — the TD-NUCA variant that only performs LLC bypassing.
+
+Paper: the bypass-only variant averages 1.06x vs the full design's 1.18x.
+It brings no benefit in Histo/KNN/LU (few non-reused blocks), matches the
+full design in Jacobi/Kmeans/MD5/Redblack (>97% non-reused), and sits in
+between for Gauss.
+"""
+
+from repro.experiments import figures, paper
+
+from .conftest import emit
+
+
+def test_fig15_bypass_only(benchmark, suite):
+    fig = benchmark(figures.fig15_bypass_only, suite)
+    emit(fig.to_text())
+    byp = next(s for s in fig.series if s.label == "bypass_only")
+    full = next(s for s in fig.series if s.label == "full_tdnuca")
+
+    # The full design never loses to its own subset on average.
+    assert full.average > byp.average
+
+    # No benefit (or a slight loss) where nothing is bypassable.
+    for bench in paper.FIG15_NO_BENEFIT:
+        assert byp.values[bench] < 1.10, bench
+        assert full.values[bench] > byp.values[bench], bench
+
+    # Bypass alone recovers (almost) the full gain where everything is
+    # predicted non-reused.
+    for bench in paper.FIG15_MATCHES_FULL:
+        assert byp.values[bench] > 1.0, bench
+        assert full.values[bench] - byp.values[bench] < 0.12, bench
+
+    # Gauss benefits from bypass but clearly more from the full design.
+    for bench in paper.FIG15_INTERMEDIATE:
+        assert 1.0 < byp.values[bench] < full.values[bench], bench

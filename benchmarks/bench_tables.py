@@ -1,0 +1,33 @@
+"""Tables I and II: configuration and benchmark characteristics."""
+
+from repro.experiments import figures
+from repro.stats.report import format_table
+
+from .conftest import emit
+
+
+def test_table1_configuration(benchmark, bench_cfg):
+    rows = benchmark(figures.table1_rows, bench_cfg)
+    emit(format_table(["parameter", "value"], rows, "Table I: simulator configuration"))
+    labels = {r[0] for r in rows}
+    assert {"cores", "L1D", "LLC", "NoC", "RRT"} <= labels
+
+
+def test_table2_benchmarks(benchmark, bench_cfg):
+    rows = benchmark.pedantic(
+        figures.table2_rows, args=(bench_cfg,), rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            [
+                "bench", "problem", "paper MB", "scaled MB",
+                "paper tasks", "tasks", "paper task KB", "task KB",
+            ],
+            rows,
+            "Table II: benchmarks, problem and task sizes",
+        )
+    )
+    assert len(rows) == 8
+    for row in rows:
+        paper_tasks, tasks = int(row[4]), int(row[5])
+        assert abs(tasks - paper_tasks) / paper_tasks < 0.07

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Writing your own task-dataflow workload and running it under TD-NUCA.
+
+This example builds a small producer/consumer pipeline from scratch using
+the public runtime API — the same annotations an OpenMP 4.0 program would
+carry (``depend(in/out/inout)``) — and shows how TD-NUCA's runtime
+extension classifies each dependency (bypass / local bank / cluster
+replicate) purely from the task graph.
+
+The pipeline:
+
+    generate[i]  --(out: chunk_i)-->  transform[i]  --(inout: chunk_i,
+                                                       out: digest_i)
+    reduce       --(in: every digest)
+
+* chunks are written, transformed in place, and never reused afterwards
+  -> their last use is *predicted non-reused* and bypasses the LLC;
+* the shared lookup table is read by every transform task
+  -> *cluster-replicated*;
+* digests are produced with a consumer already in the TDG
+  -> *local-bank mapped* during their producer, flushed at task end.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.config import scaled_config
+from repro.deps import DepMode
+from repro.experiments.runner import build_runtime
+from repro.mem.allocator import VirtualAllocator
+from repro.runtime import Dependency, Executor, Program, Task
+from repro.sim.machine import build_machine
+from repro.stats.report import format_table
+
+N_CHUNKS = 32
+CHUNK_BYTES = 16 * 1024
+TABLE_BYTES = 4 * 1024
+
+
+def build_pipeline() -> Program:
+    alloc = VirtualAllocator()
+    table = alloc.allocate(TABLE_BYTES, "lookup_table")
+    chunks = [alloc.allocate(CHUNK_BYTES, f"chunk[{i}]") for i in range(N_CHUNKS)]
+    digests = [alloc.allocate(64, f"digest[{i}]") for i in range(N_CHUNKS)]
+
+    prog = Program("pipeline")
+    # Phase 0 (taskwait-separated): populate the lookup table.
+    setup = prog.new_phase()
+    setup.append(Task("init_table", (Dependency(table, DepMode.OUT),)))
+    prog.warmup_phases = 0  # measure everything, including setup
+
+    phase = prog.new_phase()
+    for i in range(N_CHUNKS):
+        phase.append(
+            Task(f"generate[{i}]", (Dependency(chunks[i], DepMode.OUT),))
+        )
+        phase.append(
+            Task(
+                f"transform[{i}]",
+                (
+                    Dependency(table, DepMode.IN),
+                    Dependency(chunks[i], DepMode.INOUT),
+                    Dependency(digests[i], DepMode.OUT),
+                ),
+            )
+        )
+    reduce_deps = tuple(Dependency(d, DepMode.IN) for d in digests)
+    phase.append(Task("reduce", reduce_deps))
+    return prog
+
+
+def main() -> None:
+    cfg = scaled_config(1 / 64)
+    rows = []
+    for policy in ("snuca", "tdnuca"):
+        machine = build_machine(cfg, policy)
+        extension = build_runtime(machine, policy)
+        executor = Executor(machine, extension=extension)
+        stats = executor.run(build_pipeline())
+        m = machine.collect_stats()
+        rows.append(
+            [
+                policy,
+                f"{stats.makespan_cycles:,}",
+                f"{m.llc_accesses:,}",
+                f"{m.llc_hit_ratio:.1%}",
+                f"{m.mean_nuca_distance:.2f}",
+            ]
+        )
+        if policy == "tdnuca":
+            td_stats = extension.stats
+    print(
+        format_table(
+            ["policy", "makespan", "LLC accesses", "hit ratio", "NUCA distance"],
+            rows,
+            "custom pipeline under S-NUCA vs TD-NUCA",
+        )
+    )
+    print(
+        f"\nTD-NUCA classified the pipeline's dependencies as:\n"
+        f"  bypass            : {td_stats.bypass_decisions:4d} "
+        f"(single-use chunks at their last predicted use)\n"
+        f"  local bank        : {td_stats.local_decisions:4d} "
+        f"(chunks/digests private to their producer)\n"
+        f"  cluster replicate : {td_stats.replicate_decisions:4d} "
+        f"(the shared lookup table)\n"
+        f"  lazy invalidations: {td_stats.lazy_invalidations:4d} "
+        f"(replicated table... never written again, so 0 — transforms\n"
+        f"   write chunks, which were never replicated)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Multiprogramming with PID-tagged RRTs (paper Section III-D).
+
+The paper's hardware extension tags RRT entries with the OS process ID so
+several processes share the RRTs without save/restore at context
+switches.  This example co-schedules two independent task-dataflow
+programs — a streaming hasher and a shared-table lookup kernel — on one
+machine, each with its own TD-NUCA runtime, then terminates one process
+and shows its entries being dropped.
+
+Run:  python examples/multiprogramming.py
+"""
+
+from repro.config import scaled_config
+from repro.deps import DepMode
+from repro.mem.allocator import VirtualAllocator
+from repro.runtime import Dependency, Executor, FifoScheduler, Program, Task
+from repro.runtime.multiprog import MultiProcessRuntime, merge_programs
+from repro.sim.machine import build_machine
+from repro.stats.report import format_table
+
+
+def streaming_program(base: int, n: int = 24) -> Program:
+    """Process 1: hash independent buffers (everything bypasses)."""
+    alloc = VirtualAllocator(base=base)
+    prog = Program("hasher")
+    phase = prog.new_phase()
+    for i in range(n):
+        buf = alloc.allocate(8 * 1024, f"buf[{i}]")
+        digest = alloc.allocate(64, f"digest[{i}]")
+        phase.append(
+            Task(
+                f"hash[{i}]",
+                (Dependency(buf, DepMode.IN), Dependency(digest, DepMode.OUT)),
+            )
+        )
+    return prog
+
+
+def lookup_program(base: int, n: int = 24) -> Program:
+    """Process 2: every task reads a shared table (cluster-replicated)."""
+    alloc = VirtualAllocator(base=base)
+    table = alloc.allocate(8 * 1024, "table")
+    prog = Program("lookup")
+    phase = prog.new_phase()
+    for i in range(n):
+        out = alloc.allocate(1024, f"out[{i}]")
+        phase.append(
+            Task(
+                f"lookup[{i}]",
+                (Dependency(table, DepMode.IN), Dependency(out, DepMode.OUT)),
+            )
+        )
+    return prog
+
+
+def main() -> None:
+    cfg = scaled_config(1 / 64)
+    machine = build_machine(cfg, "tdnuca")
+    ext = MultiProcessRuntime(machine.mesh, machine.isa, pids=[1, 2])
+    merged = merge_programs(
+        {1: streaming_program(0x0010_0000), 2: lookup_program(0x8000_0000)}
+    )
+    # FIFO dispatch follows the merged (round-robin) creation order, so
+    # the two processes genuinely interleave on the cores.
+    stats = Executor(machine, extension=ext, scheduler=FifoScheduler()).run(merged)
+
+    rows = []
+    for pid, name in ((1, "hasher"), (2, "lookup")):
+        st = ext.runtimes[pid].stats
+        rows.append(
+            [
+                f"{pid} ({name})",
+                st.decisions,
+                st.bypass_decisions,
+                st.replicate_decisions,
+                st.local_decisions,
+            ]
+        )
+    print(
+        format_table(
+            ["process", "decisions", "bypass", "replicate", "local"],
+            rows,
+            "per-process TD-NUCA decisions over shared, PID-tagged RRTs",
+        )
+    )
+    print(
+        f"\n{stats.tasks_executed} tasks, {ext.context_switches} RRT context "
+        f"switches — zero save/restore cost (entries are tagged)"
+    )
+
+    # A graceful exit leaves nothing behind — TD-NUCA retires mappings at
+    # each dependency's last predicted use.  A *killed* process does leave
+    # entries; the OS reclaims them with a tagged drop, no RRT scan needed:
+    machine.isa.rrts[0].set_active_pid(2)
+    machine.isa.rrts[0].register(0x8000_0000, 0x8000_2000, 0b11)
+    machine.isa.rrts[4].set_active_pid(2)
+    machine.isa.rrts[4].register(0x8000_0000, 0x8000_2000, 0b11)
+    freed = ext.terminate(2)
+    print(f"process 2 killed: OS dropped {freed} stale PID-tagged entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline numbers over the full benchmark suite.
+
+Runs all eight Table-II benchmarks under S-NUCA, R-NUCA and TD-NUCA and
+prints Figures 8-14 with the paper's averages alongside.  This is the
+programmatic equivalent of ``pytest benchmarks/ --benchmark-only`` for
+interactive use.
+
+Run:  python examples/policy_comparison.py [--scale 256] [--quick]
+
+``--quick`` restricts the sweep to three benchmarks; ``--scale N`` runs at
+capacity scale 1/N (default 64, the calibrated scale).
+"""
+
+import argparse
+import time
+
+from repro.config import scaled_config
+from repro.experiments import figures
+from repro.experiments.runner import run_suite
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=int, default=64, help="capacity scale 1/N")
+    ap.add_argument("--quick", action="store_true", help="3 benchmarks only")
+    args = ap.parse_args()
+
+    cfg = scaled_config(1.0 / args.scale)
+    workloads = ["kmeans", "lu", "md5"] if args.quick else None
+    print(f"Running the suite at scale 1/{args.scale} "
+          f"({'quick subset' if args.quick else 'all 8 benchmarks'})...")
+    t0 = time.time()
+    results = run_suite(workloads=workloads, cfg=cfg)
+    print(f"...done in {time.time() - t0:.0f}s\n")
+
+    for build in (
+        figures.fig8_speedup,
+        figures.fig9_llc_accesses,
+        figures.fig10_hit_ratio,
+        figures.fig11_nuca_distance,
+        figures.fig12_data_movement,
+        figures.fig13_llc_energy,
+        figures.fig14_noc_energy,
+        figures.fig3_classification,
+    ):
+        print(build(results).to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

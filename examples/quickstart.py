@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark under all three NUCA policies.
+
+Builds the scaled 16-core machine (Table I at 1/64 capacity), runs the
+Kmeans task-dataflow benchmark under S-NUCA (the baseline), the augmented
+R-NUCA comparator, and TD-NUCA (the paper's contribution), and prints the
+headline metrics of the paper's evaluation side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.runner import default_config, run_experiment
+from repro.stats.report import format_table
+
+WORKLOAD = "kmeans"
+POLICIES = ("snuca", "rnuca", "tdnuca")
+
+
+def main() -> None:
+    cfg = default_config()  # Table I scaled to 1/64 capacity
+    print(
+        f"Simulating {WORKLOAD!r} on a {cfg.num_cores}-core "
+        f"{cfg.mesh_width}x{cfg.mesh_height} mesh, "
+        f"LLC {cfg.llc_total_bytes // 1024} KB "
+        f"({cfg.llc_bank_bytes // 1024} KB/bank)...\n"
+    )
+
+    results = {}
+    for policy in POLICIES:
+        print(f"  running {policy} ...")
+        results[policy] = run_experiment(WORKLOAD, policy, cfg)
+
+    base = results["snuca"].makespan
+    rows = []
+    for policy in POLICIES:
+        r = results[policy]
+        m = r.machine
+        rows.append(
+            [
+                policy,
+                f"{base / r.makespan:.3f}x",
+                f"{m.llc_accesses:,}",
+                f"{m.llc_hit_ratio:.1%}",
+                f"{m.mean_nuca_distance:.2f}",
+                f"{m.router_bytes / 1e6:.1f} MB",
+                f"{m.energy.llc / 1e6:.2f} uJ",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "policy", "speedup", "LLC accesses", "LLC hit ratio",
+                "NUCA distance", "NoC traffic", "LLC energy",
+            ],
+            rows,
+            f"{WORKLOAD}: S-NUCA vs R-NUCA vs TD-NUCA",
+        )
+    )
+
+    td = results["tdnuca"]
+    print(
+        f"\nTD-NUCA placement decisions: {td.runtime.bypass_decisions} bypass, "
+        f"{td.runtime.local_decisions} local-bank, "
+        f"{td.runtime.replicate_decisions} cluster-replicate"
+    )
+    print(
+        f"RRT occupancy: mean {td.runtime.mean_rrt_occupancy:.1f}, "
+        f"max {td.runtime.occupancy_max} of {cfg.rrt_entries} entries"
+    )
+
+
+if __name__ == "__main__":
+    main()

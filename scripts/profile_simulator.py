@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot path.
+
+"No optimization without measuring": runs one (workload, policy)
+experiment under cProfile and prints the top functions by cumulative and
+internal time, so changes to the per-access loop can be checked for
+regressions.
+
+Usage: python scripts/profile_simulator.py [workload] [policy] [1/scale]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+from repro.config import scaled_config
+from repro.experiments.runner import run_experiment
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "kmeans"
+    policy = sys.argv[2] if len(sys.argv) > 2 else "tdnuca"
+    denom = int(sys.argv[3]) if len(sys.argv) > 3 else 256
+    cfg = scaled_config(1.0 / denom)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_experiment(workload, policy, cfg)
+    profiler.disable()
+
+    accesses = result.machine.l1.accesses
+    stats = pstats.Stats(profiler)
+    total = stats.total_tt
+    print(
+        f"{workload}/{policy} @1/{denom}: {accesses:,} memory references, "
+        f"{total:.2f}s -> {total / max(1, accesses) * 1e6:.2f} us/reference\n"
+    )
+    print("== top 15 by cumulative time ==")
+    stats.sort_stats("cumulative").print_stats(15)
+    print("== top 15 by internal time ==")
+    stats.sort_stats("tottime").print_stats(15)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has setuptools without the
+``wheel`` package, so PEP-517 editable installs fail; ``pip install -e .
+--no-build-isolation --no-use-pep517`` goes through this file instead.
+Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

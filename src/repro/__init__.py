@@ -1,0 +1,26 @@
+"""TD-NUCA reproduction: runtime-driven management of NUCA caches in task
+dataflow programming models (Caheny et al., SC 2022).
+
+Public entry points:
+
+* :func:`repro.experiments.runner.run_experiment` — one (workload, policy)
+  simulation with full statistics.
+* :func:`repro.experiments.runner.run_suite` — the full evaluation sweep.
+* :mod:`repro.experiments.figures` — every table/figure of the paper.
+* :func:`repro.sim.machine.build_machine` +
+  :class:`repro.runtime.Executor` — build your own experiments.
+* ``python -m repro`` — the command-line interface.
+"""
+
+from repro.config import SystemConfig, paper_config, scaled_config
+from repro.deps import DepMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "paper_config",
+    "scaled_config",
+    "DepMode",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Cache substrate: set-associative banks, private L1s, the banked NUCA
+LLC, and a MESI-style coherence directory.
+
+These modules stand in for gem5's Ruby memory system.  The modelled events
+(hits, misses, evictions, writebacks, invalidations, flushes) are the ones
+the paper's evaluation consumes; transient protocol states are unnecessary
+because the task-dataflow runtime already orders conflicting accesses.
+"""
+
+from repro.cache.bank import AccessResult, CacheBank
+from repro.cache.directory import CoherenceDirectory
+from repro.cache.l1 import L1Cache
+from repro.cache.llc import NucaLLC
+from repro.cache.replacement import LRUState, TreePLRUState, make_replacement
+
+__all__ = [
+    "CacheBank",
+    "AccessResult",
+    "L1Cache",
+    "NucaLLC",
+    "CoherenceDirectory",
+    "TreePLRUState",
+    "LRUState",
+    "make_replacement",
+]

@@ -1,0 +1,226 @@
+"""Generic set-associative cache bank.
+
+Used both for the private L1 caches and for each LLC bank.  Operates on
+*physical block numbers* (already shifted by the block size); set selection
+uses the low bits of the block number, as in a physically indexed cache.
+
+The per-access path (:meth:`CacheBank.access`) is the hottest loop of the
+whole simulator, so it is written flat: dict probe, way arrays, integer
+PLRU state, no allocation on hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.replacement import make_replacement
+
+__all__ = ["CacheBank", "AccessResult", "BankStats"]
+
+
+@dataclass
+class BankStats:
+    hits: int = 0
+    misses: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+    flushed_blocks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "BankStats") -> None:
+        for f in (
+            "hits",
+            "misses",
+            "read_hits",
+            "write_hits",
+            "evictions",
+            "dirty_evictions",
+            "invalidations",
+            "flushed_blocks",
+        ):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one block access.
+
+    ``evicted`` is the block number displaced by the fill on a miss (or
+    ``None``); ``evicted_dirty`` tells the caller whether a writeback of the
+    victim is required.
+    """
+
+    hit: bool
+    evicted: int | None = None
+    evicted_dirty: bool = False
+
+
+class CacheBank:
+    """One set-associative bank holding block numbers with dirty bits."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        block_bytes: int,
+        replacement: str = "plru",
+        name: str = "",
+    ) -> None:
+        if size_bytes <= 0 or size_bytes % (assoc * block_bytes):
+            raise ValueError("size must be a positive multiple of assoc * block")
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_bytes = block_bytes
+        self.name = name
+        self.num_sets = size_bytes // (assoc * block_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self._set_mask = self.num_sets - 1
+        # Per-set state; dense lists indexed by set.
+        self._map: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._ways: list[list[int | None]] = [
+            [None] * assoc for _ in range(self.num_sets)
+        ]
+        self._dirty: list[list[bool]] = [[False] * assoc for _ in range(self.num_sets)]
+        self._repl = [make_replacement(replacement, assoc) for _ in range(self.num_sets)]
+        self.stats = BankStats()
+
+    # --- queries (no state change) ---
+
+    def set_index(self, block: int) -> int:
+        return block & self._set_mask
+
+    def contains(self, block: int) -> bool:
+        return block in self._map[block & self._set_mask]
+
+    def is_dirty(self, block: int) -> bool:
+        s = block & self._set_mask
+        way = self._map[s].get(block)
+        return way is not None and self._dirty[s][way]
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid blocks currently resident."""
+        return sum(len(m) for m in self._map)
+
+    def resident_blocks(self) -> list[int]:
+        """All resident block numbers (test/diagnostic helper)."""
+        out: list[int] = []
+        for m in self._map:
+            out.extend(m)
+        return out
+
+    # --- the hot path ---
+
+    def access(self, block: int, write: bool) -> AccessResult:
+        """Access ``block``; on miss, fill it, evicting a victim if needed."""
+        s = block & self._set_mask
+        smap = self._map[s]
+        way = smap.get(block)
+        repl = self._repl[s]
+        st = self.stats
+        if way is not None:
+            st.hits += 1
+            if write:
+                st.write_hits += 1
+                self._dirty[s][way] = True
+            else:
+                st.read_hits += 1
+            repl.touch(way)
+            return _HIT
+        # Miss: find a way (invalid first, else replacement victim).
+        st.misses += 1
+        ways = self._ways[s]
+        evicted = None
+        evicted_dirty = False
+        if len(smap) < self.assoc:
+            way = ways.index(None)
+        else:
+            way = repl.victim()
+            evicted = ways[way]
+            evicted_dirty = self._dirty[s][way]
+            del smap[evicted]
+            st.evictions += 1
+            if evicted_dirty:
+                st.dirty_evictions += 1
+        ways[way] = block
+        smap[block] = way
+        self._dirty[s][way] = write
+        repl.touch(way)
+        if evicted is None:
+            return _MISS_NO_EVICT
+        return AccessResult(False, evicted, evicted_dirty)
+
+    def fill(self, block: int, dirty: bool = False) -> AccessResult:
+        """Insert ``block`` without counting a demand access (used by
+        victim-fill style operations); returns eviction info."""
+        hits, misses = self.stats.hits, self.stats.misses
+        rh, wh = self.stats.read_hits, self.stats.write_hits
+        result = self.access(block, dirty)
+        self.stats.hits, self.stats.misses = hits, misses
+        self.stats.read_hits, self.stats.write_hits = rh, wh
+        return AccessResult(result.hit, result.evicted, result.evicted_dirty)
+
+    # --- invalidation / flushing ---
+
+    def make_clean(self, block: int) -> bool:
+        """Clear the dirty bit of ``block`` (coherence downgrade M->S);
+        returns whether the block was present."""
+        s = block & self._set_mask
+        way = self._map[s].get(block)
+        if way is None:
+            return False
+        self._dirty[s][way] = False
+        return True
+
+    def invalidate(self, block: int) -> tuple[bool, bool]:
+        """Remove ``block`` if present; returns ``(present, was_dirty)``."""
+        s = block & self._set_mask
+        way = self._map[s].pop(block, None)
+        if way is None:
+            return False, False
+        dirty = self._dirty[s][way]
+        self._ways[s][way] = None
+        self._dirty[s][way] = False
+        self.stats.invalidations += 1
+        return True, dirty
+
+    def flush_blocks(self, blocks) -> tuple[int, int]:
+        """Invalidate every block in ``blocks`` that is resident.
+
+        Returns ``(flushed, dirty_flushed)`` — the dirty count is the number
+        of writebacks the flush transaction must perform.
+        """
+        flushed = dirty_count = 0
+        for block in blocks:
+            present, dirty = self.invalidate(block)
+            if present:
+                flushed += 1
+                if dirty:
+                    dirty_count += 1
+        self.stats.flushed_blocks += flushed
+        # invalidate() counted these in invalidations too; keep both views.
+        return flushed, dirty_count
+
+    def clear(self) -> None:
+        """Drop all contents and reset replacement state (not stats)."""
+        for s in range(self.num_sets):
+            self._map[s].clear()
+            self._ways[s] = [None] * self.assoc
+            self._dirty[s] = [False] * self.assoc
+            self._repl[s].reset()
+
+
+_HIT = AccessResult(True)
+_MISS_NO_EVICT = AccessResult(False)

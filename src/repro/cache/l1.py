@@ -1,0 +1,33 @@
+"""Private per-core L1 data cache.
+
+A thin wrapper over :class:`~repro.cache.bank.CacheBank` that remembers its
+core and exposes the flush operation used by ``tdnuca_flush`` with
+``cache_level = L1``.
+"""
+
+from __future__ import annotations
+
+from repro.cache.bank import AccessResult, CacheBank
+
+__all__ = ["L1Cache"]
+
+
+class L1Cache(CacheBank):
+    """L1D of one core (32 KB, 8-way, 64 B lines, 2-cycle in Table I)."""
+
+    def __init__(
+        self,
+        core: int,
+        size_bytes: int,
+        assoc: int,
+        block_bytes: int,
+        replacement: str = "plru",
+    ) -> None:
+        super().__init__(size_bytes, assoc, block_bytes, replacement, f"l1.{core}")
+        self.core = core
+
+    def read(self, block: int) -> AccessResult:
+        return self.access(block, write=False)
+
+    def write(self, block: int) -> AccessResult:
+        return self.access(block, write=True)

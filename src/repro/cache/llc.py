@@ -1,0 +1,83 @@
+"""Banked NUCA last-level cache.
+
+One :class:`~repro.cache.bank.CacheBank` per tile (paper: 2 MB/core,
+16-way, inclusive).  Which bank serves a given access is decided *outside*
+this class by the active NUCA policy (S-NUCA interleaving, R-NUCA
+classification, or TD-NUCA's RRT); the LLC itself only owns per-bank state
+and aggregate statistics.
+
+Replication is naturally expressed here: the same physical block may be
+resident in several banks at once (TD-NUCA cluster replicas, R-NUCA
+rotational-interleaving replicas).  Coherence for replicas is enforced by
+the runtime/OS flush operations, mirroring the paper.
+"""
+
+from __future__ import annotations
+
+from repro.cache.bank import AccessResult, BankStats, CacheBank
+
+__all__ = ["NucaLLC"]
+
+
+class NucaLLC:
+    """Array of per-tile LLC banks."""
+
+    def __init__(
+        self,
+        num_banks: int,
+        bank_bytes: int,
+        assoc: int,
+        block_bytes: int,
+        replacement: str = "plru",
+    ) -> None:
+        if num_banks <= 0:
+            raise ValueError("need at least one bank")
+        self.block_bytes = block_bytes
+        self.banks = [
+            CacheBank(bank_bytes, assoc, block_bytes, replacement, f"llc.{b}")
+            for b in range(num_banks)
+        ]
+
+    @property
+    def num_banks(self) -> int:
+        return len(self.banks)
+
+    def access(self, bank: int, block: int, write: bool) -> AccessResult:
+        """Demand access to ``block`` in ``bank``."""
+        return self.banks[bank].access(block, write)
+
+    def contains(self, bank: int, block: int) -> bool:
+        return self.banks[bank].contains(block)
+
+    def banks_holding(self, block: int) -> list[int]:
+        """All banks where ``block`` is currently resident (replicas)."""
+        return [i for i, b in enumerate(self.banks) if b.contains(block)]
+
+    def invalidate_everywhere(self, block: int) -> tuple[int, int]:
+        """Remove ``block`` from every bank; returns (copies, dirty_copies)."""
+        copies = dirty = 0
+        for b in self.banks:
+            present, was_dirty = b.invalidate(block)
+            if present:
+                copies += 1
+                if was_dirty:
+                    dirty += 1
+        return copies, dirty
+
+    def flush_blocks(self, bank: int, blocks) -> tuple[int, int]:
+        """Flush ``blocks`` from one bank; returns (flushed, dirty)."""
+        return self.banks[bank].flush_blocks(blocks)
+
+    def aggregate_stats(self) -> BankStats:
+        total = BankStats()
+        for b in self.banks:
+            total.merge(b.stats)
+        return total
+
+    @property
+    def occupancy(self) -> int:
+        return sum(b.occupancy for b in self.banks)
+
+    def clear(self) -> None:
+        for b in self.banks:
+            b.clear()

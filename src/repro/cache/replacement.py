@@ -1,0 +1,100 @@
+"""Replacement policies for set-associative caches.
+
+Two per-set policies are provided:
+
+* :class:`TreePLRUState` — the tree pseudo-LRU used by the paper's L1 and
+  LLC (Table I).  The tree is packed into a single integer of
+  ``assoc - 1`` bits; node ``i`` has children ``2i+1`` / ``2i+2`` and a set
+  bit means "the LRU side is the right subtree".
+* :class:`LRUState` — true LRU, used in tests as a reference and available
+  for ablation.
+
+Both expose the same three operations on way indices: ``touch`` (on hit or
+fill), ``victim`` (choose the way to evict) and ``reset``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TreePLRUState", "LRUState", "make_replacement"]
+
+
+def _check_assoc(assoc: int) -> None:
+    if assoc <= 0 or assoc & (assoc - 1):
+        raise ValueError("associativity must be a positive power of two")
+
+
+class TreePLRUState:
+    """Tree pseudo-LRU over ``assoc`` ways (power of two)."""
+
+    __slots__ = ("assoc", "_levels", "_bits")
+
+    def __init__(self, assoc: int) -> None:
+        _check_assoc(assoc)
+        self.assoc = assoc
+        self._levels = assoc.bit_length() - 1
+        self._bits = 0
+
+    def touch(self, way: int) -> None:
+        """Mark ``way`` most-recently used: point every tree node on its
+        path *away* from it."""
+        node = 0
+        half = self.assoc >> 1
+        lo = 0
+        for _ in range(self._levels):
+            if way < lo + half:
+                self._bits |= 1 << node  # LRU side is right
+                node = 2 * node + 1
+            else:
+                self._bits &= ~(1 << node)  # LRU side is left
+                node = 2 * node + 2
+                lo += half
+            half >>= 1
+
+    def victim(self) -> int:
+        """Way index the tree currently designates least-recently used."""
+        node = 0
+        way = 0
+        half = self.assoc >> 1
+        for _ in range(self._levels):
+            if self._bits >> node & 1:  # go right
+                node = 2 * node + 2
+                way += half
+            else:
+                node = 2 * node + 1
+            half >>= 1
+        return way
+
+    def reset(self) -> None:
+        self._bits = 0
+
+
+class LRUState:
+    """Exact LRU over ``assoc`` ways (reference implementation)."""
+
+    __slots__ = ("assoc", "_order")
+
+    def __init__(self, assoc: int) -> None:
+        _check_assoc(assoc)
+        self.assoc = assoc
+        self._order: list[int] = list(range(assoc))  # front = LRU
+
+    def touch(self, way: int) -> None:
+        if not 0 <= way < self.assoc:
+            raise ValueError("way out of range")
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        return self._order[0]
+
+    def reset(self) -> None:
+        self._order = list(range(self.assoc))
+
+
+def make_replacement(kind: str, assoc: int):
+    """Factory: ``"plru"`` or ``"lru"``."""
+    if kind == "plru":
+        return TreePLRUState(assoc)
+    if kind == "lru":
+        return LRUState(assoc)
+    raise ValueError(f"unknown replacement policy {kind!r}")

@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+    python -m repro list                      # benchmarks and policies
+    python -m repro config [--scale N]        # print the machine (Table I)
+    python -m repro run lu tdnuca [...]       # one experiment, full stats
+    python -m repro figures [...]             # the paper's figures 3, 8-14
+    python -m repro sweep --out results.json  # archive a suite as JSON
+
+Scale is given as ``--scale N`` meaning capacities at 1/N of Table I
+(default 64, the calibrated experiment scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import scaled_config
+from repro.experiments import figures
+from repro.experiments.runner import run_experiment, run_suite
+from repro.experiments.serialize import result_to_dict, results_to_json
+from repro.sim.machine import POLICIES
+from repro.stats.report import format_table
+from repro.workloads.registry import get_workload, workload_names
+
+__all__ = ["main", "build_parser"]
+
+FIGURE_BUILDERS = {
+    "fig3": figures.fig3_classification,
+    "fig8": figures.fig8_speedup,
+    "fig9": figures.fig9_llc_accesses,
+    "fig10": figures.fig10_hit_ratio,
+    "fig11": figures.fig11_nuca_distance,
+    "fig12": figures.fig12_data_movement,
+    "fig13": figures.fig13_llc_energy,
+    "fig14": figures.fig14_noc_energy,
+    "fig15": figures.fig15_bypass_only,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TD-NUCA (SC'22) reproduction: runtime-driven NUCA management.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and policies")
+
+    p_config = sub.add_parser("config", help="print the machine configuration")
+    _add_scale(p_config)
+
+    p_run = sub.add_parser("run", help="run one (workload, policy) experiment")
+    p_run.add_argument("workload", choices=workload_names())
+    p_run.add_argument("policy", choices=list(POLICIES))
+    _add_scale(p_run)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--json", action="store_true", help="emit JSON stats")
+
+    p_fig = sub.add_parser("figures", help="run the suite and print figures")
+    _add_scale(p_fig)
+    p_fig.add_argument(
+        "--only",
+        choices=sorted(FIGURE_BUILDERS),
+        nargs="*",
+        help="subset of figures (default: all)",
+    )
+    p_fig.add_argument(
+        "--workloads", nargs="*", choices=workload_names(), help="subset"
+    )
+    p_fig.add_argument("--chart", action="store_true", help="ASCII bar charts")
+
+    p_sweep = sub.add_parser("sweep", help="run the suite, write JSON results")
+    _add_scale(p_sweep)
+    p_sweep.add_argument("--out", required=True, help="output JSON path")
+    p_sweep.add_argument(
+        "--policies", nargs="*", choices=list(POLICIES), default=None
+    )
+
+    p_cmp = sub.add_parser(
+        "compare", help="diff two sweep JSON files (regression check)"
+    )
+    p_cmp.add_argument("old", help="baseline sweep JSON")
+    p_cmp.add_argument("new", help="candidate sweep JSON")
+    p_cmp.add_argument("--tolerance", type=float, default=0.02)
+
+    p_tdg = sub.add_parser(
+        "tdg", help="export a workload's task dependency graph as DOT"
+    )
+    p_tdg.add_argument("workload", choices=workload_names(include_extra=True))
+    _add_scale(p_tdg)
+    p_tdg.add_argument("--out", required=True, help="output .dot path")
+    p_tdg.add_argument("--max-tasks", type=int, default=200)
+    return parser
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=64,
+        metavar="N",
+        help="capacities at 1/N of Table I (default 64)",
+    )
+
+
+def _cfg(args):
+    return scaled_config(1.0 / args.scale)
+
+
+def cmd_list(args) -> int:
+    print("benchmarks (Table II):")
+    for name in workload_names():
+        paper = get_workload(name).paper
+        print(f"  {name:10s} {paper.problem}")
+    print("extra workloads:")
+    for name in workload_names(include_extra=True):
+        if name not in workload_names():
+            print(f"  {name:10s} {get_workload(name).paper.problem}")
+    print("\npolicies:")
+    for pol in POLICIES:
+        print(f"  {pol}")
+    return 0
+
+
+def cmd_config(args) -> int:
+    rows = figures.table1_rows(_cfg(args))
+    print(format_table(["parameter", "value"], rows, "machine configuration"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    t0 = time.time()
+    result = run_experiment(args.workload, args.policy, _cfg(args), seed=args.seed)
+    elapsed = time.time() - t0
+    if args.json:
+        import json
+
+        print(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+        return 0
+    m = result.machine
+    rows = [
+        ["makespan (cycles)", f"{result.makespan:,}"],
+        ["tasks executed", f"{result.execution.tasks_executed:,}"],
+        ["LLC accesses", f"{m.llc_accesses:,}"],
+        ["LLC hit ratio", f"{m.llc_hit_ratio:.2%}"],
+        ["NUCA distance (hops)", f"{m.mean_nuca_distance:.2f}"],
+        ["NoC router-bytes", f"{m.router_bytes:,}"],
+        ["DRAM reads / writes", f"{m.dram_reads:,} / {m.dram_writes:,}"],
+        ["LLC dynamic energy (pJ)", f"{m.energy.llc:,.0f}"],
+        ["NoC dynamic energy (pJ)", f"{m.energy.noc:,.0f}"],
+    ]
+    if result.runtime is not None:
+        rows += [
+            ["bypass / local / replicate",
+             f"{result.runtime.bypass_decisions} / "
+             f"{result.runtime.local_decisions} / "
+             f"{result.runtime.replicate_decisions}"],
+            ["RRT occupancy mean / max",
+             f"{result.runtime.mean_rrt_occupancy:.1f} / "
+             f"{result.runtime.occupancy_max}"],
+        ]
+    print(
+        format_table(
+            ["metric", "value"], rows, f"{args.workload} under {args.policy}"
+        )
+    )
+    print(f"\nsimulated in {elapsed:.1f}s wall time")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    wanted = args.only or sorted(FIGURE_BUILDERS)
+    policies = ["snuca", "rnuca", "tdnuca"]
+    if "fig15" in wanted:
+        policies.append("tdnuca-bypass-only")
+    print(f"running the suite at scale 1/{args.scale} ...", file=sys.stderr)
+    results = run_suite(workloads=args.workloads, policies=policies, cfg=_cfg(args))
+    for key in wanted:
+        fig = FIGURE_BUILDERS[key](results)
+        print(fig.to_chart() if args.chart else fig.to_text())
+        print()
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    results = run_suite(policies=args.policies, cfg=_cfg(args))
+    with open(args.out, "w") as fh:
+        fh.write(results_to_json(results))
+    print(f"wrote {len(results)} results to {args.out}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.experiments.compare import compare_result_sets
+    from repro.experiments.serialize import load_results_json
+
+    with open(args.old) as fh:
+        old = load_results_json(fh.read())
+    with open(args.new) as fh:
+        new = load_results_json(fh.read())
+    deltas = compare_result_sets(old, new, tolerance=args.tolerance)
+    if not deltas:
+        print(f"no deviations beyond {args.tolerance:.1%} across {len(new)} runs")
+        return 0
+    for d in deltas:
+        print(d)
+    print(f"\n{len(deltas)} deviation(s) beyond {args.tolerance:.1%}")
+    return 1
+
+
+def cmd_tdg(args) -> int:
+    from repro.runtime.tdgviz import program_to_dot
+
+    program = get_workload(args.workload).build(_cfg(args))
+    dot = program_to_dot(program, max_tasks=args.max_tasks)
+    with open(args.out, "w") as fh:
+        fh.write(dot)
+    nodes = dot.count("label=")
+    print(f"wrote {args.out} ({nodes} tasks; render with: dot -Tpdf {args.out})")
+    return 0
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "config": cmd_config,
+    "run": cmd_run,
+    "figures": cmd_figures,
+    "sweep": cmd_sweep,
+    "compare": cmd_compare,
+    "tdg": cmd_tdg,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""TD-NUCA — the paper's primary contribution.
+
+Hardware side (Section III-B): a per-core :class:`~repro.core.rrt.RRT`
+(Runtime Region Table) mapping physical address ranges of task dependencies
+to LLC ``BankMask``\\ s, plus the three ISA instructions
+(:mod:`repro.core.isa`) the runtime uses to manage it.
+
+Software side (Section III-C): the :class:`~repro.core.rtdirectory.RTCacheDirectory`
+tracking per-dependency use counts and mappings, and the Fig.-7 placement
+decision (:mod:`repro.core.policy`).
+
+:class:`~repro.core.tdnuca.TdNucaPolicy` plugs the RRT lookup into the
+memory access path as a :class:`~repro.nuca.base.NucaPolicy`.
+"""
+
+from repro.core.isa import FlushCompletionRegister, TdNucaISA
+from repro.core.policy import Placement, PlacementKind, decide_placement
+from repro.core.rrt import RRT, decode_bank_mask
+from repro.core.rtdirectory import DependencyEntry, RTCacheDirectory
+from repro.core.tdnuca import TdNucaPolicy
+
+__all__ = [
+    "RRT",
+    "decode_bank_mask",
+    "TdNucaISA",
+    "FlushCompletionRegister",
+    "RTCacheDirectory",
+    "DependencyEntry",
+    "Placement",
+    "PlacementKind",
+    "decide_placement",
+    "TdNucaPolicy",
+]

@@ -1,0 +1,237 @@
+"""The three TD-NUCA ISA instructions and the flush-completion register.
+
+``tdnuca_register(initial_address, size, BankMask)`` — Section III-A/B2:
+walks the virtual pages of a dependency through the executing core's TLB
+(Fig. 5), collapses physically contiguous pages into ranges, and registers
+each range in the core's RRT.  Ranges that do not fit are dropped (S-NUCA
+fallback).  Partially covered first/last cache blocks are excluded
+(Section III-D).
+
+``tdnuca_invalidate(initial_address, size, CoreMask)`` — removes the
+dependency's entries from the RRTs of the cores in ``CoreMask`` after the
+same translation walk.
+
+``tdnuca_flush(initial_address, size, cache_level, CoreMask)`` — flushes
+the dependency's cache blocks from the private caches or LLC banks of the
+masked tiles.  Completion is signalled through a memory-mapped register
+with one bit per core on which the runtime polls.
+
+All instruction latencies are modelled in cycles and surfaced in
+:class:`ISAStats` for the Section V-E overhead studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import LatencyConfig
+from repro.core.rrt import RRT
+from repro.mem.address import AddressMap
+from repro.mem.region import Region
+from repro.mem.tlb import TLB
+
+__all__ = ["TdNucaISA", "ISAStats", "FlushCompletionRegister", "FlushOutcome"]
+
+
+class FlushCompletionRegister:
+    """Memory-mapped register with 1 bit per core (Section III-B4).
+
+    A core's bit is set while a flush it issued is in flight and cleared on
+    completion; the runtime polls the register.  The simulator executes
+    flushes synchronously, but the register is still driven through the
+    same set/clear protocol so the API (and its tests) match the paper.
+    """
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self._bits = 0
+        self.polls = 0
+
+    def start(self, core: int) -> None:
+        self._check(core)
+        self._bits |= 1 << core
+
+    def complete(self, core: int) -> None:
+        self._check(core)
+        self._bits &= ~(1 << core)
+
+    def poll(self) -> int:
+        """Read the register (runtime polling loop); returns the bitmask of
+        cores with flushes still in flight."""
+        self.polls += 1
+        return self._bits
+
+    def is_pending(self, core: int) -> bool:
+        self._check(core)
+        return bool(self._bits >> core & 1)
+
+    def _check(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError("core out of range")
+
+
+@dataclass
+class ISAStats:
+    registers_executed: int = 0
+    invalidates_executed: int = 0
+    flushes_executed: int = 0
+    translation_tlb_accesses: int = 0
+    register_cycles: int = 0
+    invalidate_cycles: int = 0
+    flush_cycles: int = 0
+    blocks_flushed: int = 0
+    dirty_blocks_flushed: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.register_cycles + self.invalidate_cycles + self.flush_cycles
+
+
+@dataclass(frozen=True)
+class FlushOutcome:
+    cycles: int
+    flushed: int
+    dirty: int
+
+
+#: callback the machine installs to actually remove blocks from caches and
+#: account writeback traffic: (blocks, level, tiles) -> (flushed, dirty).
+FlushExecutor = Callable[[list[int], str, tuple[int, ...]], tuple[int, int]]
+
+
+class TdNucaISA:
+    """Executes the TD-NUCA instructions against the per-core TLBs/RRTs."""
+
+    #: cycles charged per block invalidated by a flush transaction.
+    FLUSH_CYCLES_PER_BLOCK = 1
+    #: fixed issue cost of each instruction.
+    ISSUE_CYCLES = 4
+
+    def __init__(
+        self,
+        amap: AddressMap,
+        tlbs: list[TLB],
+        rrts: list[RRT],
+        latency: LatencyConfig,
+    ) -> None:
+        if len(tlbs) != len(rrts):
+            raise ValueError("need one TLB and one RRT per core")
+        self.amap = amap
+        self.tlbs = tlbs
+        self.rrts = rrts
+        self.latency = latency
+        self.completion = FlushCompletionRegister(len(rrts))
+        self.stats = ISAStats()
+        self.flush_executor: FlushExecutor | None = None
+
+    # --- shared translation walk (Fig. 5) ---
+
+    def _trim(self, region: Region) -> Region | None:
+        """Clip to fully-contained cache blocks (Section III-D)."""
+        lo = self.amap.align_up_block(region.start)
+        hi = self.amap.align_down_block(region.end)
+        if hi <= lo:
+            return None
+        return Region(lo, hi - lo, region.name)
+
+    def _translate_ranges(self, core: int, region: Region) -> tuple[list[tuple[int, int]], int]:
+        """Iteratively translate ``region`` via ``core``'s TLB, collapsing
+        contiguous physical pages; returns (ranges, cycles)."""
+        tlb = self.tlbs[core]
+        amap = self.amap
+        ranges: list[tuple[int, int]] = []
+        run_start = run_end = None
+        pages = 0
+        for vpage in region.pages(amap):
+            frame = tlb.lookup_page(vpage)
+            pages += 1
+            pstart = frame << amap.page_shift
+            lo = max(region.start, vpage << amap.page_shift)
+            hi = min(region.end, (vpage + 1) << amap.page_shift)
+            plo = pstart + (lo & (amap.page_bytes - 1))
+            phi = pstart + ((hi - 1) & (amap.page_bytes - 1)) + 1
+            if run_end is not None and plo == run_end:
+                run_end = phi
+            else:
+                if run_start is not None:
+                    ranges.append((run_start, run_end))
+                run_start, run_end = plo, phi
+        if run_start is not None:
+            ranges.append((run_start, run_end))
+        self.stats.translation_tlb_accesses += pages
+        return ranges, self.ISSUE_CYCLES + pages * self.latency.tlb_lookup
+
+    @staticmethod
+    def _blocks_of_ranges(amap: AddressMap, ranges: list[tuple[int, int]]) -> list[int]:
+        blocks: list[int] = []
+        for start, end in ranges:
+            blocks.extend(range(start >> amap.block_shift, ((end - 1) >> amap.block_shift) + 1))
+        return blocks
+
+    # --- the instructions ---
+
+    def tdnuca_register(self, core: int, region: Region, bank_mask: int) -> int:
+        """Register a dependency in ``core``'s RRT; returns cycles spent."""
+        self.stats.registers_executed += 1
+        trimmed = self._trim(region)
+        if trimmed is None:
+            self.stats.register_cycles += self.ISSUE_CYCLES
+            return self.ISSUE_CYCLES
+        ranges, cycles = self._translate_ranges(core, trimmed)
+        rrt = self.rrts[core]
+        for start, end in ranges:
+            rrt.register(start, end, bank_mask)
+            cycles += 1
+        self.stats.register_cycles += cycles
+        return cycles
+
+    def tdnuca_invalidate(self, core: int, region: Region, core_mask: int) -> int:
+        """Remove the dependency's RRT entries from the masked cores;
+        ``core`` executes the instruction (its TLB does the walk)."""
+        self.stats.invalidates_executed += 1
+        trimmed = self._trim(region)
+        if trimmed is None:
+            self.stats.invalidate_cycles += self.ISSUE_CYCLES
+            return self.ISSUE_CYCLES
+        ranges, cycles = self._translate_ranges(core, trimmed)
+        for target in range(len(self.rrts)):
+            if core_mask >> target & 1:
+                rrt = self.rrts[target]
+                for start, end in ranges:
+                    rrt.invalidate(start, end)
+                    cycles += 1
+        self.stats.invalidate_cycles += cycles
+        return cycles
+
+    def tdnuca_flush(
+        self, core: int, region: Region, cache_level: str, core_mask: int
+    ) -> FlushOutcome:
+        """Flush the dependency's blocks from the masked tiles' caches.
+
+        ``cache_level`` is ``"l1"`` (private caches) or ``"llc"`` (LLC
+        banks), as in the instruction's ``cache_level`` operand.
+        """
+        if cache_level not in ("l1", "llc"):
+            raise ValueError("cache_level must be 'l1' or 'llc'")
+        if self.flush_executor is None:
+            raise RuntimeError("no flush executor installed")
+        self.stats.flushes_executed += 1
+        trimmed = self._trim(region)
+        if trimmed is None:
+            self.stats.flush_cycles += self.ISSUE_CYCLES
+            return FlushOutcome(self.ISSUE_CYCLES, 0, 0)
+        ranges, cycles = self._translate_ranges(core, trimmed)
+        tiles = tuple(t for t in range(len(self.rrts)) if core_mask >> t & 1)
+        blocks = self._blocks_of_ranges(self.amap, ranges)
+        self.completion.start(core)
+        flushed, dirty = self.flush_executor(blocks, cache_level, tiles)
+        # The runtime polls until the flush transaction drains; charge the
+        # per-block invalidation walk to the instruction.
+        cycles += flushed * self.FLUSH_CYCLES_PER_BLOCK
+        self.completion.poll()
+        self.completion.complete(core)
+        self.stats.flush_cycles += cycles
+        self.stats.blocks_flushed += flushed
+        self.stats.dirty_blocks_flushed += dirty
+        return FlushOutcome(cycles, flushed, dirty)

@@ -1,0 +1,76 @@
+"""The TD-NUCA placement decision — the flowchart of Fig. 7.
+
+Called by the runtime after a task is scheduled to a core but before it
+starts executing, once per dependency (its ``UseDesc`` already decremented
+for the starting task):
+
+1. ``UseDesc == 0``  → **LLC Bypass**: no outstanding task in the TDG uses
+   the dependency again, so its blocks skip the LLC (BankMask = 0).
+2. mode is OUT/INOUT → **Local LLC Bank Mapping**: the dependency is private
+   to the task; map it to the executing core's local bank.
+3. otherwise (IN, reused) → **Cluster Replicated Mapping**: replicate in the
+   executing core's local cluster (BankMask = the 4 cluster banks).
+
+The *Bypass-Only* variant of Section V-D applies only rule 1 and leaves
+everything else untracked (falls back to S-NUCA interleaving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.rtdirectory import DependencyEntry
+from repro.deps import DepMode
+from repro.noc.topology import Mesh
+
+__all__ = ["PlacementKind", "Placement", "decide_placement", "bank_mask_of"]
+
+
+class PlacementKind(Enum):
+    BYPASS = "bypass"
+    LOCAL_BANK = "local_bank"
+    CLUSTER_REPLICATE = "cluster_replicate"
+    UNTRACKED = "untracked"  # bypass-only variant: dep left to S-NUCA
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Outcome of the Fig.-7 decision for one dependency of one task."""
+
+    kind: PlacementKind
+    #: BankMask communicated via ``tdnuca_register`` (0 for bypass).
+    bank_mask: int
+    #: banks set in the mask, ascending (empty for bypass/untracked).
+    banks: tuple[int, ...] = ()
+
+
+def bank_mask_of(banks) -> int:
+    """Build a BankMask bitvector from bank indices."""
+    mask = 0
+    for b in banks:
+        if b < 0:
+            raise ValueError("bank index must be non-negative")
+        mask |= 1 << b
+    return mask
+
+
+def decide_placement(
+    entry: DependencyEntry,
+    mode: DepMode,
+    core: int,
+    mesh: Mesh,
+    bypass_only: bool = False,
+) -> Placement:
+    """Apply the Fig.-7 flowchart for ``entry`` accessed as ``mode`` by a
+    task about to execute on ``core``."""
+    if entry.use_desc < 0:
+        raise ValueError("UseDesc must be non-negative at decision time")
+    if entry.use_desc == 0:
+        return Placement(PlacementKind.BYPASS, 0)
+    if bypass_only:
+        return Placement(PlacementKind.UNTRACKED, 0)
+    if mode.writes:
+        return Placement(PlacementKind.LOCAL_BANK, 1 << core, (core,))
+    banks = mesh.local_cluster_tiles(core)
+    return Placement(PlacementKind.CLUSTER_REPLICATE, bank_mask_of(banks), banks)

@@ -1,0 +1,213 @@
+"""Runtime Region Table (RRT) — Section III-B.
+
+One RRT per core.  Each entry holds the start and end *physical* address of
+a memory region and the ``BankMask`` naming the LLC banks the region is
+mapped to (0 bits = bypass, 1 bit = single bank, k bits = spread across a
+cluster).  The table performs TCAM-style range lookups; we model it as a
+sorted-array binary search, which is exact because the runtime keeps
+registered ranges non-overlapping.
+
+Capacity behaviour follows the paper precisely: **no replacement policy** —
+when the table is full, further registrations are dropped and those ranges
+simply fall back to S-NUCA interleaving (functionality is preserved, only
+optimization opportunity is lost).
+
+The multiprogramming extension of Section III-D (process-ID tagging) is
+implemented: entries are tagged with a PID and lookups only match entries
+of the active process.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+__all__ = ["RRT", "RRTEntry", "RRTStats", "decode_bank_mask"]
+
+
+@lru_cache(maxsize=4096)
+def decode_bank_mask(mask: int) -> tuple[int, ...]:
+    """Bank indices set in ``mask``, ascending.  Cached: masks repeat."""
+    if mask < 0:
+        raise ValueError("bank mask must be non-negative")
+    out = []
+    bank = 0
+    m = mask
+    while m:
+        if m & 1:
+            out.append(bank)
+        m >>= 1
+        bank += 1
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class RRTEntry:
+    """One registered physical range ``[start, end)`` with its BankMask."""
+
+    start: int
+    end: int
+    bank_mask: int
+    pid: int = 0
+
+
+@dataclass
+class RRTStats:
+    lookups: int = 0
+    hits: int = 0
+    registrations: int = 0
+    drops_full: int = 0
+    invalidations: int = 0
+    peak_occupancy: int = 0
+
+
+@dataclass
+class _PidTable:
+    starts: list[int] = field(default_factory=list)
+    ends: list[int] = field(default_factory=list)
+    masks: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+
+class RRT:
+    """Per-core Runtime Region Table."""
+
+    def __init__(self, core: int, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("RRT capacity must be positive")
+        self.core = core
+        self.capacity = capacity
+        self._tables: dict[int, _PidTable] = {}
+        self._active_pid = 0
+        self.stats = RRTStats()
+
+    # --- process management (Section III-D extension) ---
+
+    @property
+    def active_pid(self) -> int:
+        return self._active_pid
+
+    def set_active_pid(self, pid: int) -> None:
+        self._active_pid = pid
+
+    def drop_pid(self, pid: int) -> int:
+        """Remove all entries of a terminated process; returns count."""
+        table = self._tables.pop(pid, None)
+        return len(table) if table else 0
+
+    # --- occupancy ---
+
+    @property
+    def occupancy(self) -> int:
+        """Total valid entries across all processes (shared capacity)."""
+        return sum(len(t) for t in self._tables.values())
+
+    def entries(self, pid: int | None = None) -> list[RRTEntry]:
+        """Snapshot of entries (active PID by default)."""
+        pid = self._active_pid if pid is None else pid
+        table = self._tables.get(pid)
+        if not table:
+            return []
+        return [
+            RRTEntry(s, e, m, pid)
+            for s, e, m in zip(table.starts, table.ends, table.masks)
+        ]
+
+    # --- registration / invalidation ---
+
+    def register(self, start: int, end: int, bank_mask: int) -> bool:
+        """Register ``[start, end)`` -> ``bank_mask`` for the active PID.
+
+        Returns False when the table is full (the range is dropped and will
+        fall back to S-NUCA).  Re-registering an identical range with the
+        same mask is idempotent; an overlapping registration replaces the
+        overlapped entries (the runtime invalidates before remapping, so
+        this is a robustness fallback, counted as invalidations).
+        """
+        if end <= start:
+            raise ValueError("empty or inverted range")
+        if bank_mask < 0:
+            raise ValueError("bank mask must be non-negative")
+        table = self._tables.setdefault(self._active_pid, _PidTable())
+        # Idempotent fast path.
+        i = bisect_right(table.starts, start) - 1
+        if (
+            i >= 0
+            and table.starts[i] == start
+            and table.ends[i] == end
+            and table.masks[i] == bank_mask
+        ):
+            self.stats.registrations += 1
+            return True
+        self._remove_overlaps(table, start, end)
+        if self.occupancy >= self.capacity:
+            self.stats.drops_full += 1
+            return False
+        j = bisect_right(table.starts, start)
+        table.starts.insert(j, start)
+        table.ends.insert(j, end)
+        table.masks.insert(j, bank_mask)
+        self.stats.registrations += 1
+        occ = self.occupancy
+        if occ > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = occ
+        return True
+
+    def _remove_overlaps(self, table: _PidTable, start: int, end: int) -> None:
+        # bisect_left so an adjacent entry starting exactly at ``end`` is
+        # excluded (it does not overlap) rather than terminating the scan.
+        i = bisect_left(table.starts, end) - 1
+        while i >= 0 and table.ends[i] > start:
+            del table.starts[i], table.ends[i], table.masks[i]
+            self.stats.invalidations += 1
+            i -= 1
+
+    def invalidate(self, start: int, end: int) -> int:
+        """De-register entries overlapping ``[start, end)`` (active PID).
+
+        Returns the number of entries removed.
+        """
+        if end <= start:
+            return 0
+        table = self._tables.get(self._active_pid)
+        if not table:
+            return 0
+        before = self.stats.invalidations
+        self._remove_overlaps(table, start, end)
+        return self.stats.invalidations - before
+
+    def migrate_to(self, other: "RRT", pid: int | None = None) -> int:
+        """Thread-migration support (Section III-D): move this core's
+        entries for ``pid`` into ``other``; returns entries moved (entries
+        that do not fit in the destination are dropped)."""
+        pid = self._active_pid if pid is None else pid
+        table = self._tables.pop(pid, None)
+        if not table:
+            return 0
+        moved = 0
+        saved_pid = other._active_pid
+        other._active_pid = pid
+        try:
+            for s, e, m in zip(table.starts, table.ends, table.masks):
+                if other.register(s, e, m):
+                    moved += 1
+        finally:
+            other._active_pid = saved_pid
+        return moved
+
+    # --- the hot-path lookup ---
+
+    def lookup(self, paddr: int) -> int | None:
+        """BankMask of the entry containing ``paddr``, else None."""
+        self.stats.lookups += 1
+        table = self._tables.get(self._active_pid)
+        if not table:
+            return None
+        i = bisect_right(table.starts, paddr) - 1
+        if i >= 0 and paddr < table.ends[i]:
+            self.stats.hits += 1
+            return table.masks[i]
+        return None

@@ -1,0 +1,81 @@
+"""RTCacheDirectory — the runtime-side dependency tracker (Section III-C1).
+
+One entry per task dependency with four fields straight from the paper:
+start address, size, ``MapMask`` (which LLC banks the dependency is
+currently mapped to, a bitvector) and the *use descriptor* ``UseDesc``
+counting how many created-but-not-yet-executing tasks will use the
+dependency.  ``UseDesc`` is incremented at task creation and decremented
+when a task using the dependency starts to execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.region import Region
+
+__all__ = ["DependencyEntry", "RTCacheDirectory"]
+
+
+@dataclass
+class DependencyEntry:
+    """Runtime bookkeeping for one task dependency region."""
+
+    start: int
+    size: int
+    map_mask: int = 0
+    use_desc: int = 0
+    #: whether the dependency has ever been written by a task (drives the
+    #: lazy read-only -> written invalidation of Section III-C2).
+    ever_written: bool = False
+    #: True while the current MapMask denotes cluster replication.
+    replicated: bool = False
+
+    @property
+    def region(self) -> Region:
+        return Region(self.start, self.size)
+
+
+class RTCacheDirectory:
+    """Dependency directory keyed by (start, size)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, int], DependencyEntry] = {}
+
+    def entry(self, region: Region) -> DependencyEntry:
+        """Entry for ``region``, created on first use."""
+        key = (region.start, region.size)
+        e = self._entries.get(key)
+        if e is None:
+            e = DependencyEntry(region.start, region.size)
+            self._entries[key] = e
+        return e
+
+    def get(self, region: Region) -> DependencyEntry | None:
+        return self._entries.get((region.start, region.size))
+
+    def inc_use(self, region: Region) -> DependencyEntry:
+        """Task creation: one more future use of ``region``."""
+        e = self.entry(region)
+        e.use_desc += 1
+        return e
+
+    def dec_use(self, region: Region) -> DependencyEntry:
+        """Task start: the executing task no longer counts as a future use."""
+        e = self.entry(region)
+        if e.use_desc <= 0:
+            raise RuntimeError(
+                f"UseDesc underflow for region {region!r}: dec without inc"
+            )
+        e.use_desc -= 1
+        return e
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def total_outstanding_uses(self) -> int:
+        """Sum of UseDesc over all entries (0 when the TDG has drained)."""
+        return sum(e.use_desc for e in self._entries.values())

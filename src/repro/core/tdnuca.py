@@ -1,0 +1,59 @@
+"""TD-NUCA as a NUCA mapping policy (Section III-B3).
+
+On every L1 miss (and before every L1 writeback), the requesting core's
+RRT is consulted:
+
+* address not in the RRT           → S-NUCA interleaving (untracked data);
+* BankMask all zeros               → bypass the LLC, go straight to memory;
+* exactly one bit set              → that LLC bank serves the access;
+* k bits set (a cluster)           → the block is address-interleaved among
+  the masked banks, selected by the low bits of the block number.
+
+The RRT lookup adds :attr:`lookup_cycles` to each private-cache miss
+(Table I: 1 cycle; Section V-E sweeps 0-4).
+"""
+
+from __future__ import annotations
+
+from repro.core.rrt import RRT, decode_bank_mask
+from repro.mem.address import AddressMap
+from repro.noc.topology import Mesh
+from repro.nuca.base import BYPASS, NucaPolicy
+
+__all__ = ["TdNucaPolicy"]
+
+
+class TdNucaPolicy(NucaPolicy):
+    """RRT-driven bank resolution, falling back to static interleaving."""
+
+    name = "TD-NUCA"
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        amap: AddressMap,
+        rrts: list[RRT],
+        lookup_cycles: int = 1,
+    ) -> None:
+        super().__init__()
+        if len(rrts) != mesh.num_tiles:
+            raise ValueError("one RRT per tile required")
+        if mesh.num_tiles & (mesh.num_tiles - 1):
+            raise ValueError("interleaving fallback needs power-of-two banks")
+        self.mesh = mesh
+        self.amap = amap
+        self.rrts = rrts
+        self.lookup_cycles = lookup_cycles
+        self._bank_mask = mesh.num_tiles - 1
+        self._block_shift = amap.block_shift
+
+    def bank_for(self, core: int, block: int, write: bool) -> int:
+        mask = self.rrts[core].lookup(block << self._block_shift)
+        if mask is None:
+            return self._count(core, block & self._bank_mask)
+        if mask == 0:
+            return self._count(core, BYPASS)
+        banks = decode_bank_mask(mask)
+        if len(banks) == 1:
+            return self._count(core, banks[0])
+        return self._count(core, banks[block % len(banks)])

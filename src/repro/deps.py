@@ -1,0 +1,26 @@
+"""Dependency access modes shared by the runtime and TD-NUCA layers.
+
+OpenMP 4.0 ``depend`` clauses label each task dependency as ``in`` (read),
+``out`` (write) or ``inout`` (read-write); both the TDG builder and the
+TD-NUCA placement decision key off these modes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["DepMode"]
+
+
+class DepMode(Enum):
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def reads(self) -> bool:
+        return self in (DepMode.IN, DepMode.INOUT)
+
+    @property
+    def writes(self) -> bool:
+        return self in (DepMode.OUT, DepMode.INOUT)

@@ -1,0 +1,5 @@
+"""Dynamic energy accounting (the McPAT/CACTI stand-in)."""
+
+from repro.energy.model import EnergyBreakdown, EnergyTally
+
+__all__ = ["EnergyTally", "EnergyBreakdown"]

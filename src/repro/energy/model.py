@@ -1,0 +1,89 @@
+"""Per-event dynamic-energy accounting.
+
+The paper evaluates dynamic energy with McPAT (22 nm) and models the RRTs
+in CACTI, multiplying their SRAM energy by 30x to approximate a TCAM
+(Section V-E).  Figures 13/14 report LLC and NoC dynamic energy
+*normalized to S-NUCA*, so what must be right here is (a) which events are
+counted for each structure and (b) the relative per-event weights — both
+taken from CACTI-flavoured constants in :class:`repro.config.EnergyConfig`.
+
+The machine increments event counters; energies are derived on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import EnergyConfig
+
+__all__ = ["EnergyTally", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Dynamic energy per structure, in picojoules."""
+
+    llc: float
+    noc: float
+    dram: float
+    l1: float
+    rrt: float
+
+    @property
+    def total(self) -> float:
+        return self.llc + self.noc + self.dram + self.l1 + self.rrt
+
+
+@dataclass
+class EnergyTally:
+    """Event counters feeding the dynamic-energy model."""
+
+    llc_data_reads: int = 0
+    llc_data_writes: int = 0
+    llc_tag_probes: int = 0
+    l1_accesses: int = 0
+    dram_accesses: int = 0
+    rrt_lookups: int = 0
+
+    # --- event recording (kept trivial: these sit on the hot path) ---
+
+    def llc_hit_read(self) -> None:
+        self.llc_tag_probes += 1
+        self.llc_data_reads += 1
+
+    def llc_hit_write(self) -> None:
+        self.llc_tag_probes += 1
+        self.llc_data_writes += 1
+
+    def llc_miss_fill(self) -> None:
+        self.llc_tag_probes += 1
+        self.llc_data_writes += 1  # the fill writes the data array
+
+    def llc_probe(self, count: int = 1) -> None:
+        self.llc_tag_probes += count
+
+    def llc_victim_read(self) -> None:
+        self.llc_data_reads += 1  # dirty victim read out for writeback
+
+    def breakdown(self, cfg: EnergyConfig, flit_hops: int) -> EnergyBreakdown:
+        """Total dynamic energy given the NoC flit-hop count."""
+        llc = (
+            self.llc_data_reads * cfg.llc_read
+            + self.llc_data_writes * cfg.llc_write
+            + self.llc_tag_probes * cfg.llc_tag_probe
+        )
+        return EnergyBreakdown(
+            llc=llc,
+            noc=flit_hops * cfg.noc_per_flit_hop,
+            dram=self.dram_accesses * cfg.dram_access,
+            l1=self.l1_accesses * cfg.l1_access,
+            rrt=self.rrt_lookups * cfg.rrt_lookup_energy(),
+        )
+
+    def merge(self, other: "EnergyTally") -> None:
+        self.llc_data_reads += other.llc_data_reads
+        self.llc_data_writes += other.llc_data_writes
+        self.llc_tag_probes += other.llc_tag_probes
+        self.l1_accesses += other.l1_accesses
+        self.dram_accesses += other.dram_accesses
+        self.rrt_lookups += other.rrt_lookups

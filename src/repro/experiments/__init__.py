@@ -1,0 +1,7 @@
+"""Experiment harness: run (workload x policy) sweeps and assemble every
+table and figure of the paper's evaluation section."""
+
+from repro.experiments.runner import ExperimentResult, run_experiment, run_suite
+from repro.experiments import figures, paper
+
+__all__ = ["ExperimentResult", "run_experiment", "run_suite", "figures", "paper"]

@@ -1,0 +1,104 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each function sweeps one design axis with everything else fixed and
+returns ``{setting: ExperimentResult}``:
+
+* :func:`sweep_rrt_capacity` — RRT entries (paper fixes 64; Section V-E
+  argues they always suffice).
+* :func:`sweep_rrt_latency` — RRT lookup cycles 0-4 (Section V-E).
+* :func:`sweep_cluster_size` — LLC Cluster Replication geometry: 1x1
+  clusters give 16 replicas chip-wide (maximal replication), 2x2 is the
+  paper's quadrant scheme, 4x4 degenerates to a single chip-wide copy
+  (no replication, pure interleave of read-only data).
+* :func:`sweep_scheduler` — program-order vs FIFO vs random dispatch; the
+  dynamic-scheduler sensitivity that motivates runtime-level (rather than
+  OS-level) classification.
+* :func:`sweep_page_size` — OS page size; larger pages reduce RRT
+  pressure (Section V-E's closing remark) but coarsen R-NUCA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import SystemConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    OrderedScheduler,
+    RandomScheduler,
+)
+
+__all__ = [
+    "sweep_rrt_capacity",
+    "sweep_rrt_latency",
+    "sweep_cluster_size",
+    "sweep_scheduler",
+    "sweep_page_size",
+]
+
+
+def sweep_rrt_capacity(
+    workload: str,
+    cfg: SystemConfig,
+    capacities=(8, 16, 32, 64),
+    policy: str = "tdnuca",
+) -> dict[int, ExperimentResult]:
+    return {
+        n: run_experiment(workload, policy, replace(cfg, rrt_entries=n))
+        for n in capacities
+    }
+
+
+def sweep_rrt_latency(
+    workload: str,
+    cfg: SystemConfig,
+    latencies=(0, 1, 2, 3, 4),
+) -> dict[int, ExperimentResult]:
+    return {
+        c: run_experiment(workload, "tdnuca", cfg, rrt_lookup_cycles=c)
+        for c in latencies
+    }
+
+
+def sweep_cluster_size(
+    workload: str,
+    cfg: SystemConfig,
+    geometries=((1, 1), (2, 2), (4, 4)),
+    policy: str = "tdnuca",
+) -> dict[tuple[int, int], ExperimentResult]:
+    out = {}
+    for w, h in geometries:
+        c = replace(cfg, cluster_width=w, cluster_height=h)
+        out[(w, h)] = run_experiment(workload, policy, c)
+    return out
+
+
+def sweep_scheduler(
+    workload: str,
+    cfg: SystemConfig,
+    policy: str = "rnuca",
+) -> dict[str, ExperimentResult]:
+    """R-NUCA by default: it is the policy whose classification quality
+    depends on where the scheduler places repeated computations."""
+    makers = {
+        "ordered": OrderedScheduler,
+        "fifo": FifoScheduler,
+        "random": lambda: RandomScheduler(seed=1),
+    }
+    return {
+        name: run_experiment(workload, policy, cfg, scheduler=maker())
+        for name, maker in makers.items()
+    }
+
+
+def sweep_page_size(
+    workload: str,
+    cfg: SystemConfig,
+    page_sizes=(512, 1024, 4096),
+    policy: str = "tdnuca",
+) -> dict[int, ExperimentResult]:
+    return {
+        p: run_experiment(workload, policy, replace(cfg, page_bytes=p))
+        for p in page_sizes
+    }

@@ -1,0 +1,99 @@
+"""Regression comparison between archived result sets.
+
+``python -m repro sweep --out baseline.json`` archives a suite; after a
+simulator change, a second sweep can be diffed against it to catch
+unintended behaviour drift::
+
+    from repro.experiments.compare import compare_result_sets
+    report = compare_result_sets(old, new, tolerance=0.02)
+
+Metrics are compared as relative deviations; anything beyond the
+tolerance is reported with both values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["MetricDelta", "compare_result_sets", "COMPARED_METRICS"]
+
+#: dotted paths of the metrics that define behavioural equivalence.
+COMPARED_METRICS = (
+    "makespan_cycles",
+    "tasks_executed",
+    "llc.accesses",
+    "llc.hits",
+    "l1.accesses",
+    "noc.router_bytes",
+    "noc.mean_nuca_distance",
+    "dram.reads",
+    "dram.writes",
+    "energy_pj.llc",
+    "energy_pj.noc",
+    "bypassed_accesses",
+)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric that moved beyond tolerance."""
+
+    run: str  # "workload/policy"
+    metric: str
+    old: float
+    new: float
+
+    @property
+    def relative(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new else 0.0
+        return (self.new - self.old) / self.old
+
+    def __str__(self) -> str:
+        return (
+            f"{self.run}: {self.metric} {self.old:g} -> {self.new:g} "
+            f"({self.relative:+.2%})"
+        )
+
+
+def _dig(payload: dict[str, Any], path: str) -> float | None:
+    node: Any = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare_result_sets(
+    old: dict[tuple[str, str], dict[str, Any]],
+    new: dict[tuple[str, str], dict[str, Any]],
+    tolerance: float = 0.02,
+    metrics=COMPARED_METRICS,
+) -> list[MetricDelta]:
+    """Deltas beyond ``tolerance`` for every run present in both sets.
+
+    Runs present in only one set are reported as a delta on the synthetic
+    metric ``"<missing>"`` so they cannot pass silently.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    deltas: list[MetricDelta] = []
+    for key in sorted(set(old) | set(new)):
+        run = f"{key[0]}/{key[1]}"
+        if key not in old or key not in new:
+            deltas.append(
+                MetricDelta(run, "<missing>", float(key in old), float(key in new))
+            )
+            continue
+        for metric in metrics:
+            a, b = _dig(old[key], metric), _dig(new[key], metric)
+            if a is None or b is None:
+                continue
+            if a == b == 0:
+                continue
+            base = abs(a) if a else abs(b)
+            if abs(b - a) / base > tolerance:
+                deltas.append(MetricDelta(run, metric, a, b))
+    return deltas

@@ -1,0 +1,160 @@
+"""Run one benchmark under one NUCA policy and collect every statistic the
+figures need."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig, scaled_config
+from repro.core.isa import ISAStats
+from repro.runtime.executor import ExecutionStats, Executor
+from repro.runtime.extensions import RuntimeExtension, TdNucaRuntime, TdNucaRuntimeStats
+from repro.runtime.scheduler import Scheduler
+from repro.sim.machine import POLICIES, Machine, MachineStats, build_machine
+from repro.stats.counters import RNucaCensus
+from repro.workloads.registry import get_workload
+
+__all__ = ["ExperimentResult", "run_experiment", "run_suite", "default_config"]
+
+#: default scale for experiment sweeps: capacities and footprints at 1/64
+#: of Table I/II, preserving their ratios.
+DEFAULT_SCALE = 1.0 / 64.0
+
+
+def default_config(scale: float = DEFAULT_SCALE) -> SystemConfig:
+    return scaled_config(scale)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured from one (workload, policy) run."""
+
+    workload: str
+    policy: str
+    machine: MachineStats
+    execution: ExecutionStats
+    #: Fig.-3 left bar: whole-run block sharing census.
+    rnuca_census: RNucaCensus | None = None
+    #: Fig.-3 right bar inputs: dependency usage records (TD-NUCA runs).
+    dependency_categories: dict[str, list] | None = None
+    runtime: TdNucaRuntimeStats | None = None
+    isa: ISAStats | None = None
+    #: unique blocks touched over the run.
+    unique_blocks: int = 0
+    #: blocks covered by task-dependency regions, by Fig.-3 category.
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> int:
+        return self.execution.makespan_cycles
+
+
+def build_runtime(machine: Machine, policy: str) -> RuntimeExtension:
+    """The runtime extension matching a policy variant."""
+    if policy == "tdnuca":
+        return TdNucaRuntime(machine.mesh, machine.isa)
+    if policy == "tdnuca-bypass-only":
+        return TdNucaRuntime(machine.mesh, machine.isa, bypass_only=True)
+    if policy == "tdnuca-noisa":
+        return TdNucaRuntime(machine.mesh, machine.isa, execute_isa=False)
+    return RuntimeExtension()
+
+
+def run_experiment(
+    workload: str,
+    policy: str,
+    cfg: SystemConfig | None = None,
+    *,
+    seed: int = 0,
+    rrt_lookup_cycles: int | None = None,
+    scheduler: Scheduler | None = None,
+    census: bool = True,
+) -> ExperimentResult:
+    """Build the machine, run the benchmark, snapshot the statistics."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}")
+    cfg = cfg if cfg is not None else default_config()
+    wl = get_workload(workload)
+    program = wl.build(cfg, seed)
+    machine = build_machine(
+        cfg, policy, rrt_lookup_cycles=rrt_lookup_cycles, seed=seed, census=census
+    )
+    extension = build_runtime(machine, policy)
+    executor = Executor(
+        machine,
+        scheduler=scheduler,
+        extension=extension,
+        overlap_mode=wl.tdg_overlap,
+    )
+    if program.warmup_phases:
+        # Initialization phases: run, then reset counters — the paper
+        # measures the post-initialisation parallel execution only.
+        from repro.runtime.task import Program as _Program
+
+        warmup = _Program(program.name, program.phases[: program.warmup_phases])
+        main = _Program(program.name, program.phases[program.warmup_phases :])
+        executor.run(warmup)
+        machine.reset_stats()
+        if isinstance(extension, TdNucaRuntime):
+            extension.reset_stats()
+        exec_stats = executor.run(main)
+    else:
+        exec_stats = executor.run(program)
+
+    result = ExperimentResult(
+        workload=wl.name,
+        policy=policy,
+        machine=machine.collect_stats(),
+        execution=exec_stats,
+    )
+    if machine.census is not None:
+        result.rnuca_census = machine.census.rnuca_census()
+        result.unique_blocks = machine.census.unique_blocks
+    if isinstance(extension, TdNucaRuntime):
+        result.runtime = extension.stats
+        result.isa = machine.isa.stats if machine.isa is not None else None
+        result.dependency_categories = extension.dependency_categories()
+        # Unique-block counts per Fig.-3 category (priority: a block touched
+        # by several dependencies takes the "most reused" category so that
+        # NotReused truly means every covering dependency was always
+        # bypassed).
+        amap = machine.amap
+        raw: dict[str, set[int]] = {}
+        for cat, regions in result.dependency_categories.items():
+            blocks: set[int] = set()
+            for region in regions:
+                blocks.update(region.blocks(amap))
+            raw[cat] = blocks
+        both = raw["both"] | (raw["in"] & raw["out"])
+        in_only = raw["in"] - both
+        out_only = raw["out"] - both
+        reused = both | raw["in"] | raw["out"]
+        not_reused = raw["not_reused"] - reused
+        result.extra["dep_category_blocks"] = {
+            "both": len(both),
+            "in": len(in_only),
+            "out": len(out_only),
+            "not_reused": len(not_reused),
+        }
+        result.extra["dep_blocks_total"] = len(reused | not_reused)
+    return result
+
+
+def run_suite(
+    workloads: list[str] | None = None,
+    policies: list[str] | None = None,
+    cfg: SystemConfig | None = None,
+    *,
+    seed: int = 0,
+) -> dict[tuple[str, str], ExperimentResult]:
+    """Run every (workload, policy) pair; returns results keyed by pair."""
+    from repro.workloads.registry import workload_names
+
+    workloads = workloads if workloads is not None else workload_names()
+    policies = policies if policies is not None else ["snuca", "rnuca", "tdnuca"]
+    cfg = cfg if cfg is not None else default_config()
+    out: dict[tuple[str, str], ExperimentResult] = {}
+    for wl in workloads:
+        for pol in policies:
+            out[(wl, pol)] = run_experiment(wl, pol, cfg, seed=seed)
+    return out

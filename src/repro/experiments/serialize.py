@@ -1,0 +1,166 @@
+"""Serialization of experiment results and figures.
+
+Results become plain dicts/JSON so sweeps can be archived, diffed across
+simulator versions, and rendered into EXPERIMENTS.md without re-running
+multi-minute simulations.  Figures render to JSON, Markdown tables, or
+ASCII bar charts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.experiments.figures import Figure
+from repro.experiments.runner import ExperimentResult
+
+__all__ = [
+    "result_to_dict",
+    "results_to_json",
+    "figure_to_dict",
+    "figure_to_markdown",
+    "load_results_json",
+]
+
+
+def result_to_dict(r: ExperimentResult) -> dict[str, Any]:
+    """Flatten one run's statistics into a JSON-safe dict."""
+    m = r.machine
+    out: dict[str, Any] = {
+        "workload": r.workload,
+        "policy": r.policy,
+        "makespan_cycles": r.execution.makespan_cycles,
+        "tasks_executed": r.execution.tasks_executed,
+        "phases": r.execution.phases,
+        "busy_cycles": list(r.execution.busy_cycles),
+        "extension_cycles": r.execution.extension_cycles,
+        "creation_cycles": r.execution.creation_cycles,
+        "tdg_edges": r.execution.tdg_edges,
+        "llc": {
+            "accesses": m.llc.accesses,
+            "hits": m.llc.hits,
+            "misses": m.llc.misses,
+            "hit_ratio": m.llc_hit_ratio,
+            "evictions": m.llc.evictions,
+            "dirty_evictions": m.llc.dirty_evictions,
+        },
+        "l1": {
+            "accesses": m.l1.accesses,
+            "hits": m.l1.hits,
+            "misses": m.l1.misses,
+        },
+        "noc": {
+            "router_bytes": m.router_bytes,
+            "flit_hops": m.traffic.flit_hops,
+            "messages": m.traffic.messages,
+            "mean_nuca_distance": m.mean_nuca_distance,
+        },
+        "dram": {"reads": m.dram_reads, "writes": m.dram_writes},
+        "energy_pj": {
+            "llc": m.energy.llc,
+            "noc": m.energy.noc,
+            "dram": m.energy.dram,
+            "l1": m.energy.l1,
+            "rrt": m.energy.rrt,
+        },
+        "tlb": {
+            "accesses": m.tlb.accesses,
+            "hit_ratio": m.tlb.hit_ratio,
+        },
+        "bypassed_accesses": m.bypassed_accesses,
+        "unique_blocks": r.unique_blocks,
+    }
+    if r.rnuca_census is not None:
+        out["block_census"] = {
+            "private": r.rnuca_census.private,
+            "shared_read_only": r.rnuca_census.shared_read_only,
+            "shared": r.rnuca_census.shared,
+        }
+    if r.runtime is not None:
+        out["tdnuca_runtime"] = {
+            "decisions": r.runtime.decisions,
+            "bypass": r.runtime.bypass_decisions,
+            "local": r.runtime.local_decisions,
+            "replicate": r.runtime.replicate_decisions,
+            "untracked": r.runtime.untracked_decisions,
+            "lazy_invalidations": r.runtime.lazy_invalidations,
+            "software_cycles": r.runtime.software_cycles,
+            "rrt_occupancy_mean": r.runtime.mean_rrt_occupancy,
+            "rrt_occupancy_max": r.runtime.occupancy_max,
+        }
+    if r.isa is not None:
+        out["isa"] = {
+            "registers": r.isa.registers_executed,
+            "invalidates": r.isa.invalidates_executed,
+            "flushes": r.isa.flushes_executed,
+            "flush_cycles": r.isa.flush_cycles,
+            "blocks_flushed": r.isa.blocks_flushed,
+            "translation_tlb_accesses": r.isa.translation_tlb_accesses,
+        }
+    if "dep_category_blocks" in r.extra:
+        out["dep_category_blocks"] = dict(r.extra["dep_category_blocks"])
+        out["dep_blocks_total"] = r.extra["dep_blocks_total"]
+    return out
+
+
+def results_to_json(
+    results: dict[tuple[str, str], ExperimentResult], indent: int = 2
+) -> str:
+    """Serialize a whole suite, keyed ``"workload/policy"``."""
+    payload = {
+        f"{wl}/{pol}": result_to_dict(r) for (wl, pol), r in results.items()
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def load_results_json(text: str) -> dict[tuple[str, str], dict[str, Any]]:
+    """Inverse of :func:`results_to_json` (as plain dicts — the snapshot
+    is for reporting/diffing, not for resuming simulations)."""
+    raw = json.loads(text)
+    out = {}
+    for key, value in raw.items():
+        wl, _, pol = key.partition("/")
+        if not pol:
+            raise ValueError(f"malformed result key {key!r}")
+        out[(wl, pol)] = value
+    return out
+
+
+def figure_to_dict(fig: Figure) -> dict[str, Any]:
+    return {
+        "id": fig.fig_id,
+        "title": fig.title,
+        "series": {
+            s.label: {"values": dict(s.values), "average": s.average}
+            for s in fig.series
+        },
+        "paper_averages": dict(fig.paper_averages),
+    }
+
+
+def figure_to_markdown(fig: Figure) -> str:
+    """GitHub-flavoured Markdown table for EXPERIMENTS.md."""
+    benches = list(fig.series[0].values) if fig.series else []
+    header = "| bench | " + " | ".join(s.label for s in fig.series) + " |"
+    sep = "|---" * (len(fig.series) + 1) + "|"
+    lines = [f"**{fig.fig_id} — {fig.title}**", "", header, sep]
+    for b in benches:
+        cells = " | ".join(f"{s.values[b]:.3f}" for s in fig.series)
+        lines.append(f"| {b} | {cells} |")
+    lines.append(
+        "| **AVG** | "
+        + " | ".join(f"**{s.average:.3f}**" for s in fig.series)
+        + " |"
+    )
+    if fig.paper_averages:
+        lines.append(
+            "| *paper AVG* | "
+            + " | ".join(
+                f"*{fig.paper_averages[s.label]:.3f}*"
+                if s.label in fig.paper_averages
+                else "-"
+                for s in fig.series
+            )
+            + " |"
+        )
+    return "\n".join(lines)

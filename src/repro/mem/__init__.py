@@ -1,0 +1,17 @@
+"""Memory substrate: address arithmetic, regions, virtual address
+allocation, page tables and TLBs.
+
+This package stands in for the OS memory-management layer the paper's
+full-system gem5 simulation provided: a virtual address space per program,
+a (deliberately fragmentable) virtual-to-physical page mapping, and
+per-core TLBs used by the ``tdnuca_*`` instructions for their iterative
+address translation (paper Fig. 5).
+"""
+
+from repro.mem.address import AddressMap
+from repro.mem.allocator import VirtualAllocator
+from repro.mem.pagetable import PageTable
+from repro.mem.region import Region
+from repro.mem.tlb import TLB
+
+__all__ = ["AddressMap", "Region", "VirtualAllocator", "PageTable", "TLB"]

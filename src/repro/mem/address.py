@@ -1,0 +1,122 @@
+"""Block and page address arithmetic.
+
+Addresses are plain integers (byte addresses).  ``AddressMap`` centralizes
+the shifts/masks derived from the configured block and page sizes so the
+rest of the simulator never hand-rolls them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AddressMap"]
+
+
+class AddressMap:
+    """Byte-address <-> block/page arithmetic for one machine geometry.
+
+    Parameters
+    ----------
+    block_bytes, page_bytes:
+        Power-of-two sizes; ``page_bytes`` must be a multiple of
+        ``block_bytes``.
+    physical_address_bits:
+        Width of the physical address space (paper: 42 bits); used for
+        validation of physical frames.
+    """
+
+    def __init__(
+        self,
+        block_bytes: int = 64,
+        page_bytes: int = 4096,
+        physical_address_bits: int = 42,
+    ) -> None:
+        for name, value in (("block_bytes", block_bytes), ("page_bytes", page_bytes)):
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+        if page_bytes % block_bytes:
+            raise ValueError("page_bytes must be a multiple of block_bytes")
+        self.block_bytes = block_bytes
+        self.page_bytes = page_bytes
+        self.block_shift = block_bytes.bit_length() - 1
+        self.page_shift = page_bytes.bit_length() - 1
+        self.blocks_per_page = page_bytes // block_bytes
+        self.physical_address_bits = physical_address_bits
+        self.max_physical_address = (1 << physical_address_bits) - 1
+
+    # --- scalar helpers ---
+
+    def block_of(self, addr: int) -> int:
+        """Block number containing byte address ``addr``."""
+        return addr >> self.block_shift
+
+    def page_of(self, addr: int) -> int:
+        """Page number containing byte address ``addr``."""
+        return addr >> self.page_shift
+
+    def block_base(self, block: int) -> int:
+        """First byte address of block number ``block``."""
+        return block << self.block_shift
+
+    def page_base(self, page: int) -> int:
+        """First byte address of page number ``page``."""
+        return page << self.page_shift
+
+    def page_of_block(self, block: int) -> int:
+        """Page number containing block number ``block``."""
+        return block >> (self.page_shift - self.block_shift)
+
+    def align_down_block(self, addr: int) -> int:
+        return addr & ~(self.block_bytes - 1)
+
+    def align_up_block(self, addr: int) -> int:
+        return (addr + self.block_bytes - 1) & ~(self.block_bytes - 1)
+
+    def align_down_page(self, addr: int) -> int:
+        return addr & ~(self.page_bytes - 1)
+
+    def align_up_page(self, addr: int) -> int:
+        return (addr + self.page_bytes - 1) & ~(self.page_bytes - 1)
+
+    def is_block_aligned(self, addr: int) -> bool:
+        return (addr & (self.block_bytes - 1)) == 0
+
+    # --- vectorized helpers (hot paths use these per the HPC guides) ---
+
+    def blocks_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`block_of`."""
+        return np.asarray(addrs, dtype=np.int64) >> self.block_shift
+
+    def pages_of_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`page_of_block`."""
+        shift = self.page_shift - self.block_shift
+        return np.asarray(blocks, dtype=np.int64) >> shift
+
+    def block_range(self, start: int, size: int) -> range:
+        """Block numbers of all blocks that *overlap* ``[start, start+size)``.
+
+        Empty for ``size <= 0``.
+        """
+        if size <= 0:
+            return range(0)
+        return range(self.block_of(start), self.block_of(start + size - 1) + 1)
+
+    def inner_block_range(self, start: int, size: int) -> range:
+        """Block numbers *entirely contained* in ``[start, start+size)``.
+
+        This implements the paper's Section III-D alignment rule: partially
+        covered first/last blocks are excluded from TD-NUCA management.
+        """
+        if size <= 0:
+            return range(0)
+        lo = self.align_up_block(start)
+        hi = self.align_down_block(start + size)
+        if hi <= lo:
+            return range(0)
+        return range(self.block_of(lo), self.block_of(hi))
+
+    def page_range(self, start: int, size: int) -> range:
+        """Page numbers of all pages that overlap ``[start, start+size)``."""
+        if size <= 0:
+            return range(0)
+        return range(self.page_of(start), self.page_of(start + size - 1) + 1)

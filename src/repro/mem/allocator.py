@@ -1,0 +1,65 @@
+"""Virtual address space allocation for simulated programs.
+
+Workload generators allocate their data structures (matrices, histograms,
+point sets) through a :class:`VirtualAllocator` so that distinct structures
+never alias, and so allocations can optionally be misaligned to exercise the
+paper's partial-cache-block handling (Section III-D).
+"""
+
+from __future__ import annotations
+
+from repro.mem.region import Region
+
+__all__ = ["VirtualAllocator"]
+
+
+class VirtualAllocator:
+    """Bump allocator over a simulated virtual address space.
+
+    Parameters
+    ----------
+    base:
+        First allocatable virtual address (defaults past the null page).
+    alignment:
+        Default alignment of returned regions, must be a power of two.
+    """
+
+    def __init__(self, base: int = 0x1000, alignment: int = 64) -> None:
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a positive power of two")
+        if base < 0:
+            raise ValueError("base must be non-negative")
+        self._cursor = base
+        self._alignment = alignment
+        self._regions: list[Region] = []
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """All regions handed out so far, in allocation order."""
+        return tuple(self._regions)
+
+    @property
+    def bytes_allocated(self) -> int:
+        return sum(r.size for r in self._regions)
+
+    def allocate(self, size: int, name: str = "", align: int | None = None) -> Region:
+        """Allocate ``size`` bytes, aligned to ``align`` (default allocator
+        alignment).  ``align=1`` produces deliberately unaligned regions."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        alignment = self._alignment if align is None else align
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError("align must be a positive power of two")
+        start = (self._cursor + alignment - 1) & ~(alignment - 1)
+        region = Region(start, size, name)
+        self._cursor = start + size
+        self._regions.append(region)
+        return region
+
+    def allocate_array(
+        self, count: int, elem_bytes: int, name: str = "", align: int | None = None
+    ) -> Region:
+        """Allocate a contiguous array of ``count`` elements."""
+        if count <= 0 or elem_bytes <= 0:
+            raise ValueError("count and elem_bytes must be positive")
+        return self.allocate(count * elem_bytes, name, align)

@@ -1,0 +1,100 @@
+"""Virtual memory regions.
+
+A :class:`Region` is a named, half-open ``[start, start+size)`` byte range
+in the simulated virtual address space.  Task dependencies, workload data
+structures and RRT entries are all expressed over regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.address import AddressMap
+
+__all__ = ["Region"]
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """Half-open byte range ``[start, start + size)``."""
+
+    start: int
+    size: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("region start must be non-negative")
+        if self.size < 0:
+            raise ValueError("region size must be non-negative")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.start + self.size
+
+    def __bool__(self) -> bool:
+        return self.size > 0
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def contains_region(self, other: "Region") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        """Whether the regions share at least one byte (empty regions never
+        overlap anything)."""
+        return (
+            self.size > 0
+            and other.size > 0
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def intersection(self, other: "Region") -> "Region":
+        """Overlap of the two regions (possibly empty)."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        return Region(start, max(0, end - start), self.name)
+
+    def split(self, chunk: int) -> list["Region"]:
+        """Split into consecutive chunks of at most ``chunk`` bytes."""
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        out = []
+        offset = self.start
+        index = 0
+        while offset < self.end:
+            size = min(chunk, self.end - offset)
+            out.append(Region(offset, size, f"{self.name}[{index}]"))
+            offset += size
+            index += 1
+        return out
+
+    def subregion(self, offset: int, size: int, name: str = "") -> "Region":
+        """Region of ``size`` bytes starting ``offset`` bytes into this one."""
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise ValueError("subregion out of bounds")
+        return Region(self.start + offset, size, name or self.name)
+
+    # --- geometry helpers ---
+
+    def blocks(self, amap: AddressMap) -> range:
+        """All block numbers overlapping this region."""
+        return amap.block_range(self.start, self.size)
+
+    def inner_blocks(self, amap: AddressMap) -> range:
+        """Block numbers entirely contained in this region (paper §III-D)."""
+        return amap.inner_block_range(self.start, self.size)
+
+    def pages(self, amap: AddressMap) -> range:
+        """All page numbers overlapping this region."""
+        return amap.page_range(self.start, self.size)
+
+    def num_blocks(self, amap: AddressMap) -> int:
+        return len(self.blocks(amap))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"Region(0x{self.start:x}+0x{self.size:x}{label})"

@@ -1,0 +1,13 @@
+"""Network-on-chip substrate: mesh topology, XY routing, traffic accounting.
+
+Models the paper's 4x4 mesh (1-cycle links, 1-cycle routers) at the level
+the evaluation needs: hop distances between tiles (Fig. 11 "NUCA distance"),
+and bytes moved through routers (Fig. 12 data movement, Fig. 14 NoC dynamic
+energy).
+"""
+
+from repro.noc.topology import Mesh
+from repro.noc.routing import hops, xy_route
+from repro.noc.traffic import MessageClass, TrafficStats
+
+__all__ = ["Mesh", "hops", "xy_route", "MessageClass", "TrafficStats"]

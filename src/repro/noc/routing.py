@@ -1,0 +1,39 @@
+"""Dimension-ordered (XY) routing.
+
+Deterministic XY routing is what commercial tiled meshes and the paper's
+Garnet setup use: travel along X to the destination column, then along Y.
+The route (list of routers traversed, inclusive of endpoints) is needed for
+per-router byte accounting; the hop count alone suffices for latency.
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import Mesh
+
+__all__ = ["xy_route", "hops"]
+
+
+def hops(mesh: Mesh, src: int, dst: int) -> int:
+    """Hop count of the XY route from ``src`` to ``dst``."""
+    return mesh.hops(src, dst)
+
+
+def xy_route(mesh: Mesh, src: int, dst: int) -> list[int]:
+    """Tiles traversed from ``src`` to ``dst`` under XY routing, inclusive.
+
+    ``xy_route(m, t, t) == [t]``; the number of links traversed is
+    ``len(route) - 1 == hops``.
+    """
+    sx, sy = mesh.coords(src)
+    dx, dy = mesh.coords(dst)
+    route = [src]
+    x, y = sx, sy
+    step_x = 1 if dx > sx else -1
+    while x != dx:
+        x += step_x
+        route.append(mesh.tile_at(x, y))
+    step_y = 1 if dy > sy else -1
+    while y != dy:
+        y += step_y
+        route.append(mesh.tile_at(x, y))
+    return route

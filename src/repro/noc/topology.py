@@ -1,0 +1,98 @@
+"""Tiled mesh topology.
+
+Tiles are numbered row-major: tile ``t`` sits at ``(x, y) = (t % W, t // W)``.
+Each tile holds one core, its private L1, one LLC bank and one NoC router
+(paper Fig. 1).  Clusters are the rectangular groups (quadrants in the 4x4
+default) used by TD-NUCA's LLC Cluster Replication and by R-NUCA's
+rotational interleaving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Mesh"]
+
+
+class Mesh:
+    """A ``width`` x ``height`` mesh partitioned into rectangular clusters."""
+
+    def __init__(
+        self,
+        width: int = 4,
+        height: int = 4,
+        cluster_width: int = 2,
+        cluster_height: int = 2,
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        if width % cluster_width or height % cluster_height:
+            raise ValueError("cluster dimensions must divide mesh dimensions")
+        self.width = width
+        self.height = height
+        self.cluster_width = cluster_width
+        self.cluster_height = cluster_height
+        self.num_tiles = width * height
+        self.clusters_x = width // cluster_width
+        self.clusters_y = height // cluster_height
+        self.num_clusters = self.clusters_x * self.clusters_y
+        self.cluster_size = cluster_width * cluster_height
+        # Precompute the all-pairs hop-distance matrix (Manhattan under XY
+        # routing); tiny (16x16) and read in every memory access.
+        xs = np.arange(self.num_tiles) % width
+        ys = np.arange(self.num_tiles) // width
+        self.distance = (
+            np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
+        ).astype(np.int64)
+        self._cluster_of = (
+            (ys // cluster_height) * self.clusters_x + (xs // cluster_width)
+        ).astype(np.int64)
+        self._cluster_tiles: list[tuple[int, ...]] = [
+            tuple(int(t) for t in np.nonzero(self._cluster_of == c)[0])
+            for c in range(self.num_clusters)
+        ]
+
+    def coords(self, tile: int) -> tuple[int, int]:
+        """``(x, y)`` coordinates of ``tile``."""
+        self._check(tile)
+        return tile % self.width, tile // self.width
+
+    def tile_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError("coordinates out of range")
+        return y * self.width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count between two tiles (0 for the local tile)."""
+        self._check(src)
+        self._check(dst)
+        return int(self.distance[src, dst])
+
+    def cluster_of(self, tile: int) -> int:
+        """Cluster index containing ``tile``."""
+        self._check(tile)
+        return int(self._cluster_of[tile])
+
+    def cluster_tiles(self, cluster: int) -> tuple[int, ...]:
+        """Tiles belonging to ``cluster``, ascending."""
+        if not 0 <= cluster < self.num_clusters:
+            raise ValueError("cluster out of range")
+        return self._cluster_tiles[cluster]
+
+    def local_cluster_tiles(self, tile: int) -> tuple[int, ...]:
+        """Tiles of the cluster containing ``tile``."""
+        return self.cluster_tiles(self.cluster_of(tile))
+
+    def diameter(self) -> int:
+        """Maximum hop distance between any pair of tiles."""
+        return int(self.distance.max())
+
+    def mean_distance_from(self, tile: int) -> float:
+        """Average distance from ``tile`` to every tile (incl. itself) —
+        the expected NUCA distance of a uniformly interleaved access."""
+        self._check(tile)
+        return float(self.distance[tile].mean())
+
+    def _check(self, tile: int) -> None:
+        if not 0 <= tile < self.num_tiles:
+            raise ValueError(f"tile {tile} out of range [0, {self.num_tiles})")

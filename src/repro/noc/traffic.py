@@ -1,0 +1,98 @@
+"""NoC traffic accounting.
+
+The paper's data-movement metric (Fig. 12) is "the aggregate number of bytes
+transferred through all routers in the NoC", including LLC-bypassed blocks
+travelling DRAM -> L1 under TD-NUCA.  A message of ``B`` bytes whose XY
+route crosses ``h`` links passes through ``h + 1`` routers, contributing
+``B * (h + 1)`` router-bytes.  Flit-hops (16-byte flits) feed the NoC
+dynamic-energy model (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["MessageClass", "TrafficStats", "CONTROL_BYTES", "data_message_bytes"]
+
+#: size of a control message (request, invalidation, ack) in bytes.
+CONTROL_BYTES = 8
+#: header bytes added to a cache-block data message.
+HEADER_BYTES = 8
+
+
+def data_message_bytes(block_bytes: int) -> int:
+    """Bytes on the wire for one cache-block transfer."""
+    return block_bytes + HEADER_BYTES
+
+
+class MessageClass(Enum):
+    """Coherence/NoC message classes tracked separately for reporting."""
+
+    REQUEST = "request"          # core -> LLC bank / directory
+    DATA = "data"                # LLC bank -> core (block fill)
+    WRITEBACK = "writeback"      # L1 -> LLC bank (dirty block)
+    INVALIDATION = "invalidation"  # directory -> sharer
+    ACK = "ack"                  # sharer -> directory
+    FLUSH = "flush"              # tdnuca_flush control traffic
+    DRAM_REQUEST = "dram_request"  # LLC bank / core -> memory controller
+    DRAM_DATA = "dram_data"      # memory controller -> LLC bank / core
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate NoC traffic counters.
+
+    ``flit_bytes`` is the flit width used to convert messages to flits for
+    the energy model.
+    """
+
+    flit_bytes: int = 16
+    router_bytes: int = 0
+    flit_hops: int = 0
+    messages: int = 0
+    bytes_by_class: dict[MessageClass, int] = field(default_factory=dict)
+    # NUCA-distance census over core -> LLC-bank requests (Fig. 11).
+    nuca_distance_sum: int = 0
+    nuca_distance_count: int = 0
+
+    def record_message(
+        self, msg_class: MessageClass, size_bytes: int, hop_count: int, count: int = 1
+    ) -> None:
+        """Account ``count`` identical messages of ``size_bytes`` over a
+        route of ``hop_count`` links."""
+        if size_bytes < 0 or hop_count < 0 or count < 0:
+            raise ValueError("traffic quantities must be non-negative")
+        routers = hop_count + 1
+        self.router_bytes += size_bytes * routers * count
+        flits = -(-size_bytes // self.flit_bytes)  # ceil division
+        self.flit_hops += flits * routers * count
+        self.messages += count
+        self.bytes_by_class[msg_class] = (
+            self.bytes_by_class.get(msg_class, 0) + size_bytes * count
+        )
+
+    def record_nuca_distance(self, hop_count: int, count: int = 1) -> None:
+        """Record the NUCA distance of ``count`` core->LLC requests.
+
+        Bypassed accesses must *not* be recorded here (paper Fig. 11 note).
+        """
+        if hop_count < 0 or count < 0:
+            raise ValueError("traffic quantities must be non-negative")
+        self.nuca_distance_sum += hop_count * count
+        self.nuca_distance_count += count
+
+    @property
+    def mean_nuca_distance(self) -> float:
+        if not self.nuca_distance_count:
+            return 0.0
+        return self.nuca_distance_sum / self.nuca_distance_count
+
+    def merge(self, other: "TrafficStats") -> None:
+        self.router_bytes += other.router_bytes
+        self.flit_hops += other.flit_hops
+        self.messages += other.messages
+        for cls, nbytes in other.bytes_by_class.items():
+            self.bytes_by_class[cls] = self.bytes_by_class.get(cls, 0) + nbytes
+        self.nuca_distance_sum += other.nuca_distance_sum
+        self.nuca_distance_count += other.nuca_distance_count

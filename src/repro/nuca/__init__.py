@@ -1,0 +1,30 @@
+"""NUCA mapping policies.
+
+The policy answers one question for every L1 miss or writeback: *which LLC
+bank serves this physical block for this core* (or should the LLC be
+bypassed entirely).  Three policies are provided, matching the paper's
+evaluation:
+
+* :class:`~repro.nuca.snuca.SNuca` — static address interleaving (baseline).
+* :class:`~repro.nuca.rnuca.RNuca` — OS-page-classification Reactive NUCA,
+  augmented with shared read-only *data* replication as in Section V.
+* :class:`~repro.core.tdnuca.TdNucaPolicy` — the paper's contribution
+  (lives in :mod:`repro.core`).
+"""
+
+from repro.nuca.base import BYPASS, FlushAction, NucaPolicy
+from repro.nuca.classifier import PageClass, PageClassifier
+from repro.nuca.rnuca import RNuca
+from repro.nuca.rotational import rotational_bank
+from repro.nuca.snuca import SNuca
+
+__all__ = [
+    "BYPASS",
+    "NucaPolicy",
+    "FlushAction",
+    "SNuca",
+    "RNuca",
+    "PageClass",
+    "PageClassifier",
+    "rotational_bank",
+]

@@ -1,0 +1,78 @@
+"""NUCA policy interface.
+
+A policy resolves ``(core, physical block)`` to an LLC bank — or to
+:data:`BYPASS` — and may request cache flushes *before* an access proceeds
+(R-NUCA page reclassification does this; TD-NUCA performs its flushes from
+the runtime side instead).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["BYPASS", "FlushAction", "NucaPolicy"]
+
+#: sentinel bank id meaning "do not allocate in the LLC; go to memory".
+BYPASS = -1
+
+
+@dataclass(frozen=True)
+class FlushAction:
+    """A flush the machine must perform before the triggering access.
+
+    ``blocks`` are physical block numbers.  ``l1_cores`` lists cores whose
+    private caches must drop the blocks; ``llc_banks`` lists banks that must
+    drop them.  Dirty copies are written back toward memory.
+    """
+
+    blocks: tuple[int, ...]
+    l1_cores: tuple[int, ...] = ()
+    llc_banks: tuple[int, ...] = ()
+    reason: str = ""
+
+
+@dataclass
+class PolicyStats:
+    """Counters every policy keeps (extended by subclasses)."""
+
+    bypasses: int = 0
+    local_bank_hits: int = 0  # resolutions to the requesting core's bank
+    resolutions: int = 0
+
+
+class NucaPolicy(ABC):
+    """Strategy object consulted on every L1 miss / writeback."""
+
+    #: human-readable policy name used in reports.
+    name: str = "base"
+    #: extra cycles the resolution adds to an L1 miss (TD-NUCA: RRT latency).
+    lookup_cycles: int = 0
+
+    def __init__(self) -> None:
+        self.stats = PolicyStats()
+
+    @abstractmethod
+    def bank_for(self, core: int, block: int, write: bool) -> int:
+        """LLC bank serving ``block`` for ``core`` (or :data:`BYPASS`)."""
+
+    def pre_access(self, core: int, block: int, write: bool) -> FlushAction | None:
+        """Hook called before resolving a demand access; may return a flush
+        (page reclassification).  Default: no action."""
+        return None
+
+    def classify_pages(self, core: int, pages, wrote) -> list[FlushAction]:
+        """Batch classification hook called once per task trace with the
+        unique (physical) pages the trace touches and whether each is
+        written.  R-NUCA overrides this to run its OS page classifier;
+        the default does nothing."""
+        return []
+
+    def _count(self, core: int, bank: int) -> int:
+        """Record a resolution in the stats and return ``bank``."""
+        self.stats.resolutions += 1
+        if bank == BYPASS:
+            self.stats.bypasses += 1
+        elif bank == core:
+            self.stats.local_bank_hits += 1
+        return bank

@@ -1,0 +1,117 @@
+"""OS-level first-touch page classification (Section II-C).
+
+The OS (simulated here) tags each page on first access as *private* to the
+accessing core.  When a second core touches the page it becomes *shared* —
+*shared read-only* if the dirty bit was never set — and can never return to
+private.  Private→shared transitions flush the page from the first core's
+caches (and its TLB entry); in the paper's augmented R-NUCA, a write to a
+shared read-only page likewise flushes all replicas everywhere.
+
+This captures exactly the drawbacks the paper motivates TD-NUCA with:
+temporarily-private data under a dynamic task scheduler degenerates to
+*shared*, and classification is page-granular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["PageClass", "PageTransition", "PageClassifier", "ClassifierStats"]
+
+
+class PageClass(Enum):
+    PRIVATE = "private"
+    SHARED_RO = "shared_read_only"
+    SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class PageTransition:
+    """A classification change requiring OS/cache intervention."""
+
+    page: int
+    old: PageClass
+    new: PageClass
+    #: core whose caches must be flushed (private->shared); None = all cores
+    flush_core: int | None
+
+
+@dataclass
+class ClassifierStats:
+    first_touches: int = 0
+    private_to_shared: int = 0
+    private_to_shared_ro: int = 0
+    ro_to_shared: int = 0
+    tlb_shootdowns: int = 0
+
+
+class _PageInfo:
+    __slots__ = ("cls", "owner", "dirty")
+
+    def __init__(self, owner: int, dirty: bool) -> None:
+        self.cls = PageClass.PRIVATE
+        self.owner = owner
+        self.dirty = dirty
+
+
+class PageClassifier:
+    """First-touch classifier over (physical) page numbers."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, _PageInfo] = {}
+        self.stats = ClassifierStats()
+
+    def classify(self, page: int) -> PageClass | None:
+        """Current class of ``page`` (None if never touched)."""
+        info = self._pages.get(page)
+        return info.cls if info else None
+
+    def owner(self, page: int) -> int | None:
+        """Owning core for a private page, else None."""
+        info = self._pages.get(page)
+        return info.owner if info and info.cls is PageClass.PRIVATE else None
+
+    def access(self, core: int, page: int, write: bool) -> PageTransition | None:
+        """Record an access; returns the transition it causes, if any."""
+        info = self._pages.get(page)
+        if info is None:
+            self._pages[page] = _PageInfo(core, write)
+            self.stats.first_touches += 1
+            return None
+        cls = info.cls
+        if cls is PageClass.PRIVATE:
+            if core == info.owner:
+                info.dirty = info.dirty or write
+                return None
+            # Second core: page leaves private forever.
+            old_owner = info.owner
+            if info.dirty or write:
+                info.cls = PageClass.SHARED
+                self.stats.private_to_shared += 1
+            else:
+                info.cls = PageClass.SHARED_RO
+                self.stats.private_to_shared_ro += 1
+            info.dirty = info.dirty or write
+            self.stats.tlb_shootdowns += 1
+            return PageTransition(page, PageClass.PRIVATE, info.cls, old_owner)
+        if cls is PageClass.SHARED_RO:
+            if write:
+                info.cls = PageClass.SHARED
+                info.dirty = True
+                self.stats.ro_to_shared += 1
+                self.stats.tlb_shootdowns += 1
+                return PageTransition(page, PageClass.SHARED_RO, PageClass.SHARED, None)
+            return None
+        return None  # SHARED is terminal
+
+    def census(self) -> dict[PageClass, int]:
+        """End-of-run page counts per class."""
+        out = {c: 0 for c in PageClass}
+        for info in self._pages.values():
+            out[info.cls] += 1
+        return out
+
+    @property
+    def pages_tracked(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,31 @@
+"""Rotational interleaving of replicated blocks within clusters.
+
+R-NUCA's rotational interleaving (and TD-NUCA's cluster spreading) place a
+replicated block at one bank of the *accessing core's* cluster, chosen by
+the low bits of the block number so that the replicas of consecutive blocks
+rotate across the cluster's banks.  Every cluster can hold its own replica;
+the worst-case NUCA distance drops from the chip diameter to the cluster
+diameter (paper Sections II-B and III).
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import Mesh
+
+__all__ = ["rotational_bank", "cluster_bank_for_block"]
+
+
+def cluster_bank_for_block(cluster_tiles: tuple[int, ...], block: int) -> int:
+    """Bank within ``cluster_tiles`` serving ``block``.
+
+    The paper uses "the last two bits of the block address" for its 4-bank
+    clusters; generalized here to any cluster size.
+    """
+    if not cluster_tiles:
+        raise ValueError("cluster has no tiles")
+    return cluster_tiles[block % len(cluster_tiles)]
+
+
+def rotational_bank(mesh: Mesh, core: int, block: int) -> int:
+    """Replica bank for ``block`` in ``core``'s local cluster."""
+    return cluster_bank_for_block(mesh.local_cluster_tiles(core), block)

@@ -1,0 +1,41 @@
+"""Task dataflow runtime — the Nanos++/OpenMP-4.0 stand-in.
+
+Programs are sequences of *phases* separated by ``taskwait`` barriers (the
+structure of the paper's OmpSs benchmarks).  Within a phase, tasks declare
+``in``/``out``/``inout`` dependencies over memory regions; the TDG builder
+derives RAW/WAR/WAW edges, the scheduler dispatches ready tasks to cores,
+and the discrete-event executor advances simulated time, invoking the
+TD-NUCA runtime extension hooks at task creation, start and end.
+"""
+
+from repro.deps import DepMode
+from repro.runtime.executor import ExecutionStats, Executor
+from repro.runtime.extensions import RuntimeExtension, TdNucaRuntime
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    LocalityScheduler,
+    OrderedScheduler,
+    RandomScheduler,
+)
+from repro.runtime.task import AccessChunk, Dependency, Program, Task, TaskState
+from repro.runtime.tdg import TaskGraph
+from repro.runtime.trace import build_trace
+
+__all__ = [
+    "DepMode",
+    "Dependency",
+    "AccessChunk",
+    "Task",
+    "TaskState",
+    "Program",
+    "TaskGraph",
+    "FifoScheduler",
+    "OrderedScheduler",
+    "LocalityScheduler",
+    "RandomScheduler",
+    "Executor",
+    "ExecutionStats",
+    "RuntimeExtension",
+    "TdNucaRuntime",
+    "build_trace",
+]

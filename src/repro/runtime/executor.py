@@ -1,0 +1,201 @@
+"""Discrete-event execution of task programs on the simulated machine.
+
+The executor models the OmpSs execution pattern the paper describes: the
+creator thread (core 0) runs the (sequential) program, creating the tasks
+of a phase one by one; worker cores pick ready tasks from the scheduler as
+they become available; a ``taskwait`` barrier ends each phase.  Task
+creation overlaps execution — a task only becomes dispatchable once the
+creator has reached it *and* its dependencies are satisfied.
+
+Each task's memory trace is applied to the shared cache hierarchy at its
+dispatch time (task-atomic interleaving, see DESIGN.md); its duration is
+the runtime-extension hook cycles plus the cycles the machine charges for
+the trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.runtime.extensions import RuntimeExtension
+from repro.runtime.scheduler import OrderedScheduler, Scheduler
+from repro.runtime.task import Program, Task, TaskState
+from repro.runtime.tdg import TaskGraph
+
+__all__ = ["Executor", "ExecutionStats", "TraceMachine"]
+
+
+class TraceMachine(Protocol):
+    """What the executor needs from the machine model."""
+
+    def run_task_trace(self, core: int, task: Task) -> int:
+        """Apply ``task``'s memory trace for ``core``; returns cycles."""
+
+    @property
+    def num_cores(self) -> int: ...
+
+
+@dataclass
+class ExecutionStats:
+    makespan_cycles: int = 0
+    tasks_executed: int = 0
+    phases: int = 0
+    busy_cycles: list[int] = field(default_factory=list)
+    #: cycles spent in runtime-extension hooks (software + ISA), total.
+    extension_cycles: int = 0
+    #: cycles core 0 spent creating tasks.
+    creation_cycles: int = 0
+    tdg_edges: int = 0
+
+    @property
+    def avg_utilization(self) -> float:
+        if not self.makespan_cycles or not self.busy_cycles:
+            return 0.0
+        return sum(self.busy_cycles) / (len(self.busy_cycles) * self.makespan_cycles)
+
+
+_AVAIL = 0
+_FINISH = 1
+
+
+class Executor:
+    """List-scheduling DES over phases of a program."""
+
+    #: creator-thread cycles to instantiate one task (allocation + TDG
+    #: insertion), before extension hooks.
+    CREATE_CYCLES_PER_TASK = 60
+
+    def __init__(
+        self,
+        machine: TraceMachine,
+        scheduler: Scheduler | None = None,
+        extension: RuntimeExtension | None = None,
+        overlap_mode: str = "exact",
+        jitter: float = 0.08,
+        jitter_seed: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler if scheduler is not None else OrderedScheduler()
+        self.extension = extension if extension is not None else RuntimeExtension()
+        self.overlap_mode = overlap_mode
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        # Real runtimes are not cycle-deterministic: OS noise and contention
+        # jitter task durations, which is what makes dynamic schedulers
+        # migrate repeated computations across cores (the effect that
+        # defeats OS page classification — Section II-C).  The jitter for a
+        # given task depends only on its (stable) name, so every policy —
+        # and every rebuild of the same program — sees the same
+        # perturbation and comparisons stay fair.
+        self.jitter = jitter
+        self._jitter_seed = jitter_seed
+
+    def _jitter_factor(self, name: str) -> float:
+        if not self.jitter:
+            return 1.0
+        key = zlib.crc32(name.encode()) ^ (self._jitter_seed << 32)
+        rng = np.random.default_rng(key)
+        return 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+
+    def run(self, program: Program) -> ExecutionStats:
+        ncores = self.machine.num_cores
+        stats = ExecutionStats(busy_cycles=[0] * ncores)
+        now = 0
+        for phase in program.phases:
+            if not phase:
+                continue
+            now = self._run_phase(phase, now, stats)
+            stats.phases += 1
+        stats.makespan_cycles = now
+        return stats
+
+    # --- one phase between taskwait barriers ---
+
+    def _run_phase(self, phase: list[Task], start_time: int, stats: ExecutionStats) -> int:
+        ncores = self.machine.num_cores
+        graph = TaskGraph(self.overlap_mode)
+        ext = self.extension
+
+        # Creator timeline: core 0 creates tasks sequentially from
+        # ``start_time``; each task records its creation completion time.
+        created_at: dict[int, int] = {}
+        t_create = start_time
+        for task in phase:
+            create_cost = self.CREATE_CYCLES_PER_TASK + ext.on_task_created(task)
+            t_create += create_cost
+            created_at[task.tid] = t_create
+            graph.add_task(task)
+        creation_end = t_create
+        stats.creation_cycles += creation_end - start_time
+        stats.busy_cycles[0] += creation_end - start_time
+        stats.tdg_edges += graph.edges
+
+        # Event heap: (time, seq, kind, payload).
+        events: list[tuple[int, int, int, object]] = []
+        seq = 0
+        for task in graph.initial_ready():
+            heapq.heappush(events, (created_at[task.tid], seq, _AVAIL, task))
+            seq += 1
+
+        idle: set[int] = set(range(1, ncores))
+        idle_since = {c: start_time for c in range(1, ncores)}
+        # Core 0 joins the workers once creation is done.
+        heapq.heappush(events, (creation_end, seq, _AVAIL, None))
+        seq += 1
+        core0_joined = False
+
+        finished = 0
+        now = start_time
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if kind == _AVAIL:
+                if payload is None:
+                    idle.add(0)
+                    idle_since[0] = now
+                    core0_joined = True
+                else:
+                    self.scheduler.add_ready(payload)
+            else:  # _FINISH
+                core, task = payload
+                idle.add(core)
+                idle_since[core] = now
+                finished += 1
+                for succ in graph.mark_finished(task):
+                    avail = max(now, created_at[succ.tid])
+                    heapq.heappush(events, (avail, seq, _AVAIL, succ))
+                    seq += 1
+            # Dispatch ready tasks onto idle cores.
+            while idle and self.scheduler.has_work():
+                core = min(idle)
+                task = self.scheduler.next_task(core)
+                if task is None:
+                    break
+                idle.discard(core)
+                duration = self._execute(task, core, stats)
+                task.state = TaskState.RUNNING
+                heapq.heappush(events, (now + duration, seq, _FINISH, (core, task)))
+                seq += 1
+        if finished != len(phase):
+            raise RuntimeError(
+                f"phase deadlock: {finished}/{len(phase)} tasks finished"
+            )
+        del core0_joined
+        return now
+
+    def _execute(self, task: Task, core: int, stats: ExecutionStats) -> int:
+        ext_cycles = self.extension.on_task_start(task, core)
+        trace_cycles = self.machine.run_task_trace(core, task)
+        ext_cycles += self.extension.on_task_end(task, core)
+        duration = ext_cycles + trace_cycles + task.extra_compute_cycles
+        duration = int(duration * self._jitter_factor(task.name))
+        if duration <= 0:
+            duration = 1  # a task always takes at least one cycle
+        stats.tasks_executed += 1
+        stats.extension_cycles += ext_cycles
+        stats.busy_cycles[core] += duration
+        return duration

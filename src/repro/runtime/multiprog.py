@@ -1,0 +1,136 @@
+"""Multiprogramming support (paper Section III-D).
+
+The paper's hardware extension tags RRT entries with the OS process ID so
+several processes can use the RRTs concurrently without save/restore at
+context switches.  :class:`MultiProcessRuntime` drives that: it keeps one
+TD-NUCA runtime (RTCacheDirectory + decision logic) per process, and
+before servicing any task it switches every core's RRT to the task's PID
+— exactly the state a PID-tagged lookup implements in hardware.
+
+:func:`merge_programs` co-schedules several programs into one: phase *i*
+of the merged program is the union of each program's phase *i* (their
+taskwait barriers are aligned), with every task tagged by its process.
+The programs' address spaces must be disjoint, as separate OS processes'
+physical footprints are.
+"""
+
+from __future__ import annotations
+
+from repro.core.isa import TdNucaISA
+from repro.noc.topology import Mesh
+from repro.runtime.extensions import RuntimeExtension, TdNucaRuntime
+from repro.runtime.task import Program, Task
+
+__all__ = ["MultiProcessRuntime", "merge_programs"]
+
+
+def merge_programs(programs: dict[int, Program], name: str = "merged") -> Program:
+    """Co-schedule ``programs`` (keyed by PID) into one program.
+
+    Raises ``ValueError`` if any two processes' dependency regions overlap
+    (processes do not share physical memory).
+    """
+    if not programs:
+        raise ValueError("no programs to merge")
+    _check_disjoint(programs)
+    merged = Program(name)
+    depth = max(len(p.phases) for p in programs.values())
+    for i in range(depth):
+        phase = merged.new_phase()
+        # Round-robin across processes, as concurrently created work
+        # interleaves on a real machine.
+        iters = {
+            pid: iter(prog.phases[i])
+            for pid, prog in programs.items()
+            if i < len(prog.phases)
+        }
+        while iters:
+            for pid in list(iters):
+                task = next(iters[pid], None)
+                if task is None:
+                    del iters[pid]
+                    continue
+                task.pid = pid
+                phase.append(task)
+    # Warmup alignment: measured execution starts once every process has
+    # finished initializing.
+    merged.warmup_phases = max(p.warmup_phases for p in programs.values())
+    return merged
+
+
+def _check_disjoint(programs: dict[int, Program]) -> None:
+    spans: list[tuple[int, int, int]] = []
+    for pid, prog in programs.items():
+        starts = [d.region.start for t in prog.tasks for d in t.deps]
+        ends = [d.region.end for t in prog.tasks for d in t.deps]
+        if starts:
+            spans.append((min(starts), max(ends), pid))
+    spans.sort()
+    for (s1, e1, p1), (s2, e2, p2) in zip(spans, spans[1:]):
+        if s2 < e1:
+            raise ValueError(
+                f"process {p1} and {p2} address spaces overlap "
+                f"([{s1:#x},{e1:#x}) vs [{s2:#x},{e2:#x}))"
+            )
+
+
+class MultiProcessRuntime(RuntimeExtension):
+    """Per-process TD-NUCA runtimes over shared, PID-tagged RRT hardware."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        isa: TdNucaISA,
+        pids: list[int],
+        bypass_only: bool = False,
+    ) -> None:
+        if not pids:
+            raise ValueError("need at least one process")
+        self.isa = isa
+        self.runtimes: dict[int, TdNucaRuntime] = {
+            pid: TdNucaRuntime(mesh, isa, bypass_only=bypass_only) for pid in pids
+        }
+        self.context_switches = 0
+        self._active_pid: int | None = None
+
+    def _activate(self, pid: int) -> None:
+        """Switch every core's RRT view to ``pid`` (no save/restore — the
+        entries are tagged, which is the whole point of the extension)."""
+        if pid == self._active_pid:
+            return
+        for rrt in self.isa.rrts:
+            rrt.set_active_pid(pid)
+        if self._active_pid is not None:
+            self.context_switches += 1
+        self._active_pid = pid
+
+    def _runtime_of(self, task: Task) -> TdNucaRuntime:
+        try:
+            return self.runtimes[task.pid]
+        except KeyError:
+            raise KeyError(f"task {task.name!r} has unknown pid {task.pid}") from None
+
+    # --- RuntimeExtension interface ---
+
+    def on_task_created(self, task: Task) -> int:
+        return self._runtime_of(task).on_task_created(task)
+
+    def on_task_start(self, task: Task, core: int) -> int:
+        self._activate(task.pid)
+        return self._runtime_of(task).on_task_start(task, core)
+
+    def on_task_end(self, task: Task, core: int) -> int:
+        self._activate(task.pid)
+        return self._runtime_of(task).on_task_end(task, core)
+
+    # --- process lifecycle ---
+
+    def terminate(self, pid: int) -> int:
+        """Process exit: drop its RRT entries on every core; returns the
+        number of entries freed."""
+        self.runtimes.pop(pid, None)
+        return sum(rrt.drop_pid(pid) for rrt in self.isa.rrts)
+
+    def reset_stats(self) -> None:
+        for rt in self.runtimes.values():
+            rt.reset_stats()

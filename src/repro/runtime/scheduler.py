@@ -1,0 +1,141 @@
+"""Dynamic task schedulers.
+
+The paper's point about dynamic schedulers is that they *move computation
+(and therefore data) across cores*, which is precisely what defeats OS
+first-touch page classification.  The default :class:`OrderedScheduler`
+(breadth-first in program order) has exactly this property.  FIFO,
+locality-aware and seeded-random schedulers are provided for ablations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import deque
+
+import numpy as np
+
+from repro.runtime.task import Task
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "OrderedScheduler",
+    "LocalityScheduler",
+    "RandomScheduler",
+]
+
+
+class Scheduler(ABC):
+    """Ready-queue policy: tasks in, per-core dispatch out."""
+
+    @abstractmethod
+    def add_ready(self, task: Task) -> None:
+        """Enqueue a task whose dependencies are satisfied."""
+
+    @abstractmethod
+    def next_task(self, core: int) -> Task | None:
+        """Dequeue a task for ``core`` (None if nothing runnable)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of queued ready tasks."""
+
+    def has_work(self) -> bool:
+        return len(self) > 0
+
+
+class FifoScheduler(Scheduler):
+    """Single global FIFO ready queue (readiness order)."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Task] = deque()
+
+    def add_ready(self, task: Task) -> None:
+        self._queue.append(task)
+
+    def next_task(self, core: int) -> Task | None:
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class OrderedScheduler(Scheduler):
+    """Program-order dispatch: the ready task created earliest runs first.
+
+    This is the behaviour of a breadth-first task runtime whose queue is
+    ordered by task instantiation: a consumer that becomes ready runs ahead
+    of producers created after it, keeping producer/consumer pairs close in
+    time (which is also what bounds TD-NUCA's replica lifetimes).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, Task]] = []
+
+    def add_ready(self, task: Task) -> None:
+        heapq.heappush(self._heap, (task.tid, task))
+
+    def next_task(self, core: int) -> Task | None:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class LocalityScheduler(Scheduler):
+    """Affinity queues per core with FIFO stealing.
+
+    Tasks carrying an ``affinity`` hint go to that core's queue; a core
+    drains its own queue first, then the global queue, then steals from the
+    longest peer queue.
+    """
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        self.num_cores = num_cores
+        self._local: list[deque[Task]] = [deque() for _ in range(num_cores)]
+        self._global: deque[Task] = deque()
+
+    def add_ready(self, task: Task) -> None:
+        if task.affinity is not None and 0 <= task.affinity < self.num_cores:
+            self._local[task.affinity].append(task)
+        else:
+            self._global.append(task)
+
+    def next_task(self, core: int) -> Task | None:
+        if self._local[core]:
+            return self._local[core].popleft()
+        if self._global:
+            return self._global.popleft()
+        victim = max(range(self.num_cores), key=lambda c: len(self._local[c]))
+        if self._local[victim]:
+            return self._local[victim].popleft()  # steal
+        return None
+
+    def __len__(self) -> int:
+        return len(self._global) + sum(len(q) for q in self._local)
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random dispatch (seeded, for scheduler-sensitivity ablation)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._queue: list[Task] = []
+
+    def add_ready(self, task: Task) -> None:
+        self._queue.append(task)
+
+    def next_task(self, core: int) -> Task | None:
+        if not self._queue:
+            return None
+        idx = int(self._rng.integers(len(self._queue)))
+        self._queue[idx], self._queue[-1] = self._queue[-1], self._queue[idx]
+        return self._queue.pop()
+
+    def __len__(self) -> int:
+        return len(self._queue)

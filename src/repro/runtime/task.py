@@ -1,0 +1,182 @@
+"""Tasks, dependencies and programs.
+
+A :class:`Task` mirrors an OpenMP 4.0 task: a unit of work annotated with
+``depend(in/out/inout: region)`` clauses.  Its memory behaviour is a list
+of :class:`AccessChunk`\\ s — sequential sweeps over regions — from which
+:mod:`repro.runtime.trace` builds the block-granularity trace.  If no
+chunks are given, a default sweep is derived from the dependency modes
+(read passes over ``in``/``inout``, write passes over ``out``/``inout``).
+
+A :class:`Program` is a list of phases separated by ``taskwait`` barriers,
+matching the structure of the paper's OmpSs benchmarks: the creator thread
+creates every task of a phase, the pool drains, and only then is the next
+phase created.  This is what makes ``UseDesc == 0`` a *prediction* about
+future reuse rather than an oracle: uses in later phases are invisible at
+decision time (Section II-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.deps import DepMode
+from repro.mem.region import Region
+
+__all__ = ["Dependency", "AccessChunk", "Task", "TaskState", "Program"]
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """One ``depend`` clause: an access mode over a region."""
+
+    region: Region
+    mode: DepMode
+
+    def __post_init__(self) -> None:
+        if not self.region:
+            raise ValueError("dependency region must be non-empty")
+
+
+@dataclass(frozen=True)
+class AccessChunk:
+    """A sequential sweep over ``region``: every block touched once per
+    pass, reads or writes.
+
+    ``rmw`` models a read-modify-write kernel: each block is read and then
+    immediately written within the same pass (so the write hits the L1),
+    rather than a full read sweep followed by a full write sweep that
+    would re-miss a smaller-than-region L1.
+    """
+
+    region: Region
+    write: bool
+    passes: int = 1
+    rmw: bool = False
+
+    def __post_init__(self) -> None:
+        if self.passes <= 0:
+            raise ValueError("passes must be positive")
+
+
+class TaskState(Enum):
+    CREATED = "created"
+    READY = "ready"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+_task_counter = 0
+
+
+def _next_tid() -> int:
+    global _task_counter
+    _task_counter += 1
+    return _task_counter
+
+
+@dataclass
+class Task:
+    """One task instance."""
+
+    name: str
+    deps: tuple[Dependency, ...]
+    #: explicit memory behaviour; derived from deps when empty.
+    accesses: tuple[AccessChunk, ...] = ()
+    #: passes used when deriving default read/write sweeps from deps.
+    read_passes: int = 1
+    write_passes: int = 1
+    #: fixed extra compute cycles (beyond the per-access charge).
+    extra_compute_cycles: int = 0
+    #: per-access compute cycles; None uses the config default.  Workloads
+    #: set this to model their arithmetic intensity (e.g. MD5 hashing is
+    #: compute-bound, stencils are memory-bound).
+    compute_per_access: int | None = None
+    #: scheduler affinity hint (core id) or None.
+    affinity: int | None = None
+    #: owning process (multiprogramming extension, paper Section III-D).
+    pid: int = 0
+    tid: int = field(default_factory=_next_tid)
+    state: TaskState = TaskState.CREATED
+
+    def __post_init__(self) -> None:
+        if self.read_passes <= 0 or self.write_passes <= 0:
+            raise ValueError("passes must be positive")
+        if self.extra_compute_cycles < 0:
+            raise ValueError("extra_compute_cycles must be non-negative")
+
+    def effective_accesses(self) -> tuple[AccessChunk, ...]:
+        """The task's access chunks (derived from deps when not given).
+
+        Derived order mirrors a read-compute-write kernel: one read sweep
+        per readable dependency, then one write sweep per writable one.
+        """
+        if self.accesses:
+            return self.accesses
+        chunks: list[AccessChunk] = []
+        for d in self.deps:
+            if d.mode is DepMode.INOUT:
+                chunks.append(AccessChunk(d.region, True, self.write_passes, rmw=True))
+            elif d.mode is DepMode.IN:
+                chunks.append(AccessChunk(d.region, False, self.read_passes))
+        for d in self.deps:
+            if d.mode is DepMode.OUT:
+                chunks.append(AccessChunk(d.region, True, self.write_passes))
+        return tuple(chunks)
+
+    def footprint_bytes(self) -> int:
+        """Bytes of all dependency regions (Table II "task size")."""
+        return sum(d.region.size for d in self.deps)
+
+    def dep_regions(self, mode: DepMode | None = None) -> list[Region]:
+        return [d.region for d in self.deps if mode is None or d.mode is mode]
+
+
+@dataclass
+class Program:
+    """Phases of tasks separated by taskwait barriers.
+
+    The first ``warmup_phases`` phases are initialization (data population):
+    they execute normally — warming caches and OS page classifications, as
+    in the paper's full-system runs — but the harness resets all statistics
+    afterwards, matching the paper's "entire post-initialisation parallel
+    execution phase" measurement window.
+    """
+
+    name: str
+    phases: list[list[Task]] = field(default_factory=list)
+    warmup_phases: int = 0
+
+    def new_phase(self) -> list[Task]:
+        """Open a new phase (i.e. emit a ``taskwait``) and return it."""
+        phase: list[Task] = []
+        self.phases.append(phase)
+        return phase
+
+    def add(self, task: Task) -> Task:
+        """Append ``task`` to the current (last) phase."""
+        if not self.phases:
+            self.new_phase()
+        self.phases[-1].append(task)
+        return task
+
+    @property
+    def tasks(self) -> list[Task]:
+        """All tasks in program order."""
+        return [t for phase in self.phases for t in phase]
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(len(p) for p in self.phases)
+
+    def total_footprint_bytes(self) -> int:
+        """Sum of unique dependency-region bytes across the program."""
+        seen: set[tuple[int, int]] = set()
+        total = 0
+        for task in self.tasks:
+            for dep in task.deps:
+                key = (dep.region.start, dep.region.size)
+                if key not in seen:
+                    seen.add(key)
+                    total += dep.region.size
+        return total

@@ -1,0 +1,90 @@
+"""Task-dependency-graph export (Graphviz DOT).
+
+The paper's Fig. 2 shows a Cholesky TDG; :func:`program_to_dot` renders
+any :class:`~repro.runtime.task.Program`'s dependency structure the same
+way — one node per task (colored by kernel name), one edge per TDG
+dependency — for rendering with ``dot -Tpdf``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.task import Program, Task
+from repro.runtime.tdg import TaskGraph
+
+__all__ = ["program_to_dot", "tdg_edge_list"]
+
+_PALETTE = (
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+    "#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd",
+)
+
+
+def _kernel_of(task: Task) -> str:
+    """Kernel family = the task name up to its first bracket."""
+    return task.name.split("[", 1)[0]
+
+
+def tdg_edge_list(
+    program: Program, overlap_mode: str = "exact", max_tasks: int | None = None
+) -> list[tuple[Task, Task]]:
+    """All (predecessor, successor) pairs of the program's per-phase TDGs."""
+    edges: list[tuple[Task, Task]] = []
+    remaining = max_tasks
+    for phase in program.phases:
+        tasks = phase if remaining is None else phase[:remaining]
+        graph = TaskGraph(overlap_mode)
+        for t in tasks:
+            graph.add_task(t)
+        for t in tasks:
+            for succ in graph.successors_of(t):
+                edges.append((t, succ))
+        if remaining is not None:
+            remaining -= len(tasks)
+            if remaining <= 0:
+                break
+    return edges
+
+
+def program_to_dot(
+    program: Program,
+    overlap_mode: str = "exact",
+    max_tasks: int | None = 200,
+    include_warmup: bool = False,
+) -> str:
+    """Render the program's TDG as Graphviz DOT.
+
+    ``max_tasks`` caps the rendered node count (big programs make
+    unreadable graphs); warmup/init phases are skipped by default.
+    """
+    phases = program.phases[0 if include_warmup else program.warmup_phases :]
+    clipped = Program(program.name, phases)
+    edges = tdg_edge_list(clipped, overlap_mode, max_tasks)
+
+    shown: list[Task] = []
+    remaining = max_tasks
+    for phase in clipped.phases:
+        take = phase if remaining is None else phase[:remaining]
+        shown.extend(take)
+        if remaining is not None:
+            remaining -= len(take)
+            if remaining <= 0:
+                break
+    shown_ids = {t.tid for t in shown}
+
+    kernels = sorted({_kernel_of(t) for t in shown})
+    color = {k: _PALETTE[i % len(_PALETTE)] for i, k in enumerate(kernels)}
+
+    lines = [
+        f'digraph "{program.name}" {{',
+        "  rankdir=TB;",
+        '  node [style=filled, fontname="Helvetica", shape=ellipse];',
+    ]
+    for t in shown:
+        lines.append(
+            f'  t{t.tid} [label="{t.name}", fillcolor="{color[_kernel_of(t)]}"];'
+        )
+    for pred, succ in edges:
+        if pred.tid in shown_ids and succ.tid in shown_ids:
+            lines.append(f"  t{pred.tid} -> t{succ.tid};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Machine model: the composition of cores, caches, NoC, DRAM and the
+active NUCA policy into one trace-driven simulator (the gem5 stand-in)."""
+
+from repro.sim.dram import MemoryControllers
+from repro.sim.latency import LatencyModel
+from repro.sim.machine import Machine, MachineStats, build_machine
+
+__all__ = ["Machine", "MachineStats", "build_machine", "MemoryControllers", "LatencyModel"]

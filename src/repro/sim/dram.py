@@ -1,0 +1,84 @@
+"""Off-chip memory controllers with a row-buffer model.
+
+Four controllers sit at the mesh corners (a common tiled-CMP arrangement);
+physical blocks interleave across them.  LLC-bypassed accesses under
+TD-NUCA travel core <-> controller directly; LLC misses travel
+bank <-> controller.
+
+Each controller keeps its last-open DRAM row: an access to the same row
+costs :attr:`LatencyConfig.dram_row_hit` cycles instead of the full
+activate+read latency.  Bulk sequential sweeps — streaming fills, the
+flush-then-refetch of whole dependencies — therefore mostly pay row-hit
+latency, as on real hardware.  (Task-atomic trace interleaving makes the
+model slightly optimistic about row locality; see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LatencyConfig
+from repro.noc.topology import Mesh
+
+__all__ = ["MemoryControllers", "DramStats"]
+
+
+@dataclass
+class DramStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_ratio(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class MemoryControllers:
+    """Corner-tile memory controllers with block interleaving."""
+
+    def __init__(self, mesh: Mesh, latency: LatencyConfig | None = None) -> None:
+        self.mesh = mesh
+        self.latency = latency if latency is not None else LatencyConfig()
+        corners = [
+            mesh.tile_at(0, 0),
+            mesh.tile_at(mesh.width - 1, 0),
+            mesh.tile_at(0, mesh.height - 1),
+            mesh.tile_at(mesh.width - 1, mesh.height - 1),
+        ]
+        # Deduplicate for degenerate 1xN meshes.
+        self.tiles: tuple[int, ...] = tuple(dict.fromkeys(corners))
+        self.stats = DramStats()
+        self._open_row: dict[int, int] = {}
+
+    def controller_for(self, block: int) -> int:
+        """Tile of the controller owning ``block``."""
+        return self.tiles[block % len(self.tiles)]
+
+    def _access(self, block: int) -> tuple[int, int]:
+        mc = block % len(self.tiles)
+        row = block // self.latency.dram_row_blocks
+        if self._open_row.get(mc) == row:
+            self.stats.row_hits += 1
+            cycles = self.latency.dram_row_hit
+        else:
+            self.stats.row_misses += 1
+            self._open_row[mc] = row
+            cycles = self.latency.dram
+        return self.tiles[mc], cycles
+
+    def read(self, block: int) -> tuple[int, int]:
+        """Record a DRAM read; returns ``(controller tile, cycles)``."""
+        self.stats.reads += 1
+        return self._access(block)
+
+    def write(self, block: int) -> tuple[int, int]:
+        """Record a DRAM write; returns ``(controller tile, cycles)``."""
+        self.stats.writes += 1
+        return self._access(block)

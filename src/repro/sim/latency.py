@@ -1,0 +1,55 @@
+"""Latency composition for the memory access paths.
+
+All end-to-end latencies are built from the Table-I components; round
+trips over the NoC cost ``2 * hops * (link + router)`` cycles.  Kept as a
+small object with precomputed per-hop cost so the machine's hot loop does
+plain integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.config import LatencyConfig
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Precomputed cycle costs for one :class:`LatencyConfig`."""
+
+    __slots__ = (
+        "cfg",
+        "l1_hit",
+        "llc_hit",
+        "llc_miss_probe",
+        "dram",
+        "per_hop",
+        "compute",
+    )
+
+    def __init__(self, cfg: LatencyConfig) -> None:
+        self.cfg = cfg
+        self.l1_hit = cfg.l1_hit
+        self.llc_hit = cfg.llc_hit
+        self.llc_miss_probe = cfg.llc_miss_probe
+        self.dram = cfg.dram
+        self.per_hop = cfg.noc_per_hop()
+        self.compute = cfg.compute_per_access
+
+    def llc_access(self, hops: int) -> int:
+        """L1 miss served by an LLC bank ``hops`` away (round trip)."""
+        return self.l1_hit + 2 * hops * self.per_hop + self.llc_hit
+
+    def llc_miss_detect(self, hops: int) -> int:
+        """L1 miss that also misses the LLC bank: request + tag probe
+        (the data-array read never happens)."""
+        return self.l1_hit + 2 * hops * self.per_hop + self.llc_miss_probe
+
+    def llc_miss_extra(self, bank_to_mc_hops: int, dram_cycles: int) -> int:
+        """Additional cycles when the LLC bank misses and fetches from the
+        controller ``bank_to_mc_hops`` away (``dram_cycles`` from the
+        row-buffer model)."""
+        return 2 * bank_to_mc_hops * self.per_hop + dram_cycles
+
+    def bypass_access(self, core_to_mc_hops: int, dram_cycles: int) -> int:
+        """L1 miss served directly by a memory controller (LLC bypass)."""
+        return self.l1_hit + 2 * core_to_mc_hops * self.per_hop + dram_cycles

@@ -1,0 +1,580 @@
+"""The machine: cores, private L1s, banked NUCA LLC, coherence directory,
+NoC, memory controllers and the active NUCA policy, driven by task traces.
+
+This is the gem5/Ruby stand-in.  :meth:`Machine.run_task_trace` pushes a
+task's block trace through the hierarchy:
+
+L1 probe -> (RRT lookup under TD-NUCA) -> policy bank resolution ->
+LLC bank access or bypass -> DRAM on miss -> fills, evictions, writebacks,
+coherence invalidations -> latency, traffic and energy accounting.
+
+Everything the paper's evaluation section measures falls out of this loop:
+LLC accesses and hit ratios (Figs. 9/10), NUCA distances (Fig. 11), NoC
+router-bytes (Fig. 12), LLC/NoC dynamic energy events (Figs. 13/14) and
+the memory component of execution time (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.bank import BankStats
+from repro.cache.directory import CoherenceDirectory
+from repro.cache.l1 import L1Cache
+from repro.cache.llc import NucaLLC
+from repro.config import SystemConfig
+from repro.core.isa import TdNucaISA
+from repro.core.rrt import RRT
+from repro.core.tdnuca import TdNucaPolicy
+from repro.energy.model import EnergyBreakdown, EnergyTally
+from repro.mem.address import AddressMap
+from repro.mem.pagetable import PageTable
+from repro.mem.tlb import TLB, TLBStats
+from repro.noc.topology import Mesh
+from repro.noc.traffic import CONTROL_BYTES, MessageClass, TrafficStats, data_message_bytes
+from repro.nuca.base import BYPASS, FlushAction, NucaPolicy
+from repro.nuca.dnuca import DNuca
+from repro.nuca.rnuca import RNuca
+from repro.nuca.snuca import SNuca
+from repro.runtime.task import Task
+from repro.runtime.trace import build_trace
+from repro.sim.dram import MemoryControllers
+from repro.sim.latency import LatencyModel
+from repro.stats.counters import BlockCensus
+
+__all__ = ["Machine", "MachineStats", "build_machine", "POLICIES"]
+
+#: recognised policy names for :func:`build_machine`.
+POLICIES = (
+    "snuca",
+    "rnuca",
+    "dnuca",
+    "tdnuca",
+    "tdnuca-bypass-only",
+    "tdnuca-noisa",
+)
+
+
+@dataclass
+class MachineStats:
+    """Post-run snapshot of everything the figures consume."""
+
+    policy: str
+    llc: BankStats
+    l1: BankStats
+    traffic: TrafficStats
+    energy: EnergyBreakdown
+    tlb: TLBStats
+    dram_reads: int
+    dram_writes: int
+    llc_accesses: int = 0
+    llc_hit_ratio: float = 0.0
+    mean_nuca_distance: float = 0.0
+    router_bytes: int = 0
+    bypassed_accesses: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class Machine:
+    """One simulated 16-core tiled CMP with a pluggable NUCA policy."""
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        policy: NucaPolicy,
+        *,
+        fragmentation: float = 0.03,
+        seed: int = 0,
+        census: bool = True,
+        isa: TdNucaISA | None = None,
+        rrts: list[RRT] | None = None,
+    ) -> None:
+        cfg.validate()
+        self.cfg = cfg
+        self.amap = AddressMap(
+            cfg.block_bytes, cfg.page_bytes, cfg.physical_address_bits
+        )
+        self.mesh = Mesh(
+            cfg.mesh_width, cfg.mesh_height, cfg.cluster_width, cfg.cluster_height
+        )
+        self.pagetable = PageTable(self.amap, fragmentation, seed)
+        self.tlbs = [
+            TLB(self.pagetable, cfg.tlb_entries) for _ in range(cfg.num_cores)
+        ]
+        self.l1s = [
+            L1Cache(c, cfg.l1_bytes, cfg.l1_assoc, cfg.block_bytes)
+            for c in range(cfg.num_cores)
+        ]
+        self.llc = NucaLLC(
+            cfg.num_banks, cfg.llc_bank_bytes, cfg.llc_assoc, cfg.block_bytes
+        )
+        self.directory = CoherenceDirectory(cfg.num_cores)
+        self.dram = MemoryControllers(self.mesh, cfg.latency)
+        self.traffic = TrafficStats(cfg.energy.flit_bytes)
+        self.energy = EnergyTally()
+        self.latency = LatencyModel(cfg.latency)
+        self.policy = policy
+        self.census = BlockCensus(cfg.num_cores) if census else None
+        self.isa = isa
+        self.rrts = rrts
+        self._dnuca = policy if isinstance(policy, DNuca) else None
+        if isa is not None:
+            isa.flush_executor = self._execute_flush
+        self._data_bytes = data_message_bytes(cfg.block_bytes)
+        self._page_block_shift = self.amap.page_shift - self.amap.block_shift
+        # Per-core runtime/stack scratch regions (non-dependency traffic).
+        # Placed at the top of the virtual address space so they can never
+        # alias workload allocations (which grow upward from 0x1000).
+        scratch_base = 1 << 40
+        stride = max(cfg.page_bytes, cfg.nondep_blocks_per_task * cfg.block_bytes)
+        self._scratch_vblocks = []
+        for c in range(cfg.num_cores):
+            start = (scratch_base + c * stride) >> self.amap.block_shift
+            self._scratch_vblocks.append(
+                np.arange(start, start + cfg.nondep_blocks_per_task, dtype=np.int64)
+            )
+
+    @property
+    def num_cores(self) -> int:
+        return self.cfg.num_cores
+
+    # ------------------------------------------------------------------
+    # trace execution (the hot path)
+    # ------------------------------------------------------------------
+
+    def run_task_trace(self, core: int, task: Task) -> int:
+        """Apply ``task``'s memory trace issued from ``core``; returns the
+        memory + per-access compute cycles it took."""
+        trace = build_trace(task, self.amap)
+        vblocks, writes = trace.vblocks, trace.writes
+        scratch = self._scratch_vblocks[core]
+        if len(scratch):
+            # Runtime/stack traffic: one read and one write sweep per task.
+            vblocks = np.concatenate([scratch, vblocks, scratch])
+            writes = np.concatenate(
+                [
+                    np.zeros(len(scratch), dtype=bool),
+                    writes,
+                    np.ones(len(scratch), dtype=bool),
+                ]
+            )
+        if len(vblocks) == 0:
+            return 0
+        if self.census is not None:
+            self.census.record(core, vblocks, writes)
+        pblocks = self.pagetable.translate_blocks(vblocks)
+
+        # Batch OS page classification (R-NUCA); reads before writes.
+        pages = pblocks >> self._page_block_shift
+        uniq_pages, inverse = np.unique(pages, return_inverse=True)
+        wrote = np.zeros(len(uniq_pages), dtype=bool)
+        np.logical_or.at(wrote, inverse, writes)
+        for action in self.policy.classify_pages(core, uniq_pages.tolist(), wrote.tolist()):
+            self._apply_flush_action(action)
+
+        return self._run_blocks(core, pblocks, writes, task.compute_per_access)
+
+    def _run_blocks(
+        self,
+        core: int,
+        pblocks: np.ndarray,
+        writes: np.ndarray,
+        compute_per_access: int | None = None,
+    ) -> int:
+        # Local aliases: this loop runs per memory reference.
+        lat = self.latency
+        l1 = self.l1s[core]
+        llc = self.llc
+        mesh_dist = self.mesh.distance[core]
+        policy = self.policy
+        bank_for = policy.bank_for
+        directory = self.directory
+        dram = self.dram
+        traffic = self.traffic
+        energy = self.energy
+        rrt_cycles = policy.lookup_cycles
+        data_bytes = self._data_bytes
+        is_td = self.rrts is not None
+        dnuca = self._dnuca
+        compute = lat.compute if compute_per_access is None else compute_per_access
+        cycles = 0
+
+        for block, write in zip(pblocks.tolist(), writes.tolist()):
+            cycles += compute
+            energy.l1_accesses += 1
+            res = l1.access(block, write)
+            if res.hit:
+                cycles += lat.l1_hit
+                if write:
+                    self._write_hit_coherence(core, block)
+                continue
+
+            # L1 miss: RRT lookup (TD-NUCA) / NUCA search (D-NUCA), then
+            # bank resolution.
+            if is_td:
+                cycles += rrt_cycles
+                energy.rrt_lookups += 1
+            elif dnuca is not None:
+                cycles += rrt_cycles  # location-table search cost
+            bank = bank_for(core, block, write)
+
+            # Coherence: fetch may invalidate/downgrade remote L1 copies.
+            actions = directory.on_l1_fill(core, block, write)
+            if actions.invalidate or actions.writeback_from is not None:
+                cycles += self._coherence_actions(core, block, bank, actions)
+
+            if bank == BYPASS:
+                mc, dram_cycles = dram.read(block)
+                hops = int(mesh_dist[mc])
+                traffic.record_message(MessageClass.DRAM_REQUEST, CONTROL_BYTES, hops)
+                traffic.record_message(MessageClass.DRAM_DATA, data_bytes, hops)
+                energy.dram_accesses += 1
+                cycles += lat.bypass_access(hops, dram_cycles)
+            else:
+                hops = int(mesh_dist[bank])
+                traffic.record_message(MessageClass.REQUEST, CONTROL_BYTES, hops)
+                traffic.record_nuca_distance(hops)
+                res2 = llc.access(bank, block, False)
+                if res2.hit:
+                    energy.llc_hit_read()
+                    cycles += lat.llc_access(hops)
+                else:
+                    energy.llc_miss_fill()
+                    mc, dram_cycles = dram.read(block)
+                    mc_hops = self.mesh.hops(bank, mc)
+                    traffic.record_message(
+                        MessageClass.DRAM_REQUEST, CONTROL_BYTES, mc_hops
+                    )
+                    traffic.record_message(MessageClass.DRAM_DATA, data_bytes, mc_hops)
+                    energy.dram_accesses += 1
+                    cycles += lat.llc_miss_detect(hops) + lat.llc_miss_extra(
+                        mc_hops, dram_cycles
+                    )
+                    if res2.evicted is not None:
+                        self._llc_eviction(bank, res2.evicted, res2.evicted_dirty)
+                traffic.record_message(MessageClass.DATA, data_bytes, hops)
+                if dnuca is not None:
+                    migration = dnuca.post_access(core, block, bank)
+                    if migration is not None:
+                        self._migrate_block(migration)
+
+            # L1 fill displaced a victim; dirty victims write back through
+            # the policy-resolved bank (the RRT is consulted for
+            # writebacks too — Section III-B3).
+            if res.evicted is not None and res.evicted_dirty:
+                self._l1_writeback(core, res.evicted)
+
+        return cycles
+
+    # ------------------------------------------------------------------
+    # coherence and writeback helpers
+    # ------------------------------------------------------------------
+
+    def _write_hit_coherence(self, core: int, block: int) -> None:
+        """Upgrade on an L1 write hit: invalidate remote sharers."""
+        directory = self.directory
+        mask = directory.sharer_mask(block)
+        bit = 1 << core
+        if mask & ~bit:
+            actions = directory.on_l1_fill(core, block, True)
+            bank = block % self.cfg.num_banks  # upgrade goes to home bank
+            self._coherence_actions(core, block, bank, actions)
+        elif directory.owner(block) != core:
+            # Silent E->M (or stale-presence) upgrade: just take ownership.
+            directory.on_l1_fill(core, block, True)
+
+    def _coherence_actions(self, core: int, block: int, bank: int, actions) -> int:
+        """Perform invalidations/downgrades; returns added cycles."""
+        traffic = self.traffic
+        mesh = self.mesh
+        home = bank if bank != BYPASS else block % self.cfg.num_banks
+        cycles = 0
+        for victim_core in actions.invalidate:
+            hops = mesh.hops(home, victim_core)
+            traffic.record_message(MessageClass.INVALIDATION, CONTROL_BYTES, hops)
+            traffic.record_message(MessageClass.ACK, CONTROL_BYTES, hops)
+            present, dirty = self.l1s[victim_core].invalidate(block)
+            if present and dirty and victim_core != actions.writeback_from:
+                self._writeback_to_llc(victim_core, block, home)
+            cycles = max(cycles, 2 * hops * self.latency.per_hop)
+        wb = actions.writeback_from
+        if wb is not None and wb not in actions.invalidate:
+            # Downgrade: owner supplies data and keeps a clean copy.
+            self.l1s[wb].make_clean(block)
+            self._writeback_to_llc(wb, block, home)
+            cycles = max(cycles, 2 * mesh.hops(home, wb) * self.latency.per_hop)
+        elif wb is not None:
+            self._writeback_to_llc(wb, block, home)
+        return cycles
+
+    def _writeback_to_llc(self, core: int, block: int, bank: int) -> None:
+        """Dirty data moves from ``core``'s L1 into ``bank``."""
+        hops = self.mesh.hops(core, bank)
+        self.traffic.record_message(MessageClass.WRITEBACK, self._data_bytes, hops)
+        res = self.llc.access(bank, block, True)
+        if res.hit:
+            self.energy.llc_hit_write()
+        else:
+            self.energy.llc_miss_fill()
+            if res.evicted is not None:
+                self._llc_eviction(bank, res.evicted, res.evicted_dirty)
+
+    def _l1_writeback(self, core: int, block: int) -> None:
+        """Dirty L1 victim: policy decides where the writeback goes."""
+        bank = self.policy.bank_for(core, block, True)
+        if self.rrts is not None:
+            self.energy.rrt_lookups += 1
+        self.directory.on_l1_evict(core, block, True)
+        if bank == BYPASS:
+            mc, _ = self.dram.write(block)
+            hops = self.mesh.hops(core, mc)
+            self.traffic.record_message(MessageClass.WRITEBACK, self._data_bytes, hops)
+            self.energy.dram_accesses += 1
+        else:
+            self._writeback_to_llc(core, block, bank)
+
+    def _migrate_block(self, migration) -> None:
+        """D-NUCA gradual migration: move the block one bank over."""
+        present, dirty = self.llc.banks[migration.src_bank].invalidate(
+            migration.block
+        )
+        if not present:
+            return
+        hops = self.mesh.hops(migration.src_bank, migration.dst_bank)
+        self.traffic.record_message(MessageClass.DATA, self._data_bytes, hops)
+        self.energy.llc_victim_read()
+        res = self.llc.banks[migration.dst_bank].fill(migration.block, dirty)
+        self.energy.llc_miss_fill()
+        if res.evicted is not None:
+            if self._dnuca is not None:
+                self._dnuca.evicted(res.evicted)
+            self._llc_eviction(migration.dst_bank, res.evicted, res.evicted_dirty)
+
+    def _llc_eviction(self, bank: int, victim: int, dirty: bool) -> None:
+        """An LLC fill displaced ``victim``: write back if dirty and
+        back-invalidate L1 copies (the LLC is inclusive)."""
+        if self._dnuca is not None:
+            self._dnuca.evicted(victim)
+        if dirty:
+            self.energy.llc_victim_read()
+            mc, _ = self.dram.write(victim)
+            hops = self.mesh.hops(bank, mc)
+            self.traffic.record_message(MessageClass.WRITEBACK, self._data_bytes, hops)
+            self.energy.dram_accesses += 1
+        # Inclusive LLC: if no other bank holds a replica, L1 copies must go.
+        if not self.llc.banks_holding(victim):
+            for core in self.directory.drop_block(victim):
+                hops = self.mesh.hops(bank, core)
+                self.traffic.record_message(
+                    MessageClass.INVALIDATION, CONTROL_BYTES, hops
+                )
+                self.traffic.record_message(MessageClass.ACK, CONTROL_BYTES, hops)
+                present, was_dirty = self.l1s[core].invalidate(victim)
+                if present and was_dirty:
+                    mc, _ = self.dram.write(victim)
+                    self.traffic.record_message(
+                        MessageClass.WRITEBACK,
+                        self._data_bytes,
+                        self.mesh.hops(core, mc),
+                    )
+                    self.energy.dram_accesses += 1
+
+    # ------------------------------------------------------------------
+    # flush execution (tdnuca_flush and R-NUCA reclassification)
+    # ------------------------------------------------------------------
+
+    def _apply_flush_action(self, action: FlushAction) -> None:
+        """R-NUCA reclassification flush."""
+        blocks = list(action.blocks)
+        if action.llc_banks:
+            self._flush_llc(blocks, action.llc_banks)
+        if action.l1_cores:
+            self._flush_l1(blocks, action.l1_cores)
+
+    def _execute_flush(
+        self, blocks: list[int], level: str, tiles: tuple[int, ...]
+    ) -> tuple[int, int]:
+        """Installed as the TD-NUCA ISA flush executor."""
+        if level == "l1":
+            return self._flush_l1(blocks, tiles)
+        return self._flush_llc(blocks, tiles)
+
+    def _flush_l1(self, blocks: list[int], cores) -> tuple[int, int]:
+        flushed = dirty_total = 0
+        for core in cores:
+            l1 = self.l1s[core]
+            directory = self.directory
+            for block in blocks:
+                present, dirty = l1.invalidate(block)
+                if not present:
+                    continue
+                flushed += 1
+                directory.on_l1_evict(core, block, dirty)
+                if dirty:
+                    dirty_total += 1
+                    mc, _ = self.dram.write(block)
+                    self.traffic.record_message(
+                        MessageClass.WRITEBACK,
+                        self._data_bytes,
+                        self.mesh.hops(core, mc),
+                    )
+                    self.energy.dram_accesses += 1
+        return flushed, dirty_total
+
+    def _flush_llc(self, blocks: list[int], banks) -> tuple[int, int]:
+        flushed = dirty_total = 0
+        for bank in banks:
+            bank_obj = self.llc.banks[bank]
+            self.energy.llc_probe(len(blocks))
+            for block in blocks:
+                present, dirty = bank_obj.invalidate(block)
+                if not present:
+                    continue
+                flushed += 1
+                if dirty:
+                    dirty_total += 1
+                    self.energy.llc_victim_read()
+                    mc, _ = self.dram.write(block)
+                    self.traffic.record_message(
+                        MessageClass.WRITEBACK,
+                        self._data_bytes,
+                        self.mesh.hops(bank, mc),
+                    )
+                    self.energy.dram_accesses += 1
+        return flushed, dirty_total
+
+    # ------------------------------------------------------------------
+    # stats reset (post-warmup measurement window)
+    # ------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero all counters while keeping cache contents, page mappings
+        and OS/RRT classification state — the paper measures only the
+        post-initialisation execution phase."""
+        from repro.cache.bank import BankStats
+        from repro.cache.directory import DirectoryStats
+        from repro.core.rrt import RRTStats
+        from repro.mem.tlb import TLBStats
+        from repro.nuca.base import PolicyStats
+        from repro.sim.dram import DramStats
+
+        for l1 in self.l1s:
+            l1.stats = BankStats()
+        for bank in self.llc.banks:
+            bank.stats = BankStats()
+        for tlb in self.tlbs:
+            tlb.stats = TLBStats()
+        self.directory.stats = DirectoryStats()
+        self.dram.stats = DramStats()
+        self.traffic = TrafficStats(self.cfg.energy.flit_bytes)
+        self.energy = EnergyTally()
+        self.policy.stats = PolicyStats()
+        if self.census is not None:
+            self.census = BlockCensus(self.cfg.num_cores)
+        if self.rrts is not None:
+            for rrt in self.rrts:
+                rrt.stats = RRTStats()
+        if self.isa is not None:
+            from repro.core.isa import ISAStats
+
+            self.isa.stats = ISAStats()
+
+    # ------------------------------------------------------------------
+    # stats snapshot
+    # ------------------------------------------------------------------
+
+    def collect_stats(self) -> MachineStats:
+        llc = self.llc.aggregate_stats()
+        l1 = BankStats()
+        for cache in self.l1s:
+            l1.merge(cache.stats)
+        tlb = TLBStats()
+        for t in self.tlbs:
+            tlb.merge(t.stats)
+        energy = self.energy.breakdown(self.cfg.energy, self.traffic.flit_hops)
+        return MachineStats(
+            policy=self.policy.name,
+            llc=llc,
+            l1=l1,
+            traffic=self.traffic,
+            energy=energy,
+            tlb=tlb,
+            dram_reads=self.dram.stats.reads,
+            dram_writes=self.dram.stats.writes,
+            llc_accesses=llc.accesses,
+            llc_hit_ratio=llc.hit_ratio,
+            mean_nuca_distance=self.traffic.mean_nuca_distance,
+            router_bytes=self.traffic.router_bytes,
+            bypassed_accesses=self.policy.stats.bypasses,
+        )
+
+
+def build_machine(
+    cfg: SystemConfig,
+    policy: str = "snuca",
+    *,
+    rrt_lookup_cycles: int | None = None,
+    fragmentation: float = 0.03,
+    seed: int = 0,
+    census: bool = True,
+) -> Machine:
+    """Construct a machine running one of :data:`POLICIES`.
+
+    ``tdnuca-bypass-only`` and ``tdnuca-noisa`` build the same hardware as
+    ``tdnuca``; the behavioural difference lives in the runtime extension
+    (see :func:`repro.experiments.runner.build_runtime`).
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    cfg.validate()
+    amap = AddressMap(cfg.block_bytes, cfg.page_bytes, cfg.physical_address_bits)
+    mesh = Mesh(cfg.mesh_width, cfg.mesh_height, cfg.cluster_width, cfg.cluster_height)
+    if policy == "snuca":
+        return Machine(
+            cfg, SNuca(cfg.num_banks), fragmentation=fragmentation, seed=seed,
+            census=census,
+        )
+    if policy == "rnuca":
+        return Machine(
+            cfg, RNuca(mesh, amap), fragmentation=fragmentation, seed=seed,
+            census=census,
+        )
+    if policy == "dnuca":
+        return Machine(
+            cfg, DNuca(mesh), fragmentation=fragmentation, seed=seed,
+            census=census,
+        )
+    if policy == "tdnuca-noisa":
+        # Section V-E runtime-overhead experiment: the runtime extension
+        # runs all its bookkeeping but never executes the ISA instructions,
+        # so the hardware is plain S-NUCA (no RRT latency on misses).  The
+        # RRT/ISA objects exist only so the extension has something to
+        # sample; they stay empty.
+        machine = Machine(
+            cfg, SNuca(cfg.num_banks), fragmentation=fragmentation, seed=seed,
+            census=census,
+        )
+        rrts = [RRT(c, cfg.rrt_entries) for c in range(cfg.num_cores)]
+        machine.isa = TdNucaISA(machine.amap, machine.tlbs, rrts, cfg.latency)
+        machine.isa.flush_executor = machine._execute_flush
+        return machine
+    # TD-NUCA variants share the RRT/ISA hardware.
+    rrts = [RRT(c, cfg.rrt_entries) for c in range(cfg.num_cores)]
+    lookup = (
+        cfg.latency.rrt_lookup if rrt_lookup_cycles is None else rrt_lookup_cycles
+    )
+    td_policy = TdNucaPolicy(mesh, amap, rrts, lookup)
+    machine = Machine(
+        cfg,
+        td_policy,
+        fragmentation=fragmentation,
+        seed=seed,
+        census=census,
+        rrts=rrts,
+    )
+    isa = TdNucaISA(machine.amap, machine.tlbs, rrts, cfg.latency)
+    machine.isa = isa
+    isa.flush_executor = machine._execute_flush
+    return machine

@@ -1,0 +1,6 @@
+"""Statistics collection and reporting."""
+
+from repro.stats.counters import BlockCensus
+from repro.stats.report import format_table, normalize_series
+
+__all__ = ["BlockCensus", "format_table", "normalize_series"]

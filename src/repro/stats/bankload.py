@@ -1,0 +1,53 @@
+"""Per-bank LLC load analysis.
+
+S-NUCA's selling point is perfectly balanced bank utilization; TD-NUCA
+deliberately *unbalances* it (local-bank mapping concentrates a task's
+traffic in its tile).  This module quantifies that: per-bank access
+shares, an imbalance metric, and an ASCII mesh heatmap laid out like the
+paper's Fig.-1 floorplan.
+"""
+
+from __future__ import annotations
+
+from repro.cache.llc import NucaLLC
+from repro.noc.topology import Mesh
+
+__all__ = ["bank_access_shares", "load_imbalance", "mesh_heatmap"]
+
+_SHADES = " ░▒▓█"
+
+
+def bank_access_shares(llc: NucaLLC) -> list[float]:
+    """Per-bank fraction of total LLC accesses (uniform = 1/num_banks)."""
+    counts = [b.stats.accesses for b in llc.banks]
+    total = sum(counts)
+    if not total:
+        return [0.0] * len(counts)
+    return [c / total for c in counts]
+
+
+def load_imbalance(llc: NucaLLC) -> float:
+    """Max-over-mean bank load: 1.0 = perfectly balanced (S-NUCA),
+    ``num_banks`` = everything in one bank."""
+    shares = bank_access_shares(llc)
+    if not any(shares):
+        return 1.0
+    mean = 1.0 / len(shares)
+    return max(shares) / mean
+
+
+def mesh_heatmap(llc: NucaLLC, mesh: Mesh, title: str = "") -> str:
+    """ASCII heatmap of bank access shares on the mesh floorplan."""
+    shares = bank_access_shares(llc)
+    vmax = max(shares) or 1.0
+    lines = [title] if title else []
+    for y in range(mesh.height):
+        row = []
+        for x in range(mesh.width):
+            tile = mesh.tile_at(x, y)
+            share = shares[tile]
+            shade = _SHADES[min(len(_SHADES) - 1, int(share / vmax * (len(_SHADES) - 1) + 0.5))]
+            row.append(f"{shade * 2}{share * 100:5.1f}%")
+        lines.append("  ".join(row))
+    lines.append(f"imbalance (max/mean): {load_imbalance(llc):.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""ASCII bar charts for terminal-rendered figures.
+
+The paper's figures are grouped bar charts; :func:`bar_chart` renders the
+same data in a terminal without plotting dependencies, one row per
+(benchmark, series) pair, with the bar scaled to a shared axis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    whole = int(cells)
+    rem = int((cells - whole) * 8)
+    bar = _FULL * whole
+    if rem and whole < width:
+        bar += _PART[rem]
+    return bar
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    reference: float | None = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """One horizontal bar per key; optional reference line value printed
+    alongside (e.g. the paper's average)."""
+    if not values:
+        return title
+    vmax = max(max(values.values()), reference or 0.0) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        lines.append(
+            f"{key.ljust(label_w)} | {_bar(value, vmax, width).ljust(width)} "
+            + fmt.format(value)
+        )
+    if reference is not None:
+        lines.append(
+            f"{'(reference)'.ljust(label_w)} | "
+            f"{_bar(reference, vmax, width).ljust(width)} " + fmt.format(reference)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 36,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Grouped bars: ``groups[bench][series] = value`` — the shape of the
+    paper's per-benchmark figures."""
+    if not groups:
+        return title
+    series_labels: Sequence[str] = list(next(iter(groups.values())))
+    vmax = max(
+        (v for g in groups.values() for v in g.values()), default=1.0
+    ) or 1.0
+    bench_w = max(len(b) for b in groups)
+    series_w = max(len(s) for s in series_labels)
+    lines = [title] if title else []
+    for bench, series in groups.items():
+        for i, label in enumerate(series_labels):
+            prefix = bench.ljust(bench_w) if i == 0 else " " * bench_w
+            value = series[label]
+            lines.append(
+                f"{prefix} {label.ljust(series_w)} | "
+                f"{_bar(value, vmax, width).ljust(width)} " + fmt.format(value)
+            )
+    return "\n".join(lines)

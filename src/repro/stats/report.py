@@ -1,0 +1,49 @@
+"""Plain-text reporting helpers for tables and normalized figure series."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "normalize_series", "geomean"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def normalize_series(
+    values: Mapping[str, float], baseline: Mapping[str, float]
+) -> dict[str, float]:
+    """Per-key ratio ``values[k] / baseline[k]`` (the paper's
+    "normalized to S-NUCA" presentation)."""
+    out = {}
+    for key, value in values.items():
+        base = baseline[key]
+        out[key] = value / base if base else 0.0
+    return out
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the conventional average for speedup series)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,13 @@
+"""The eight Table-II task-dataflow benchmarks, rebuilt as TDG generators.
+
+Each workload reproduces its original's *dependency structure* — who reads
+and writes which region, at what granularity, with which taskwait barriers
+— because every metric the paper evaluates follows from that structure.
+Footprints scale with :attr:`repro.config.SystemConfig.capacity_scale` so
+Table II's input-size/LLC-capacity ratios are preserved at any scale.
+"""
+
+from repro.workloads.base import TableIIRow, Workload
+from repro.workloads.registry import BENCHMARKS, get_workload, workload_names
+
+__all__ = ["Workload", "TableIIRow", "BENCHMARKS", "get_workload", "workload_names"]

@@ -1,0 +1,203 @@
+"""Workload infrastructure: Table-II metadata, scaling, blocked grids.
+
+The stencil benchmarks (Gauss, Jacobi, Redblack) declare dependencies at
+two granularities, as the OmpSs originals do with array sections: a bulk
+*interior* per grid cell (private to the owning task) and thin *edge*
+strips exchanged with neighbours.  :class:`BlockedGrid` lays both out in
+the simulated address space.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.deps import DepMode
+from repro.mem.allocator import VirtualAllocator
+from repro.mem.region import Region
+from repro.runtime.task import Dependency, Program, Task
+
+__all__ = [
+    "TableIIRow",
+    "Workload",
+    "BlockedGrid",
+    "Cell",
+    "round_up",
+    "add_init_phase",
+]
+
+
+def add_init_phase(
+    prog: Program,
+    regions: list[Region],
+    num_tasks: int,
+    compute_per_access: int | None = None,
+) -> None:
+    """Prepend a parallel initialization phase writing ``regions``.
+
+    The phase is marked warmup: it runs (populating caches and OS page
+    classifications, as the paper's full-system simulation does during
+    initialization) but the harness excludes it from all measurements.
+    Initialization writes are what prevent an OS classifier from ever
+    seeing the data as shared read-only (Section II-C).
+    """
+    num_tasks = max(1, min(num_tasks, len(regions)))
+    phase: list[Task] = []
+    per_task = (len(regions) + num_tasks - 1) // num_tasks
+    for t in range(num_tasks):
+        group = regions[t * per_task : (t + 1) * per_task]
+        if not group:
+            break
+        phase.append(
+            Task(
+                f"init[{t}]",
+                tuple(Dependency(r, DepMode.OUT) for r in group),
+                compute_per_access=compute_per_access,
+            )
+        )
+    prog.phases.insert(0, phase)
+    prog.warmup_phases += 1
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Smallest multiple of ``multiple`` >= ``value`` (>= one multiple)."""
+    if multiple <= 0:
+        raise ValueError("multiple must be positive")
+    return max(multiple, (value + multiple - 1) // multiple * multiple)
+
+
+@dataclass(frozen=True)
+class TableIIRow:
+    """One row of the paper's Table II."""
+
+    bench: str
+    problem: str
+    input_mb: float
+    num_tasks: int
+    avg_task_kb: float
+
+
+class Workload(ABC):
+    """A benchmark: builds a :class:`Program` for a given machine scale."""
+
+    #: registry key (lowercase).
+    name: str = ""
+    #: the paper's Table-II row for this benchmark.
+    paper: TableIIRow
+    #: per-access compute cycles modelling the kernel's arithmetic
+    #: intensity (None = the config default, i.e. memory-bound).
+    compute_per_access: int | None = None
+    #: TDG overlap analysis mode: "exact" (fast, array-section tiling) or
+    #: "interval" (full overlap analysis, needed when a task declares one
+    #: array section spanning many producers' sections, as the reductions
+    #: in Histo and Kmeans do).
+    tdg_overlap: str = "exact"
+
+    def scaled_input_bytes(self, cfg: SystemConfig) -> int:
+        """Table-II input-set bytes scaled by the machine's capacity scale."""
+        return max(
+            cfg.block_bytes,
+            int(self.paper.input_mb * 1024 * 1024 * cfg.capacity_scale),
+        )
+
+    @abstractmethod
+    def build(self, cfg: SystemConfig, seed: int = 0) -> Program:
+        """Construct the program (tasks, dependencies, phases)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Workload {self.name}>"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell: a bulk interior plus four edge strips.
+
+    Layout within the cell's allocation: N edge, S edge, W edge, E edge,
+    then the interior.  Edges of adjacent cells are *distinct* regions —
+    a neighbour reads this cell's edge strip, as with overlapping array
+    sections in the originals.
+    """
+
+    north: Region
+    south: Region
+    west: Region
+    east: Region
+    interior: Region
+
+    @property
+    def whole(self) -> Region:
+        """The full cell (edges + interior, contiguous)."""
+        start = self.north.start
+        end = self.interior.end
+        return Region(start, end - start, self.interior.name)
+
+    def edges(self) -> tuple[Region, Region, Region, Region]:
+        return (self.north, self.south, self.west, self.east)
+
+
+class BlockedGrid:
+    """``nx`` x ``ny`` grid of cells carved from one allocation.
+
+    ``cell_bytes`` is the total per-cell footprint; ``edge_bytes`` is the
+    size of each of the four strips (block-aligned, at least one block).
+    """
+
+    def __init__(
+        self,
+        alloc: VirtualAllocator,
+        name: str,
+        nx: int,
+        ny: int,
+        cell_bytes: int,
+        edge_bytes: int,
+        block_bytes: int,
+    ) -> None:
+        if nx <= 0 or ny <= 0:
+            raise ValueError("grid dimensions must be positive")
+        edge_bytes = round_up(edge_bytes, block_bytes)
+        cell_bytes = round_up(cell_bytes, block_bytes)
+        if cell_bytes < 5 * edge_bytes:
+            cell_bytes = 5 * edge_bytes  # room for 4 edges + interior
+        self.nx = nx
+        self.ny = ny
+        self.cell_bytes = cell_bytes
+        self.edge_bytes = edge_bytes
+        self._cells: list[Cell] = []
+        for j in range(ny):
+            for i in range(nx):
+                base = alloc.allocate(cell_bytes, f"{name}[{i},{j}]", align=block_bytes)
+                e = edge_bytes
+                self._cells.append(
+                    Cell(
+                        north=base.subregion(0, e, f"{name}[{i},{j}].N"),
+                        south=base.subregion(e, e, f"{name}[{i},{j}].S"),
+                        west=base.subregion(2 * e, e, f"{name}[{i},{j}].W"),
+                        east=base.subregion(3 * e, e, f"{name}[{i},{j}].E"),
+                        interior=base.subregion(
+                            4 * e, cell_bytes - 4 * e, f"{name}[{i},{j}].int"
+                        ),
+                    )
+                )
+
+    def cell(self, i: int, j: int) -> Cell:
+        if not (0 <= i < self.nx and 0 <= j < self.ny):
+            raise IndexError("cell out of range")
+        return self._cells[j * self.nx + i]
+
+    def neighbor_edges(self, i: int, j: int) -> list[Region]:
+        """The edge strips of the four neighbours facing cell (i, j)."""
+        out = []
+        if j > 0:
+            out.append(self.cell(i, j - 1).south)
+        if j < self.ny - 1:
+            out.append(self.cell(i, j + 1).north)
+        if i > 0:
+            out.append(self.cell(i - 1, j).east)
+        if i < self.nx - 1:
+            out.append(self.cell(i + 1, j).west)
+        return out
+
+    @property
+    def total_bytes(self) -> int:
+        return self.nx * self.ny * self.cell_bytes

@@ -1,0 +1,110 @@
+"""Cholesky — the paper's Fig.-2 example (bonus workload).
+
+The paper introduces task dataflow with a blocked Cholesky factorization
+(``potrf`` / ``trsm`` / ``syrk`` / ``gemm`` over a lower-triangular block
+matrix) and shows its TDG.  Cholesky is not part of the Table-II
+evaluation suite, but it is the canonical task-dataflow kernel, so it
+ships as a ninth workload for examples, TDG visualization and extra
+coverage.  Structure per step ``k``:
+
+    potrf(k):            inout A[k][k]
+    trsm(k, i):   i > k: in    A[k][k], inout A[i][k]
+    syrk(k, i):   i > k: in    A[i][k], inout A[i][i]
+    gemm(k, i, j) i>j>k: in    A[i][k], in A[j][k], inout A[i][j]
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.deps import DepMode
+from repro.mem.allocator import VirtualAllocator
+from repro.runtime.task import AccessChunk, Dependency, Program, Task
+from repro.workloads.base import TableIIRow, Workload, add_init_phase
+
+__all__ = ["Cholesky"]
+
+
+class Cholesky(Workload):
+    name = "cholesky"
+    #: not a Table-II row — sized like LU for comparability.
+    paper = TableIIRow(
+        "Cholesky", "Fig.-2 example: blocked SPD factorization", 36.7, 680, 318
+    )
+    compute_per_access = 6
+
+    B = 15
+    PANEL_PASSES = 6
+    INOUT_PASSES = 4
+
+    def build(self, cfg: SystemConfig, seed: int = 0) -> Program:
+        alloc = VirtualAllocator()
+        total = self.scaled_input_bytes(cfg)
+        nblocks = self.B * (self.B + 1) // 2  # lower triangle only
+        cell_bytes = max(cfg.block_bytes * 4, total // nblocks)
+        A = {}
+        for i in range(self.B):
+            for j in range(i + 1):
+                A[(i, j)] = alloc.allocate(cell_bytes, f"A[{i},{j}]")
+
+        prog = Program(self.name)
+        phase = prog.new_phase()
+        add_init_phase(prog, list(A.values()), 15, self.compute_per_access)
+        cpa = self.compute_per_access
+        pp, ip = self.PANEL_PASSES, self.INOUT_PASSES
+        for k in range(self.B):
+            phase.append(
+                Task(
+                    f"potrf[{k}]",
+                    (Dependency(A[(k, k)], DepMode.INOUT),),
+                    (AccessChunk(A[(k, k)], True, ip, rmw=True),),
+                    compute_per_access=cpa,
+                )
+            )
+            for i in range(k + 1, self.B):
+                phase.append(
+                    Task(
+                        f"trsm[{k},{i}]",
+                        (
+                            Dependency(A[(k, k)], DepMode.IN),
+                            Dependency(A[(i, k)], DepMode.INOUT),
+                        ),
+                        (
+                            AccessChunk(A[(k, k)], False, pp),
+                            AccessChunk(A[(i, k)], True, ip, rmw=True),
+                        ),
+                        compute_per_access=cpa,
+                    )
+                )
+            for i in range(k + 1, self.B):
+                phase.append(
+                    Task(
+                        f"syrk[{k},{i}]",
+                        (
+                            Dependency(A[(i, k)], DepMode.IN),
+                            Dependency(A[(i, i)], DepMode.INOUT),
+                        ),
+                        (
+                            AccessChunk(A[(i, k)], False, pp),
+                            AccessChunk(A[(i, i)], True, ip, rmw=True),
+                        ),
+                        compute_per_access=cpa,
+                    )
+                )
+                for j in range(k + 1, i):
+                    phase.append(
+                        Task(
+                            f"gemm[{k},{i},{j}]",
+                            (
+                                Dependency(A[(i, k)], DepMode.IN),
+                                Dependency(A[(j, k)], DepMode.IN),
+                                Dependency(A[(i, j)], DepMode.INOUT),
+                            ),
+                            (
+                                AccessChunk(A[(i, k)], False, pp),
+                                AccessChunk(A[(j, k)], False, pp),
+                                AccessChunk(A[(i, j)], True, ip, rmw=True),
+                            ),
+                            compute_per_access=cpa,
+                        )
+                    )
+        return prog

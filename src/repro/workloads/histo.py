@@ -1,0 +1,123 @@
+"""Histo — blocked histogram with per-chunk normalization (Table II row 2).
+
+One phase, 1831 tasks chained purely by dataflow.  Each image chunk flows
+through a *scan* task (read the chunk, emit its min/max bin range) and a
+*process* task (re-read the bin range, normalize the chunk in place and
+emit its private histogram); scan/process pairs are created adjacently, so
+the replica the scan creates lives only briefly before the process task's
+write lazily invalidates it — Histo's RRTs stay small (paper: never above
+23 entries).  A 30-way reduction folds the 900 histograms.
+
+Fig.-3 placement: chunks are read then rewritten -> classified **Both**
+(low NotReused), and the in-place write makes an OS classifier see the
+pages as shared read-write (R-NUCA categorizes >90% of Histo as shared).
+The 1800 small ``out`` regions (min/max + histograms) give Histo the
+highest Out-dependency proportion of the suite and its outsized flush
+time (Section V-E: 0.49%).
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.deps import DepMode
+from repro.mem.allocator import VirtualAllocator
+from repro.runtime.task import AccessChunk, Dependency, Program, Task
+from repro.workloads.base import TableIIRow, Workload, add_init_phase, round_up
+
+__all__ = ["Histo"]
+
+
+class Histo(Workload):
+    name = "histo"
+    paper = TableIIRow(
+        "Histo", "1500x1500 pixels, 50x50 blocks, 50 bins", 478.75, 1800, 528
+    )
+    compute_per_access = 24
+    tdg_overlap = "interval"
+
+    CHUNKS = 900
+    REDUCE_FANIN = 30
+    HIST_BYTES = 512  # 50 bins + counters, rounded to cache blocks
+
+    def build(self, cfg: SystemConfig, seed: int = 0) -> Program:
+        alloc = VirtualAllocator()
+        total = self.scaled_input_bytes(cfg)
+        chunk_bytes = max(cfg.block_bytes * 4, total // self.CHUNKS)
+        hist_bytes = round_up(self.HIST_BYTES, cfg.block_bytes)
+        chunks = [
+            alloc.allocate(chunk_bytes, f"img[{i}]") for i in range(self.CHUNKS)
+        ]
+        minmax = [
+            alloc.allocate(cfg.block_bytes, f"minmax[{i}]")
+            for i in range(self.CHUNKS)
+        ]
+        # Per-chunk histograms live in ONE contiguous array so each
+        # reduction stage declares a single array-section dependency (one
+        # RRT entry instead of 30).
+        hist_array = alloc.allocate(hist_bytes * self.CHUNKS, "hists")
+        hists = [
+            hist_array.subregion(i * hist_bytes, hist_bytes, f"hist[{i}]")
+            for i in range(self.CHUNKS)
+        ]
+        n_partial = self.CHUNKS // self.REDUCE_FANIN
+        partial_array = alloc.allocate(hist_bytes * n_partial, "partials")
+        partials = [
+            partial_array.subregion(g * hist_bytes, hist_bytes, f"partial[{g}]")
+            for g in range(n_partial)
+        ]
+        final = alloc.allocate(hist_bytes, "hist.final")
+
+        prog = Program(self.name)
+        phase = prog.new_phase()
+        add_init_phase(prog, chunks, 30, self.compute_per_access)
+        for i, chunk in enumerate(chunks):
+            phase.append(
+                Task(
+                    f"scan[{i}]",
+                    (
+                        Dependency(chunk, DepMode.IN),
+                        Dependency(minmax[i], DepMode.OUT),
+                    ),
+                    compute_per_access=self.compute_per_access,
+                )
+            )
+            phase.append(
+                Task(
+                    f"process[{i}]",
+                    (
+                        Dependency(minmax[i], DepMode.IN),
+                        Dependency(chunk, DepMode.INOUT),
+                        Dependency(hists[i], DepMode.OUT),
+                    ),
+                    (
+                        AccessChunk(minmax[i], False),
+                        AccessChunk(chunk, True, rmw=True),
+                        AccessChunk(hists[i], True, 2),
+                    ),
+                    compute_per_access=self.compute_per_access,
+                )
+            )
+        group_bytes = hist_bytes * self.REDUCE_FANIN
+        for g in range(n_partial):
+            section = hist_array.subregion(g * group_bytes, group_bytes, f"hists[{g}]")
+            phase.append(
+                Task(
+                    f"reduce[{g}]",
+                    (
+                        Dependency(section, DepMode.IN),
+                        Dependency(partials[g], DepMode.OUT),
+                    ),
+                    compute_per_access=self.compute_per_access,
+                )
+            )
+        phase.append(
+            Task(
+                "reduce.final",
+                (
+                    Dependency(partial_array, DepMode.IN),
+                    Dependency(final, DepMode.OUT),
+                ),
+                compute_per_access=self.compute_per_access,
+            )
+        )
+        return prog

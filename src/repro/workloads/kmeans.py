@@ -1,0 +1,112 @@
+"""Kmeans — one Lloyd iteration over partitioned points (Table II row 4).
+
+224 map tasks each read the shared centroid set (several passes — the
+90-dimension distance computation re-walks it per point) and stream
+through their private point chunk once, producing per-task partial sums;
+4 reduction tasks fold the partials into the new centroids.  Everything
+lives in one phase.
+
+Fig.-3 behaviour: point chunks are single-use -> bypassed -> NotReused
+(the bulk of the footprint, >97%); the centroid region is a many-reader
+``in`` dependency -> cluster-replicated; partials are ``out`` with a
+created consumer -> local-bank mapped.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.deps import DepMode
+from repro.mem.allocator import VirtualAllocator
+from repro.runtime.task import AccessChunk, Dependency, Program, Task
+from repro.workloads.base import TableIIRow, Workload, add_init_phase, round_up
+
+__all__ = ["Kmeans"]
+
+
+class Kmeans(Workload):
+    name = "kmeans"
+    paper = TableIIRow(
+        "Kmeans", "450000 pts., 90 dims, 6 clusters, 1 iter.", 314.37, 228, 1404
+    )
+    compute_per_access = 60  # 90-dim distances are arithmetic-heavy
+
+    MAP_TASKS = 224
+    REDUCERS = 4
+    CENTROID_BYTES = 6 * 90 * 8  # clusters x dims x double
+    CENTROID_PASSES = 3
+    tdg_overlap = "interval"
+
+    def build(self, cfg: SystemConfig, seed: int = 0) -> Program:
+        alloc = VirtualAllocator()
+        total = self.scaled_input_bytes(cfg)
+        chunk_bytes = max(cfg.block_bytes * 4, total // self.MAP_TASKS)
+        # Centroids and partial sums scale with the capacity scale like the
+        # rest of the footprint, so the reduction tail keeps its (tiny)
+        # paper-relative weight.
+        cbytes = round_up(
+            max(1, int(self.CENTROID_BYTES * cfg.capacity_scale * 8)),
+            cfg.block_bytes,
+        )
+        centroids = alloc.allocate(cbytes, "centroids")
+        new_centroids = alloc.allocate(cbytes, "centroids.new")
+        chunks = [
+            alloc.allocate(chunk_bytes, f"pts[{i}]") for i in range(self.MAP_TASKS)
+        ]
+        # Partial sums live in ONE contiguous array: each map task writes
+        # its slice, each reducer declares a single array-section ``in``
+        # dependency spanning its 56 slices (so reducers occupy 2 RRT
+        # entries, not 57 — the paper's Kmeans RRTs never exceed 23).
+        partial_array = alloc.allocate(cbytes * self.MAP_TASKS, "partials")
+        partials = [
+            partial_array.subregion(i * cbytes, cbytes, f"partial[{i}]")
+            for i in range(self.MAP_TASKS)
+        ]
+
+        prog = Program(self.name)
+        add_init_phase(prog, chunks, 16, self.compute_per_access)
+        # Setup: seed the initial centroids (written once -> an OS page
+        # classifier can never see them as shared read-only; the runtime
+        # still cluster-replicates them for the map tasks).
+        setup = prog.new_phase()
+        setup.append(
+            Task(
+                "init_centroids",
+                (Dependency(centroids, DepMode.OUT),),
+                compute_per_access=self.compute_per_access,
+            )
+        )
+        prog.warmup_phases = max(prog.warmup_phases, 2)
+        phase = prog.new_phase()
+        for i in range(self.MAP_TASKS):
+            phase.append(
+                Task(
+                    f"assign[{i}]",
+                    (
+                        Dependency(centroids, DepMode.IN),
+                        Dependency(chunks[i], DepMode.IN),
+                        Dependency(partials[i], DepMode.OUT),
+                    ),
+                    (
+                        AccessChunk(centroids, False, self.CENTROID_PASSES),
+                        AccessChunk(chunks[i], False),
+                        AccessChunk(partials[i], True),
+                    ),
+                    compute_per_access=self.compute_per_access,
+                )
+            )
+        per_reducer = self.MAP_TASKS // self.REDUCERS
+        for r in range(self.REDUCERS):
+            section = partial_array.subregion(
+                r * per_reducer * cbytes, per_reducer * cbytes, f"partials[{r}]"
+            )
+            phase.append(
+                Task(
+                    f"reduce[{r}]",
+                    (
+                        Dependency(section, DepMode.IN),
+                        Dependency(new_centroids, DepMode.INOUT),
+                    ),
+                    compute_per_access=self.compute_per_access,
+                )
+            )
+        return prog

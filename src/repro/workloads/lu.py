@@ -1,0 +1,115 @@
+"""LU — blocked right-looking LU factorization (Table II row 6).
+
+A single TDG (no taskwait) over a 15x15 block matrix: ``diag(k)``
+factorizes the pivot block, ``trsm`` tasks solve the row/column panels
+against it, and ``gemm`` tasks update the trailing submatrix reading the
+panels — the same TDG family as the paper's Fig.-2 Cholesky.
+
+LU is the anti-MD5: heavy cross-task reuse of the panels (replicated
+``in`` dependencies) and in-place ``inout`` updates (local-bank mapped),
+with bypass only at true last uses.  This is the benchmark where the
+paper's TD-NUCA wins most (1.59x) while its replication *raises* LLC
+dynamic energy above S-NUCA (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.deps import DepMode
+from repro.mem.allocator import VirtualAllocator
+from repro.runtime.task import AccessChunk, Dependency, Program, Task
+from repro.workloads.base import TableIIRow, Workload, add_init_phase
+
+__all__ = ["LU"]
+
+
+class LU(Workload):
+    name = "lu"
+    paper = TableIIRow("LU", "2D Matrix N^2 = 9437184", 73.45, 1188, 318)
+    compute_per_access = 4
+
+    B = 15  # block dimension -> B + B(B-1) + sum k^2 = 1240 tasks
+    PANEL_PASSES = 16
+    #: read-modify-write passes over the inout block (gemm accumulates).
+    INOUT_PASSES = 10
+
+    def build(self, cfg: SystemConfig, seed: int = 0) -> Program:
+        alloc = VirtualAllocator()
+        total = self.scaled_input_bytes(cfg)
+        nblocks = self.B * self.B
+        cell_bytes = max(cfg.block_bytes * 4, total // nblocks)
+        M = [
+            [
+                alloc.allocate(cell_bytes, f"M[{i},{j}]")
+                for j in range(self.B)
+            ]
+            for i in range(self.B)
+        ]
+
+        prog = Program(self.name)
+        phase = prog.new_phase()
+        add_init_phase(
+            prog, [M[i][j] for i in range(self.B) for j in range(self.B)], 15,
+            self.compute_per_access,
+        )
+        cpa = self.compute_per_access
+        pp = self.PANEL_PASSES
+        for k in range(self.B):
+            diag = M[k][k]
+            phase.append(
+                Task(
+                    f"diag[{k}]",
+                    (Dependency(diag, DepMode.INOUT),),
+                    (AccessChunk(diag, True, self.INOUT_PASSES, rmw=True),),
+                    compute_per_access=cpa,
+                )
+            )
+            for i in range(k + 1, self.B):
+                phase.append(
+                    Task(
+                        f"trsm_col[{k},{i}]",
+                        (
+                            Dependency(diag, DepMode.IN),
+                            Dependency(M[i][k], DepMode.INOUT),
+                        ),
+                        (
+                            AccessChunk(diag, False, pp),
+                            AccessChunk(M[i][k], True, self.INOUT_PASSES, rmw=True),
+                        ),
+                        compute_per_access=cpa,
+                    )
+                )
+            for j in range(k + 1, self.B):
+                phase.append(
+                    Task(
+                        f"trsm_row[{k},{j}]",
+                        (
+                            Dependency(diag, DepMode.IN),
+                            Dependency(M[k][j], DepMode.INOUT),
+                        ),
+                        (
+                            AccessChunk(diag, False, pp),
+                            AccessChunk(M[k][j], True, self.INOUT_PASSES, rmw=True),
+                        ),
+                        compute_per_access=cpa,
+                    )
+                )
+            for i in range(k + 1, self.B):
+                for j in range(k + 1, self.B):
+                    phase.append(
+                        Task(
+                            f"gemm[{k},{i},{j}]",
+                            (
+                                Dependency(M[i][k], DepMode.IN),
+                                Dependency(M[k][j], DepMode.IN),
+                                Dependency(M[i][j], DepMode.INOUT),
+                            ),
+                            (
+                                AccessChunk(M[i][k], False, pp),
+                                AccessChunk(M[k][j], False, pp),
+                                AccessChunk(M[i][j], True, self.INOUT_PASSES, rmw=True),
+                            ),
+                            compute_per_access=cpa,
+                        )
+                    )
+        return prog

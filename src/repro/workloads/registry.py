@@ -1,0 +1,46 @@
+"""Benchmark registry: name -> workload factory, in Table-II order.
+
+``BENCHMARKS`` holds exactly the paper's eight evaluation benchmarks (the
+figures iterate over it); ``EXTRA_WORKLOADS`` holds bonus workloads (the
+paper's Fig.-2 Cholesky) available by name but excluded from the suite.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.cholesky import Cholesky
+from repro.workloads.gauss import Gauss
+from repro.workloads.histo import Histo
+from repro.workloads.jacobi import Jacobi
+from repro.workloads.kmeans import Kmeans
+from repro.workloads.knn import KNN
+from repro.workloads.lu import LU
+from repro.workloads.md5 import MD5
+from repro.workloads.redblack import Redblack
+
+__all__ = ["BENCHMARKS", "EXTRA_WORKLOADS", "get_workload", "workload_names"]
+
+BENCHMARKS: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (Gauss, Histo, Jacobi, Kmeans, KNN, LU, MD5, Redblack)
+}
+
+EXTRA_WORKLOADS: dict[str, type[Workload]] = {Cholesky.name: Cholesky}
+
+
+def workload_names(include_extra: bool = False) -> list[str]:
+    """Benchmark names in Table-II order (optionally plus the extras)."""
+    names = list(BENCHMARKS)
+    if include_extra:
+        names.extend(EXTRA_WORKLOADS)
+    return names
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by (case-insensitive) name."""
+    key = name.lower()
+    cls = BENCHMARKS.get(key) or EXTRA_WORKLOADS.get(key)
+    if cls is None:
+        known = ", ".join(workload_names(include_extra=True))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return cls()

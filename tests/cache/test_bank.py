@@ -1,0 +1,180 @@
+"""Set-associative cache bank."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.bank import CacheBank
+
+
+def make_bank(size=1024, assoc=4, block=64, repl="lru"):
+    return CacheBank(size, assoc, block, repl)  # 4 sets with defaults
+
+
+class TestConstruction:
+    def test_geometry(self):
+        b = make_bank()
+        assert b.num_sets == 4
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            CacheBank(1000, 4, 64)
+
+    def test_sets_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheBank(4 * 3 * 64, 4, 64)
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        b = make_bank()
+        assert not b.access(0, False).hit
+        assert b.access(0, False).hit
+        assert b.stats.misses == 1
+        assert b.stats.hits == 1
+
+    def test_read_write_hit_classification(self):
+        b = make_bank()
+        b.access(0, False)
+        b.access(0, False)
+        b.access(0, True)
+        assert b.stats.read_hits == 1
+        assert b.stats.write_hits == 1
+
+    def test_set_mapping(self):
+        b = make_bank()  # 4 sets: blocks 0 and 4 map to set 0
+        assert b.set_index(0) == b.set_index(4)
+        assert b.set_index(0) != b.set_index(1)
+
+    def test_eviction_of_lru(self):
+        b = make_bank()  # 4-way
+        for blk in (0, 4, 8, 12):  # fill set 0
+            b.access(blk, False)
+        res = b.access(16, False)
+        assert res.evicted == 0
+        assert not res.evicted_dirty
+
+    def test_dirty_eviction_flagged(self):
+        b = make_bank()
+        b.access(0, True)
+        for blk in (4, 8, 12):
+            b.access(blk, False)
+        res = b.access(16, False)
+        assert res.evicted == 0
+        assert res.evicted_dirty
+        assert b.stats.dirty_evictions == 1
+
+    def test_write_marks_dirty(self):
+        b = make_bank()
+        b.access(0, False)
+        assert not b.is_dirty(0)
+        b.access(0, True)
+        assert b.is_dirty(0)
+
+    def test_occupancy_bounded(self):
+        b = make_bank()
+        for blk in range(100):
+            b.access(blk, False)
+        assert b.occupancy == 16  # 4 sets x 4 ways
+
+    def test_resident_blocks(self):
+        b = make_bank()
+        b.access(3, False)
+        b.access(7, True)
+        assert sorted(b.resident_blocks()) == [3, 7]
+
+
+class TestFill:
+    def test_fill_does_not_count_demand_stats(self):
+        b = make_bank()
+        b.fill(0)
+        assert b.stats.hits == 0 and b.stats.misses == 0
+        assert b.contains(0)
+
+    def test_fill_dirty(self):
+        b = make_bank()
+        b.fill(0, dirty=True)
+        assert b.is_dirty(0)
+
+    def test_fill_reports_eviction(self):
+        b = make_bank()
+        for blk in (0, 4, 8, 12):
+            b.access(blk, True)
+        res = b.fill(16)
+        assert res.evicted == 0
+        assert res.evicted_dirty
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        b = make_bank()
+        b.access(0, True)
+        present, dirty = b.invalidate(0)
+        assert present and dirty
+        assert not b.contains(0)
+        assert b.stats.invalidations == 1
+
+    def test_invalidate_absent(self):
+        b = make_bank()
+        assert b.invalidate(0) == (False, False)
+
+    def test_invalidated_way_reusable(self):
+        b = make_bank()
+        for blk in (0, 4, 8, 12):
+            b.access(blk, False)
+        b.invalidate(4)
+        res = b.access(16, False)
+        assert res.evicted is None  # reused the freed way
+
+    def test_make_clean(self):
+        b = make_bank()
+        b.access(0, True)
+        assert b.make_clean(0)
+        assert not b.is_dirty(0)
+        assert not b.make_clean(99)
+
+    def test_flush_blocks(self):
+        b = make_bank()
+        b.access(0, True)
+        b.access(1, False)
+        flushed, dirty = b.flush_blocks([0, 1, 2])
+        assert flushed == 2
+        assert dirty == 1
+        assert b.occupancy == 0
+
+    def test_clear(self):
+        b = make_bank()
+        b.access(0, True)
+        b.clear()
+        assert b.occupancy == 0
+        assert not b.contains(0)
+        assert b.stats.misses == 1  # stats preserved
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_bank_invariants(accesses):
+    """Occupancy bound, hit/miss accounting, residency consistency."""
+    b = CacheBank(512, 2, 64, "plru")  # 4 sets x 2 ways
+    for blk, wr in accesses:
+        res = b.access(blk, wr)
+        if res.evicted is not None:
+            assert not b.contains(res.evicted)
+        assert b.contains(blk)
+    assert b.occupancy <= 8
+    assert b.stats.hits + b.stats.misses == len(accesses)
+    resident = b.resident_blocks()
+    assert len(resident) == len(set(resident))
+
+
+@given(st.lists(st.integers(0, 31), max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_lru_and_plru_agree_on_hits(blocks):
+    """Replacement policy affects victims, never hit/miss of a just-touched
+    block: a block is resident right after access under either policy."""
+    lru = CacheBank(512, 4, 64, "lru")
+    plru = CacheBank(512, 4, 64, "plru")
+    for blk in blocks:
+        lru.access(blk, False)
+        plru.access(blk, False)
+        assert lru.contains(blk) and plru.contains(blk)
+    assert lru.occupancy == plru.occupancy or abs(lru.occupancy - plru.occupancy) == 0

@@ -1,0 +1,117 @@
+"""Coherence directory: MESI steady-state transitions."""
+
+import pytest
+
+from repro.cache.directory import CoherenceDirectory
+
+
+def make_dir(cores=4):
+    return CoherenceDirectory(cores)
+
+
+class TestReads:
+    def test_first_read_no_actions(self):
+        d = make_dir()
+        actions = d.on_l1_fill(0, 100, write=False)
+        assert actions.invalidate == ()
+        assert actions.writeback_from is None
+        assert d.sharers(100) == [0]
+
+    def test_multiple_readers_share(self):
+        d = make_dir()
+        d.on_l1_fill(0, 100, False)
+        d.on_l1_fill(1, 100, False)
+        d.on_l1_fill(3, 100, False)
+        assert d.sharers(100) == [0, 1, 3]
+
+    def test_read_after_remote_write_downgrades(self):
+        d = make_dir()
+        d.on_l1_fill(0, 100, True)
+        actions = d.on_l1_fill(1, 100, False)
+        assert actions.writeback_from == 0
+        assert actions.invalidate == ()
+        assert d.owner(100) is None  # downgraded to shared
+        assert d.sharers(100) == [0, 1]
+        assert d.stats.downgrades_sent == 1
+
+    def test_read_by_owner_no_downgrade(self):
+        d = make_dir()
+        d.on_l1_fill(0, 100, True)
+        actions = d.on_l1_fill(0, 100, False)
+        assert actions.writeback_from is None
+        assert d.owner(100) == 0
+
+
+class TestWrites:
+    def test_write_invalidates_sharers(self):
+        d = make_dir()
+        d.on_l1_fill(0, 100, False)
+        d.on_l1_fill(1, 100, False)
+        actions = d.on_l1_fill(2, 100, True)
+        assert actions.invalidate == (0, 1)
+        assert d.sharers(100) == [2]
+        assert d.owner(100) == 2
+        assert d.stats.invalidations_sent == 2
+
+    def test_write_steals_ownership(self):
+        d = make_dir()
+        d.on_l1_fill(0, 100, True)
+        actions = d.on_l1_fill(1, 100, True)
+        assert actions.invalidate == (0,)
+        assert actions.writeback_from == 0
+        assert d.owner(100) == 1
+
+    def test_exclusive_write_no_traffic(self):
+        d = make_dir()
+        d.on_l1_fill(0, 100, False)
+        actions = d.on_l1_fill(0, 100, True)
+        assert actions.invalidate == ()
+        assert d.owner(100) == 0
+
+
+class TestEviction:
+    def test_evict_clears_presence(self):
+        d = make_dir()
+        d.on_l1_fill(0, 100, True)
+        d.on_l1_evict(0, 100, dirty=True)
+        assert d.sharers(100) == []
+        assert d.owner(100) is None
+        assert not d.is_tracked(100)
+
+    def test_evict_one_of_many(self):
+        d = make_dir()
+        d.on_l1_fill(0, 100, False)
+        d.on_l1_fill(1, 100, False)
+        d.on_l1_evict(0, 100, dirty=False)
+        assert d.sharers(100) == [1]
+
+    def test_drop_block_returns_holders(self):
+        d = make_dir()
+        d.on_l1_fill(0, 100, False)
+        d.on_l1_fill(2, 100, False)
+        assert d.drop_block(100) == [0, 2]
+        assert not d.is_tracked(100)
+
+    def test_drop_untracked(self):
+        assert make_dir().drop_block(55) == []
+
+
+class TestBookkeeping:
+    def test_entry_count_and_peak(self):
+        d = make_dir()
+        for blk in range(5):
+            d.on_l1_fill(0, blk, False)
+        assert d.entries == 5
+        d.drop_block(0)
+        assert d.entries == 4
+        assert d.stats.entries_peak == 5
+
+    def test_sharer_mask(self):
+        d = make_dir()
+        d.on_l1_fill(0, 1, False)
+        d.on_l1_fill(2, 1, False)
+        assert d.sharer_mask(1) == 0b101
+
+    def test_bad_core_count(self):
+        with pytest.raises(ValueError):
+            CoherenceDirectory(0)

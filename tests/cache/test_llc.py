@@ -1,0 +1,74 @@
+"""Banked NUCA LLC: per-bank isolation and replication support."""
+
+import pytest
+
+from repro.cache.llc import NucaLLC
+
+
+def make_llc(banks=4):
+    return NucaLLC(banks, 1024, 4, 64)
+
+
+class TestBanks:
+    def test_bank_isolation(self):
+        llc = make_llc()
+        llc.access(0, 42, False)
+        assert llc.contains(0, 42)
+        assert not llc.contains(1, 42)
+
+    def test_bad_bank_count(self):
+        with pytest.raises(ValueError):
+            NucaLLC(0, 1024, 4, 64)
+
+    def test_per_bank_stats(self):
+        llc = make_llc()
+        llc.access(0, 1, False)
+        llc.access(0, 1, False)
+        llc.access(1, 1, False)
+        assert llc.banks[0].stats.hits == 1
+        assert llc.banks[1].stats.hits == 0
+
+    def test_aggregate_stats(self):
+        llc = make_llc()
+        llc.access(0, 1, False)
+        llc.access(1, 2, False)
+        agg = llc.aggregate_stats()
+        assert agg.misses == 2
+        assert agg.accesses == 2
+
+    def test_occupancy(self):
+        llc = make_llc()
+        llc.access(0, 1, False)
+        llc.access(2, 9, False)
+        assert llc.occupancy == 2
+
+
+class TestReplication:
+    def test_same_block_in_multiple_banks(self):
+        llc = make_llc()
+        for bank in (0, 1, 3):
+            llc.access(bank, 7, False)
+        assert llc.banks_holding(7) == [0, 1, 3]
+
+    def test_invalidate_everywhere(self):
+        llc = make_llc()
+        llc.access(0, 7, True)
+        llc.access(2, 7, False)
+        copies, dirty = llc.invalidate_everywhere(7)
+        assert copies == 2
+        assert dirty == 1
+        assert llc.banks_holding(7) == []
+
+    def test_flush_blocks_single_bank(self):
+        llc = make_llc()
+        llc.access(0, 7, True)
+        llc.access(1, 7, False)
+        flushed, dirty = llc.flush_blocks(0, [7])
+        assert (flushed, dirty) == (1, 1)
+        assert llc.banks_holding(7) == [1]
+
+    def test_clear(self):
+        llc = make_llc()
+        llc.access(0, 7, False)
+        llc.clear()
+        assert llc.occupancy == 0

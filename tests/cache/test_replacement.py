@@ -1,0 +1,89 @@
+"""Replacement policies: true LRU as a reference, tree PLRU properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.replacement import LRUState, TreePLRUState, make_replacement
+
+
+class TestLRU:
+    def test_initial_victim(self):
+        assert LRUState(4).victim() == 0
+
+    def test_exact_lru_order(self):
+        lru = LRUState(4)
+        for w in (0, 1, 2, 3):
+            lru.touch(w)
+        assert lru.victim() == 0
+        lru.touch(0)
+        assert lru.victim() == 1
+
+    def test_reset(self):
+        lru = LRUState(4)
+        lru.touch(3)
+        lru.reset()
+        assert lru.victim() == 0
+
+    def test_bad_way(self):
+        with pytest.raises(ValueError):
+            LRUState(4).touch(4)
+
+
+class TestTreePLRU:
+    def test_victim_never_most_recent(self):
+        plru = TreePLRUState(8)
+        for w in range(8):
+            plru.touch(w)
+            assert plru.victim() != w
+
+    def test_fills_all_ways_before_repeating(self):
+        # Touching the victim each time must cycle through all ways.
+        plru = TreePLRUState(8)
+        seen = set()
+        for _ in range(8):
+            v = plru.victim()
+            seen.add(v)
+            plru.touch(v)
+        assert seen == set(range(8))
+
+    def test_two_way_is_exact_lru(self):
+        plru = TreePLRUState(2)
+        plru.touch(0)
+        assert plru.victim() == 1
+        plru.touch(1)
+        assert plru.victim() == 0
+
+    @given(st.lists(st.integers(0, 7), max_size=64))
+    def test_victim_in_range(self, touches):
+        plru = TreePLRUState(8)
+        for w in touches:
+            plru.touch(w)
+        assert 0 <= plru.victim() < 8
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=64))
+    def test_last_touched_protected(self, touches):
+        plru = TreePLRUState(16)
+        for w in touches:
+            plru.touch(w)
+        assert plru.victim() != touches[-1]
+
+    def test_reset(self):
+        plru = TreePLRUState(4)
+        plru.touch(0)
+        plru.reset()
+        assert plru.victim() == 0
+
+    @pytest.mark.parametrize("assoc", [3, 0, -2])
+    def test_non_power_of_two_rejected(self, assoc):
+        with pytest.raises(ValueError):
+            TreePLRUState(assoc)
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_replacement("plru", 8), TreePLRUState)
+        assert isinstance(make_replacement("lru", 8), LRUState)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_replacement("random", 8)

@@ -1,0 +1,42 @@
+"""Shared fixtures: tiny machine configurations that keep unit tests fast."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import LatencyConfig, SystemConfig
+from repro.mem.address import AddressMap
+from repro.noc.topology import Mesh
+
+
+def tiny_config(**overrides) -> SystemConfig:
+    """A 16-tile machine with very small caches (fast to fill/evict)."""
+    base = SystemConfig(
+        l1_bytes=1024,  # 16 blocks, 8-way -> 2 sets
+        llc_bank_bytes=4096,  # 64 blocks/bank
+        page_bytes=512,
+        nondep_blocks_per_task=0,
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+@pytest.fixture
+def cfg() -> SystemConfig:
+    return tiny_config()
+
+
+@pytest.fixture
+def amap(cfg) -> AddressMap:
+    return AddressMap(cfg.block_bytes, cfg.page_bytes, cfg.physical_address_bits)
+
+
+@pytest.fixture
+def mesh(cfg) -> Mesh:
+    return Mesh(cfg.mesh_width, cfg.mesh_height, cfg.cluster_width, cfg.cluster_height)
+
+
+@pytest.fixture
+def latency() -> LatencyConfig:
+    return LatencyConfig()

@@ -1,0 +1,171 @@
+"""The three TD-NUCA ISA instructions and the flush-completion register."""
+
+import pytest
+
+from repro.config import LatencyConfig
+from repro.core.isa import FlushCompletionRegister, TdNucaISA
+from repro.core.rrt import RRT
+from repro.mem.address import AddressMap
+from repro.mem.pagetable import PageTable
+from repro.mem.region import Region
+from repro.mem.tlb import TLB
+
+AMAP = AddressMap(64, 512)
+NCORES = 4
+
+
+def make_isa(fragmentation=0.0, rrt_capacity=64):
+    pt = PageTable(AMAP, fragmentation, seed=1)
+    tlbs = [TLB(pt, 16) for _ in range(NCORES)]
+    rrts = [RRT(c, rrt_capacity) for c in range(NCORES)]
+    isa = TdNucaISA(AMAP, tlbs, rrts, LatencyConfig())
+    calls = []
+
+    def executor(blocks, level, tiles):
+        calls.append((tuple(blocks), level, tiles))
+        return len(blocks), len(blocks) // 2
+
+    isa.flush_executor = executor
+    return isa, pt, calls
+
+
+class TestRegister:
+    def test_registers_translated_range(self):
+        isa, pt, _ = make_isa()
+        region = Region(0x1000, 0x400)
+        cycles = isa.tdnuca_register(0, region, 0b11)
+        assert cycles > 0
+        paddr = pt.translate(0x1000)
+        assert isa.rrts[0].lookup(paddr) == 0b11
+        assert isa.rrts[1].lookup(paddr) is None  # other cores untouched
+
+    def test_partial_blocks_excluded(self):
+        """Section III-D: unaligned first/last cache blocks are left out."""
+        isa, pt, _ = make_isa()
+        region = Region(0x1010, 0x100)  # starts mid-block
+        isa.tdnuca_register(0, region, 1)
+        rrt = isa.rrts[0]
+        assert rrt.lookup(pt.translate(0x1010)) is None  # partial first block
+        assert rrt.lookup(pt.translate(0x1040)) == 1  # first full block
+
+    def test_sub_block_region_is_noop(self):
+        isa, _, _ = make_isa()
+        cycles = isa.tdnuca_register(0, Region(0x1001, 0x20), 1)
+        assert cycles == TdNucaISA.ISSUE_CYCLES
+        assert isa.rrts[0].occupancy == 0
+
+    def test_contiguous_pages_collapse_to_one_entry(self):
+        isa, _, _ = make_isa(fragmentation=0.0)
+        isa.tdnuca_register(0, Region(0x1000, 4 * 512), 1)
+        assert isa.rrts[0].occupancy == 1
+
+    def test_fragmented_pages_need_multiple_entries(self):
+        isa, _, _ = make_isa(fragmentation=1.0)
+        isa.tdnuca_register(0, Region(0x1000, 4 * 512), 1)
+        assert isa.rrts[0].occupancy == 4
+
+    def test_tlb_walk_counted(self):
+        isa, _, _ = make_isa()
+        isa.tdnuca_register(0, Region(0x1000, 4 * 512), 1)
+        assert isa.stats.translation_tlb_accesses == 4
+        assert isa.tlbs[0].stats.accesses == 4
+
+    def test_cycles_grow_with_pages(self):
+        isa, _, _ = make_isa()
+        c1 = isa.tdnuca_register(0, Region(0x1000, 512), 1)
+        c8 = isa.tdnuca_register(1, Region(0x9000, 8 * 512), 1)
+        assert c8 > c1
+
+
+class TestInvalidate:
+    def test_invalidate_masked_cores_only(self):
+        isa, pt, _ = make_isa()
+        region = Region(0x1000, 0x400)
+        for core in range(NCORES):
+            isa.tdnuca_register(core, region, 1)
+        isa.tdnuca_invalidate(0, region, core_mask=0b0101)
+        paddr = pt.translate(0x1000)
+        assert isa.rrts[0].lookup(paddr) is None
+        assert isa.rrts[1].lookup(paddr) == 1
+        assert isa.rrts[2].lookup(paddr) is None
+        assert isa.rrts[3].lookup(paddr) == 1
+
+    def test_stats(self):
+        isa, _, _ = make_isa()
+        isa.tdnuca_invalidate(0, Region(0x1000, 0x400), 0b1111)
+        assert isa.stats.invalidates_executed == 1
+        assert isa.stats.invalidate_cycles > 0
+
+
+class TestFlush:
+    def test_flush_calls_executor_with_blocks(self):
+        isa, pt, calls = make_isa()
+        region = Region(0x1000, 0x200)  # 8 blocks
+        outcome = isa.tdnuca_flush(0, region, "l1", core_mask=0b10)
+        assert len(calls) == 1
+        blocks, level, tiles = calls[0]
+        assert level == "l1"
+        assert tiles == (1,)
+        assert len(blocks) == 8
+        assert pt.translate(0x1000) >> AMAP.block_shift in blocks
+        assert outcome.flushed == 8
+        assert outcome.dirty == 4
+
+    def test_flush_llc_level(self):
+        isa, _, calls = make_isa()
+        isa.tdnuca_flush(0, Region(0x1000, 0x200), "llc", 0b1)
+        assert calls[0][1] == "llc"
+
+    def test_bad_level(self):
+        isa, _, _ = make_isa()
+        with pytest.raises(ValueError):
+            isa.tdnuca_flush(0, Region(0x1000, 0x200), "l2", 1)
+
+    def test_no_executor_installed(self):
+        isa, _, _ = make_isa()
+        isa.flush_executor = None
+        with pytest.raises(RuntimeError):
+            isa.tdnuca_flush(0, Region(0x1000, 0x200), "l1", 1)
+
+    def test_flush_cycles_scale_with_blocks(self):
+        isa, _, _ = make_isa()
+        small = isa.tdnuca_flush(0, Region(0x1000, 0x100), "l1", 1).cycles
+        large = isa.tdnuca_flush(0, Region(0x4000, 0x1000), "l1", 1).cycles
+        assert large > small
+
+    def test_flush_stats(self):
+        isa, _, _ = make_isa()
+        isa.tdnuca_flush(0, Region(0x1000, 0x200), "l1", 1)
+        assert isa.stats.flushes_executed == 1
+        assert isa.stats.blocks_flushed == 8
+        assert isa.stats.dirty_blocks_flushed == 4
+
+    def test_completion_register_cycled(self):
+        isa, _, _ = make_isa()
+        isa.tdnuca_flush(2, Region(0x1000, 0x200), "l1", 1)
+        assert not isa.completion.is_pending(2)
+        assert isa.completion.polls == 1
+
+
+class TestCompletionRegister:
+    def test_bit_protocol(self):
+        reg = FlushCompletionRegister(4)
+        reg.start(2)
+        assert reg.is_pending(2)
+        assert reg.poll() == 0b100
+        reg.complete(2)
+        assert reg.poll() == 0
+        assert reg.polls == 2
+
+    def test_multiple_cores(self):
+        reg = FlushCompletionRegister(4)
+        reg.start(0)
+        reg.start(3)
+        assert reg.poll() == 0b1001
+        reg.complete(0)
+        assert reg.poll() == 0b1000
+
+    def test_out_of_range(self):
+        reg = FlushCompletionRegister(4)
+        with pytest.raises(ValueError):
+            reg.start(4)

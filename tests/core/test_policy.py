@@ -1,0 +1,76 @@
+"""The Fig.-7 placement decision."""
+
+import pytest
+
+from repro.core.policy import PlacementKind, bank_mask_of, decide_placement
+from repro.core.rtdirectory import DependencyEntry
+from repro.deps import DepMode
+from repro.noc.topology import Mesh
+
+MESH = Mesh(4, 4)
+
+
+def entry(use_desc):
+    return DependencyEntry(0x1000, 0x800, use_desc=use_desc)
+
+
+class TestBankMaskOf:
+    def test_build(self):
+        assert bank_mask_of([0, 1, 4, 5]) == 0b110011
+        assert bank_mask_of([]) == 0
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            bank_mask_of([-1])
+
+
+class TestFig7Flowchart:
+    def test_no_future_use_bypasses(self):
+        """UseDesc == 0 -> LLC bypass, regardless of mode."""
+        for mode in DepMode:
+            p = decide_placement(entry(0), mode, 3, MESH)
+            assert p.kind is PlacementKind.BYPASS
+            assert p.bank_mask == 0
+            assert p.banks == ()
+
+    @pytest.mark.parametrize("mode", [DepMode.OUT, DepMode.INOUT])
+    def test_writable_maps_to_local_bank(self, mode):
+        p = decide_placement(entry(2), mode, 7, MESH)
+        assert p.kind is PlacementKind.LOCAL_BANK
+        assert p.banks == (7,)
+        assert p.bank_mask == 1 << 7
+
+    def test_reused_input_replicates_in_local_cluster(self):
+        p = decide_placement(entry(5), DepMode.IN, 10, MESH)
+        assert p.kind is PlacementKind.CLUSTER_REPLICATE
+        assert p.banks == MESH.local_cluster_tiles(10)
+        assert bin(p.bank_mask).count("1") == 4
+
+    def test_cluster_mask_matches_banks(self):
+        p = decide_placement(entry(1), DepMode.IN, 0, MESH)
+        assert p.bank_mask == bank_mask_of(p.banks)
+
+    def test_negative_use_desc_rejected(self):
+        with pytest.raises(ValueError):
+            decide_placement(entry(-1), DepMode.IN, 0, MESH)
+
+
+class TestBypassOnlyVariant:
+    """Section V-D: the variant only applies the bypass rule."""
+
+    def test_bypass_still_applies(self):
+        p = decide_placement(entry(0), DepMode.IN, 0, MESH, bypass_only=True)
+        assert p.kind is PlacementKind.BYPASS
+
+    @pytest.mark.parametrize("mode", list(DepMode))
+    def test_reused_deps_untracked(self, mode):
+        p = decide_placement(entry(3), mode, 0, MESH, bypass_only=True)
+        assert p.kind is PlacementKind.UNTRACKED
+        assert p.bank_mask == 0
+
+
+class TestDepMode:
+    def test_reads_writes(self):
+        assert DepMode.IN.reads and not DepMode.IN.writes
+        assert DepMode.OUT.writes and not DepMode.OUT.reads
+        assert DepMode.INOUT.reads and DepMode.INOUT.writes

@@ -1,0 +1,198 @@
+"""Runtime Region Table: range lookups, capacity, invalidation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rrt import RRT, decode_bank_mask
+
+
+class TestDecodeBankMask:
+    def test_empty(self):
+        assert decode_bank_mask(0) == ()
+
+    def test_single(self):
+        assert decode_bank_mask(1 << 7) == (7,)
+
+    def test_cluster(self):
+        assert decode_bank_mask(0b110011) == (0, 1, 4, 5)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            decode_bank_mask(-1)
+
+
+class TestRegisterLookup:
+    def test_basic_roundtrip(self):
+        rrt = RRT(0)
+        assert rrt.register(0x1000, 0x2000, 0b1)
+        assert rrt.lookup(0x1000) == 0b1
+        assert rrt.lookup(0x1FFF) == 0b1
+        assert rrt.lookup(0x2000) is None
+        assert rrt.lookup(0xFFF) is None
+
+    def test_zero_mask_is_valid_bypass(self):
+        rrt = RRT(0)
+        rrt.register(0x1000, 0x2000, 0)
+        assert rrt.lookup(0x1800) == 0
+
+    def test_multiple_disjoint_entries(self):
+        rrt = RRT(0)
+        rrt.register(0x1000, 0x2000, 1)
+        rrt.register(0x3000, 0x4000, 2)
+        rrt.register(0x2000, 0x3000, 4)  # adjacent both sides
+        assert rrt.lookup(0x1800) == 1
+        assert rrt.lookup(0x2800) == 4
+        assert rrt.lookup(0x3800) == 2
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            RRT(0).register(0x2000, 0x1000, 1)
+        with pytest.raises(ValueError):
+            RRT(0).register(0x1000, 0x1000, 1)
+
+    def test_idempotent_reregistration(self):
+        rrt = RRT(0)
+        rrt.register(0x1000, 0x2000, 1)
+        rrt.register(0x1000, 0x2000, 1)
+        assert rrt.occupancy == 1
+        assert rrt.stats.registrations == 2
+
+    def test_overlapping_registration_replaces(self):
+        rrt = RRT(0)
+        rrt.register(0x1000, 0x3000, 1)
+        rrt.register(0x2000, 0x4000, 2)
+        assert rrt.lookup(0x1800) is None  # old entry replaced wholesale
+        assert rrt.lookup(0x2800) == 2
+        assert rrt.occupancy == 1
+
+    def test_stats(self):
+        rrt = RRT(0)
+        rrt.register(0x1000, 0x2000, 1)
+        rrt.lookup(0x1800)
+        rrt.lookup(0x9000)
+        assert rrt.stats.lookups == 2
+        assert rrt.stats.hits == 1
+        assert rrt.stats.peak_occupancy == 1
+
+
+class TestCapacity:
+    def test_no_replacement_on_full(self):
+        """Paper Section III-B2: full table drops new ranges, never evicts."""
+        rrt = RRT(0, capacity=2)
+        rrt.register(0x1000, 0x2000, 1)
+        rrt.register(0x3000, 0x4000, 2)
+        assert not rrt.register(0x5000, 0x6000, 3)
+        assert rrt.stats.drops_full == 1
+        # Old entries intact, new range untracked (S-NUCA fallback).
+        assert rrt.lookup(0x1800) == 1
+        assert rrt.lookup(0x5800) is None
+
+    def test_invalidate_frees_capacity(self):
+        rrt = RRT(0, capacity=1)
+        rrt.register(0x1000, 0x2000, 1)
+        rrt.invalidate(0x1000, 0x2000)
+        assert rrt.register(0x5000, 0x6000, 3)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RRT(0, capacity=0)
+
+
+class TestInvalidate:
+    def test_exact(self):
+        rrt = RRT(0)
+        rrt.register(0x1000, 0x2000, 1)
+        assert rrt.invalidate(0x1000, 0x2000) == 1
+        assert rrt.lookup(0x1800) is None
+
+    def test_partial_overlap_removes_entry(self):
+        rrt = RRT(0)
+        rrt.register(0x1000, 0x3000, 1)
+        assert rrt.invalidate(0x2000, 0x2800) == 1
+        assert rrt.lookup(0x1800) is None
+
+    def test_adjacent_entries_untouched(self):
+        """Regression: invalidating [a,b) must not stop at an adjacent
+        entry starting exactly at b (the bisect_right off-by-one that let
+        RRTs silently fill with dead entries)."""
+        rrt = RRT(0)
+        rrt.register(0x1000, 0x2000, 1)
+        rrt.register(0x2000, 0x3000, 2)  # adjacent after
+        rrt.register(0x0800, 0x1000, 3)  # adjacent before
+        assert rrt.invalidate(0x1000, 0x2000) == 1
+        assert rrt.lookup(0x1800) is None
+        assert rrt.lookup(0x2800) == 2
+        assert rrt.lookup(0x0900) == 3
+
+    def test_empty_range_noop(self):
+        rrt = RRT(0)
+        rrt.register(0x1000, 0x2000, 1)
+        assert rrt.invalidate(0x1000, 0x1000) == 0
+
+    def test_missing_range_noop(self):
+        assert RRT(0).invalidate(0x1000, 0x2000) == 0
+
+
+class TestProcessTagging:
+    def test_pid_isolation(self):
+        rrt = RRT(0)
+        rrt.set_active_pid(1)
+        rrt.register(0x1000, 0x2000, 1)
+        rrt.set_active_pid(2)
+        assert rrt.lookup(0x1800) is None
+        rrt.set_active_pid(1)
+        assert rrt.lookup(0x1800) == 1
+
+    def test_shared_capacity_across_pids(self):
+        rrt = RRT(0, capacity=2)
+        rrt.set_active_pid(1)
+        rrt.register(0x1000, 0x2000, 1)
+        rrt.set_active_pid(2)
+        rrt.register(0x1000, 0x2000, 2)
+        assert not rrt.register(0x3000, 0x4000, 3)
+
+    def test_drop_pid(self):
+        rrt = RRT(0)
+        rrt.set_active_pid(1)
+        rrt.register(0x1000, 0x2000, 1)
+        assert rrt.drop_pid(1) == 1
+        assert rrt.occupancy == 0
+
+    def test_migrate(self):
+        """Thread migration moves RRT entries to the destination core."""
+        a, b = RRT(0), RRT(1)
+        a.register(0x1000, 0x2000, 1)
+        a.register(0x3000, 0x4000, 2)
+        assert a.migrate_to(b) == 2
+        assert a.occupancy == 0
+        assert b.lookup(0x1800) == 1
+        assert b.lookup(0x3800) == 2
+
+    def test_migrate_respects_capacity(self):
+        a, b = RRT(0), RRT(1, capacity=1)
+        a.register(0x1000, 0x2000, 1)
+        a.register(0x3000, 0x4000, 2)
+        assert a.migrate_to(b) == 1
+
+
+ranges = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(1, 20), st.integers(0, 0xFFFF)),
+    max_size=40,
+)
+
+
+@given(ranges, st.lists(st.integers(0, 130), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_lookup_matches_reference_model(ops, probes):
+    """RRT lookups agree with a brute-force list of live ranges."""
+    rrt = RRT(0, capacity=1000)
+    live: list[tuple[int, int, int]] = []
+    for start, size, mask in ops:
+        end = start + size
+        # Reference semantics: registration removes overlapped entries.
+        live = [e for e in live if not (e[0] < end and start < e[1])]
+        live.append((start, end, mask))
+        rrt.register(start, end, mask)
+    for p in probes:
+        expected = next((m for s, e, m in live if s <= p < e), None)
+        assert rrt.lookup(p) == expected

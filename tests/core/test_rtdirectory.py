@@ -1,0 +1,67 @@
+"""RTCacheDirectory: UseDesc lifecycle."""
+
+import pytest
+
+from repro.core.rtdirectory import RTCacheDirectory
+from repro.mem.region import Region
+
+R1 = Region(0x1000, 0x800, "a")
+R2 = Region(0x2000, 0x800, "b")
+
+
+class TestEntries:
+    def test_entry_created_on_demand(self):
+        d = RTCacheDirectory()
+        e = d.entry(R1)
+        assert (e.start, e.size) == (R1.start, R1.size)
+        assert e.use_desc == 0
+        assert e.map_mask == 0
+        assert len(d) == 1
+
+    def test_entry_reused_for_same_region(self):
+        d = RTCacheDirectory()
+        assert d.entry(R1) is d.entry(Region(0x1000, 0x800, "other-name"))
+
+    def test_distinct_regions_distinct_entries(self):
+        d = RTCacheDirectory()
+        assert d.entry(R1) is not d.entry(R2)
+
+    def test_get_without_create(self):
+        d = RTCacheDirectory()
+        assert d.get(R1) is None
+        d.entry(R1)
+        assert d.get(R1) is not None
+
+    def test_region_roundtrip(self):
+        d = RTCacheDirectory()
+        assert d.entry(R1).region == Region(0x1000, 0x800)
+
+
+class TestUseDesc:
+    def test_inc_dec(self):
+        d = RTCacheDirectory()
+        d.inc_use(R1)
+        d.inc_use(R1)
+        assert d.entry(R1).use_desc == 2
+        d.dec_use(R1)
+        assert d.entry(R1).use_desc == 1
+
+    def test_underflow_raises(self):
+        d = RTCacheDirectory()
+        with pytest.raises(RuntimeError):
+            d.dec_use(R1)
+
+    def test_total_outstanding(self):
+        d = RTCacheDirectory()
+        d.inc_use(R1)
+        d.inc_use(R2)
+        d.inc_use(R2)
+        assert d.total_outstanding_uses() == 3
+        d.dec_use(R2)
+        assert d.total_outstanding_uses() == 2
+
+    def test_iteration(self):
+        d = RTCacheDirectory()
+        d.inc_use(R1)
+        d.inc_use(R2)
+        assert {e.start for e in d} == {R1.start, R2.start}

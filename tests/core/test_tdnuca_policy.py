@@ -1,0 +1,65 @@
+"""TD-NUCA bank resolution through the RRTs."""
+
+import pytest
+
+from repro.core.rrt import RRT
+from repro.core.tdnuca import TdNucaPolicy
+from repro.mem.address import AddressMap
+from repro.noc.topology import Mesh
+from repro.nuca.base import BYPASS
+
+AMAP = AddressMap(64, 512)
+MESH = Mesh(4, 4)
+
+
+def make_policy(lookup_cycles=1):
+    rrts = [RRT(c) for c in range(16)]
+    return TdNucaPolicy(MESH, AMAP, rrts, lookup_cycles), rrts
+
+
+def register_blocks(rrt, first_block, nblocks, mask):
+    rrt.register(first_block * 64, (first_block + nblocks) * 64, mask)
+
+
+class TestResolution:
+    def test_unregistered_falls_back_to_interleave(self):
+        p, _ = make_policy()
+        for blk in range(32):
+            assert p.bank_for(0, blk, False) == blk % 16
+
+    def test_zero_mask_bypasses(self):
+        p, rrts = make_policy()
+        register_blocks(rrts[2], 100, 4, 0)
+        assert p.bank_for(2, 101, False) == BYPASS
+        assert p.stats.bypasses == 1
+
+    def test_single_bit_routes_to_bank(self):
+        p, rrts = make_policy()
+        register_blocks(rrts[0], 100, 4, 1 << 9)
+        for blk in range(100, 104):
+            assert p.bank_for(0, blk, True) == 9
+
+    def test_cluster_mask_spreads_by_block(self):
+        p, rrts = make_policy()
+        mask = 0b110011  # cluster {0,1,4,5}
+        register_blocks(rrts[0], 100, 8, mask)
+        banks = [p.bank_for(0, blk, False) for blk in range(100, 104)]
+        assert sorted(banks) == [0, 1, 4, 5]
+        # Deterministic rotation: same block -> same bank.
+        assert p.bank_for(0, 100, False) == banks[0]
+
+    def test_per_core_rrts_independent(self):
+        p, rrts = make_policy()
+        register_blocks(rrts[0], 100, 4, 0)
+        assert p.bank_for(0, 100, False) == BYPASS
+        assert p.bank_for(1, 100, False) == 100 % 16
+
+    def test_lookup_cycles_exposed(self):
+        p, _ = make_policy(lookup_cycles=3)
+        assert p.lookup_cycles == 3
+
+
+class TestValidation:
+    def test_rrt_count_must_match(self):
+        with pytest.raises(ValueError):
+            TdNucaPolicy(MESH, AMAP, [RRT(0)])

@@ -1,0 +1,83 @@
+"""Energy tally and breakdown."""
+
+import pytest
+
+from repro.config import EnergyConfig
+from repro.energy.model import EnergyTally
+
+CFG = EnergyConfig()
+
+
+class TestEvents:
+    def test_hit_read(self):
+        t = EnergyTally()
+        t.llc_hit_read()
+        assert t.llc_tag_probes == 1
+        assert t.llc_data_reads == 1
+
+    def test_hit_write(self):
+        t = EnergyTally()
+        t.llc_hit_write()
+        assert t.llc_data_writes == 1
+
+    def test_miss_fill_writes_data_array(self):
+        t = EnergyTally()
+        t.llc_miss_fill()
+        assert t.llc_tag_probes == 1
+        assert t.llc_data_writes == 1
+
+    def test_probe_batch(self):
+        t = EnergyTally()
+        t.llc_probe(10)
+        assert t.llc_tag_probes == 10
+
+    def test_victim_read(self):
+        t = EnergyTally()
+        t.llc_victim_read()
+        assert t.llc_data_reads == 1
+
+
+class TestBreakdown:
+    def test_llc_energy(self):
+        t = EnergyTally()
+        t.llc_hit_read()
+        t.llc_hit_write()
+        bd = t.breakdown(CFG, flit_hops=0)
+        expected = 2 * CFG.llc_tag_probe + CFG.llc_read + CFG.llc_write
+        assert bd.llc == pytest.approx(expected)
+
+    def test_noc_energy_from_flit_hops(self):
+        t = EnergyTally()
+        bd = t.breakdown(CFG, flit_hops=100)
+        assert bd.noc == pytest.approx(100 * CFG.noc_per_flit_hop)
+
+    def test_dram_energy(self):
+        t = EnergyTally()
+        t.dram_accesses = 5
+        assert t.breakdown(CFG, 0).dram == pytest.approx(5 * CFG.dram_access)
+
+    def test_rrt_energy_uses_tcam_factor(self):
+        t = EnergyTally()
+        t.rrt_lookups = 100
+        assert t.breakdown(CFG, 0).rrt == pytest.approx(
+            100 * CFG.rrt_sram_lookup * CFG.rrt_tcam_factor
+        )
+
+    def test_total(self):
+        t = EnergyTally()
+        t.llc_hit_read()
+        t.dram_accesses = 1
+        t.l1_accesses = 1
+        bd = t.breakdown(CFG, 10)
+        assert bd.total == pytest.approx(bd.llc + bd.noc + bd.dram + bd.l1 + bd.rrt)
+
+
+class TestMerge:
+    def test_merge(self):
+        a, b = EnergyTally(), EnergyTally()
+        a.llc_hit_read()
+        b.llc_hit_read()
+        b.dram_accesses = 3
+        a.merge(b)
+        assert a.llc_data_reads == 2
+        assert a.dram_accesses == 3

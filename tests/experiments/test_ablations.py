@@ -1,0 +1,58 @@
+"""Ablation sweeps (tiny scale)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.experiments import ablations
+
+CFG = scaled_config(1 / 1024)
+
+
+class TestRRTSweeps:
+    def test_capacity_sweep_runs(self):
+        res = ablations.sweep_rrt_capacity("kmeans", CFG, capacities=(8, 64))
+        assert set(res) == {8, 64}
+        for r in res.values():
+            assert r.execution.tasks_executed > 0
+
+    def test_small_rrt_never_exceeds_capacity(self):
+        res = ablations.sweep_rrt_capacity("lu", CFG, capacities=(8,))
+        assert res[8].runtime.occupancy_max <= 8
+
+    def test_latency_sweep_monotone_overall(self):
+        res = ablations.sweep_rrt_latency("knn", CFG, latencies=(0, 4))
+        assert res[4].makespan >= res[0].makespan
+
+
+class TestClusterSweep:
+    def test_geometries_run(self):
+        res = ablations.sweep_cluster_size("knn", CFG, geometries=((2, 2), (4, 4)))
+        assert set(res) == {(2, 2), (4, 4)}
+
+    def test_small_clusters_more_local(self):
+        """1x1 clusters replicate everywhere -> shortest read distance."""
+        res = ablations.sweep_cluster_size(
+            "knn", CFG, geometries=((1, 1), (4, 4))
+        )
+        assert (
+            res[(1, 1)].machine.mean_nuca_distance
+            <= res[(4, 4)].machine.mean_nuca_distance + 0.05
+        )
+
+
+class TestSchedulerSweep:
+    def test_all_schedulers_complete(self):
+        res = ablations.sweep_scheduler("kmeans", CFG)
+        assert set(res) == {"ordered", "fifo", "random"}
+        counts = {r.execution.tasks_executed for r in res.values()}
+        assert len(counts) == 1  # same work under every scheduler
+
+
+class TestPageSizeSweep:
+    def test_runs_and_affects_translation(self):
+        res = ablations.sweep_page_size("kmeans", CFG, page_sizes=(512, 4096))
+        # Larger pages -> fewer translation walks for the same footprint.
+        assert (
+            res[4096].isa.translation_tlb_accesses
+            < res[512].isa.translation_tlb_accesses
+        )

@@ -1,0 +1,138 @@
+"""Figure assembly from fabricated experiment results (no simulation)."""
+
+import pytest
+
+from repro.cache.bank import BankStats
+from repro.config import scaled_config
+from repro.energy.model import EnergyBreakdown
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentResult
+from repro.mem.tlb import TLBStats
+from repro.noc.traffic import TrafficStats
+from repro.runtime.executor import ExecutionStats
+from repro.sim.machine import MachineStats
+from repro.stats.counters import RNucaCensus
+
+
+def fake_result(workload, policy, makespan, llc_accesses=1000, hit=0.5,
+                dist=2.5, rbytes=10_000, llc_energy=100.0, noc_energy=50.0):
+    llc = BankStats(hits=int(llc_accesses * hit), misses=int(llc_accesses * (1 - hit)))
+    machine = MachineStats(
+        policy=policy,
+        llc=llc,
+        l1=BankStats(),
+        traffic=TrafficStats(),
+        energy=EnergyBreakdown(llc=llc_energy, noc=noc_energy, dram=0, l1=0, rrt=0),
+        tlb=TLBStats(),
+        dram_reads=0,
+        dram_writes=0,
+        llc_accesses=llc_accesses,
+        llc_hit_ratio=hit,
+        mean_nuca_distance=dist,
+        router_bytes=rbytes,
+    )
+    execution = ExecutionStats(makespan_cycles=makespan)
+    r = ExperimentResult(workload, policy, machine, execution)
+    r.rnuca_census = RNucaCensus(private=10, shared_read_only=5, shared=85)
+    r.unique_blocks = 100
+    r.extra = {
+        "dep_category_blocks": {"not_reused": 60, "in": 20, "out": 10, "both": 6},
+        "dep_blocks_total": 96,
+    }
+    return r
+
+
+@pytest.fixture
+def results():
+    out = {}
+    for wl in ("md5", "lu"):
+        out[(wl, "snuca")] = fake_result(wl, "snuca", 1000)
+        out[(wl, "rnuca")] = fake_result(wl, "rnuca", 950, dist=1.5, rbytes=9000)
+        out[(wl, "tdnuca")] = fake_result(
+            wl, "tdnuca", 800, llc_accesses=400, hit=0.8, dist=1.9,
+            rbytes=6000, llc_energy=50.0, noc_energy=30.0,
+        )
+        out[(wl, "tdnuca-bypass-only")] = fake_result(wl, "tdnuca-bypass-only", 920)
+        out[(wl, "tdnuca-noisa")] = fake_result(wl, "tdnuca-noisa", 1010)
+    return out
+
+
+class TestSpeedupFigures:
+    def test_fig8(self, results):
+        fig = figures.fig8_speedup(results)
+        td = next(s for s in fig.series if s.label == "tdnuca")
+        assert td.values["md5"] == pytest.approx(1000 / 800)
+        assert td.average == pytest.approx(1.25)
+
+    def test_fig15(self, results):
+        fig = figures.fig15_bypass_only(results)
+        byp = next(s for s in fig.series if s.label == "bypass_only")
+        assert byp.values["lu"] == pytest.approx(1000 / 920)
+
+
+class TestNormalizedFigures:
+    def test_fig9(self, results):
+        fig = figures.fig9_llc_accesses(results)
+        td = next(s for s in fig.series if s.label == "tdnuca")
+        assert td.values["md5"] == pytest.approx(0.4)
+
+    def test_fig12(self, results):
+        fig = figures.fig12_data_movement(results)
+        td = next(s for s in fig.series if s.label == "tdnuca")
+        assert td.values["md5"] == pytest.approx(0.6)
+
+    def test_fig13_fig14(self, results):
+        llc = figures.fig13_llc_energy(results)
+        noc = figures.fig14_noc_energy(results)
+        assert next(s for s in llc.series if s.label == "tdnuca").values["lu"] == pytest.approx(0.5)
+        assert next(s for s in noc.series if s.label == "tdnuca").values["lu"] == pytest.approx(0.6)
+
+
+class TestAbsoluteFigures:
+    def test_fig10(self, results):
+        fig = figures.fig10_hit_ratio(results)
+        td = next(s for s in fig.series if s.label == "tdnuca")
+        assert td.values["md5"] == pytest.approx(0.8)
+
+    def test_fig11(self, results):
+        fig = figures.fig11_nuca_distance(results)
+        sn = next(s for s in fig.series if s.label == "snuca")
+        assert sn.average == pytest.approx(2.5)
+
+    def test_fig3(self, results):
+        fig = figures.fig3_classification(results)
+        byname = {s.label: s for s in fig.series}
+        assert byname["rnuca_private"].values["md5"] == pytest.approx(0.10)
+        assert byname["td_dep_blocks"].values["md5"] == pytest.approx(0.96)
+        assert byname["td_not_reused"].values["md5"] == pytest.approx(0.60)
+
+
+class TestRendering:
+    def test_to_text_contains_everything(self, results):
+        text = figures.fig8_speedup(results).to_text()
+        assert "Fig.8" in text
+        assert "md5" in text and "lu" in text
+        assert "AVG" in text and "paper AVG" in text
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = figures.table1_rows(scaled_config(1 / 64))
+        labels = [r[0] for r in rows]
+        assert "cores" in labels and "RRT" in labels
+
+    def test_table2_rows(self):
+        rows = figures.table2_rows(scaled_config(1 / 1024))
+        assert len(rows) == 8
+        assert rows[0][0] == "Gauss"
+
+
+class TestSectionVEReports:
+    def test_runtime_overhead_report(self, results):
+        rep = figures.runtime_overhead_report(results)
+        assert rep["md5"] == pytest.approx(0.01)
+
+    def test_empty_reports_when_missing_policies(self, results):
+        partial = {k: v for k, v in results.items() if k[1] == "snuca"}
+        assert figures.rrt_occupancy_report(partial) == {}
+        assert figures.flush_overhead_report(partial) == {}

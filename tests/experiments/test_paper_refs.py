@@ -1,0 +1,61 @@
+"""Consistency of the digitized paper reference data."""
+
+import pytest
+
+from repro.experiments import paper
+from repro.workloads.registry import workload_names
+
+
+class TestCoverage:
+    def test_bench_list_matches_registry(self):
+        assert paper.BENCHES == workload_names()
+
+    def test_fig8_covers_all_benches(self):
+        assert set(paper.FIG8_TDNUCA) == set(paper.BENCHES)
+        assert set(paper.FIG8_RNUCA) == set(paper.BENCHES)
+
+    def test_fig3_partitions_benches(self):
+        """High/low NotReused groups + Gauss partition the suite."""
+        grouped = (
+            set(paper.FIG3_HIGH_NOT_REUSED)
+            | set(paper.FIG3_LOW_NOT_REUSED)
+            | {"gauss"}
+        )
+        assert grouped == set(paper.BENCHES)
+
+    def test_fig15_partitions_benches(self):
+        grouped = (
+            set(paper.FIG15_NO_BENEFIT)
+            | set(paper.FIG15_MATCHES_FULL)
+            | set(paper.FIG15_INTERMEDIATE)
+        )
+        assert grouped == set(paper.BENCHES)
+
+
+class TestInternalConsistency:
+    def test_fig8_average_consistent_with_bars(self):
+        vals = [v for v in paper.FIG8_TDNUCA.values() if v is not None]
+        assert sum(vals) / len(vals) == pytest.approx(paper.FIG8_TDNUCA_AVG, abs=0.02)
+
+    def test_td_beats_r_in_paper(self):
+        assert paper.FIG8_TDNUCA_AVG > paper.FIG8_RNUCA_AVG
+        assert paper.FIG9_TDNUCA_AVG < paper.FIG9_RNUCA_AVG
+        assert paper.FIG12_TDNUCA_AVG < paper.FIG12_RNUCA_AVG
+        assert paper.FIG14_TDNUCA_AVG < paper.FIG14_RNUCA_AVG
+
+    def test_distance_ordering(self):
+        assert (
+            paper.FIG11_AVG["rnuca"]
+            < paper.FIG11_AVG["tdnuca"]
+            < paper.FIG11_AVG["snuca"]
+        )
+
+    def test_rrt_latency_overheads_monotone(self):
+        vals = [paper.SECVE_RRT_LATENCY_OVERHEADS[c] for c in range(5)]
+        assert vals == sorted(vals)
+
+    def test_bypass_only_below_full(self):
+        assert paper.FIG15_BYPASS_ONLY_AVG < paper.FIG8_TDNUCA_AVG
+
+    def test_occupancy_bounds(self):
+        assert paper.SECVE_RRT_MEAN_OCCUPANCY < paper.SECVE_RRT_MAX_OCCUPANCY <= 64

@@ -1,0 +1,80 @@
+"""Result/figure serialization."""
+
+import json
+
+import pytest
+
+from repro.config import scaled_config
+from repro.experiments import figures
+from repro.experiments.runner import run_experiment
+from repro.experiments.serialize import (
+    figure_to_dict,
+    figure_to_markdown,
+    load_results_json,
+    result_to_dict,
+    results_to_json,
+)
+
+CFG = scaled_config(1 / 1024)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        ("md5", pol): run_experiment("md5", pol, CFG)
+        for pol in ("snuca", "rnuca", "tdnuca")
+    }
+
+
+class TestResultDict:
+    def test_core_fields(self, results):
+        d = result_to_dict(results[("md5", "tdnuca")])
+        assert d["workload"] == "md5"
+        assert d["policy"] == "tdnuca"
+        assert d["makespan_cycles"] > 0
+        assert d["llc"]["hits"] + d["llc"]["misses"] == d["llc"]["accesses"]
+        assert "tdnuca_runtime" in d
+        assert "isa" in d
+        assert "dep_category_blocks" in d
+
+    def test_snuca_omits_tdnuca_sections(self, results):
+        d = result_to_dict(results[("md5", "snuca")])
+        assert "tdnuca_runtime" not in d
+        assert "isa" not in d
+        assert "block_census" in d
+
+    def test_json_safe(self, results):
+        for r in results.values():
+            json.dumps(result_to_dict(r))
+
+
+class TestSuiteJson:
+    def test_roundtrip(self, results):
+        text = results_to_json(results)
+        loaded = load_results_json(text)
+        assert set(loaded) == set(results)
+        assert (
+            loaded[("md5", "tdnuca")]["makespan_cycles"]
+            == results[("md5", "tdnuca")].makespan
+        )
+
+    def test_malformed_key(self):
+        with pytest.raises(ValueError):
+            load_results_json('{"nokey": {}}')
+
+
+class TestFigureSerialization:
+    def test_figure_dict(self, results):
+        fig = figures.fig8_speedup(results)
+        d = figure_to_dict(fig)
+        assert d["id"] == "Fig.8"
+        assert "tdnuca" in d["series"]
+        assert d["series"]["tdnuca"]["values"]["md5"] > 0
+
+    def test_markdown_table(self, results):
+        md = figure_to_markdown(figures.fig8_speedup(results))
+        lines = md.splitlines()
+        assert lines[0].startswith("**Fig.8")
+        assert any(line.startswith("| md5 |") for line in lines)
+        assert any("**AVG**" in line for line in lines)
+        assert any("paper AVG" in line for line in lines)

@@ -1,0 +1,115 @@
+"""Block/page address arithmetic, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.address import AddressMap
+
+AMAP = AddressMap(64, 4096, 42)
+
+addresses = st.integers(min_value=0, max_value=(1 << 42) - 1)
+sizes = st.integers(min_value=0, max_value=1 << 20)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("block,page", [(48, 4096), (64, 3000), (0, 4096)])
+    def test_bad_sizes_rejected(self, block, page):
+        with pytest.raises(ValueError):
+            AddressMap(block, page)
+
+    def test_page_must_be_block_multiple(self):
+        with pytest.raises(ValueError):
+            AddressMap(128, 192)
+
+    def test_derived_fields(self):
+        assert AMAP.block_shift == 6
+        assert AMAP.page_shift == 12
+        assert AMAP.blocks_per_page == 64
+        assert AMAP.max_physical_address == (1 << 42) - 1
+
+
+class TestScalarArithmetic:
+    def test_block_of(self):
+        assert AMAP.block_of(0) == 0
+        assert AMAP.block_of(63) == 0
+        assert AMAP.block_of(64) == 1
+        assert AMAP.block_of(4096) == 64
+
+    def test_page_of_block(self):
+        assert AMAP.page_of_block(0) == 0
+        assert AMAP.page_of_block(63) == 0
+        assert AMAP.page_of_block(64) == 1
+
+    def test_bases_invert(self):
+        assert AMAP.block_base(5) == 320
+        assert AMAP.page_base(2) == 8192
+        assert AMAP.block_of(AMAP.block_base(1234)) == 1234
+        assert AMAP.page_of(AMAP.page_base(99)) == 99
+
+    def test_alignment(self):
+        assert AMAP.align_down_block(100) == 64
+        assert AMAP.align_up_block(100) == 128
+        assert AMAP.align_up_block(128) == 128
+        assert AMAP.align_down_page(5000) == 4096
+        assert AMAP.align_up_page(4097) == 8192
+
+    def test_is_block_aligned(self):
+        assert AMAP.is_block_aligned(0)
+        assert AMAP.is_block_aligned(640)
+        assert not AMAP.is_block_aligned(1)
+
+
+class TestRanges:
+    def test_block_range_covers_partial_blocks(self):
+        # [100, 200) overlaps blocks 1..3
+        assert list(AMAP.block_range(100, 100)) == [1, 2, 3]
+
+    def test_block_range_empty(self):
+        assert len(AMAP.block_range(100, 0)) == 0
+        assert len(AMAP.block_range(100, -5)) == 0
+
+    def test_inner_block_range_excludes_partial(self):
+        # [100, 300): fully contained blocks are 2..3 ([128,192),[192,256))
+        assert list(AMAP.inner_block_range(100, 200)) == [2, 3]
+
+    def test_inner_block_range_aligned_equals_overlap(self):
+        assert list(AMAP.inner_block_range(128, 192)) == list(
+            AMAP.block_range(128, 192)
+        )
+
+    def test_inner_block_range_too_small(self):
+        assert len(AMAP.inner_block_range(10, 30)) == 0
+
+    def test_page_range(self):
+        assert list(AMAP.page_range(0, 4097)) == [0, 1]
+
+    @given(addresses, sizes)
+    def test_inner_subset_of_overlap(self, start, size):
+        inner = AMAP.inner_block_range(start, size)
+        overlap = AMAP.block_range(start, size)
+        assert set(inner) <= set(overlap)
+
+    @given(addresses, st.integers(min_value=1, max_value=1 << 20))
+    def test_overlap_covers_every_byte(self, start, size):
+        blocks = AMAP.block_range(start, size)
+        assert AMAP.block_of(start) == blocks.start
+        assert AMAP.block_of(start + size - 1) == blocks.stop - 1
+
+    @given(addresses)
+    def test_align_down_bounds(self, addr):
+        down = AMAP.align_down_block(addr)
+        assert down <= addr < down + AMAP.block_bytes
+        assert AMAP.is_block_aligned(down)
+
+
+class TestVectorized:
+    def test_blocks_of_matches_scalar(self):
+        addrs = np.array([0, 63, 64, 4096, 999999])
+        expected = [AMAP.block_of(int(a)) for a in addrs]
+        assert AMAP.blocks_of(addrs).tolist() == expected
+
+    def test_pages_of_blocks_matches_scalar(self):
+        blocks = np.array([0, 63, 64, 128, 123456])
+        expected = [AMAP.page_of_block(int(b)) for b in blocks]
+        assert AMAP.pages_of_blocks(blocks).tolist() == expected

@@ -1,0 +1,70 @@
+"""Virtual allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.allocator import VirtualAllocator
+
+
+class TestAllocate:
+    def test_alignment_default(self):
+        alloc = VirtualAllocator(alignment=64)
+        r = alloc.allocate(100)
+        assert r.start % 64 == 0
+
+    def test_explicit_alignment(self):
+        alloc = VirtualAllocator()
+        r = alloc.allocate(10, align=4096)
+        assert r.start % 4096 == 0
+
+    def test_unaligned_allowed(self):
+        alloc = VirtualAllocator(base=0x1001, alignment=64)
+        r = alloc.allocate(10, align=1)
+        assert r.start == 0x1001
+
+    def test_names_kept(self):
+        alloc = VirtualAllocator()
+        assert alloc.allocate(8, "matrix").name == "matrix"
+
+    @pytest.mark.parametrize("size", [0, -5])
+    def test_bad_size(self, size):
+        with pytest.raises(ValueError):
+            VirtualAllocator().allocate(size)
+
+    def test_bad_alignment(self):
+        with pytest.raises(ValueError):
+            VirtualAllocator(alignment=48)
+        with pytest.raises(ValueError):
+            VirtualAllocator().allocate(8, align=3)
+
+    def test_array(self):
+        r = VirtualAllocator().allocate_array(10, 8)
+        assert r.size == 80
+
+    def test_array_bad_args(self):
+        with pytest.raises(ValueError):
+            VirtualAllocator().allocate_array(0, 8)
+
+    def test_bookkeeping(self):
+        alloc = VirtualAllocator()
+        alloc.allocate(100)
+        alloc.allocate(200)
+        assert len(alloc.regions) == 2
+        assert alloc.bytes_allocated == 300
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10000), min_size=1, max_size=50))
+def test_allocations_never_overlap(sizes):
+    alloc = VirtualAllocator()
+    regions = [alloc.allocate(s) for s in sizes]
+    for i, a in enumerate(regions):
+        for b in regions[i + 1 :]:
+            assert not a.overlaps(b)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=30))
+def test_allocations_monotonic(sizes):
+    alloc = VirtualAllocator()
+    regions = [alloc.allocate(s) for s in sizes]
+    for a, b in zip(regions, regions[1:]):
+        assert b.start >= a.end

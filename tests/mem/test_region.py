@@ -1,0 +1,115 @@
+"""Region geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.address import AddressMap
+from repro.mem.region import Region
+
+AMAP = AddressMap(64, 4096)
+
+
+class TestBasics:
+    def test_end_and_truthiness(self):
+        r = Region(100, 50)
+        assert r.end == 150
+        assert bool(r)
+        assert not Region(100, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Region(-1, 10)
+        with pytest.raises(ValueError):
+            Region(0, -10)
+
+    def test_contains(self):
+        r = Region(100, 50)
+        assert r.contains(100)
+        assert r.contains(149)
+        assert not r.contains(150)
+        assert not r.contains(99)
+
+    def test_contains_region(self):
+        outer = Region(0, 100)
+        assert outer.contains_region(Region(10, 20))
+        assert outer.contains_region(Region(0, 100))
+        assert not outer.contains_region(Region(90, 20))
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert Region(0, 100).overlaps(Region(50, 100))
+        assert Region(50, 100).overlaps(Region(0, 100))
+
+    def test_adjacent_do_not_overlap(self):
+        assert not Region(0, 100).overlaps(Region(100, 100))
+
+    def test_empty_never_overlaps(self):
+        assert not Region(50, 0).overlaps(Region(0, 100))
+
+    def test_intersection(self):
+        r = Region(0, 100).intersection(Region(50, 100))
+        assert (r.start, r.size) == (50, 50)
+
+    def test_disjoint_intersection_empty(self):
+        assert not Region(0, 10).intersection(Region(20, 10))
+
+    @given(
+        st.integers(0, 10000), st.integers(0, 500),
+        st.integers(0, 10000), st.integers(0, 500),
+    )
+    def test_overlap_symmetric(self, s1, z1, s2, z2):
+        a, b = Region(s1, z1), Region(s2, z2)
+        assert a.overlaps(b) == b.overlaps(a)
+        if a.overlaps(b):
+            inter = a.intersection(b)
+            assert inter.size > 0
+            assert a.contains(inter.start) and b.contains(inter.start)
+
+
+class TestSplit:
+    def test_even_split(self):
+        parts = Region(0, 100).split(25)
+        assert [p.size for p in parts] == [25, 25, 25, 25]
+
+    def test_ragged_split(self):
+        parts = Region(0, 100).split(30)
+        assert [p.size for p in parts] == [30, 30, 30, 10]
+
+    def test_split_recomposes(self):
+        r = Region(1234, 999)
+        parts = r.split(100)
+        assert parts[0].start == r.start
+        assert parts[-1].end == r.end
+        for a, b in zip(parts, parts[1:]):
+            assert a.end == b.start
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError):
+            Region(0, 10).split(0)
+
+
+class TestSubregion:
+    def test_basic(self):
+        sub = Region(100, 100).subregion(10, 20, "x")
+        assert (sub.start, sub.size, sub.name) == (110, 20, "x")
+
+    @pytest.mark.parametrize("off,size", [(-1, 10), (0, 101), (95, 10)])
+    def test_out_of_bounds(self, off, size):
+        with pytest.raises(ValueError):
+            Region(100, 100).subregion(off, size)
+
+
+class TestGeometry:
+    def test_blocks(self):
+        r = Region(100, 100)  # overlaps blocks 1..3
+        assert list(r.blocks(AMAP)) == [1, 2, 3]
+        assert r.num_blocks(AMAP) == 3
+
+    def test_inner_blocks(self):
+        r = Region(100, 200)
+        assert list(r.inner_blocks(AMAP)) == [2, 3]
+
+    def test_pages(self):
+        r = Region(4000, 200)
+        assert list(r.pages(AMAP)) == [0, 1]

@@ -1,0 +1,108 @@
+"""TLB: hit/miss accounting, LRU replacement, shootdowns."""
+
+import pytest
+
+from repro.mem.address import AddressMap
+from repro.mem.pagetable import PageTable
+from repro.mem.tlb import TLB
+
+AMAP = AddressMap(64, 4096)
+
+
+def make_tlb(entries=4):
+    return TLB(PageTable(AMAP, 0.0), entries)
+
+
+class TestLookups:
+    def test_first_lookup_misses(self):
+        tlb = make_tlb()
+        tlb.lookup_page(0)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 0
+
+    def test_second_lookup_hits(self):
+        tlb = make_tlb()
+        tlb.lookup_page(0)
+        tlb.lookup_page(0)
+        assert tlb.stats.hits == 1
+
+    def test_translation_matches_pagetable(self):
+        pt = PageTable(AMAP, 0.0)
+        tlb = TLB(pt, 8)
+        assert tlb.lookup_page(7) == pt.translate_page(7)
+
+    def test_byte_lookup(self):
+        tlb = make_tlb()
+        paddr = tlb.lookup(4096 + 17)
+        assert paddr % 4096 == 17
+
+    def test_hit_ratio(self):
+        tlb = make_tlb()
+        for _ in range(9):
+            tlb.lookup_page(0)
+        assert tlb.stats.hit_ratio == pytest.approx(8 / 9)
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        tlb = make_tlb(entries=2)
+        tlb.lookup_page(0)
+        tlb.lookup_page(1)
+        tlb.lookup_page(2)  # evicts 0
+        tlb.lookup_page(1)  # still resident
+        assert tlb.stats.hits == 1
+        tlb.lookup_page(0)  # miss again
+        assert tlb.stats.misses == 4
+
+    def test_touch_refreshes_lru(self):
+        tlb = make_tlb(entries=2)
+        tlb.lookup_page(0)
+        tlb.lookup_page(1)
+        tlb.lookup_page(0)  # 1 becomes LRU
+        tlb.lookup_page(2)  # evicts 1
+        tlb.lookup_page(0)
+        assert tlb.stats.hits == 2
+
+    def test_capacity_bound(self):
+        tlb = make_tlb(entries=3)
+        for p in range(10):
+            tlb.lookup_page(p)
+        assert tlb.occupancy == 3
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            make_tlb(entries=0)
+
+
+class TestInvalidation:
+    def test_invalidate_present(self):
+        tlb = make_tlb()
+        tlb.lookup_page(0)
+        assert tlb.invalidate(0)
+        assert tlb.stats.invalidations == 1
+        tlb.lookup_page(0)
+        assert tlb.stats.misses == 2
+
+    def test_invalidate_absent(self):
+        tlb = make_tlb()
+        assert not tlb.invalidate(42)
+        assert tlb.stats.invalidations == 0
+
+    def test_flush(self):
+        tlb = make_tlb()
+        for p in range(3):
+            tlb.lookup_page(p)
+        tlb.flush()
+        assert tlb.occupancy == 0
+        assert tlb.stats.invalidations == 3
+
+
+class TestStatsMerge:
+    def test_merge(self):
+        a, b = make_tlb(), make_tlb()
+        a.lookup_page(0)
+        b.lookup_page(0)
+        b.lookup_page(0)
+        a.stats.merge(b.stats)
+        assert a.stats.misses == 2
+        assert a.stats.hits == 1

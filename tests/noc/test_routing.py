@@ -1,0 +1,46 @@
+"""XY routing."""
+
+from hypothesis import given, strategies as st
+
+from repro.noc.routing import hops, xy_route
+from repro.noc.topology import Mesh
+
+MESH = Mesh(4, 4)
+tiles = st.integers(0, 15)
+
+
+class TestRoute:
+    def test_self_route(self):
+        assert xy_route(MESH, 7, 7) == [7]
+
+    def test_straight_line(self):
+        assert xy_route(MESH, 0, 3) == [0, 1, 2, 3]
+
+    def test_x_then_y(self):
+        # XY: horizontal first, then vertical.
+        assert xy_route(MESH, 0, 5) == [0, 1, 5]
+        assert xy_route(MESH, 5, 0) == [5, 4, 0]
+
+    def test_corner_to_corner(self):
+        route = xy_route(MESH, 0, 15)
+        assert route == [0, 1, 2, 3, 7, 11, 15]
+
+    @given(tiles, tiles)
+    def test_length_is_hops_plus_one(self, a, b):
+        assert len(xy_route(MESH, a, b)) == hops(MESH, a, b) + 1
+
+    @given(tiles, tiles)
+    def test_endpoints(self, a, b):
+        route = xy_route(MESH, a, b)
+        assert route[0] == a and route[-1] == b
+
+    @given(tiles, tiles)
+    def test_every_step_is_one_hop(self, a, b):
+        route = xy_route(MESH, a, b)
+        for u, v in zip(route, route[1:]):
+            assert MESH.hops(u, v) == 1
+
+    @given(tiles, tiles)
+    def test_no_tile_repeats(self, a, b):
+        route = xy_route(MESH, a, b)
+        assert len(set(route)) == len(route)

@@ -1,0 +1,105 @@
+"""Mesh topology: coordinates, distances, clusters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.topology import Mesh
+
+MESH = Mesh(4, 4, 2, 2)
+tiles = st.integers(0, 15)
+
+
+class TestConstruction:
+    def test_counts(self):
+        assert MESH.num_tiles == 16
+        assert MESH.num_clusters == 4
+        assert MESH.cluster_size == 4
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+        with pytest.raises(ValueError):
+            Mesh(4, 4, 3, 2)
+
+    def test_non_square(self):
+        m = Mesh(8, 2, 2, 2)
+        assert m.num_tiles == 16
+        assert m.num_clusters == 4
+
+
+class TestCoordinates:
+    def test_row_major(self):
+        assert MESH.coords(0) == (0, 0)
+        assert MESH.coords(3) == (3, 0)
+        assert MESH.coords(4) == (0, 1)
+        assert MESH.coords(15) == (3, 3)
+
+    @given(tiles)
+    def test_roundtrip(self, t):
+        x, y = MESH.coords(t)
+        assert MESH.tile_at(x, y) == t
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            MESH.coords(16)
+        with pytest.raises(ValueError):
+            MESH.tile_at(4, 0)
+
+
+class TestDistances:
+    def test_manhattan(self):
+        assert MESH.hops(0, 0) == 0
+        assert MESH.hops(0, 3) == 3
+        assert MESH.hops(0, 15) == 6
+        assert MESH.hops(5, 10) == 2
+
+    @given(tiles, tiles)
+    def test_symmetric(self, a, b):
+        assert MESH.hops(a, b) == MESH.hops(b, a)
+
+    @given(tiles, tiles, tiles)
+    def test_triangle_inequality(self, a, b, c):
+        assert MESH.hops(a, c) <= MESH.hops(a, b) + MESH.hops(b, c)
+
+    def test_diameter(self):
+        assert MESH.diameter() == 6
+
+    def test_theoretical_average_distance(self):
+        # Paper Section V-B: "the theoretical average NUCA distance in a
+        # 4x4 mesh is 2.5".
+        total = sum(
+            MESH.hops(a, b) for a in range(16) for b in range(16)
+        )
+        assert total / 256 == pytest.approx(2.5)
+
+    def test_mean_distance_from_center_vs_corner(self):
+        assert MESH.mean_distance_from(5) < MESH.mean_distance_from(0)
+
+
+class TestClusters:
+    def test_quadrants(self):
+        assert MESH.cluster_tiles(0) == (0, 1, 4, 5)
+        assert MESH.cluster_tiles(1) == (2, 3, 6, 7)
+        assert MESH.cluster_tiles(2) == (8, 9, 12, 13)
+        assert MESH.cluster_tiles(3) == (10, 11, 14, 15)
+
+    @given(tiles)
+    def test_tile_in_own_cluster(self, t):
+        assert t in MESH.local_cluster_tiles(t)
+
+    def test_clusters_partition_tiles(self):
+        seen = []
+        for c in range(MESH.num_clusters):
+            seen.extend(MESH.cluster_tiles(c))
+        assert sorted(seen) == list(range(16))
+
+    def test_cluster_diameter_bounded(self):
+        # Worst-case distance inside a quadrant is 2 (paper Section III:
+        # cluster-wide NoC diameter instead of chip-wide).
+        for c in range(4):
+            ts = MESH.cluster_tiles(c)
+            assert max(MESH.hops(a, b) for a in ts for b in ts) == 2
+
+    def test_bad_cluster_index(self):
+        with pytest.raises(ValueError):
+            MESH.cluster_tiles(4)

@@ -1,0 +1,87 @@
+"""NoC traffic accounting."""
+
+import pytest
+
+from repro.noc.traffic import (
+    CONTROL_BYTES,
+    MessageClass,
+    TrafficStats,
+    data_message_bytes,
+)
+
+
+class TestMessageBytes:
+    def test_data_message_includes_header(self):
+        assert data_message_bytes(64) == 72
+
+    def test_control_size(self):
+        assert CONTROL_BYTES == 8
+
+
+class TestRecording:
+    def test_router_bytes_counts_all_routers(self):
+        t = TrafficStats()
+        t.record_message(MessageClass.DATA, 72, hop_count=3)
+        # 3 hops -> 4 routers traversed.
+        assert t.router_bytes == 72 * 4
+
+    def test_zero_hops_still_one_router(self):
+        t = TrafficStats()
+        t.record_message(MessageClass.REQUEST, 8, 0)
+        assert t.router_bytes == 8
+
+    def test_flit_hops_ceil(self):
+        t = TrafficStats(flit_bytes=16)
+        t.record_message(MessageClass.DATA, 72, 1)  # 5 flits x 2 routers
+        assert t.flit_hops == 10
+
+    def test_count_multiplier(self):
+        t = TrafficStats()
+        t.record_message(MessageClass.DATA, 72, 2, count=10)
+        assert t.messages == 10
+        assert t.router_bytes == 72 * 3 * 10
+
+    def test_per_class_breakdown(self):
+        t = TrafficStats()
+        t.record_message(MessageClass.DATA, 72, 1)
+        t.record_message(MessageClass.REQUEST, 8, 1)
+        t.record_message(MessageClass.DATA, 72, 5)
+        assert t.bytes_by_class[MessageClass.DATA] == 144
+        assert t.bytes_by_class[MessageClass.REQUEST] == 8
+
+    def test_negative_rejected(self):
+        t = TrafficStats()
+        with pytest.raises(ValueError):
+            t.record_message(MessageClass.DATA, -1, 0)
+        with pytest.raises(ValueError):
+            t.record_message(MessageClass.DATA, 8, -1)
+
+
+class TestNucaDistance:
+    def test_mean(self):
+        t = TrafficStats()
+        t.record_nuca_distance(0)
+        t.record_nuca_distance(5)
+        assert t.mean_nuca_distance == pytest.approx(2.5)
+
+    def test_empty_mean_zero(self):
+        assert TrafficStats().mean_nuca_distance == 0.0
+
+    def test_counted_separately_from_messages(self):
+        t = TrafficStats()
+        t.record_nuca_distance(3, count=4)
+        assert t.messages == 0
+        assert t.nuca_distance_count == 4
+        assert t.nuca_distance_sum == 12
+
+
+class TestMerge:
+    def test_merge_sums_everything(self):
+        a, b = TrafficStats(), TrafficStats()
+        a.record_message(MessageClass.DATA, 72, 1)
+        b.record_message(MessageClass.DATA, 72, 2)
+        b.record_nuca_distance(4)
+        a.merge(b)
+        assert a.messages == 2
+        assert a.router_bytes == 72 * 2 + 72 * 3
+        assert a.nuca_distance_count == 1

@@ -1,0 +1,57 @@
+"""NucaPolicy base-class behaviour and FlushAction semantics."""
+
+from repro.nuca.base import BYPASS, FlushAction, NucaPolicy
+
+
+class Fixed(NucaPolicy):
+    """Test double resolving every block to a fixed bank."""
+
+    name = "fixed"
+
+    def __init__(self, bank):
+        super().__init__()
+        self._bank = bank
+
+    def bank_for(self, core, block, write):
+        return self._count(core, self._bank)
+
+
+class TestPolicyStats:
+    def test_resolution_counting(self):
+        p = Fixed(3)
+        for _ in range(5):
+            p.bank_for(0, 0, False)
+        assert p.stats.resolutions == 5
+        assert p.stats.bypasses == 0
+        assert p.stats.local_bank_hits == 0
+
+    def test_local_hits_counted(self):
+        p = Fixed(3)
+        p.bank_for(3, 0, False)
+        assert p.stats.local_bank_hits == 1
+
+    def test_bypass_counted(self):
+        p = Fixed(BYPASS)
+        p.bank_for(0, 0, False)
+        assert p.stats.bypasses == 1
+
+    def test_default_hooks(self):
+        p = Fixed(0)
+        assert p.pre_access(0, 0, False) is None
+        assert p.classify_pages(0, [1], [True]) == []
+        assert p.lookup_cycles == 0
+
+
+class TestFlushAction:
+    def test_defaults(self):
+        a = FlushAction((1, 2, 3))
+        assert a.l1_cores == ()
+        assert a.llc_banks == ()
+        assert a.reason == ""
+
+    def test_immutable(self):
+        import pytest
+
+        a = FlushAction((1,), l1_cores=(0,))
+        with pytest.raises(AttributeError):
+            a.blocks = (9,)

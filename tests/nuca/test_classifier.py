@@ -1,0 +1,100 @@
+"""OS first-touch page classification (paper Section II-C)."""
+
+from repro.nuca.classifier import PageClass, PageClassifier
+
+
+class TestFirstTouch:
+    def test_first_access_private(self):
+        c = PageClassifier()
+        assert c.access(3, 10, False) is None
+        assert c.classify(10) is PageClass.PRIVATE
+        assert c.owner(10) == 3
+        assert c.stats.first_touches == 1
+
+    def test_untouched_is_none(self):
+        assert PageClassifier().classify(5) is None
+
+    def test_owner_repeat_access_no_transition(self):
+        c = PageClassifier()
+        c.access(0, 10, False)
+        assert c.access(0, 10, True) is None
+        assert c.classify(10) is PageClass.PRIVATE
+
+
+class TestPrivateToShared:
+    def test_clean_page_becomes_shared_ro(self):
+        c = PageClassifier()
+        c.access(0, 10, False)
+        t = c.access(1, 10, False)
+        assert t is not None
+        assert t.old is PageClass.PRIVATE
+        assert t.new is PageClass.SHARED_RO
+        assert t.flush_core == 0
+        assert c.stats.private_to_shared_ro == 1
+        assert c.stats.tlb_shootdowns == 1
+
+    def test_dirty_page_becomes_shared(self):
+        c = PageClassifier()
+        c.access(0, 10, True)  # dirty
+        t = c.access(1, 10, False)
+        assert t.new is PageClass.SHARED
+        assert c.stats.private_to_shared == 1
+
+    def test_write_by_second_core_becomes_shared(self):
+        c = PageClassifier()
+        c.access(0, 10, False)
+        t = c.access(1, 10, True)
+        assert t.new is PageClass.SHARED
+
+    def test_owner_lost_after_transition(self):
+        c = PageClassifier()
+        c.access(0, 10, False)
+        c.access(1, 10, False)
+        assert c.owner(10) is None
+
+
+class TestSharedRO:
+    def test_reads_keep_ro(self):
+        c = PageClassifier()
+        c.access(0, 10, False)
+        c.access(1, 10, False)
+        assert c.access(2, 10, False) is None
+        assert c.classify(10) is PageClass.SHARED_RO
+
+    def test_write_demotes_to_shared(self):
+        c = PageClassifier()
+        c.access(0, 10, False)
+        c.access(1, 10, False)
+        t = c.access(2, 10, True)
+        assert t.old is PageClass.SHARED_RO
+        assert t.new is PageClass.SHARED
+        assert t.flush_core is None  # flush everywhere
+        assert c.stats.ro_to_shared == 1
+
+
+class TestSharedTerminal:
+    def test_shared_never_returns(self):
+        """The paper's key limitation: once shared, never private again."""
+        c = PageClassifier()
+        c.access(0, 10, True)
+        c.access(1, 10, True)
+        assert c.classify(10) is PageClass.SHARED
+        # Even if only core 2 uses it from now on...
+        for _ in range(10):
+            assert c.access(2, 10, True) is None
+        assert c.classify(10) is PageClass.SHARED
+
+
+class TestCensus:
+    def test_counts_by_class(self):
+        c = PageClassifier()
+        c.access(0, 1, False)  # private
+        c.access(0, 2, False)
+        c.access(1, 2, False)  # shared RO
+        c.access(0, 3, True)
+        c.access(1, 3, False)  # shared
+        census = c.census()
+        assert census[PageClass.PRIVATE] == 1
+        assert census[PageClass.SHARED_RO] == 1
+        assert census[PageClass.SHARED] == 1
+        assert c.pages_tracked == 3

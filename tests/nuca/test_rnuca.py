@@ -1,0 +1,111 @@
+"""Augmented R-NUCA placement and reclassification flushes."""
+
+import pytest
+
+from repro.mem.address import AddressMap
+from repro.noc.topology import Mesh
+from repro.nuca.rnuca import RNuca
+from repro.nuca.rotational import rotational_bank
+
+AMAP = AddressMap(64, 4096)
+MESH = Mesh(4, 4)
+BLOCKS_PER_PAGE = 64
+
+
+def make_rnuca():
+    return RNuca(MESH, AMAP)
+
+
+def page_block(page, i=0):
+    return page * BLOCKS_PER_PAGE + i
+
+
+class TestPlacement:
+    def test_private_page_maps_to_owner_bank(self):
+        r = make_rnuca()
+        blk = page_block(1)
+        r.pre_access(5, blk, False)
+        assert r.bank_for(5, blk, False) == 5
+        # Another core reading a private page still goes to the owner's
+        # bank until the classifier reclassifies it.
+        assert r.classifier.owner(1) == 5
+
+    def test_shared_page_interleaves(self):
+        r = make_rnuca()
+        blk = page_block(1)
+        r.pre_access(0, blk, True)
+        r.pre_access(1, blk, True)
+        for i in range(8):
+            b = page_block(1, i)
+            assert r.bank_for(1, b, False) == b % 16
+
+    def test_shared_ro_page_replicates_in_local_cluster(self):
+        r = make_rnuca()
+        blk = page_block(1)
+        r.pre_access(0, blk, False)
+        r.pre_access(15, blk, False)  # clean -> shared RO
+        for core in (0, 15):
+            bank = r.bank_for(core, blk, False)
+            assert bank in MESH.local_cluster_tiles(core)
+            assert bank == rotational_bank(MESH, core, blk)
+
+    def test_untracked_falls_back_to_interleave(self):
+        r = make_rnuca()
+        assert r.bank_for(0, 123, False) == 123 % 16
+
+
+class TestReclassificationFlushes:
+    def test_private_to_shared_flush_targets_owner(self):
+        r = make_rnuca()
+        blk = page_block(2)
+        r.pre_access(3, blk, True)
+        action = r.pre_access(7, blk, False)
+        assert action is not None
+        assert action.l1_cores == (3,)
+        assert action.llc_banks == (3,)
+        assert len(action.blocks) == BLOCKS_PER_PAGE
+        assert blk in action.blocks
+
+    def test_ro_to_shared_flush_targets_everyone(self):
+        r = make_rnuca()
+        blk = page_block(2)
+        r.pre_access(0, blk, False)
+        r.pre_access(1, blk, False)
+        action = r.pre_access(2, blk, True)
+        assert action.l1_cores == tuple(range(16))
+        assert action.llc_banks == tuple(range(16))
+
+    def test_no_action_within_owner(self):
+        r = make_rnuca()
+        blk = page_block(2)
+        assert r.pre_access(0, blk, False) is None
+        assert r.pre_access(0, blk, True) is None
+
+
+class TestBatchClassification:
+    def test_classify_pages_reads_before_writes(self):
+        r = make_rnuca()
+        # Core 0 reads+writes page 1 in one task: first touch read ->
+        # private; the write just sets dirty.  No flush.
+        actions = r.classify_pages(0, [1], [True])
+        assert actions == []
+        # A second core reading it now triggers private->shared.
+        actions = r.classify_pages(1, [1], [False])
+        assert len(actions) == 1
+        assert actions[0].reason == "private->shared"
+
+    def test_classify_pages_multiple(self):
+        r = make_rnuca()
+        r.classify_pages(0, [1, 2, 3], [False, False, True])
+        actions = r.classify_pages(1, [1, 2, 3], [False, True, False])
+        # page 1: private->shared-RO; page 2: private->shared-RO on the
+        # read, then RO->shared on the write; page 3: private->shared.
+        assert len(actions) == 4
+        reasons = [a.reason for a in actions]
+        assert reasons.count("read_only->shared") == 1
+
+
+class TestValidation:
+    def test_power_of_two_tiles_required(self):
+        with pytest.raises(ValueError):
+            RNuca(Mesh(3, 3, 3, 3), AMAP)

@@ -1,0 +1,44 @@
+"""Rotational interleaving of replicas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.topology import Mesh
+from repro.nuca.rotational import cluster_bank_for_block, rotational_bank
+
+MESH = Mesh(4, 4)
+
+
+class TestClusterBank:
+    def test_rotation(self):
+        tiles = (0, 1, 4, 5)
+        assert cluster_bank_for_block(tiles, 0) == 0
+        assert cluster_bank_for_block(tiles, 1) == 1
+        assert cluster_bank_for_block(tiles, 2) == 4
+        assert cluster_bank_for_block(tiles, 3) == 5
+        assert cluster_bank_for_block(tiles, 4) == 0
+
+    def test_empty_cluster(self):
+        with pytest.raises(ValueError):
+            cluster_bank_for_block((), 0)
+
+
+@given(st.integers(0, 15), st.integers(0, 1 << 30))
+def test_replica_stays_in_local_cluster(core, block):
+    bank = rotational_bank(MESH, core, block)
+    assert bank in MESH.local_cluster_tiles(core)
+
+
+@given(st.integers(0, 1 << 30))
+def test_same_cluster_cores_agree(block):
+    """All cores of a cluster resolve a block to the same replica bank —
+    required for them to actually share the replica."""
+    for cluster in range(MESH.num_clusters):
+        tiles = MESH.cluster_tiles(cluster)
+        banks = {rotational_bank(MESH, c, block) for c in tiles}
+        assert len(banks) == 1
+
+
+def test_consecutive_blocks_cover_cluster():
+    banks = {rotational_bank(MESH, 0, b) for b in range(4)}
+    assert banks == set(MESH.local_cluster_tiles(0))

@@ -1,0 +1,55 @@
+"""Static NUCA interleaving."""
+
+import pytest
+
+from repro.nuca.base import BYPASS
+from repro.nuca.snuca import SNuca, interleave_bank
+
+
+class TestInterleaving:
+    def test_modulo(self):
+        assert interleave_bank(0, 16) == 0
+        assert interleave_bank(17, 16) == 1
+        assert interleave_bank(31, 16) == 15
+
+    def test_policy_matches_function(self):
+        s = SNuca(16)
+        for blk in range(64):
+            assert s.bank_for(0, blk, False) == interleave_bank(blk, 16)
+
+    def test_core_independent(self):
+        s = SNuca(16)
+        assert s.bank_for(0, 5, False) == s.bank_for(15, 5, True)
+
+    def test_uniform_distribution(self):
+        s = SNuca(4)
+        counts = [0] * 4
+        for blk in range(400):
+            counts[s.bank_for(0, blk, False)] += 1
+        assert counts == [100] * 4
+
+    def test_never_bypasses(self):
+        s = SNuca(16)
+        for blk in range(100):
+            assert s.bank_for(3, blk, True) != BYPASS
+        assert s.stats.bypasses == 0
+
+    def test_stats_counting(self):
+        s = SNuca(16)
+        s.bank_for(0, 0, False)  # local for core 0
+        s.bank_for(0, 1, False)
+        assert s.stats.resolutions == 2
+        assert s.stats.local_bank_hits == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("banks", [0, -4, 12])
+    def test_bad_bank_count(self, banks):
+        with pytest.raises(ValueError):
+            SNuca(banks)
+
+    def test_classify_pages_noop(self):
+        assert SNuca(16).classify_pages(0, [1, 2], [False, True]) == []
+
+    def test_pre_access_noop(self):
+        assert SNuca(16).pre_access(0, 5, True) is None

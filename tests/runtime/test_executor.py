@@ -1,0 +1,167 @@
+"""Discrete-event executor: ordering, barriers, creation overlap."""
+
+import pytest
+
+from repro.deps import DepMode
+from repro.mem.region import Region
+from repro.runtime.executor import Executor
+from repro.runtime.extensions import RuntimeExtension
+from repro.runtime.task import Dependency, Program, Task
+
+
+class StubMachine:
+    """Fixed-cost machine recording execution order."""
+
+    def __init__(self, num_cores=4, cycles=100):
+        self._num_cores = num_cores
+        self.cycles = cycles
+        self.log: list[tuple[str, int]] = []
+
+    @property
+    def num_cores(self):
+        return self._num_cores
+
+    def run_task_trace(self, core, task):
+        self.log.append((task.name, core))
+        return self.cycles
+
+
+def region(i):
+    return Region(0x1000 * (i + 1), 0x100)
+
+
+def task(name, *deps):
+    return Task(name, tuple(Dependency(r, m) for r, m in deps))
+
+
+def make_program(tasks, phases=None):
+    p = Program("p")
+    if phases is None:
+        ph = p.new_phase()
+        ph.extend(tasks)
+    else:
+        for group in phases:
+            ph = p.new_phase()
+            ph.extend(group)
+    return p
+
+
+class TestExecution:
+    def test_all_tasks_run_exactly_once(self):
+        m = StubMachine()
+        tasks = [task(f"t{i}", (region(i), DepMode.OUT)) for i in range(10)]
+        stats = Executor(m, jitter=0).run(make_program(tasks))
+        assert stats.tasks_executed == 10
+        assert sorted(n for n, _ in m.log) == sorted(t.name for t in tasks)
+
+    def test_dependencies_respected(self):
+        m = StubMachine()
+        producer = task("prod", (region(0), DepMode.OUT))
+        consumer = task("cons", (region(0), DepMode.IN))
+        Executor(m, jitter=0).run(make_program([consumer, producer][::-1]))
+        names = [n for n, _ in m.log]
+        assert names.index("prod") < names.index("cons")
+
+    def test_phases_are_barriers(self):
+        m = StubMachine()
+        p1 = [task(f"a{i}", (region(i), DepMode.OUT)) for i in range(4)]
+        p2 = [task(f"b{i}", (region(i), DepMode.OUT)) for i in range(4)]
+        Executor(m, jitter=0).run(make_program(None, [p1, p2]))
+        names = [n for n, _ in m.log]
+        assert max(names.index(f"a{i}") for i in range(4)) < min(
+            names.index(f"b{i}") for i in range(4)
+        )
+
+    def test_independent_tasks_parallelize(self):
+        m = StubMachine(num_cores=4, cycles=100)
+        tasks = [task(f"t{i}", (region(i), DepMode.OUT)) for i in range(6)]
+        stats = Executor(m, jitter=0).run(make_program(tasks))
+        # 6 tasks at 100 cycles on 3+ workers, plus 360 creation cycles on
+        # core 0: far below the serial 360 + 600.
+        assert stats.makespan_cycles < 700
+
+    def test_serial_chain_is_serial(self):
+        m = StubMachine(cycles=100)
+        tasks = [task(f"t{i}", (region(0), DepMode.INOUT)) for i in range(5)]
+        stats = Executor(m, jitter=0).run(make_program(tasks))
+        assert stats.makespan_cycles >= 500
+
+    def test_deterministic(self):
+        def run():
+            m = StubMachine()
+            tasks = [
+                Task(f"t{i}", (Dependency(region(i % 3), DepMode.INOUT),))
+                for i in range(12)
+            ]
+            s = Executor(m, jitter=0.05, jitter_seed=3).run(make_program(tasks))
+            return s.makespan_cycles, m.log
+
+        assert run() == run()
+
+    def test_empty_program(self):
+        stats = Executor(StubMachine()).run(Program("empty"))
+        assert stats.makespan_cycles == 0
+        assert stats.tasks_executed == 0
+
+
+class TestCreationOverlap:
+    def test_creation_charged_to_core0(self):
+        m = StubMachine()
+        tasks = [task(f"t{i}", (region(i), DepMode.OUT)) for i in range(8)]
+        stats = Executor(m, jitter=0).run(make_program(tasks))
+        assert stats.creation_cycles == 8 * Executor.CREATE_CYCLES_PER_TASK
+        assert stats.busy_cycles[0] >= stats.creation_cycles
+
+    def test_makespan_at_least_creation(self):
+        m = StubMachine(cycles=1)
+        tasks = [task(f"t{i}", (region(i), DepMode.OUT)) for i in range(20)]
+        stats = Executor(m, jitter=0).run(make_program(tasks))
+        assert stats.makespan_cycles >= 20 * Executor.CREATE_CYCLES_PER_TASK
+
+
+class TestJitter:
+    def test_jitter_bounded(self):
+        ex = Executor(StubMachine(), jitter=0.1, jitter_seed=0)
+        for i in range(100):
+            f = ex._jitter_factor(f"task{i}")
+            assert 0.9 <= f <= 1.1
+
+    def test_zero_jitter_identity(self):
+        ex = Executor(StubMachine(), jitter=0)
+        assert ex._jitter_factor("anything") == 1.0
+
+    def test_bad_jitter(self):
+        with pytest.raises(ValueError):
+            Executor(StubMachine(), jitter=1.5)
+
+
+class TestExtensionHooks:
+    def test_hooks_called_per_task(self):
+        calls = []
+
+        class Ext(RuntimeExtension):
+            def on_task_created(self, task):
+                calls.append(("created", task.name))
+                return 5
+
+            def on_task_start(self, task, core):
+                calls.append(("start", task.name))
+                return 7
+
+            def on_task_end(self, task, core):
+                calls.append(("end", task.name))
+                return 3
+
+        m = StubMachine()
+        t = task("t", (region(0), DepMode.OUT))
+        stats = Executor(m, extension=Ext(), jitter=0).run(make_program([t]))
+        assert ("created", "t") in calls
+        assert ("start", "t") in calls
+        assert ("end", "t") in calls
+        assert stats.extension_cycles == 10  # start + end
+
+    def test_utilization_bounded(self):
+        m = StubMachine()
+        tasks = [task(f"t{i}", (region(i), DepMode.OUT)) for i in range(10)]
+        stats = Executor(m, jitter=0).run(make_program(tasks))
+        assert 0 < stats.avg_utilization <= 1

@@ -1,0 +1,249 @@
+"""TD-NUCA runtime extension: the Section III-C2 operational model."""
+
+import pytest
+
+from repro.config import LatencyConfig
+from repro.core.isa import TdNucaISA
+from repro.core.policy import PlacementKind
+from repro.core.rrt import RRT
+from repro.deps import DepMode
+from repro.mem.address import AddressMap
+from repro.mem.pagetable import PageTable
+from repro.mem.region import Region
+from repro.mem.tlb import TLB
+from repro.noc.topology import Mesh
+from repro.runtime.extensions import TdNucaRuntime
+from repro.runtime.task import Dependency, Task
+
+AMAP = AddressMap(64, 512)
+MESH = Mesh(4, 4)
+
+
+def make_runtime(**kw):
+    pt = PageTable(AMAP, 0.0)
+    tlbs = [TLB(pt, 16) for _ in range(16)]
+    rrts = [RRT(c) for c in range(16)]
+    isa = TdNucaISA(AMAP, tlbs, rrts, LatencyConfig())
+    flushes = []
+
+    def executor(blocks, level, tiles):
+        flushes.append((level, tiles, len(blocks)))
+        return len(blocks), 0
+
+    isa.flush_executor = executor
+    return TdNucaRuntime(MESH, isa, **kw), pt, flushes
+
+
+R = Region(0x1000, 0x400)
+
+
+def task(*deps):
+    return Task("t", tuple(Dependency(r, m) for r, m in deps))
+
+
+class TestUseDescLifecycle:
+    def test_create_increments(self):
+        rt, _, _ = make_runtime()
+        rt.on_task_created(task((R, DepMode.IN)))
+        rt.on_task_created(task((R, DepMode.IN)))
+        assert rt.directory.entry(R).use_desc == 2
+
+    def test_start_decrements(self):
+        rt, _, _ = make_runtime()
+        t = task((R, DepMode.IN))
+        rt.on_task_created(t)
+        rt.on_task_start(t, 0)
+        assert rt.directory.entry(R).use_desc == 0
+
+
+class TestPlacements:
+    def test_last_use_bypasses_and_registers_zero_mask(self):
+        rt, pt, _ = make_runtime()
+        t = task((R, DepMode.IN))
+        rt.on_task_created(t)
+        rt.on_task_start(t, 3)
+        paddr = pt.translate(R.start)
+        assert rt.isa.rrts[3].lookup(paddr) == 0
+        assert rt.stats.bypass_decisions == 1
+
+    def test_inout_maps_local_and_flushes_at_end(self):
+        rt, pt, flushes = make_runtime()
+        t1, t2 = task((R, DepMode.INOUT)), task((R, DepMode.INOUT))
+        rt.on_task_created(t1)
+        rt.on_task_created(t2)
+        rt.on_task_start(t1, 5)
+        paddr = pt.translate(R.start)
+        assert rt.isa.rrts[5].lookup(paddr) == 1 << 5
+        assert rt.directory.entry(R).map_mask == 1 << 5
+        rt.on_task_end(t1, 5)
+        # Flushed from LLC bank 5 and core 5's L1; RRT entry gone.
+        levels = [(lvl, tiles) for lvl, tiles, _ in flushes]
+        assert ("llc", (5,)) in levels
+        assert ("l1", (5,)) in levels
+        assert rt.isa.rrts[5].lookup(paddr) is None
+        assert rt.directory.entry(R).map_mask == 0
+
+    def test_reused_input_replicates_and_persists(self):
+        rt, pt, flushes = make_runtime()
+        t1, t2 = task((R, DepMode.IN)), task((R, DepMode.IN))
+        rt.on_task_created(t1)
+        rt.on_task_created(t2)
+        rt.on_task_start(t1, 0)
+        paddr = pt.translate(R.start)
+        cluster_mask = sum(1 << b for b in MESH.local_cluster_tiles(0))
+        assert rt.isa.rrts[0].lookup(paddr) == cluster_mask
+        rt.on_task_end(t1, 0)
+        # Replicated mapping remains for future tasks (Section III-C2).
+        assert rt.isa.rrts[0].lookup(paddr) == cluster_mask
+        assert flushes == []
+        assert rt.directory.entry(R).replicated
+
+    def test_replicas_accumulate_across_clusters(self):
+        rt, _, _ = make_runtime()
+        ts = [task((R, DepMode.IN)) for _ in range(3)]
+        for t in ts:
+            rt.on_task_created(t)
+        rt.on_task_start(ts[0], 0)  # cluster 0
+        rt.on_task_start(ts[1], 15)  # cluster 3
+        entry = rt.directory.entry(R)
+        expected = sum(1 << b for b in MESH.local_cluster_tiles(0)) | sum(
+            1 << b for b in MESH.local_cluster_tiles(15)
+        )
+        assert entry.map_mask == expected
+
+
+class TestLazyInvalidation:
+    def test_write_after_replication_invalidates_everywhere(self):
+        """Section III-C2: read-only -> written transition."""
+        rt, pt, flushes = make_runtime()
+        reader1, reader2, writer = (
+            task((R, DepMode.IN)),
+            task((R, DepMode.IN)),
+            task((R, DepMode.INOUT)),
+        )
+        for t in (reader1, reader2, writer):
+            rt.on_task_created(t)
+        rt.on_task_start(reader1, 0)
+        rt.on_task_end(reader1, 0)
+        flushes.clear()
+        rt.on_task_start(writer, 7)
+        assert rt.stats.lazy_invalidations == 1
+        levels = [lvl for lvl, _, _ in flushes]
+        assert "l1" in levels and "llc" in levels
+        # All-core L1 flush.
+        l1_tiles = next(t for lvl, t, _ in flushes if lvl == "l1")
+        assert l1_tiles == tuple(range(16))
+        paddr = pt.translate(R.start)
+        # Replica entries were cleared before the writer's own mapping.
+        assert rt.isa.rrts[0].lookup(paddr) is None
+
+    def test_no_lazy_invalidation_without_replication(self):
+        rt, _, _ = make_runtime()
+        w1, w2 = task((R, DepMode.OUT)), task((R, DepMode.OUT))
+        rt.on_task_created(w1)
+        rt.on_task_created(w2)
+        rt.on_task_start(w1, 0)
+        rt.on_task_end(w1, 0)
+        rt.on_task_start(w2, 1)
+        assert rt.stats.lazy_invalidations == 0
+
+
+class TestReplicaRetirement:
+    def test_last_use_retires_stale_replicas(self):
+        """Regression: replicas of a never-written dependency must be
+        retired at its last predicted use or RRTs fill up (the LU leak)."""
+        rt, pt, flushes = make_runtime()
+        readers = [task((R, DepMode.IN)) for _ in range(2)]
+        for t in readers:
+            rt.on_task_created(t)
+        rt.on_task_start(readers[0], 0)  # replicates in cluster 0
+        rt.on_task_end(readers[0], 0)
+        flushes.clear()
+        rt.on_task_start(readers[1], 1)  # last use -> bypass + retirement
+        paddr = pt.translate(R.start)
+        # Old replica entries gone everywhere; only the bypass entry on
+        # core 1 remains.
+        assert rt.isa.rrts[0].lookup(paddr) is None
+        assert rt.isa.rrts[1].lookup(paddr) == 0
+        assert any(lvl == "llc" for lvl, _, _ in flushes)
+        rt.on_task_end(readers[1], 1)
+        assert rt.isa.rrts[1].lookup(paddr) is None
+        assert all(r.occupancy == 0 for r in rt.isa.rrts)
+
+
+class TestBypassOnlyVariant:
+    def test_reused_deps_untracked(self):
+        rt, pt, _ = make_runtime(bypass_only=True)
+        t1, t2 = task((R, DepMode.IN)), task((R, DepMode.IN))
+        rt.on_task_created(t1)
+        rt.on_task_created(t2)
+        rt.on_task_start(t1, 0)
+        assert rt.isa.rrts[0].lookup(pt.translate(R.start)) is None
+        assert rt.stats.untracked_decisions == 1
+
+    def test_bypass_still_happens(self):
+        rt, pt, _ = make_runtime(bypass_only=True)
+        t = task((R, DepMode.IN))
+        rt.on_task_created(t)
+        rt.on_task_start(t, 0)
+        assert rt.isa.rrts[0].lookup(pt.translate(R.start)) == 0
+
+
+class TestNoIsaMode:
+    def test_software_runs_hardware_untouched(self):
+        rt, pt, flushes = make_runtime(execute_isa=False)
+        t = task((R, DepMode.INOUT))
+        rt.on_task_created(t)
+        cycles = rt.on_task_start(t, 0)
+        assert cycles > 0  # software bookkeeping is charged
+        assert rt.isa.rrts[0].occupancy == 0
+        rt.on_task_end(t, 0)
+        assert flushes == []
+        assert rt.stats.decisions == 1
+
+
+class TestOccupancySampling:
+    def test_sampled_each_start(self):
+        rt, _, _ = make_runtime()
+        t1, t2 = task((R, DepMode.IN)), task((R, DepMode.IN))
+        rt.on_task_created(t1)
+        rt.on_task_created(t2)
+        rt.on_task_start(t1, 0)
+        assert rt.stats.occupancy_samples == 16
+        assert rt.stats.occupancy_max >= 1
+
+    def test_reset(self):
+        rt, _, _ = make_runtime()
+        t = task((R, DepMode.IN))
+        rt.on_task_created(t)
+        rt.on_task_start(t, 0)
+        rt.reset_stats()
+        assert rt.stats.occupancy_samples == 0
+        assert rt.usage == {}
+
+
+class TestUsageCensus:
+    def test_categories(self):
+        rt, _, _ = make_runtime()
+        r_in = Region(0x4000, 0x200)
+        r_out = Region(0x5000, 0x200)
+        r_both = Region(0x6000, 0x200)
+        tasks = [
+            task((r_in, DepMode.IN)),
+            task((r_in, DepMode.IN)),
+            task((r_out, DepMode.OUT)),
+            task((r_out, DepMode.OUT)),
+            task((r_both, DepMode.IN)),
+            task((r_both, DepMode.OUT)),
+            task((R, DepMode.IN)),  # single use -> always bypassed
+        ]
+        for t in tasks:
+            rt.on_task_created(t)
+        for i, t in enumerate(tasks):
+            rt.on_task_start(t, i % 16)
+            rt.on_task_end(t, i % 16)
+        cats = rt.dependency_categories()
+        assert [r.start for r in cats["not_reused"]] == [R.start]
+        assert [r.start for r in cats["in"]] == [r_in.start]
+        assert [r.start for r in cats["out"]] == [r_out.start]
+        assert [r.start for r in cats["both"]] == [r_both.start]

@@ -1,0 +1,174 @@
+"""Multiprogramming extension (Section III-D): PID-tagged RRTs, merged
+programs, process termination, thread migration."""
+
+import pytest
+
+from repro.deps import DepMode
+from repro.mem.region import Region
+from repro.runtime import Executor
+from repro.runtime.multiprog import MultiProcessRuntime, merge_programs
+from repro.runtime.task import Dependency, Program, Task
+from repro.sim.machine import build_machine
+
+from tests.conftest import tiny_config
+
+
+def make_program(base, n_tasks=6, name="p"):
+    prog = Program(name)
+    phase = prog.new_phase()
+    shared = Region(base, 0x400, f"{name}.shared")
+    for i in range(n_tasks):
+        chunk = Region(base + 0x1000 + i * 0x400, 0x400, f"{name}.c{i}")
+        phase.append(
+            Task(
+                f"{name}[{i}]",
+                (
+                    Dependency(shared, DepMode.IN),
+                    Dependency(chunk, DepMode.INOUT),
+                ),
+            )
+        )
+    return prog
+
+
+class TestMergePrograms:
+    def test_tags_and_interleaves(self):
+        merged = merge_programs(
+            {1: make_program(0x10000, name="a"), 2: make_program(0x80000, name="b")}
+        )
+        pids = {t.pid for t in merged.tasks}
+        assert pids == {1, 2}
+        assert merged.num_tasks == 12
+
+    def test_phase_alignment(self):
+        a = Program("a")
+        a.new_phase().append(
+            Task("a0", (Dependency(Region(0x10000, 64), DepMode.OUT),))
+        )
+        a.new_phase().append(
+            Task("a1", (Dependency(Region(0x10040, 64), DepMode.OUT),))
+        )
+        b = Program("b")
+        b.new_phase().append(
+            Task("b0", (Dependency(Region(0x80000, 64), DepMode.OUT),))
+        )
+        merged = merge_programs({1: a, 2: b})
+        assert [len(ph) for ph in merged.phases] == [2, 1]
+
+    def test_overlapping_address_spaces_rejected(self):
+        with pytest.raises(ValueError):
+            merge_programs(
+                {1: make_program(0x10000), 2: make_program(0x10000)}
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_programs({})
+
+
+class TestMultiProcessExecution:
+    def run_two(self):
+        cfg = tiny_config()
+        machine = build_machine(cfg, "tdnuca", fragmentation=0.0)
+        ext = MultiProcessRuntime(machine.mesh, machine.isa, pids=[1, 2])
+        merged = merge_programs(
+            {1: make_program(0x10000, name="a"), 2: make_program(0x80000, name="b")}
+        )
+        stats = Executor(machine, extension=ext).run(merged)
+        return machine, ext, stats
+
+    def test_both_processes_complete(self):
+        _, ext, stats = self.run_two()
+        assert stats.tasks_executed == 12
+        assert ext.context_switches > 0
+
+    def test_rrt_entries_tagged_per_pid(self):
+        """Snapshot RRT contents mid-run: both processes hold concurrent,
+        correctly tagged entries (no save/restore at context switches)."""
+        cfg = tiny_config()
+        machine = build_machine(cfg, "tdnuca", fragmentation=0.0)
+        ext = MultiProcessRuntime(machine.mesh, machine.isa, pids=[1, 2])
+        merged = merge_programs(
+            {1: make_program(0x10000, name="a"), 2: make_program(0x80000, name="b")}
+        )
+        seen = {1: 0, 2: 0}
+        orig = ext.on_task_start
+
+        def spy(task, core):
+            cycles = orig(task, core)
+            for rrt in machine.isa.rrts:
+                for pid in (1, 2):
+                    entries = rrt.entries(pid)
+                    assert all(e.pid == pid for e in entries)
+                    seen[pid] += len(entries)
+            return cycles
+
+        ext.on_task_start = spy
+        Executor(machine, extension=ext).run(merged)
+        assert seen[1] > 0 and seen[2] > 0
+
+    def test_per_process_decisions_isolated(self):
+        _, ext, _ = self.run_two()
+        for pid in (1, 2):
+            st = ext.runtimes[pid].stats
+            assert st.decisions == 12  # 6 tasks x 2 deps
+
+    def test_terminate_drops_entries(self):
+        machine, ext, _ = self.run_two()
+        # Simulate a process exiting while still holding RRT entries.
+        machine.isa.rrts[0].set_active_pid(2)
+        machine.isa.rrts[0].register(0x1000, 0x2000, 0b11)
+        machine.isa.rrts[5].set_active_pid(2)
+        machine.isa.rrts[5].register(0x1000, 0x2000, 0b11)
+        freed = ext.terminate(2)
+        assert freed == 2
+        assert all(not rrt.entries(2) for rrt in machine.isa.rrts)
+        assert 2 not in ext.runtimes
+
+    def test_unknown_pid_rejected(self):
+        cfg = tiny_config()
+        machine = build_machine(cfg, "tdnuca", fragmentation=0.0)
+        ext = MultiProcessRuntime(machine.mesh, machine.isa, pids=[1])
+        stray = Task(
+            "stray", (Dependency(Region(0x90000, 64), DepMode.IN),), pid=9
+        )
+        with pytest.raises(KeyError):
+            ext.on_task_created(stray)
+
+    def test_no_pids_rejected(self):
+        machine = build_machine(tiny_config(), "tdnuca")
+        with pytest.raises(ValueError):
+            MultiProcessRuntime(machine.mesh, machine.isa, pids=[])
+
+
+class TestThreadMigration:
+    def test_entries_move_and_l1_flushed(self):
+        from repro.runtime.extensions import TdNucaRuntime
+
+        cfg = tiny_config()
+        machine = build_machine(cfg, "tdnuca", fragmentation=0.0)
+        ext = TdNucaRuntime(machine.mesh, machine.isa)
+        region = Region(0x10000, 0x400)
+        t1 = Task("t1", (Dependency(region, DepMode.IN),))
+        t2 = Task("t2", (Dependency(region, DepMode.IN),))
+        ext.on_task_created(t1)
+        ext.on_task_created(t2)
+        ext.on_task_start(t1, 3)  # replicated; registered on core 3
+        machine.run_task_trace(3, t1)
+        assert machine.isa.rrts[3].occupancy > 0
+        assert machine.l1s[3].occupancy > 0
+
+        cycles = ext.on_thread_migration(3, 7)
+        assert cycles > 0
+        assert machine.isa.rrts[3].occupancy == 0
+        assert machine.isa.rrts[7].occupancy > 0
+        # The tracked region left core 3's private cache.
+        paddr = machine.pagetable.translate(region.start)
+        assert not machine.l1s[3].contains(paddr >> machine.amap.block_shift)
+
+    def test_same_core_noop(self):
+        from repro.runtime.extensions import TdNucaRuntime
+
+        machine = build_machine(tiny_config(), "tdnuca")
+        ext = TdNucaRuntime(machine.mesh, machine.isa)
+        assert ext.on_thread_migration(2, 2) == 0

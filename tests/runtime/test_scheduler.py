@@ -1,0 +1,103 @@
+"""Ready-queue policies."""
+
+from repro.deps import DepMode
+from repro.mem.region import Region
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    LocalityScheduler,
+    OrderedScheduler,
+    RandomScheduler,
+)
+from repro.runtime.task import Dependency, Task
+
+R = Region(0x1000, 0x100)
+
+
+def task(name, affinity=None):
+    return Task(name, (Dependency(R, DepMode.IN),), affinity=affinity)
+
+
+class TestFifo:
+    def test_order(self):
+        s = FifoScheduler()
+        a, b = task("a"), task("b")
+        s.add_ready(a)
+        s.add_ready(b)
+        assert s.next_task(0) is a
+        assert s.next_task(1) is b
+        assert s.next_task(0) is None
+
+    def test_len(self):
+        s = FifoScheduler()
+        assert not s.has_work()
+        s.add_ready(task("a"))
+        assert len(s) == 1 and s.has_work()
+
+
+class TestOrdered:
+    def test_program_order_beats_readiness_order(self):
+        s = OrderedScheduler()
+        a, b, c = task("a"), task("b"), task("c")
+        s.add_ready(c)
+        s.add_ready(a)  # created earlier (lower tid)
+        assert s.next_task(0) is a
+        s.add_ready(b)
+        assert s.next_task(0) is b
+        assert s.next_task(0) is c
+
+    def test_empty(self):
+        assert OrderedScheduler().next_task(0) is None
+
+
+class TestLocality:
+    def test_affinity_respected(self):
+        s = LocalityScheduler(4)
+        t = task("t", affinity=2)
+        s.add_ready(t)
+        assert s.next_task(2) is t
+
+    def test_global_fallback(self):
+        s = LocalityScheduler(4)
+        t = task("t")
+        s.add_ready(t)
+        assert s.next_task(3) is t
+
+    def test_stealing(self):
+        s = LocalityScheduler(4)
+        t = task("t", affinity=0)
+        s.add_ready(t)
+        assert s.next_task(1) is t  # stolen from core 0's queue
+
+    def test_own_queue_first(self):
+        s = LocalityScheduler(4)
+        mine = task("mine", affinity=1)
+        other = task("other")
+        s.add_ready(other)
+        s.add_ready(mine)
+        assert s.next_task(1) is mine
+
+    def test_len(self):
+        s = LocalityScheduler(2)
+        s.add_ready(task("a", affinity=0))
+        s.add_ready(task("b"))
+        assert len(s) == 2
+
+
+class TestRandom:
+    def test_seeded_determinism(self):
+        def run(seed):
+            s = RandomScheduler(seed)
+            ts = [task(str(i)) for i in range(10)]
+            for t in ts:
+                s.add_ready(t)
+            return [s.next_task(0).name for _ in range(10)]
+
+        assert run(7) == run(7)
+
+    def test_drains_everything(self):
+        s = RandomScheduler(0)
+        for i in range(20):
+            s.add_ready(task(str(i)))
+        names = {s.next_task(0).name for _ in range(20)}
+        assert len(names) == 20
+        assert s.next_task(0) is None

@@ -1,0 +1,104 @@
+"""Tasks, dependencies, access chunks, programs."""
+
+import pytest
+
+from repro.deps import DepMode
+from repro.mem.region import Region
+from repro.runtime.task import AccessChunk, Dependency, Program, Task
+
+RA = Region(0x1000, 0x400, "a")
+RB = Region(0x2000, 0x400, "b")
+
+
+class TestDependency:
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            Dependency(Region(0, 0), DepMode.IN)
+
+
+class TestAccessChunk:
+    def test_bad_passes(self):
+        with pytest.raises(ValueError):
+            AccessChunk(RA, False, 0)
+
+
+class TestTask:
+    def test_unique_tids(self):
+        t1 = Task("a", (Dependency(RA, DepMode.IN),))
+        t2 = Task("b", (Dependency(RA, DepMode.IN),))
+        assert t1.tid != t2.tid
+
+    def test_footprint(self):
+        t = Task("t", (Dependency(RA, DepMode.IN), Dependency(RB, DepMode.OUT)))
+        assert t.footprint_bytes() == 0x800
+
+    def test_dep_regions_filtered(self):
+        t = Task("t", (Dependency(RA, DepMode.IN), Dependency(RB, DepMode.OUT)))
+        assert t.dep_regions(DepMode.IN) == [RA]
+        assert t.dep_regions() == [RA, RB]
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            Task("t", (), read_passes=0)
+        with pytest.raises(ValueError):
+            Task("t", (), extra_compute_cycles=-1)
+
+
+class TestDerivedAccesses:
+    def test_in_becomes_read_sweep(self):
+        t = Task("t", (Dependency(RA, DepMode.IN),))
+        (chunk,) = t.effective_accesses()
+        assert not chunk.write and not chunk.rmw
+
+    def test_out_becomes_write_sweep(self):
+        t = Task("t", (Dependency(RA, DepMode.OUT),))
+        (chunk,) = t.effective_accesses()
+        assert chunk.write and not chunk.rmw
+
+    def test_inout_becomes_rmw(self):
+        t = Task("t", (Dependency(RA, DepMode.INOUT),))
+        (chunk,) = t.effective_accesses()
+        assert chunk.write and chunk.rmw
+
+    def test_reads_before_out_writes(self):
+        t = Task("t", (Dependency(RB, DepMode.OUT), Dependency(RA, DepMode.IN)))
+        chunks = t.effective_accesses()
+        assert [c.write for c in chunks] == [False, True]
+
+    def test_explicit_accesses_win(self):
+        explicit = (AccessChunk(RB, True, 3),)
+        t = Task("t", (Dependency(RA, DepMode.IN),), explicit)
+        assert t.effective_accesses() == explicit
+
+    def test_passes_propagate(self):
+        t = Task("t", (Dependency(RA, DepMode.IN),), read_passes=4)
+        assert t.effective_accesses()[0].passes == 4
+
+
+class TestProgram:
+    def test_add_creates_phase(self):
+        p = Program("p")
+        t = Task("t", (Dependency(RA, DepMode.IN),))
+        p.add(t)
+        assert p.num_tasks == 1
+        assert len(p.phases) == 1
+
+    def test_new_phase_is_taskwait(self):
+        p = Program("p")
+        p.add(Task("a", (Dependency(RA, DepMode.IN),)))
+        p.new_phase()
+        p.add(Task("b", (Dependency(RA, DepMode.IN),)))
+        assert [len(ph) for ph in p.phases] == [1, 1]
+
+    def test_tasks_in_program_order(self):
+        p = Program("p")
+        a = p.add(Task("a", (Dependency(RA, DepMode.IN),)))
+        p.new_phase()
+        b = p.add(Task("b", (Dependency(RA, DepMode.IN),)))
+        assert p.tasks == [a, b]
+
+    def test_unique_footprint(self):
+        p = Program("p")
+        p.add(Task("a", (Dependency(RA, DepMode.IN),)))
+        p.add(Task("b", (Dependency(RA, DepMode.INOUT), Dependency(RB, DepMode.OUT))))
+        assert p.total_footprint_bytes() == 0x800  # RA counted once

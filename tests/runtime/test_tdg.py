@@ -1,0 +1,169 @@
+"""Task dependency graph construction."""
+
+import pytest
+
+from repro.deps import DepMode
+from repro.mem.region import Region
+from repro.runtime.task import Dependency, Task
+from repro.runtime.tdg import TaskGraph
+
+R = Region(0x1000, 0x400)
+R2 = Region(0x2000, 0x400)
+
+
+def task(name, *deps):
+    return Task(name, tuple(Dependency(r, m) for r, m in deps))
+
+
+class TestEdges:
+    def test_raw_edge(self):
+        g = TaskGraph()
+        w = task("w", (R, DepMode.OUT))
+        r = task("r", (R, DepMode.IN))
+        g.add_task(w)
+        g.add_task(r)
+        assert g.successors_of(w) == [r]
+        assert g.pending_of(r) == 1
+        assert g.edges == 1
+
+    def test_waw_edge(self):
+        g = TaskGraph()
+        w1 = task("w1", (R, DepMode.OUT))
+        w2 = task("w2", (R, DepMode.OUT))
+        g.add_task(w1)
+        g.add_task(w2)
+        assert g.successors_of(w1) == [w2]
+
+    def test_war_edge(self):
+        g = TaskGraph()
+        r = task("r", (R, DepMode.IN))
+        w = task("w", (R, DepMode.OUT))
+        g.add_task(r)
+        g.add_task(w)
+        assert g.successors_of(r) == [w]
+
+    def test_readers_do_not_serialize(self):
+        g = TaskGraph()
+        w = task("w", (R, DepMode.OUT))
+        r1 = task("r1", (R, DepMode.IN))
+        r2 = task("r2", (R, DepMode.IN))
+        for t in (w, r1, r2):
+            g.add_task(t)
+        assert g.successors_of(r1) == []
+        assert set(t.name for t in g.successors_of(w)) == {"r1", "r2"}
+
+    def test_writer_after_readers_waits_for_all(self):
+        g = TaskGraph()
+        w1 = task("w1", (R, DepMode.OUT))
+        r1 = task("r1", (R, DepMode.IN))
+        r2 = task("r2", (R, DepMode.IN))
+        w2 = task("w2", (R, DepMode.OUT))
+        for t in (w1, r1, r2, w2):
+            g.add_task(t)
+        # WAW from w1 (still the last writer) plus WAR from both readers.
+        assert g.pending_of(w2) == 3
+
+    def test_inout_chains(self):
+        g = TaskGraph()
+        ts = [task(f"t{i}", (R, DepMode.INOUT)) for i in range(4)]
+        for t in ts:
+            g.add_task(t)
+        for a, b in zip(ts, ts[1:]):
+            assert g.successors_of(a) == [b]
+
+    def test_no_self_edge(self):
+        g = TaskGraph()
+        t = task("t", (R, DepMode.IN), (R, DepMode.OUT))
+        g.add_task(t)
+        assert g.pending_of(t) == 0
+
+    def test_disjoint_regions_no_edges(self):
+        g = TaskGraph()
+        g.add_task(task("a", (R, DepMode.OUT)))
+        g.add_task(task("b", (R2, DepMode.OUT)))
+        assert g.edges == 0
+
+    def test_duplicate_edges_collapsed(self):
+        g = TaskGraph()
+        a = task("a", (R, DepMode.OUT), (R2, DepMode.OUT))
+        b = task("b", (R, DepMode.IN), (R2, DepMode.IN))
+        g.add_task(a)
+        g.add_task(b)
+        assert g.edges == 1
+        assert g.pending_of(b) == 1
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        t = task("t", (R, DepMode.IN))
+        g.add_task(t)
+        with pytest.raises(ValueError):
+            g.add_task(t)
+
+
+class TestReadiness:
+    def test_initial_ready(self):
+        g = TaskGraph()
+        a = task("a", (R, DepMode.OUT))
+        b = task("b", (R, DepMode.IN))
+        c = task("c", (R2, DepMode.OUT))
+        for t in (a, b, c):
+            g.add_task(t)
+        assert set(t.name for t in g.initial_ready()) == {"a", "c"}
+
+    def test_mark_finished_releases(self):
+        g = TaskGraph()
+        a = task("a", (R, DepMode.OUT))
+        b = task("b", (R, DepMode.IN))
+        g.add_task(a)
+        g.add_task(b)
+        g.initial_ready()
+        assert g.mark_finished(a) == [b]
+        assert g.all_finished() is False
+        g.mark_finished(b)
+        assert g.all_finished()
+
+    def test_diamond(self):
+        g = TaskGraph()
+        src = task("src", (R, DepMode.OUT), (R2, DepMode.OUT))
+        left = task("left", (R, DepMode.IN))
+        right = task("right", (R2, DepMode.IN))
+        sink = task("sink", (R, DepMode.IN), (R2, DepMode.IN))
+        for t in (src, left, right, sink):
+            g.add_task(t)
+        assert g.initial_ready() == [src]
+        released = g.mark_finished(src)
+        assert set(t.name for t in released) == {"left", "right", "sink"}
+
+
+class TestIntervalMode:
+    def test_partial_overlap_detected(self):
+        g = TaskGraph("interval")
+        w = task("w", (Region(0x1000, 0x400), DepMode.OUT))
+        r = task("r", (Region(0x1200, 0x400), DepMode.IN))  # overlaps half
+        g.add_task(w)
+        g.add_task(r)
+        assert g.successors_of(w) == [r]
+
+    def test_exact_mode_misses_partial_overlap(self):
+        g = TaskGraph("exact")
+        w = task("w", (Region(0x1000, 0x400), DepMode.OUT))
+        r = task("r", (Region(0x1200, 0x400), DepMode.IN))
+        g.add_task(w)
+        g.add_task(r)
+        assert g.edges == 0  # documented limitation of exact keying
+
+    def test_section_spanning_producers(self):
+        """A reduction reading one array section spanning many slices."""
+        g = TaskGraph("interval")
+        big = Region(0x1000, 0x1000)
+        slices = [big.subregion(i * 0x400, 0x400) for i in range(4)]
+        producers = [task(f"p{i}", (s, DepMode.OUT)) for i, s in enumerate(slices)]
+        reducer = task("red", (big, DepMode.IN))
+        for t in producers:
+            g.add_task(t)
+        g.add_task(reducer)
+        assert g.pending_of(reducer) == 4
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            TaskGraph("fuzzy")

@@ -1,0 +1,83 @@
+"""TDG visualization (DOT export)."""
+
+from repro.deps import DepMode
+from repro.mem.region import Region
+from repro.runtime.task import Dependency, Program, Task
+from repro.runtime.tdgviz import program_to_dot, tdg_edge_list
+
+
+def make_program():
+    prog = Program("demo")
+    phase = prog.new_phase()
+    r = Region(0x1000, 0x100)
+    a = Task("produce[0]", (Dependency(r, DepMode.OUT),))
+    b = Task("consume[0]", (Dependency(r, DepMode.IN),))
+    c = Task("consume[1]", (Dependency(r, DepMode.IN),))
+    phase.extend([a, b, c])
+    return prog, (a, b, c)
+
+
+class TestEdgeList:
+    def test_raw_edges(self):
+        prog, (a, b, c) = make_program()
+        edges = tdg_edge_list(prog)
+        assert (a, b) in edges and (a, c) in edges
+        assert len(edges) == 2
+
+    def test_max_tasks_clips(self):
+        prog, (a, b, c) = make_program()
+        edges = tdg_edge_list(prog, max_tasks=2)
+        assert edges == [(a, b)]
+
+    def test_phases_independent(self):
+        prog, _ = make_program()
+        r2 = Region(0x9000, 0x100)
+        phase2 = prog.new_phase()
+        phase2.append(Task("later[0]", (Dependency(r2, DepMode.IN),)))
+        edges = tdg_edge_list(prog)
+        assert len(edges) == 2  # no cross-phase edges (taskwait barrier)
+
+
+class TestDot:
+    def test_valid_structure(self):
+        prog, (a, b, c) = make_program()
+        dot = program_to_dot(prog)
+        assert dot.startswith('digraph "demo"')
+        assert dot.rstrip().endswith("}")
+        assert f"t{a.tid} -> t{b.tid};" in dot
+        assert f'label="produce[0]"' in dot
+
+    def test_kernels_colored_consistently(self):
+        prog, (a, b, c) = make_program()
+        dot = program_to_dot(prog)
+        color_of = {}
+        for line in dot.splitlines():
+            if "label=" in line:
+                name = line.split('label="')[1].split('"')[0]
+                color = line.split('fillcolor="')[1].split('"')[0]
+                color_of[name] = color
+        assert color_of["consume[0]"] == color_of["consume[1]"]
+        assert color_of["produce[0]"] != color_of["consume[0]"]
+
+    def test_warmup_skipped_by_default(self):
+        prog, _ = make_program()
+        init_phase = [Task("init[0]", (Dependency(Region(0x1000, 0x100), DepMode.OUT),))]
+        prog.phases.insert(0, init_phase)
+        prog.warmup_phases = 1
+        assert "init[0]" not in program_to_dot(prog)
+        assert "init[0]" in program_to_dot(prog, include_warmup=True)
+
+    def test_max_tasks_limits_nodes(self):
+        prog, (a, b, c) = make_program()
+        dot = program_to_dot(prog, max_tasks=1)
+        assert "produce[0]" in dot
+        assert "consume[1]" not in dot
+
+    def test_cholesky_renders(self):
+        from repro.config import scaled_config
+        from repro.workloads.registry import get_workload
+
+        prog = get_workload("cholesky").build(scaled_config(1 / 1024))
+        dot = program_to_dot(prog, max_tasks=40)
+        assert "potrf[0]" in dot
+        assert "->" in dot

@@ -1,0 +1,80 @@
+"""Memory controllers and the row-buffer model."""
+
+import pytest
+
+from repro.config import LatencyConfig
+from repro.noc.topology import Mesh
+from repro.sim.dram import MemoryControllers
+
+MESH = Mesh(4, 4)
+
+
+def make_mc():
+    return MemoryControllers(MESH, LatencyConfig())
+
+
+class TestPlacement:
+    def test_controllers_at_corners(self):
+        mc = make_mc()
+        assert set(mc.tiles) == {0, 3, 12, 15}
+
+    def test_block_interleaving(self):
+        mc = make_mc()
+        assert mc.controller_for(0) == mc.tiles[0]
+        assert mc.controller_for(1) == mc.tiles[1]
+        assert mc.controller_for(4) == mc.tiles[0]
+
+    def test_degenerate_mesh_dedup(self):
+        mc = MemoryControllers(Mesh(1, 4, 1, 2))
+        assert len(mc.tiles) == 2
+
+
+class TestRowBuffer:
+    def test_first_access_row_miss(self):
+        mc = make_mc()
+        _, cycles = mc.read(0)
+        assert cycles == LatencyConfig().dram
+        assert mc.stats.row_misses == 1
+
+    def test_sequential_same_controller_hits(self):
+        mc = make_mc()
+        lat = LatencyConfig()
+        mc.read(0)
+        # Block 4 -> same controller (4 MCs), same 32-block row.
+        _, cycles = mc.read(4)
+        assert cycles == lat.dram_row_hit
+        assert mc.stats.row_hits == 1
+
+    def test_far_block_misses_row(self):
+        mc = make_mc()
+        mc.read(0)
+        _, cycles = mc.read(4096)
+        assert cycles == LatencyConfig().dram
+
+    def test_per_controller_rows(self):
+        mc = make_mc()
+        mc.read(0)  # MC 0
+        mc.read(1)  # MC 1, its own open row
+        _, cycles = mc.read(4)  # MC 0 again, row still open
+        assert cycles == LatencyConfig().dram_row_hit
+
+    def test_writes_update_row(self):
+        mc = make_mc()
+        mc.write(0)
+        _, cycles = mc.read(4)
+        assert cycles == LatencyConfig().dram_row_hit
+
+    def test_stats(self):
+        mc = make_mc()
+        mc.read(0)
+        mc.write(4)
+        assert mc.stats.reads == 1
+        assert mc.stats.writes == 1
+        assert mc.stats.accesses == 2
+        assert mc.stats.row_hit_ratio == pytest.approx(0.5)
+
+    def test_streaming_sweep_mostly_hits(self):
+        mc = make_mc()
+        for blk in range(256):
+            mc.read(blk)
+        assert mc.stats.row_hit_ratio >= 0.85

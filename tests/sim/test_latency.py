@@ -1,0 +1,34 @@
+"""Latency composition."""
+
+from repro.config import LatencyConfig
+from repro.sim.latency import LatencyModel
+
+LAT = LatencyModel(LatencyConfig())
+CFG = LatencyConfig()
+HOP = CFG.noc_per_hop()
+
+
+class TestComposition:
+    def test_local_llc_hit(self):
+        assert LAT.llc_access(0) == CFG.l1_hit + CFG.llc_hit
+
+    def test_remote_llc_hit_round_trip(self):
+        assert LAT.llc_access(3) == CFG.l1_hit + 6 * HOP + CFG.llc_hit
+
+    def test_miss_detect_cheaper_than_hit(self):
+        assert LAT.llc_miss_detect(2) < LAT.llc_access(2)
+
+    def test_miss_extra(self):
+        assert LAT.llc_miss_extra(2, 120) == 4 * HOP + 120
+
+    def test_bypass_skips_llc(self):
+        bypass = LAT.bypass_access(3, 120)
+        through = LAT.llc_miss_detect(3) + LAT.llc_miss_extra(0, 120)
+        assert bypass < through
+
+    def test_row_hit_propagates(self):
+        assert LAT.bypass_access(2, 45) == LAT.bypass_access(2, 120) - 75
+
+    def test_monotone_in_distance(self):
+        for h in range(6):
+            assert LAT.llc_access(h) < LAT.llc_access(h + 1)

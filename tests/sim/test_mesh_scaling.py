@@ -1,0 +1,91 @@
+"""The machine generalizes beyond the paper's 4x4 mesh.
+
+TD-NUCA's mechanisms (interleaving fallback, cluster replication, bank
+masks) are defined for any power-of-two tile count; these tests run small
+programs on 2x2, 4x2 and 8x8 meshes under every policy.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.deps import DepMode
+from repro.experiments.runner import build_runtime
+from repro.mem.allocator import VirtualAllocator
+from repro.runtime import Dependency, Executor, Program, Task
+from repro.sim.machine import build_machine
+
+from tests.conftest import tiny_config
+
+
+def mesh_config(w, h, cw, ch):
+    return replace(
+        tiny_config(), mesh_width=w, mesh_height=h,
+        cluster_width=cw, cluster_height=ch,
+    )
+
+
+def small_program(n=12):
+    alloc = VirtualAllocator()
+    shared = alloc.allocate(2048, "shared")
+    prog = Program("p")
+    phase = prog.new_phase()
+    for i in range(n):
+        chunk = alloc.allocate(1024, f"c{i}")
+        phase.append(
+            Task(
+                f"t[{i}]",
+                (
+                    Dependency(shared, DepMode.IN),
+                    Dependency(chunk, DepMode.INOUT),
+                ),
+            )
+        )
+    return prog
+
+
+MESHES = [(2, 2, 2, 2), (4, 2, 2, 2), (8, 8, 2, 2), (4, 4, 4, 4)]
+
+
+@pytest.mark.parametrize("w,h,cw,ch", MESHES)
+@pytest.mark.parametrize("policy", ["snuca", "rnuca", "dnuca", "tdnuca"])
+def test_policies_run_on_any_mesh(w, h, cw, ch, policy):
+    cfg = mesh_config(w, h, cw, ch)
+    machine = build_machine(cfg, policy)
+    ext = build_runtime(machine, policy)
+    stats = Executor(machine, extension=ext).run(small_program())
+    assert stats.tasks_executed == 12
+    ms = machine.collect_stats()
+    assert 0 <= ms.mean_nuca_distance <= machine.mesh.diameter()
+
+
+def test_cluster_masks_scale_with_mesh():
+    """On an 8x8 mesh, replication masks carry the 2x2 local cluster."""
+    cfg = mesh_config(8, 8, 2, 2)
+    machine = build_machine(cfg, "tdnuca")
+    ext = build_runtime(machine, "tdnuca")
+    Executor(machine, extension=ext).run(small_program())
+    assert ext.stats.replicate_decisions > 0
+    # Bank masks never exceed the tile count.
+    for rrt in machine.isa.rrts:
+        for entry in rrt.entries():
+            assert entry.bank_mask < (1 << 64)
+
+
+def test_whole_chip_cluster_means_single_copy():
+    """cluster == mesh: 'replication' degenerates to one spread copy."""
+    cfg = mesh_config(4, 4, 4, 4)
+    machine = build_machine(cfg, "tdnuca")
+    assert machine.mesh.num_clusters == 1
+    ext = build_runtime(machine, "tdnuca")
+    Executor(machine, extension=ext).run(small_program())
+    assert ext.stats.replicate_decisions > 0
+
+
+def test_non_power_of_two_mesh_rejected_for_interleaving():
+    cfg = replace(
+        tiny_config(), mesh_width=3, mesh_height=3,
+        cluster_width=3, cluster_height=3,
+    )
+    with pytest.raises(ValueError):
+        build_machine(cfg, "tdnuca")

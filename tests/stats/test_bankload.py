@@ -1,0 +1,61 @@
+"""Per-bank LLC load analysis."""
+
+import pytest
+
+from repro.cache.llc import NucaLLC
+from repro.noc.topology import Mesh
+from repro.stats.bankload import bank_access_shares, load_imbalance, mesh_heatmap
+
+MESH = Mesh(4, 4)
+
+
+def make_llc():
+    return NucaLLC(16, 1024, 4, 64)
+
+
+class TestShares:
+    def test_empty(self):
+        shares = bank_access_shares(make_llc())
+        assert shares == [0.0] * 16
+
+    def test_shares_sum_to_one(self):
+        llc = make_llc()
+        llc.access(0, 1, False)
+        llc.access(0, 2, False)
+        llc.access(5, 3, False)
+        shares = bank_access_shares(llc)
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(2 / 3)
+
+    def test_uniform_balance(self):
+        llc = make_llc()
+        for bank in range(16):
+            llc.access(bank, bank, False)
+        assert load_imbalance(llc) == pytest.approx(1.0)
+
+    def test_concentrated_imbalance(self):
+        llc = make_llc()
+        for _ in range(16):
+            llc.access(3, 1, False)
+        assert load_imbalance(llc) == pytest.approx(16.0)
+
+    def test_empty_imbalance_is_one(self):
+        assert load_imbalance(make_llc()) == 1.0
+
+
+class TestHeatmap:
+    def test_layout(self):
+        llc = make_llc()
+        llc.access(0, 1, False)
+        out = mesh_heatmap(llc, MESH, "title")
+        lines = out.splitlines()
+        assert lines[0] == "title"
+        assert len(lines) == 6  # title + 4 rows + imbalance
+        assert "imbalance" in lines[-1]
+
+    def test_percentages_present(self):
+        llc = make_llc()
+        for bank in range(16):
+            llc.access(bank, bank, False)
+        out = mesh_heatmap(llc, MESH)
+        assert out.count("6.2%") + out.count("6.3%") == 16

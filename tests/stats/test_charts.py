@@ -1,0 +1,69 @@
+"""ASCII chart rendering."""
+
+from repro.stats.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("█") == 10
+        assert a_line.count("█") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart({"x": 1.0, "longname": 1.0})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_printed(self):
+        out = bar_chart({"a": 1.234}, fmt="{:.2f}")
+        assert "1.23" in out
+
+    def test_title_and_reference(self):
+        out = bar_chart({"a": 1.0}, title="T", reference=2.0)
+        assert out.splitlines()[0] == "T"
+        assert "(reference)" in out
+
+    def test_empty(self):
+        assert bar_chart({}, title="T") == "T"
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0})
+        assert "█" not in out
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        out = grouped_bar_chart(
+            {"b1": {"s1": 1.0, "s2": 2.0}, "b2": {"s1": 0.5, "s2": 1.5}}
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("b1")
+        assert lines[1].startswith(" ")  # continuation row
+        assert lines[2].startswith("b2")
+
+    def test_shared_scale(self):
+        out = grouped_bar_chart(
+            {"b1": {"s": 4.0}, "b2": {"s": 2.0}}, width=8
+        )
+        l1, l2 = out.splitlines()
+        assert l1.count("█") == 8
+        assert l2.count("█") == 4
+
+    def test_empty(self):
+        assert grouped_bar_chart({}, title="T") == "T"
+
+
+class TestFigureChart:
+    def test_figure_to_chart(self):
+        from repro.experiments.figures import Figure, FigureSeries
+
+        fig = Figure(
+            "Fig.X",
+            "demo",
+            [FigureSeries("a", {"w1": 1.0, "w2": 2.0})],
+        )
+        out = fig.to_chart(width=10)
+        assert "Fig.X" in out
+        assert "AVG" in out

@@ -1,0 +1,45 @@
+"""Report formatting helpers."""
+
+import pytest
+
+from repro.stats.report import format_table, geomean, normalize_series
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(["a", "bench"], [["1", "x"], ["22", "yy"]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bench" in lines[1]
+        assert len(lines) == 5
+
+    def test_no_title(self):
+        text = format_table(["h"], [["v"]])
+        assert text.splitlines()[0].startswith("h")
+
+
+class TestNormalize:
+    def test_ratios(self):
+        out = normalize_series({"a": 2.0, "b": 6.0}, {"a": 4.0, "b": 3.0})
+        assert out == {"a": 0.5, "b": 2.0}
+
+    def test_zero_baseline(self):
+        assert normalize_series({"a": 5.0}, {"a": 0.0}) == {"a": 0.0}
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            normalize_series({"a": 1.0}, {})
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 0.0, -1.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0

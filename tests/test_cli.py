@@ -1,0 +1,80 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_validates_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nbody", "tdnuca"])
+
+    def test_run_validates_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "md5", "hnuca"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "md5" in out and "tdnuca" in out
+
+    def test_config(self, capsys):
+        assert main(["config", "--scale", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "16 cores" in out
+        assert "RRT" in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "md5", "snuca", "--scale", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "LLC hit ratio" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "md5", "tdnuca", "--scale", "2048", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "md5"
+        assert payload["tdnuca_runtime"]["bypass"] > 0
+
+    def test_figures_subset(self, capsys):
+        rc = main(
+            [
+                "figures", "--scale", "2048", "--only", "fig8",
+                "--workloads", "md5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig.8" in out
+
+    def test_figures_chart_mode(self, capsys):
+        rc = main(
+            [
+                "figures", "--scale", "2048", "--only", "fig8",
+                "--workloads", "md5", "--chart",
+            ]
+        )
+        assert rc == 0
+        assert "█" in capsys.readouterr().out
+
+    def test_sweep_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        rc = main(
+            [
+                "sweep", "--scale", "2048", "--out", str(out_file),
+                "--policies", "snuca", "tdnuca",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out_file.read_text())
+        assert "md5/tdnuca" in payload
+        assert len(payload) == 16  # 8 workloads x 2 policies

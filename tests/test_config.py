@@ -1,0 +1,148 @@
+"""Configuration defaults, validation and scaling."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    EnergyConfig,
+    LatencyConfig,
+    SystemConfig,
+    paper_config,
+    scaled_config,
+)
+
+
+class TestPaperConfig:
+    def test_table1_core_count(self):
+        cfg = paper_config()
+        assert cfg.num_cores == 16
+        assert cfg.num_banks == 16
+
+    def test_table1_cache_sizes(self):
+        cfg = paper_config()
+        assert cfg.l1_bytes == 32 * 1024
+        assert cfg.l1_assoc == 8
+        assert cfg.llc_bank_bytes == 2 * 1024 * 1024
+        assert cfg.llc_assoc == 16
+        assert cfg.llc_total_bytes == 32 * 1024 * 1024
+
+    def test_table1_latencies(self):
+        lat = paper_config().latency
+        assert lat.l1_hit == 2
+        assert lat.llc_hit == 15
+        assert lat.noc_link == 1
+        assert lat.noc_router == 1
+        assert lat.rrt_lookup == 1
+
+    def test_table1_structures(self):
+        cfg = paper_config()
+        assert cfg.tlb_entries == 64
+        assert cfg.rrt_entries == 64
+        assert cfg.physical_address_bits == 42
+        assert cfg.block_bytes == 64
+        assert cfg.page_bytes == 4096
+
+    def test_clusters_are_quadrants(self):
+        cfg = paper_config()
+        assert cfg.num_clusters == 4
+        assert cfg.cluster_size == 4
+
+    def test_blocks_per_page(self):
+        assert paper_config().blocks_per_page == 64
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        paper_config().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("block_bytes", 48),
+            ("page_bytes", 3000),
+            ("l1_bytes", 0),
+            ("llc_bank_bytes", -4096),
+        ],
+    )
+    def test_non_power_of_two_rejected(self, field, value):
+        cfg = replace(SystemConfig(), **{field: value})
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_page_must_hold_blocks(self):
+        cfg = replace(SystemConfig(), block_bytes=4096, page_bytes=64)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_cluster_must_divide_mesh(self):
+        cfg = replace(SystemConfig(), cluster_width=3)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_l1_must_hold_one_set(self):
+        cfg = replace(SystemConfig(), l1_bytes=256, l1_assoc=8)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_rrt_entries_positive(self):
+        cfg = replace(SystemConfig(), rrt_entries=0)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+
+class TestScaledConfig:
+    def test_identity_scale(self):
+        cfg = scaled_config(1.0)
+        assert cfg.l1_bytes == 32 * 1024
+        assert cfg.llc_bank_bytes == 2 * 1024 * 1024
+        assert cfg.page_bytes == 4096
+
+    def test_capacities_scale(self):
+        cfg = scaled_config(1 / 64)
+        assert cfg.llc_bank_bytes == 32 * 1024
+        assert cfg.capacity_scale == pytest.approx(1 / 64)
+
+    def test_page_scales_as_sqrt(self):
+        assert scaled_config(1 / 64).page_bytes == 512
+        assert scaled_config(1 / 16).page_bytes == 1024
+
+    def test_l1_floor(self):
+        assert scaled_config(1 / 1024).l1_bytes == 2048
+
+    def test_page_floor(self):
+        assert scaled_config(1 / 4096).page_bytes == 512
+
+    def test_block_size_preserved(self):
+        assert scaled_config(1 / 256).block_bytes == 64
+
+    def test_result_is_valid(self):
+        for f in (1.0, 0.5, 1 / 64, 1 / 1000):
+            scaled_config(f).validate()
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0, 1.5])
+    def test_bad_factor_rejected(self, factor):
+        with pytest.raises(ValueError):
+            scaled_config(factor)
+
+
+class TestLatencyConfig:
+    def test_per_hop_includes_contention(self):
+        lat = LatencyConfig(noc_link=1, noc_router=1, noc_contention=2)
+        assert lat.noc_per_hop() == 4
+
+    def test_unloaded_per_hop(self):
+        lat = LatencyConfig(noc_contention=0)
+        assert lat.noc_per_hop() == 2
+
+
+class TestEnergyConfig:
+    def test_rrt_tcam_factor(self):
+        e = EnergyConfig(rrt_sram_lookup=1.0, rrt_tcam_factor=30.0)
+        assert e.rrt_lookup_energy() == pytest.approx(30.0)
+
+    def test_defaults_ordering(self):
+        # LLC events must dwarf L1 events, DRAM must dwarf LLC.
+        e = EnergyConfig()
+        assert e.l1_access < e.llc_tag_probe < e.llc_read <= e.llc_write
+        assert e.dram_access > e.llc_write

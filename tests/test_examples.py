@@ -1,0 +1,58 @@
+"""Every shipped example must run to completion.
+
+These are subprocess smoke tests: they execute the example scripts the
+way a user would and check for a clean exit and the expected headline
+output.  The slower ones are kept honest but bounded by choosing the
+quick paths where the script offers one.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "S-NUCA vs R-NUCA vs TD-NUCA" in out
+        assert "RRT occupancy" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "cluster replicate" in out
+
+    def test_policy_comparison_quick(self):
+        out = run_example("policy_comparison.py", "--quick", "--scale", "512")
+        assert "Fig.8" in out and "Fig.14" in out
+
+    def test_rrt_sensitivity(self):
+        out = run_example("rrt_sensitivity.py")
+        assert "RRT latency sensitivity" in out
+        assert "RRT capacity ablation" in out
+
+    def test_cholesky_tdg(self, tmp_path):
+        dot = tmp_path / "chol.dot"
+        out = run_example("cholesky_tdg.py", "--dot", str(dot))
+        assert "Cholesky:" in out
+        assert dot.read_text().startswith('digraph "cholesky"')
+
+    def test_multiprogramming(self):
+        out = run_example("multiprogramming.py")
+        assert "PID-tagged" in out
+        assert "context" in out

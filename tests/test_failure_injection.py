@@ -1,0 +1,91 @@
+"""Failure injection: the system must degrade gracefully, never break.
+
+The paper's design guarantees functionality is preserved when resources
+run out — full RRTs fall back to S-NUCA interleaving, tiny TLBs just
+re-walk, fragmented page tables only cost RRT entries.  These tests
+starve each resource and check both completion and graceful degradation.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import scaled_config
+from repro.experiments.runner import run_experiment
+
+CFG = scaled_config(1 / 2048)
+
+
+class TestStarvedRRT:
+    def test_one_entry_rrt_still_completes(self):
+        cfg = replace(CFG, rrt_entries=1)
+        r = run_experiment("lu", "tdnuca", cfg)
+        assert r.execution.tasks_executed > 0
+        assert r.runtime.occupancy_max <= 1
+
+    def test_starved_rrt_converges_to_snuca_distance(self):
+        """With (almost) nothing tracked, TD-NUCA behaves like S-NUCA."""
+        starved = run_experiment("lu", "tdnuca", replace(CFG, rrt_entries=1))
+        snuca = run_experiment("lu", "snuca", CFG)
+        assert (
+            abs(starved.machine.mean_nuca_distance - snuca.machine.mean_nuca_distance)
+            < 0.8
+        )
+
+    def test_work_identical_regardless_of_capacity(self):
+        small = run_experiment("kmeans", "tdnuca", replace(CFG, rrt_entries=2))
+        large = run_experiment("kmeans", "tdnuca", CFG)
+        assert small.machine.l1.accesses == large.machine.l1.accesses
+
+
+class TestStarvedTLB:
+    def test_tiny_tlb_completes_with_low_hit_ratio(self):
+        cfg = replace(CFG, tlb_entries=2)
+        r = run_experiment("jacobi", "tdnuca", cfg)
+        assert r.execution.tasks_executed > 0
+        full = run_experiment("jacobi", "tdnuca", CFG)
+        assert r.machine.tlb.hit_ratio <= full.machine.tlb.hit_ratio
+
+
+class TestFragmentedPhysicalMemory:
+    def test_full_fragmentation_completes(self):
+        r = run_experiment("md5", "tdnuca", CFG, seed=3)
+        frag = run_experiment("md5", "tdnuca", CFG, seed=3)
+        assert frag.execution.tasks_executed == r.execution.tasks_executed
+
+    def test_fragmentation_costs_rrt_entries_not_correctness(self):
+        from repro.sim.machine import build_machine
+        from repro.experiments.runner import build_runtime
+        from repro.runtime import Executor
+        from repro.workloads.registry import get_workload
+
+        occupancies = {}
+        for frag in (0.0, 1.0):
+            machine = build_machine(CFG, "tdnuca", fragmentation=frag)
+            ext = build_runtime(machine, "tdnuca")
+            prog = get_workload("jacobi").build(CFG)
+            Executor(machine, extension=ext).run(prog)
+            occupancies[frag] = ext.stats.occupancy_max
+        assert occupancies[1.0] >= occupancies[0.0]
+
+
+class TestDegenerateCaches:
+    def test_minimal_l1(self):
+        cfg = replace(CFG, l1_bytes=2048, l1_assoc=8)
+        r = run_experiment("md5", "tdnuca", cfg)
+        assert r.execution.tasks_executed == 128
+
+    def test_minimal_llc_banks(self):
+        cfg = replace(CFG, llc_bank_bytes=16 * 1024)
+        for pol in ("snuca", "rnuca", "tdnuca"):
+            r = run_experiment("kmeans", pol, cfg)
+            assert r.execution.tasks_executed > 0
+
+
+class TestZeroNondepTraffic:
+    def test_runs_without_scratch(self):
+        cfg = replace(CFG, nondep_blocks_per_task=0)
+        r = run_experiment("md5", "tdnuca", cfg)
+        assert r.execution.tasks_executed == 128
+        # Without scratch, essentially everything bypasses.
+        assert r.machine.llc_accesses < 300

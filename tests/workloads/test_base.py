@@ -1,0 +1,124 @@
+"""Workload infrastructure: BlockedGrid, init phases, scaling."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.deps import DepMode
+from repro.mem.allocator import VirtualAllocator
+from repro.mem.region import Region
+from repro.runtime.task import Dependency, Program, Task
+from repro.workloads.base import BlockedGrid, add_init_phase, round_up
+from repro.workloads.registry import get_workload
+
+
+class TestRoundUp:
+    def test_rounds(self):
+        assert round_up(100, 64) == 128
+        assert round_up(128, 64) == 128
+        assert round_up(1, 64) == 64
+        assert round_up(0, 64) == 64
+
+    def test_bad_multiple(self):
+        with pytest.raises(ValueError):
+            round_up(10, 0)
+
+
+class TestBlockedGrid:
+    def make(self, nx=3, ny=2, cell=1024, edge=64):
+        return BlockedGrid(VirtualAllocator(), "g", nx, ny, cell, edge, 64)
+
+    def test_cell_layout(self):
+        grid = self.make()
+        cell = grid.cell(0, 0)
+        # N, S, W, E edges then interior, contiguous.
+        assert cell.north.end == cell.south.start
+        assert cell.south.end == cell.west.start
+        assert cell.west.end == cell.east.start
+        assert cell.east.end == cell.interior.start
+        assert cell.whole.size == grid.cell_bytes
+
+    def test_cells_disjoint(self):
+        grid = self.make()
+        a, b = grid.cell(0, 0).whole, grid.cell(1, 0).whole
+        assert not a.overlaps(b)
+
+    def test_edges_block_aligned(self):
+        grid = self.make(edge=50)  # rounded up to 64
+        assert grid.edge_bytes == 64
+        assert grid.cell(0, 0).north.size == 64
+
+    def test_cell_holds_edges(self):
+        # Tiny cell is grown to fit 4 edges + interior.
+        grid = self.make(cell=128, edge=64)
+        assert grid.cell_bytes >= 5 * 64
+
+    def test_neighbor_edges_corner(self):
+        grid = self.make()
+        halo = grid.neighbor_edges(0, 0)
+        # Corner cell: only east and south neighbours.
+        assert len(halo) == 2
+        assert grid.cell(1, 0).west in halo
+        assert grid.cell(0, 1).north in halo
+
+    def test_neighbor_edges_interior(self):
+        grid = self.make(nx=3, ny=3)
+        halo = grid.neighbor_edges(1, 1)
+        assert len(halo) == 4
+        assert grid.cell(1, 0).south in halo
+        assert grid.cell(1, 2).north in halo
+        assert grid.cell(0, 1).east in halo
+        assert grid.cell(2, 1).west in halo
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.make().cell(3, 0)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            BlockedGrid(VirtualAllocator(), "g", 0, 2, 1024, 64, 64)
+
+    def test_total_bytes(self):
+        grid = self.make(nx=3, ny=2, cell=1024)
+        assert grid.total_bytes == 6 * 1024
+
+
+class TestAddInitPhase:
+    def regions(self, n):
+        alloc = VirtualAllocator()
+        return [alloc.allocate(512, f"r{i}") for i in range(n)]
+
+    def test_prepends_warmup_phase(self):
+        prog = Program("p")
+        prog.new_phase().append(
+            Task("t", (Dependency(Region(0x90000, 64), DepMode.IN),))
+        )
+        add_init_phase(prog, self.regions(8), 4)
+        assert prog.warmup_phases == 1
+        assert len(prog.phases) == 2
+        assert all(t.name.startswith("init") for t in prog.phases[0])
+
+    def test_all_regions_covered_once(self):
+        prog = Program("p")
+        regions = self.regions(10)
+        add_init_phase(prog, regions, 3)
+        written = [d.region for t in prog.phases[0] for d in t.deps]
+        assert sorted(r.start for r in written) == sorted(r.start for r in regions)
+        assert all(d.mode is DepMode.OUT for t in prog.phases[0] for d in t.deps)
+
+    def test_task_count_capped_by_regions(self):
+        prog = Program("p")
+        add_init_phase(prog, self.regions(2), 16)
+        assert len(prog.phases[0]) == 2
+
+
+class TestScaledInput:
+    def test_scales_with_capacity(self):
+        wl = get_workload("md5")
+        big = wl.scaled_input_bytes(scaled_config(1 / 64))
+        small = wl.scaled_input_bytes(scaled_config(1 / 256))
+        assert big == pytest.approx(4 * small, rel=0.01)
+
+    def test_floor_at_one_block(self):
+        wl = get_workload("md5")
+        cfg = scaled_config(1 / 4096)
+        assert wl.scaled_input_bytes(cfg) >= cfg.block_bytes

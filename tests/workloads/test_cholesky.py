@@ -1,0 +1,82 @@
+"""The Fig.-2 Cholesky bonus workload."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.deps import DepMode
+from repro.runtime.tdg import TaskGraph
+from repro.workloads.registry import BENCHMARKS, get_workload, workload_names
+
+CFG = scaled_config(1 / 512)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_workload("cholesky").build(CFG)
+
+
+class TestRegistry:
+    def test_not_in_table_ii_suite(self):
+        assert "cholesky" not in BENCHMARKS
+        assert "cholesky" not in workload_names()
+        assert "cholesky" in workload_names(include_extra=True)
+
+    def test_lookup_works(self):
+        assert get_workload("Cholesky").name == "cholesky"
+
+
+class TestStructure:
+    def test_task_counts(self, program):
+        B = 15
+        names = [t.name.split("[")[0] for t in program.tasks]
+        assert names.count("potrf") == B
+        assert names.count("trsm") == B * (B - 1) // 2
+        assert names.count("syrk") == B * (B - 1) // 2
+        assert names.count("gemm") == B * (B - 1) * (B - 2) // 6
+
+    def test_fig2_dependency_chain(self, program):
+        """potrf(0) gates every trsm(0, i), which gate the syrk/gemm of
+        step 0 — the paper's Fig.-2 shape."""
+        main = [t for ph in program.phases[program.warmup_phases :] for t in ph]
+        g = TaskGraph()
+        for t in main:
+            g.add_task(t)
+        potrf0 = next(t for t in main if t.name == "potrf[0]")
+        succ_names = {t.name.split("[")[0] for t in g.successors_of(potrf0)}
+        assert succ_names == {"trsm"}
+        trsm01 = next(t for t in main if t.name == "trsm[0,1]")
+        succ = {t.name.split("[")[0] for t in g.successors_of(trsm01)}
+        assert "syrk" in succ
+
+    def test_lower_triangle_only(self, program):
+        """Dependencies only touch the lower-triangular blocks."""
+        regions = {d.region.start for t in program.tasks for d in t.deps}
+        # 120 blocks for B=15.
+        assert len(regions) == 15 * 16 // 2
+
+    def test_drains(self, program):
+        for phase in program.phases:
+            g = TaskGraph()
+            for t in phase:
+                g.add_task(t)
+            ready = list(g.initial_ready())
+            done = 0
+            while ready:
+                done += 1
+                ready.extend(g.mark_finished(ready.pop()))
+            assert done == len(phase)
+
+    def test_runs_end_to_end(self):
+        from repro.experiments.runner import build_runtime
+        from repro.runtime import Executor
+        from repro.sim.machine import build_machine
+
+        machine = build_machine(CFG, "tdnuca")
+        ext = build_runtime(machine, "tdnuca")
+        prog = get_workload("cholesky").build(CFG)
+        stats = Executor(machine, extension=ext).run(prog)
+        assert stats.tasks_executed == prog.num_tasks
+
+    def test_inout_modes(self, program):
+        potrf = next(t for t in program.tasks if t.name.startswith("potrf"))
+        assert potrf.deps[0].mode is DepMode.INOUT

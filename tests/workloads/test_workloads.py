@@ -1,0 +1,212 @@
+"""Structural invariants of the eight Table-II benchmark generators."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.deps import DepMode
+from repro.runtime.tdg import TaskGraph
+from repro.workloads.registry import BENCHMARKS, get_workload, workload_names
+
+CFG = scaled_config(1 / 256)
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {name: cls().build(CFG) for name, cls in BENCHMARKS.items()}
+
+
+class TestRegistry:
+    def test_table_ii_order(self):
+        assert workload_names() == [
+            "gauss", "histo", "jacobi", "kmeans", "knn", "lu", "md5", "redblack",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("MD5").name == "md5"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("nbody")
+
+    def test_paper_metadata_matches_table_ii(self):
+        rows = {
+            "gauss": (488.04, 3200, 294),
+            "histo": (478.75, 1800, 528),
+            "jacobi": (264.34, 320, 4112),
+            "kmeans": (314.37, 228, 1404),
+            "knn": (85.01, 448, 318),
+            "lu": (73.45, 1188, 318),
+            "md5": (513.39, 128, 4096),
+            "redblack": (223.96, 320, 3549),
+        }
+        for name, (mb, tasks, kb) in rows.items():
+            paper = get_workload(name).paper
+            assert paper.input_mb == pytest.approx(mb)
+            assert paper.num_tasks == tasks
+            assert paper.avg_task_kb == pytest.approx(kb)
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_task_count_close_to_table_ii(self, programs, name):
+        prog = programs[name]
+        paper = get_workload(name).paper.num_tasks
+        main_tasks = sum(len(ph) for ph in prog.phases[prog.warmup_phases :])
+        assert abs(main_tasks - paper) / paper < 0.07
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_every_task_has_deps(self, programs, name):
+        for t in programs[name].tasks:
+            assert t.deps
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_footprint_scales_with_input(self, programs, name):
+        wl = get_workload(name)
+        footprint = programs[name].total_footprint_bytes()
+        expected = wl.scaled_input_bytes(CFG)
+        assert 0.5 * expected < footprint < 2.5 * expected
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_deps_do_not_alias_other_structures(self, programs, name):
+        """in/out region pairs of one task never partially overlap."""
+        for t in programs[name].tasks:
+            regs = t.dep_regions()
+            for i, a in enumerate(regs):
+                for b in regs[i + 1 :]:
+                    if a.overlaps(b):
+                        assert a == b or a.contains_region(b) or b.contains_region(a)
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_builds_at_multiple_scales(self, name):
+        for scale in (1 / 64, 1 / 1024):
+            prog = get_workload(name).build(scaled_config(scale))
+            assert prog.num_tasks > 0
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_tdg_acyclic_and_complete(self, programs, name):
+        """Every phase drains: topological order exists (no deadlock)."""
+        prog = programs[name]
+        for phase in prog.phases:
+            g = TaskGraph(get_workload(name).tdg_overlap)
+            for t in phase:
+                g.add_task(t)
+            ready = list(g.initial_ready())
+            done = 0
+            while ready:
+                t = ready.pop()
+                done += 1
+                ready.extend(g.mark_finished(t))
+            assert done == len(phase)
+
+
+class TestMD5:
+    def test_fully_independent(self, programs):
+        prog = programs["md5"]
+        g = TaskGraph()
+        for t in prog.tasks:
+            g.add_task(t)
+        assert g.edges == 0
+
+    def test_no_warmup(self, programs):
+        assert programs["md5"].warmup_phases == 0
+
+    def test_streaming_structure(self, programs):
+        for t in programs["md5"].tasks:
+            modes = sorted(d.mode.value for d in t.deps)
+            assert modes == ["in", "out"]
+
+
+class TestStencils:
+    def test_gauss_two_iterations(self, programs):
+        prog = programs["gauss"]
+        assert len(prog.phases) - prog.warmup_phases == 2
+
+    def test_jacobi_five_iterations(self, programs):
+        prog = programs["jacobi"]
+        assert len(prog.phases) - prog.warmup_phases == 5
+
+    def test_redblack_ten_half_sweeps(self, programs):
+        prog = programs["redblack"]
+        assert len(prog.phases) - prog.warmup_phases == 10
+
+    def test_jacobi_ping_pong(self, programs):
+        """Sources of iteration k+1 are the destinations of iteration k."""
+        prog = programs["jacobi"]
+        phases = prog.phases[prog.warmup_phases :]
+        outs0 = {d.region.start for t in phases[0] for d in t.deps if d.mode.writes}
+        ins1 = {d.region.start for t in phases[1] for d in t.deps if d.mode.reads}
+        assert outs0 <= ins1
+
+    def test_gauss_has_inout_interiors_and_halo_reads(self, programs):
+        prog = programs["gauss"]
+        t = prog.phases[prog.warmup_phases][5]  # an interior-ish cell
+        modes = [d.mode for d in t.deps]
+        assert DepMode.INOUT in modes
+        assert DepMode.IN in modes
+
+
+class TestSharedReadData:
+    def test_kmeans_centroids_shared_by_all_maps(self, programs):
+        prog = programs["kmeans"]
+        main = prog.phases[prog.warmup_phases :]
+        maps = [t for ph in main for t in ph if t.name.startswith("assign")]
+        first_in = {d.region.start for d in maps[0].deps if d.mode is DepMode.IN}
+        for t in maps[1:]:
+            ins = {d.region.start for d in t.deps if d.mode is DepMode.IN}
+            assert first_in & ins  # the centroid region
+
+    def test_knn_training_shared(self, programs):
+        prog = programs["knn"]
+        dist_tasks = [t for t in prog.tasks if t.name.startswith("dist")]
+        training_starts = set.intersection(
+            *({d.region.start for d in t.deps if d.mode is DepMode.IN} for t in dist_tasks)
+        )
+        assert len(training_starts) == 1
+
+    def test_lu_panel_reuse(self, programs):
+        """Each gemm reads two panels that other gemms of the same step
+        also read — the replication driver."""
+        prog = programs["lu"]
+        gemms = [t for t in prog.tasks if t.name.startswith("gemm[0,")]
+        assert len(gemms) == 14 * 14
+        panel_reads = {}
+        for t in gemms:
+            for d in t.deps:
+                if d.mode is DepMode.IN:
+                    panel_reads.setdefault(d.region.start, 0)
+                    panel_reads[d.region.start] += 1
+        assert max(panel_reads.values()) == 14
+
+    def test_lu_task_breakdown(self, programs):
+        prog = programs["lu"]
+        names = [t.name.split("[")[0] for t in prog.tasks if not t.name.startswith("init")]
+        assert names.count("diag") == 15
+        assert names.count("trsm_col") == 105
+        assert names.count("trsm_row") == 105
+        assert names.count("gemm") == 1015
+
+
+class TestHisto:
+    def test_pipeline_pairs(self, programs):
+        prog = programs["histo"]
+        main = [t for ph in prog.phases[prog.warmup_phases :] for t in ph]
+        scans = [t for t in main if t.name.startswith("scan")]
+        procs = [t for t in main if t.name.startswith("process")]
+        assert len(scans) == len(procs) == 900
+
+    def test_chunks_read_then_rewritten(self, programs):
+        """Image chunks appear as IN of a scan and INOUT of a process."""
+        prog = programs["histo"]
+        main = [t for ph in prog.phases[prog.warmup_phases :] for t in ph]
+        scan0 = next(t for t in main if t.name == "scan[0]")
+        proc0 = next(t for t in main if t.name == "process[0]")
+        chunk = next(d.region for d in scan0.deps if d.mode is DepMode.IN)
+        assert any(
+            d.region == chunk and d.mode is DepMode.INOUT for d in proc0.deps
+        )
+
+    def test_reduction_uses_array_sections(self, programs):
+        prog = programs["histo"]
+        reduces = [t for t in prog.tasks if t.name.startswith("reduce[")]
+        for t in reduces:
+            assert len(t.deps) == 2  # one section in, one partial out
