@@ -94,6 +94,9 @@ class CacheBank:
         ]
         self._dirty: list[list[bool]] = [[False] * assoc for _ in range(self.num_sets)]
         self._repl = [make_replacement(replacement, assoc) for _ in range(self.num_sets)]
+        # Maintained valid-block counter; audited against the per-set maps
+        # by the runtime invariant checker (occupancy-counter balance).
+        self._occupancy = 0
         self.stats = BankStats()
 
     # --- queries (no state change) ---
@@ -111,8 +114,8 @@ class CacheBank:
 
     @property
     def occupancy(self) -> int:
-        """Number of valid blocks currently resident."""
-        return sum(len(m) for m in self._map)
+        """Number of valid blocks currently resident (O(1) counter)."""
+        return self._occupancy
 
     def resident_blocks(self) -> list[int]:
         """All resident block numbers (test/diagnostic helper)."""
@@ -120,6 +123,45 @@ class CacheBank:
         for m in self._map:
             out.extend(m)
         return out
+
+    def resident_items(self) -> list[tuple[int, bool]]:
+        """``(block, dirty)`` for every resident block (invariant checks)."""
+        out: list[tuple[int, bool]] = []
+        for s, smap in enumerate(self._map):
+            dirty = self._dirty[s]
+            out.extend((block, dirty[way]) for block, way in smap.items())
+        return out
+
+    def audit(self) -> list[str]:
+        """Internal-consistency check; returns human-readable anomalies.
+
+        Verifies, per set, that the block->way map and the way array agree,
+        and that the maintained occupancy counter balances against the maps.
+        An empty list means the bank is structurally sound.
+        """
+        issues: list[str] = []
+        total = 0
+        for s in range(self.num_sets):
+            smap, ways = self._map[s], self._ways[s]
+            total += len(smap)
+            valid_ways = sum(1 for w in ways if w is not None)
+            if valid_ways != len(smap):
+                issues.append(
+                    f"{self.name or 'bank'} set {s}: {valid_ways} valid ways "
+                    f"vs {len(smap)} mapped blocks"
+                )
+            for block, way in smap.items():
+                if not 0 <= way < self.assoc or ways[way] != block:
+                    issues.append(
+                        f"{self.name or 'bank'} set {s}: block {block} maps "
+                        f"to way {way} holding {ways[way] if 0 <= way < self.assoc else '?'}"
+                    )
+        if total != self._occupancy:
+            issues.append(
+                f"{self.name or 'bank'}: occupancy counter {self._occupancy} "
+                f"!= {total} resident blocks"
+            )
+        return issues
 
     # --- the hot path ---
 
@@ -146,6 +188,7 @@ class CacheBank:
         evicted_dirty = False
         if len(smap) < self.assoc:
             way = ways.index(None)
+            self._occupancy += 1
         else:
             way = repl.victim()
             evicted = ways[way]
@@ -193,6 +236,7 @@ class CacheBank:
         dirty = self._dirty[s][way]
         self._ways[s][way] = None
         self._dirty[s][way] = False
+        self._occupancy -= 1
         self.stats.invalidations += 1
         return True, dirty
 
@@ -220,6 +264,7 @@ class CacheBank:
             self._ways[s] = [None] * self.assoc
             self._dirty[s] = [False] * self.assoc
             self._repl[s].reset()
+        self._occupancy = 0
 
 
 _HIT = AccessResult(True)

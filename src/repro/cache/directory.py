@@ -79,6 +79,40 @@ class CoherenceDirectory:
     def entries(self) -> int:
         return len(self._sharers)
 
+    def tracked_items(self) -> list[tuple[int, int]]:
+        """Snapshot of ``(block, sharer mask)`` pairs (invariant checks)."""
+        return list(self._sharers.items())
+
+    def owner_items(self) -> list[tuple[int, int]]:
+        """Snapshot of ``(block, owner core)`` pairs (invariant checks)."""
+        return list(self._owner.items())
+
+    def audit(self) -> list[str]:
+        """Internal-consistency check; returns human-readable anomalies.
+
+        A tracked block must have a non-empty, in-range sharer mask; an
+        owner must be an in-range core whose presence bit is set.  Stale
+        presence bits (silent clean L1 evictions) are legal and not flagged.
+        """
+        issues: list[str] = []
+        full = (1 << self.num_cores) - 1
+        for block, mask in self._sharers.items():
+            if mask == 0:
+                issues.append(f"directory: block {block} tracked with empty mask")
+            elif mask & ~full:
+                issues.append(
+                    f"directory: block {block} mask {mask:#x} names cores "
+                    f">= {self.num_cores}"
+                )
+        for block, owner in self._owner.items():
+            if not 0 <= owner < self.num_cores:
+                issues.append(f"directory: block {block} owned by bad core {owner}")
+            elif not (self._sharers.get(block, 0) >> owner) & 1:
+                issues.append(
+                    f"directory: block {block} owner {owner} lacks presence bit"
+                )
+        return issues
+
     # --- protocol events ---
 
     def on_l1_fill(self, core: int, block: int, write: bool) -> CoherenceActions:

@@ -37,13 +37,40 @@ class NucaLLC:
             CacheBank(bank_bytes, assoc, block_bytes, replacement, f"llc.{b}")
             for b in range(num_banks)
         ]
+        self._dead: set[int] = set()
 
     @property
     def num_banks(self) -> int:
         return len(self.banks)
 
+    @property
+    def dead_banks(self) -> frozenset[int]:
+        """Banks disabled by fault injection (empty and unreachable)."""
+        return frozenset(self._dead)
+
+    def kill_bank(self, bank: int) -> None:
+        """Fault injection: drop the bank's contents and mark it dead.
+
+        The caller (the machine) is responsible for the coherence fallout —
+        back-invalidating orphaned L1 lines and remapping the policy; after
+        this call any demand access reaching the bank is a simulator bug and
+        raises.
+        """
+        if not 0 <= bank < len(self.banks):
+            raise ValueError(f"bank {bank} out of range")
+        if bank in self._dead:
+            raise ValueError(f"bank {bank} is already dead")
+        if len(self._dead) + 1 >= len(self.banks):
+            raise ValueError("cannot disable the last alive LLC bank")
+        self.banks[bank].clear()
+        self._dead.add(bank)
+
     def access(self, bank: int, block: int, write: bool) -> AccessResult:
         """Demand access to ``block`` in ``bank``."""
+        if self._dead and bank in self._dead:
+            raise RuntimeError(
+                f"access routed to dead LLC bank {bank}; policy remap failed"
+            )
         return self.banks[bank].access(block, write)
 
     def contains(self, bank: int, block: int) -> bool:

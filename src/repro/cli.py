@@ -21,7 +21,7 @@ from repro.experiments import figures
 from repro.experiments.runner import run_experiment, run_suite
 from repro.experiments.serialize import result_to_dict, results_to_json
 from repro.sim.machine import POLICIES
-from repro.stats.report import format_table
+from repro.stats.report import fault_report_rows, format_table
 from repro.workloads.registry import get_workload, workload_names
 
 __all__ = ["main", "build_parser"]
@@ -57,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(p_run)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--json", action="store_true", help="emit JSON stats")
+    p_run.add_argument(
+        "--faults",
+        default="",
+        metavar="SPEC",
+        help="fault schedule, e.g. "
+        "'bank:5@task=100,link:3-7@task=250,dram:transient:p=1e-4'",
+    )
+    p_run.add_argument(
+        "--strict",
+        action="store_true",
+        help="check machine invariants after every task (graceful-"
+        "degradation proof; aborts on the first violation)",
+    )
 
     p_fig = sub.add_parser("figures", help="run the suite and print figures")
     _add_scale(p_fig)
@@ -70,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads", nargs="*", choices=workload_names(), help="subset"
     )
     p_fig.add_argument("--chart", action="store_true", help="ASCII bar charts")
+    p_fig.add_argument("--seed", type=int, default=0)
 
     p_sweep = sub.add_parser("sweep", help="run the suite, write JSON results")
     _add_scale(p_sweep)
@@ -77,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--policies", nargs="*", choices=list(POLICIES), default=None
     )
+    p_sweep.add_argument("--seed", type=int, default=0)
 
     p_cmp = sub.add_parser(
         "compare", help="diff two sweep JSON files (regression check)"
@@ -131,8 +146,16 @@ def cmd_config(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from dataclasses import replace
+
+    cfg = _cfg(args)
+    if args.faults or args.strict:
+        cfg = replace(
+            cfg, fault_spec=args.faults, strict_invariants=args.strict
+        )
+        cfg.validate()
     t0 = time.time()
-    result = run_experiment(args.workload, args.policy, _cfg(args), seed=args.seed)
+    result = run_experiment(args.workload, args.policy, cfg, seed=args.seed)
     elapsed = time.time() - t0
     if args.json:
         import json
@@ -151,6 +174,17 @@ def cmd_run(args) -> int:
         ["LLC dynamic energy (pJ)", f"{m.energy.llc:,.0f}"],
         ["NoC dynamic energy (pJ)", f"{m.energy.noc:,.0f}"],
     ]
+    if m.faults is not None:
+        rows += fault_report_rows(m.faults)
+    if "invariants" in m.extra:
+        inv = m.extra["invariants"]
+        rows.append(
+            [
+                "invariant checks (violations)",
+                f"{inv['checks_run']:,} (+{inv['full_sweeps']} full sweeps, "
+                f"{inv['violations']} violations)",
+            ]
+        )
     if result.runtime is not None:
         rows += [
             ["bypass / local / replicate",
@@ -176,7 +210,10 @@ def cmd_figures(args) -> int:
     if "fig15" in wanted:
         policies.append("tdnuca-bypass-only")
     print(f"running the suite at scale 1/{args.scale} ...", file=sys.stderr)
-    results = run_suite(workloads=args.workloads, policies=policies, cfg=_cfg(args))
+    results = run_suite(
+        workloads=args.workloads, policies=policies, cfg=_cfg(args),
+        seed=args.seed,
+    )
     for key in wanted:
         fig = FIGURE_BUILDERS[key](results)
         print(fig.to_chart() if args.chart else fig.to_text())
@@ -185,7 +222,7 @@ def cmd_figures(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    results = run_suite(policies=args.policies, cfg=_cfg(args))
+    results = run_suite(policies=args.policies, cfg=_cfg(args), seed=args.seed)
     with open(args.out, "w") as fh:
         fh.write(results_to_json(results))
     print(f"wrote {len(results)} results to {args.out}")

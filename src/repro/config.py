@@ -40,6 +40,9 @@ class LatencyConfig:
     dram_row_hit: int = 45
     #: DRAM row size in cache blocks (2 KB rows / 64 B blocks).
     dram_row_blocks: int = 32
+    #: base backoff (cycles) before the first retry of a transient DRAM
+    #: error; doubles per consecutive retry (fault injection only).
+    dram_retry_backoff: int = 16
     noc_link: int = 1
     noc_router: int = 1
     #: average queueing cycles added per hop.  The paper's Garnet NoC
@@ -126,6 +129,16 @@ class SystemConfig:
     #: scale factor applied by :func:`scaled_config`; 1.0 for paper sizes.
     capacity_scale: float = 1.0
 
+    # --- fault injection and runtime checking ---
+    #: fault schedule spec (see :mod:`repro.faults.schedule`); "" = no faults.
+    fault_spec: str = ""
+    #: run the invariant checker during execution (graceful-degradation
+    #: proofs; small overhead).
+    strict_invariants: bool = False
+    #: tasks between full invariant sweeps in strict mode (cheap checks run
+    #: every task; 1 = full sweep after every task).
+    strict_check_interval: int = 16
+
     # ----- derived quantities -----
 
     @property
@@ -155,7 +168,17 @@ class SystemConfig:
         return self.page_bytes // self.block_bytes
 
     def validate(self) -> None:
-        """Raise ``ValueError`` on inconsistent geometry."""
+        """Raise ``ValueError`` on any nonsensical configuration — called by
+        :func:`repro.sim.machine.build_machine` and
+        :func:`repro.experiments.runner.run_experiment` so bad configs fail
+        with a clear message instead of a deep crash inside the machine."""
+        if self.mesh_width <= 0 or self.mesh_height <= 0:
+            raise ValueError(
+                "mesh dimensions must be positive (a machine needs at least "
+                "one core and one LLC bank)"
+            )
+        if self.cluster_width <= 0 or self.cluster_height <= 0:
+            raise ValueError("cluster dimensions must be positive")
         if self.mesh_width % self.cluster_width:
             raise ValueError("mesh_width must be a multiple of cluster_width")
         if self.mesh_height % self.cluster_height:
@@ -166,12 +189,31 @@ class SystemConfig:
                 raise ValueError(f"{name} must be a positive power of two")
         if self.page_bytes % self.block_bytes:
             raise ValueError("page_bytes must be a multiple of block_bytes")
+        if self.l1_assoc <= 0 or self.llc_assoc <= 0:
+            raise ValueError("cache associativities must be positive")
         if self.l1_bytes < self.l1_assoc * self.block_bytes:
-            raise ValueError("L1 smaller than one set")
+            raise ValueError(
+                f"L1 ({self.l1_bytes} B) smaller than one set "
+                f"({self.l1_assoc}-way x {self.block_bytes} B blocks)"
+            )
         if self.llc_bank_bytes < self.llc_assoc * self.block_bytes:
-            raise ValueError("LLC bank smaller than one set")
+            raise ValueError(
+                f"LLC bank ({self.llc_bank_bytes} B) smaller than one set "
+                f"({self.llc_assoc}-way x {self.block_bytes} B blocks)"
+            )
         if self.rrt_entries <= 0 or self.tlb_entries <= 0:
             raise ValueError("rrt_entries and tlb_entries must be positive")
+        if self.nondep_blocks_per_task < 0:
+            raise ValueError("nondep_blocks_per_task must be non-negative")
+        if self.physical_address_bits <= 0:
+            raise ValueError("physical_address_bits must be positive")
+        if self.strict_check_interval <= 0:
+            raise ValueError("strict_check_interval must be positive")
+        if self.fault_spec:
+            from repro.faults.schedule import parse_fault_spec
+
+            schedule = parse_fault_spec(self.fault_spec)  # raises on bad spec
+            schedule.validate_against(self.num_banks, self.num_cores)
 
 
 def paper_config() -> SystemConfig:

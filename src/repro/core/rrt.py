@@ -165,6 +165,25 @@ class RRT:
             self.stats.invalidations += 1
             i -= 1
 
+    def drop_bank_entries(self, bank: int) -> int:
+        """Fault injection: de-register every entry (all PIDs) whose
+        BankMask names ``bank`` — the bank died, so those mappings are
+        stale.  The affected regions fall back to S-NUCA interleaving
+        (which the policy remaps around the dead bank).  Bypass entries
+        (mask 0) are untouched.  Returns the number of entries dropped.
+        """
+        if bank < 0:
+            raise ValueError("bank must be non-negative")
+        bit = 1 << bank
+        dropped = 0
+        for table in self._tables.values():
+            for i in range(len(table.starts) - 1, -1, -1):
+                if table.masks[i] & bit:
+                    del table.starts[i], table.ends[i], table.masks[i]
+                    dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
     def invalidate(self, start: int, end: int) -> int:
         """De-register entries overlapping ``[start, end)`` (active PID).
 

@@ -44,16 +44,17 @@ class TdNucaPolicy(NucaPolicy):
         self.amap = amap
         self.rrts = rrts
         self.lookup_cycles = lookup_cycles
+        self.total_banks = mesh.num_tiles
         self._bank_mask = mesh.num_tiles - 1
         self._block_shift = amap.block_shift
 
     def bank_for(self, core: int, block: int, write: bool) -> int:
         mask = self.rrts[core].lookup(block << self._block_shift)
         if mask is None:
-            return self._count(core, block & self._bank_mask)
+            return self._count(core, block & self._bank_mask, block)
         if mask == 0:
             return self._count(core, BYPASS)
         banks = decode_bank_mask(mask)
         if len(banks) == 1:
-            return self._count(core, banks[0])
-        return self._count(core, banks[block % len(banks)])
+            return self._count(core, banks[0], block)
+        return self._count(core, banks[block % len(banks)], block)

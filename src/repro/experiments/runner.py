@@ -74,6 +74,7 @@ def run_experiment(
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}")
     cfg = cfg if cfg is not None else default_config()
+    cfg.validate()  # fail early, with a clear message, on nonsense configs
     wl = get_workload(workload)
     program = wl.build(cfg, seed)
     machine = build_machine(

@@ -97,6 +97,24 @@ def result_to_dict(r: ExperimentResult) -> dict[str, Any]:
             "blocks_flushed": r.isa.blocks_flushed,
             "translation_tlb_accesses": r.isa.translation_tlb_accesses,
         }
+    if m.faults is not None:
+        out["faults"] = {
+            "banks_failed": m.faults.banks_failed,
+            "links_failed": m.faults.links_failed,
+            "blocks_lost": m.faults.blocks_lost,
+            "dirty_blocks_lost": m.faults.dirty_blocks_lost,
+            "l1_copies_dropped": m.faults.l1_copies_dropped,
+            "rrt_entries_dropped": m.faults.rrt_entries_dropped,
+            "dead_bank_redirects": m.faults.dead_bank_redirects,
+            "dram_transient_errors": m.faults.dram_transient_errors,
+            "dram_retries": m.faults.dram_retries,
+            "dram_retry_cycles": m.faults.dram_retry_cycles,
+            "dram_retries_exhausted": m.faults.dram_retries_exhausted,
+            "mean_hop_inflation": m.faults.mean_hop_inflation,
+            "pending_events": m.faults.pending_events,
+        }
+    if "invariants" in m.extra:
+        out["invariants"] = dict(m.extra["invariants"])
     if "dep_category_blocks" in r.extra:
         out["dep_category_blocks"] = dict(r.extra["dep_category_blocks"])
         out["dep_blocks_total"] = r.extra["dep_blocks_total"]

@@ -1,0 +1,45 @@
+"""Hardware fault injection, graceful degradation and invariant checking.
+
+Three fault classes, all deterministic and seed-driven (see
+:mod:`repro.faults.schedule` for the spec grammar):
+
+* LLC bank failures — a bank dies mid-run; every NUCA policy remaps
+  around it and TD-NUCA additionally invalidates stale RRT entries;
+* NoC link failures — the mesh reroutes with recomputed hop distances;
+* transient DRAM errors — retried with bounded exponential backoff,
+  charged through the latency model.
+
+:mod:`repro.faults.invariants` proves the degradation graceful: a
+machine-wide consistency sweep (directory/sharer agreement, LLC
+inclusion, dead-bank emptiness, occupancy balance) runnable after every
+task in strict mode.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantError,
+    InvariantViolation,
+    check_machine,
+)
+from repro.faults.schedule import (
+    BankFault,
+    DramFaultModel,
+    FaultSchedule,
+    LinkFault,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "BankFault",
+    "DramFaultModel",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultStats",
+    "InvariantChecker",
+    "InvariantError",
+    "InvariantViolation",
+    "LinkFault",
+    "check_machine",
+    "parse_fault_spec",
+]

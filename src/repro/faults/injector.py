@@ -1,0 +1,156 @@
+"""Fault injection driver: fires a :class:`FaultSchedule` into a machine.
+
+The injector owns the *sequencing* of hardware faults; the actual state
+surgery lives with the components (``Machine.fail_bank``,
+``Machine.fail_link``, ``MemoryControllers.set_fault_model``).  Discrete
+events (bank and link deaths) fire at task boundaries — the machine calls
+:meth:`FaultInjector.on_task_boundary` after every completed task — so the
+hierarchy is always quiescent when the topology changes.  The transient
+DRAM error model is continuous and is installed at activation.
+
+All randomness comes from one ``random.Random`` seeded from the experiment
+seed, so two runs with the same seed and spec produce bit-identical
+statistics.
+
+:meth:`FaultInjector.snapshot` aggregates the degraded-mode accounting
+(blocks lost, L1 copies dropped, RRT entries invalidated, redirects,
+retries, hop inflation) into a :class:`FaultStats` for
+:class:`repro.sim.machine.MachineStats`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.faults.schedule import BankFault, FaultSchedule, LinkFault
+
+__all__ = ["FaultInjector", "FaultStats"]
+
+
+@dataclass
+class FaultStats:
+    """Degraded-mode accounting for one run (all zero when fault-free)."""
+
+    banks_failed: int = 0
+    links_failed: int = 0
+    #: LLC-resident blocks destroyed by bank deaths.
+    blocks_lost: int = 0
+    #: of those, how many were dirty (their data only survives if an L1
+    #: copy existed and was drained to DRAM).
+    dirty_blocks_lost: int = 0
+    #: L1 lines back-invalidated because their LLC backing died.
+    l1_copies_dropped: int = 0
+    #: TD-NUCA RRT entries invalidated because they mapped a dead bank.
+    rrt_entries_dropped: int = 0
+    #: accesses whose home bank was dead and were remapped by the policy.
+    dead_bank_redirects: int = 0
+    dram_transient_errors: int = 0
+    dram_retries: int = 0
+    dram_retry_cycles: int = 0
+    dram_retries_exhausted: int = 0
+    #: mean extra hops between tile pairs vs. the fault-free mesh.
+    mean_hop_inflation: float = 0.0
+    #: scheduled discrete events that have not fired yet (0 at end of a
+    #: run whose trigger points were all reached).
+    pending_events: int = 0
+
+
+class FaultInjector:
+    """Sequences one validated :class:`FaultSchedule` into a machine."""
+
+    def __init__(self, machine, schedule: FaultSchedule, seed: int = 0) -> None:
+        schedule.validate_against(
+            machine.cfg.num_banks, machine.mesh.num_tiles
+        )
+        for f in schedule.link_faults:
+            if not machine.mesh.are_adjacent(f.a, f.b):
+                raise ValueError(
+                    f"link fault {f.a}-{f.b}: tiles are not mesh neighbours"
+                )
+        self.machine = machine
+        self.schedule = schedule
+        self.seed = seed
+        self.rng = random.Random(seed)
+        # Discrete events in firing order; spec order breaks trigger ties.
+        events: list[BankFault | LinkFault] = [
+            *schedule.bank_faults,
+            *schedule.link_faults,
+        ]
+        events.sort(key=lambda f: f.at_task)  # stable: spec order preserved
+        self._events = events
+        self._next = 0
+        self._activated = False
+        # Cumulative surgery accounting (fed by fail_bank return values).
+        self._banks_failed = 0
+        self._links_failed = 0
+        self._blocks_lost = 0
+        self._dirty_blocks_lost = 0
+        self._l1_copies_dropped = 0
+        self._rrt_entries_dropped = 0
+
+    def activate(self) -> None:
+        """Install the continuous DRAM model and fire ``at_task<=0``
+        events (faults present from the very start of the run)."""
+        if self._activated:
+            raise RuntimeError("fault injector already activated")
+        self._activated = True
+        dram = self.schedule.dram
+        if dram is not None:
+            self.machine.dram.set_fault_model(
+                dram.probability,
+                dram.max_retries,
+                self.rng,
+                retry_cost=self.machine.latency.dram_retry,
+            )
+        self.on_task_boundary(0)
+
+    def on_task_boundary(self, tasks_completed: int) -> None:
+        """Fire every event whose trigger has been reached."""
+        events = self._events
+        while self._next < len(events):
+            event = events[self._next]
+            if event.at_task > tasks_completed:
+                break
+            self._next += 1
+            if isinstance(event, BankFault):
+                self._fire_bank(event)
+            else:
+                self._fire_link(event)
+
+    def _fire_bank(self, event: BankFault) -> None:
+        report = self.machine.fail_bank(event.bank)
+        self._banks_failed += 1
+        self._blocks_lost += report["blocks_lost"]
+        self._dirty_blocks_lost += report["dirty_blocks_lost"]
+        self._l1_copies_dropped += report["l1_copies_dropped"]
+        self._rrt_entries_dropped += report["rrt_entries_dropped"]
+
+    def _fire_link(self, event: LinkFault) -> None:
+        self.machine.fail_link(event.a, event.b)
+        self._links_failed += 1
+
+    @property
+    def pending_events(self) -> int:
+        """Scheduled discrete events that have not fired yet."""
+        return len(self._events) - self._next
+
+    def snapshot(self) -> FaultStats:
+        """Aggregate degraded-mode accounting across the machine."""
+        machine = self.machine
+        dram = machine.dram.stats
+        return FaultStats(
+            banks_failed=self._banks_failed,
+            links_failed=self._links_failed,
+            blocks_lost=self._blocks_lost,
+            dirty_blocks_lost=self._dirty_blocks_lost,
+            l1_copies_dropped=self._l1_copies_dropped,
+            rrt_entries_dropped=self._rrt_entries_dropped,
+            dead_bank_redirects=machine.policy.stats.dead_bank_redirects,
+            dram_transient_errors=dram.transient_errors,
+            dram_retries=dram.retries,
+            dram_retry_cycles=dram.retry_cycles,
+            dram_retries_exhausted=dram.retries_exhausted,
+            mean_hop_inflation=machine.mesh.mean_hop_inflation(),
+            pending_events=self.pending_events,
+        )

@@ -1,0 +1,160 @@
+"""Deterministic, seed-driven hardware fault schedules.
+
+A schedule is parsed from a compact spec string (config field
+``SystemConfig.fault_spec`` or CLI ``--faults``)::
+
+    bank:5@task=100,link:3-7@task=250,dram:transient:p=1e-4
+
+* ``bank:B@task=N``   — LLC bank ``B`` dies after ``N`` tasks have run
+  (``N=0``: dead from the start).  The machine clears the bank, remaps
+  every NUCA policy around it and back-invalidates orphaned L1 lines.
+* ``link:A-B@task=N`` — the NoC link between adjacent tiles ``A`` and
+  ``B`` fails after ``N`` tasks; the mesh reroutes around it.
+* ``dram:transient:p=P[:retries=R]`` — every DRAM access independently
+  fails with probability ``P`` and is retried (bounded by ``R``,
+  default 6) with exponential-backoff latency.
+
+Events at the same trigger fire in spec order.  All randomness (the
+transient-error draws) comes from one ``random.Random`` seeded from the
+experiment seed, so a faulted run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "BankFault",
+    "LinkFault",
+    "DramFaultModel",
+    "FaultSchedule",
+    "parse_fault_spec",
+]
+
+#: default bound on consecutive retries of one DRAM access.
+DEFAULT_DRAM_RETRIES = 6
+
+_BANK_RE = re.compile(r"^bank:(\d+)@task=(\d+)$")
+_LINK_RE = re.compile(r"^link:(\d+)-(\d+)@task=(\d+)$")
+_DRAM_RE = re.compile(
+    r"^dram:transient:p=([0-9.eE+-]+)(?::retries=(\d+))?$"
+)
+
+
+@dataclass(frozen=True)
+class BankFault:
+    """LLC bank ``bank`` is disabled once ``at_task`` tasks completed."""
+
+    bank: int
+    at_task: int
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """The mesh link between adjacent tiles ``a`` and ``b`` fails."""
+
+    a: int
+    b: int
+    at_task: int
+
+
+@dataclass(frozen=True)
+class DramFaultModel:
+    """Per-access transient DRAM error model (active for the whole run)."""
+
+    probability: float
+    max_retries: int = DEFAULT_DRAM_RETRIES
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Parsed, validated fault plan for one run."""
+
+    bank_faults: tuple[BankFault, ...] = ()
+    link_faults: tuple[LinkFault, ...] = ()
+    dram: DramFaultModel | None = None
+
+    def __bool__(self) -> bool:
+        return bool(self.bank_faults or self.link_faults or self.dram)
+
+    @property
+    def last_trigger(self) -> int:
+        """Highest task index any discrete event is waiting on."""
+        triggers = [f.at_task for f in self.bank_faults]
+        triggers += [f.at_task for f in self.link_faults]
+        return max(triggers, default=0)
+
+    def validate_against(self, num_banks: int, num_tiles: int) -> None:
+        """Machine-geometry checks deferred until the machine exists."""
+        alive = num_banks - len({f.bank for f in self.bank_faults})
+        for f in self.bank_faults:
+            if not 0 <= f.bank < num_banks:
+                raise ValueError(
+                    f"fault targets bank {f.bank}, machine has {num_banks}"
+                )
+        if alive <= 0:
+            raise ValueError("fault schedule would disable every LLC bank")
+        for f in self.link_faults:
+            for tile in (f.a, f.b):
+                if not 0 <= tile < num_tiles:
+                    raise ValueError(
+                        f"fault targets tile {tile}, machine has {num_tiles}"
+                    )
+
+
+def parse_fault_spec(spec: str) -> FaultSchedule:
+    """Parse a ``--faults`` spec string; raises ``ValueError`` with the
+    offending item on malformed input."""
+    banks: list[BankFault] = []
+    links: list[LinkFault] = []
+    dram: DramFaultModel | None = None
+    for raw in spec.split(","):
+        item = raw.strip()
+        if not item:
+            continue
+        if m := _BANK_RE.match(item):
+            banks.append(BankFault(int(m.group(1)), int(m.group(2))))
+            continue
+        if m := _LINK_RE.match(item):
+            a, b, at = int(m.group(1)), int(m.group(2)), int(m.group(3))
+            if a == b:
+                raise ValueError(f"link fault {item!r}: endpoints must differ")
+            links.append(LinkFault(a, b, at))
+            continue
+        if m := _DRAM_RE.match(item):
+            if dram is not None:
+                raise ValueError("at most one dram fault model per schedule")
+            try:
+                p = float(m.group(1))
+            except ValueError:
+                raise ValueError(
+                    f"dram fault {item!r}: probability is not a number"
+                ) from None
+            if not 0.0 <= p < 1.0:
+                raise ValueError(
+                    f"dram fault {item!r}: probability must be in [0, 1)"
+                )
+            retries = (
+                int(m.group(2)) if m.group(2) is not None else DEFAULT_DRAM_RETRIES
+            )
+            if retries <= 0:
+                raise ValueError(f"dram fault {item!r}: retries must be positive")
+            dram = DramFaultModel(p, retries)
+            continue
+        raise ValueError(
+            f"unrecognised fault spec item {item!r}; expected "
+            "'bank:B@task=N', 'link:A-B@task=N' or 'dram:transient:p=P'"
+        )
+    seen: set[int] = set()
+    for f in banks:
+        if f.bank in seen:
+            raise ValueError(f"bank {f.bank} scheduled to fail twice")
+        seen.add(f.bank)
+    seen_links: set[frozenset[int]] = set()
+    for f in links:
+        key = frozenset((f.a, f.b))
+        if key in seen_links:
+            raise ValueError(f"link {f.a}-{f.b} scheduled to fail twice")
+        seen_links.add(key)
+    return FaultSchedule(tuple(banks), tuple(links), dram)

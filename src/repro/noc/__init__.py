@@ -7,7 +7,7 @@ energy).
 """
 
 from repro.noc.topology import Mesh
-from repro.noc.routing import hops, xy_route
+from repro.noc.routing import fault_route, hops, xy_route
 from repro.noc.traffic import MessageClass, TrafficStats
 
-__all__ = ["Mesh", "hops", "xy_route", "MessageClass", "TrafficStats"]
+__all__ = ["Mesh", "hops", "xy_route", "fault_route", "MessageClass", "TrafficStats"]

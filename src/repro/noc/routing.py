@@ -1,16 +1,21 @@
-"""Dimension-ordered (XY) routing.
+"""Dimension-ordered (XY) routing with a fault-aware fallback.
 
 Deterministic XY routing is what commercial tiled meshes and the paper's
 Garnet setup use: travel along X to the destination column, then along Y.
 The route (list of routers traversed, inclusive of endpoints) is needed for
 per-router byte accounting; the hop count alone suffices for latency.
+
+When link failures are injected, :func:`fault_route` keeps the XY path
+wherever it survives and falls back to a BFS shortest path around dead
+links otherwise — the simulator's stand-in for a fault-tolerant routing
+algorithm's escape paths.
 """
 
 from __future__ import annotations
 
 from repro.noc.topology import Mesh
 
-__all__ = ["xy_route", "hops"]
+__all__ = ["xy_route", "fault_route", "hops"]
 
 
 def hops(mesh: Mesh, src: int, dst: int) -> int:
@@ -36,4 +41,20 @@ def xy_route(mesh: Mesh, src: int, dst: int) -> list[int]:
     while y != dy:
         y += step_y
         route.append(mesh.tile_at(x, y))
+    return route
+
+
+def fault_route(mesh: Mesh, src: int, dst: int) -> list[int]:
+    """Route from ``src`` to ``dst`` honouring dead links.
+
+    The deterministic XY path is used whenever every link on it is alive;
+    otherwise the mesh's BFS shortest live path is taken.  With no injected
+    faults this is exactly :func:`xy_route`.
+    """
+    route = xy_route(mesh, src, dst)
+    if not mesh.dead_links:
+        return route
+    for a, b in zip(route, route[1:]):
+        if not mesh.link_alive(a, b):
+            return mesh.route(src, dst)
     return route

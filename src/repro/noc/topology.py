@@ -5,9 +5,17 @@ Each tile holds one core, its private L1, one LLC bank and one NoC router
 (paper Fig. 1).  Clusters are the rectangular groups (quadrants in the 4x4
 default) used by TD-NUCA's LLC Cluster Replication and by R-NUCA's
 rotational interleaving.
+
+Links can be disabled at runtime (:meth:`Mesh.fail_link`): the all-pairs
+distance matrix is recomputed by BFS over the surviving links, so every
+latency/traffic computation transparently pays the detour.  The fault-free
+Manhattan distances are kept in :attr:`Mesh.manhattan` for hop-inflation
+reporting.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 import numpy as np
 
@@ -44,6 +52,9 @@ class Mesh:
         self.distance = (
             np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
         ).astype(np.int64)
+        #: fault-free Manhattan distances (never mutated by link failures).
+        self.manhattan = self.distance.copy()
+        self._dead_links: set[frozenset[int]] = set()
         self._cluster_of = (
             (ys // cluster_height) * self.clusters_x + (xs // cluster_width)
         ).astype(np.int64)
@@ -96,3 +107,109 @@ class Mesh:
     def _check(self, tile: int) -> None:
         if not 0 <= tile < self.num_tiles:
             raise ValueError(f"tile {tile} out of range [0, {self.num_tiles})")
+
+    # ------------------------------------------------------------------
+    # link failures (fault injection)
+    # ------------------------------------------------------------------
+
+    @property
+    def dead_links(self) -> frozenset[frozenset[int]]:
+        """Disabled links as unordered tile pairs."""
+        return frozenset(self._dead_links)
+
+    def link_alive(self, a: int, b: int) -> bool:
+        """Whether the (structural) link between ``a`` and ``b`` is up."""
+        return frozenset((a, b)) not in self._dead_links
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """Whether tiles ``a`` and ``b`` share a structural mesh link."""
+        self._check(a)
+        self._check(b)
+        return int(self.manhattan[a, b]) == 1
+
+    def _neighbors(self, tile: int) -> list[int]:
+        """Live neighbours of ``tile`` (dead links excluded)."""
+        x, y = tile % self.width, tile // self.width
+        out = []
+        for nx, ny in ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)):
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                n = ny * self.width + nx
+                if frozenset((tile, n)) not in self._dead_links:
+                    out.append(n)
+        return out
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Disable the link between adjacent tiles ``a`` and ``b`` and
+        recompute all hop distances around it.
+
+        Raises ``ValueError`` if the tiles are not adjacent, the link is
+        already dead, or removing it would disconnect the mesh (a
+        disconnected NoC cannot degrade gracefully).
+        """
+        if not self.are_adjacent(a, b):
+            raise ValueError(f"tiles {a} and {b} are not mesh neighbours")
+        key = frozenset((a, b))
+        if key in self._dead_links:
+            raise ValueError(f"link {a}-{b} is already dead")
+        self._dead_links.add(key)
+        distance = self._bfs_all_pairs()
+        if (distance < 0).any():
+            self._dead_links.discard(key)
+            raise ValueError(
+                f"disabling link {a}-{b} would disconnect the mesh"
+            )
+        self.distance = distance
+
+    def _bfs_all_pairs(self) -> np.ndarray:
+        """All-pairs shortest hop counts over the surviving links;
+        unreachable pairs are -1."""
+        n = self.num_tiles
+        distance = np.full((n, n), -1, dtype=np.int64)
+        for src in range(n):
+            row = distance[src]
+            row[src] = 0
+            queue = deque([src])
+            while queue:
+                t = queue.popleft()
+                d = row[t] + 1
+                for nb in self._neighbors(t):
+                    if row[nb] < 0:
+                        row[nb] = d
+                        queue.append(nb)
+        return distance
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """A shortest live path from ``src`` to ``dst``, inclusive.
+
+        With no dead links this matches Manhattan length (though not
+        necessarily the XY path); with failures it is the BFS detour the
+        recomputed :attr:`distance` matrix charges for.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return [src]
+        parent: dict[int, int] = {src: src}
+        queue = deque([src])
+        while queue:
+            t = queue.popleft()
+            if t == dst:
+                break
+            for nb in self._neighbors(t):
+                if nb not in parent:
+                    parent[nb] = t
+                    queue.append(nb)
+        if dst not in parent:
+            raise ValueError(f"no live path from {src} to {dst}")
+        path = [dst]
+        while path[-1] != src:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    def mean_hop_inflation(self) -> float:
+        """Average extra hops per (src, dst) pair vs the fault-free mesh —
+        the degraded-mode reroute cost reported in the fault stats."""
+        if not self._dead_links:
+            return 0.0
+        return float((self.distance - self.manhattan).mean())

@@ -39,22 +39,62 @@ class PolicyStats:
     bypasses: int = 0
     local_bank_hits: int = 0  # resolutions to the requesting core's bank
     resolutions: int = 0
+    #: resolutions redirected away from a fault-disabled bank.
+    dead_bank_redirects: int = 0
 
 
 class NucaPolicy(ABC):
-    """Strategy object consulted on every L1 miss / writeback."""
+    """Strategy object consulted on every L1 miss / writeback.
+
+    Every policy supports graceful degradation under LLC bank failures:
+    :meth:`disable_bank` marks a bank dead, and any resolution that lands
+    on it is deterministically remapped (in :meth:`_count`) to one of the
+    surviving banks, spread by the block number so the dead bank's share
+    of the address space interleaves across the survivors.
+    """
 
     #: human-readable policy name used in reports.
     name: str = "base"
     #: extra cycles the resolution adds to an L1 miss (TD-NUCA: RRT latency).
     lookup_cycles: int = 0
+    #: total LLC banks the policy places over; subclasses set this so the
+    #: base class can compute the surviving-bank list on failures.
+    total_banks: int = 0
 
     def __init__(self) -> None:
         self.stats = PolicyStats()
+        self._dead_banks: set[int] = set()
+        self._alive_banks: list[int] = []
 
     @abstractmethod
     def bank_for(self, core: int, block: int, write: bool) -> int:
         """LLC bank serving ``block`` for ``core`` (or :data:`BYPASS`)."""
+
+    # --- fault injection ---
+
+    @property
+    def dead_banks(self) -> frozenset[int]:
+        return frozenset(self._dead_banks)
+
+    def disable_bank(self, bank: int) -> None:
+        """Remap placement around ``bank`` from now on.
+
+        Raises ``ValueError`` for an unknown bank or when no alive bank
+        would remain (a chip with zero LLC capacity cannot degrade
+        gracefully — it is simply broken).
+        """
+        if not 0 <= bank < self.total_banks:
+            raise ValueError(
+                f"bank {bank} out of range [0, {self.total_banks})"
+            )
+        if bank in self._dead_banks:
+            raise ValueError(f"bank {bank} is already disabled")
+        if len(self._dead_banks) + 1 >= self.total_banks:
+            raise ValueError("cannot disable the last alive bank")
+        self._dead_banks.add(bank)
+        self._alive_banks = [
+            b for b in range(self.total_banks) if b not in self._dead_banks
+        ]
 
     def pre_access(self, core: int, block: int, write: bool) -> FlushAction | None:
         """Hook called before resolving a demand access; may return a flush
@@ -68,8 +108,13 @@ class NucaPolicy(ABC):
         the default does nothing."""
         return []
 
-    def _count(self, core: int, bank: int) -> int:
-        """Record a resolution in the stats and return ``bank``."""
+    def _count(self, core: int, bank: int, block: int = 0) -> int:
+        """Record a resolution in the stats and return ``bank``, remapping
+        it first if fault injection disabled that bank."""
+        if self._dead_banks and bank >= 0 and bank in self._dead_banks:
+            alive = self._alive_banks
+            bank = alive[block % len(alive)]
+            self.stats.dead_bank_redirects += 1
         self.stats.resolutions += 1
         if bank == BYPASS:
             self.stats.bypasses += 1

@@ -52,6 +52,7 @@ class DNuca(NucaPolicy):
         self.migration_threshold = migration_threshold
         #: NUCA-search cost added to every L1 miss.
         self.lookup_cycles = lookup_cycles
+        self.total_banks = mesh.num_tiles
         self._bank_mask = mesh.num_tiles - 1
         #: block -> current bank (only blocks that have moved).
         self._location: dict[int, int] = {}
@@ -68,7 +69,16 @@ class DNuca(NucaPolicy):
         bank = self._location.get(block)
         if bank is None:
             bank = self.home_bank(block)
-        return self._count(core, bank)
+        return self._count(core, bank, block)
+
+    def disable_bank(self, bank: int) -> None:
+        """A dead bank also voids the location table's knowledge of the
+        blocks it held: they re-enter at their (remapped) home banks."""
+        super().disable_bank(bank)
+        doomed = [b for b, loc in self._location.items() if loc == bank]
+        for block in doomed:
+            del self._location[block]
+            self._streak.pop(block, None)
 
     # --- migration engine ---
 
@@ -94,7 +104,7 @@ class DNuca(NucaPolicy):
             return None
         self._streak.pop(block, None)
         dst = self._step_toward(bank, core)
-        if dst == bank:
+        if dst == bank or dst in self._dead_banks:
             return None
         self._location[block] = dst
         self.migrations += 1

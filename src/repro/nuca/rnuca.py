@@ -41,6 +41,7 @@ class RNuca(NucaPolicy):
         self.mesh = mesh
         self.amap = amap
         self.classifier = PageClassifier()
+        self.total_banks = mesh.num_tiles
         self._bank_mask = mesh.num_tiles - 1
         self._page_block_shift = amap.page_shift - amap.block_shift
 
@@ -97,8 +98,8 @@ class RNuca(NucaPolicy):
         if cls is PageClass.PRIVATE:
             owner = self.classifier.owner(page)
             assert owner is not None
-            return self._count(core, owner)
+            return self._count(core, owner, block)
         if cls is PageClass.SHARED_RO:
-            return self._count(core, rotational_bank(self.mesh, core, block))
+            return self._count(core, rotational_bank(self.mesh, core, block), block)
         # SHARED or untouched (cannot happen after pre_access): interleave.
-        return self._count(core, block & self._bank_mask)
+        return self._count(core, block & self._bank_mask, block)

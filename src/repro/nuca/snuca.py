@@ -31,7 +31,8 @@ class SNuca(NucaPolicy):
         if num_banks & (num_banks - 1):
             raise ValueError("num_banks must be a power of two")
         self.num_banks = num_banks
+        self.total_banks = num_banks
         self._mask = num_banks - 1
 
     def bank_for(self, core: int, block: int, write: bool) -> int:
-        return self._count(core, block & self._mask)
+        return self._count(core, block & self._mask, block)

@@ -29,6 +29,11 @@ class DramStats:
     writes: int = 0
     row_hits: int = 0
     row_misses: int = 0
+    # Transient-fault accounting (zero on fault-free runs).
+    transient_errors: int = 0
+    retries: int = 0
+    retry_cycles: int = 0
+    retries_exhausted: int = 0
 
     @property
     def accesses(self) -> int:
@@ -56,6 +61,34 @@ class MemoryControllers:
         self.tiles: tuple[int, ...] = tuple(dict.fromkeys(corners))
         self.stats = DramStats()
         self._open_row: dict[int, int] = {}
+        # Transient-error injection (installed by FaultInjector).
+        self._error_p: float = 0.0
+        self._max_retries: int = 0
+        self._rng = None
+
+    def set_fault_model(
+        self, probability: float, max_retries: int, rng, retry_cost=None
+    ) -> None:
+        """Enable per-access transient errors.
+
+        Every access independently fails with ``probability`` and is
+        retried; each retry costs a full re-access plus exponential
+        backoff (:meth:`LatencyConfig` ``dram_retry_backoff``), charged
+        into the returned latency and counted in :class:`DramStats`.
+        After ``max_retries`` consecutive failures the access completes
+        anyway (the controller's last-resort correction path) and is
+        counted in ``retries_exhausted``.
+        """
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("error probability must be in [0, 1)")
+        if max_retries <= 0:
+            raise ValueError("max_retries must be positive")
+        self._error_p = probability
+        self._max_retries = max_retries
+        self._rng = rng
+        # ``retry_cost(attempt, base_cycles)`` — normally
+        # :meth:`repro.sim.latency.LatencyModel.dram_retry`.
+        self._retry_cost = retry_cost
 
     def controller_for(self, block: int) -> int:
         """Tile of the controller owning ``block``."""
@@ -71,7 +104,32 @@ class MemoryControllers:
             self.stats.row_misses += 1
             self._open_row[mc] = row
             cycles = self.latency.dram
+        if self._error_p:
+            cycles += self._retry_penalty(cycles)
         return self.tiles[mc], cycles
+
+    def _retry_penalty(self, base_cycles: int) -> int:
+        """Cycles added by transient errors on one access (0 normally)."""
+        attempts = 0
+        st = self.stats
+        while self._rng.random() < self._error_p:
+            attempts += 1
+            if attempts >= self._max_retries:
+                st.retries_exhausted += 1
+                break
+        if not attempts:
+            return 0
+        st.transient_errors += 1
+        st.retries += attempts
+        penalty = 0
+        backoff = self.latency.dram_retry_backoff
+        for attempt in range(1, attempts + 1):
+            if self._retry_cost is not None:
+                penalty += self._retry_cost(attempt, base_cycles)
+            else:
+                penalty += base_cycles + (backoff << (attempt - 1))
+        st.retry_cycles += penalty
+        return penalty
 
     def read(self, block: int) -> tuple[int, int]:
         """Record a DRAM read; returns ``(controller tile, cycles)``."""

@@ -53,3 +53,10 @@ class LatencyModel:
     def bypass_access(self, core_to_mc_hops: int, dram_cycles: int) -> int:
         """L1 miss served directly by a memory controller (LLC bypass)."""
         return self.l1_hit + 2 * core_to_mc_hops * self.per_hop + dram_cycles
+
+    def dram_retry(self, attempt: int, dram_cycles: int) -> int:
+        """Cost of the ``attempt``-th (1-based) retry of a DRAM access hit
+        by a transient error: a full re-access plus exponential backoff."""
+        if attempt <= 0:
+            raise ValueError("attempt is 1-based")
+        return dram_cycles + (self.cfg.dram_retry_backoff << (attempt - 1))

@@ -29,6 +29,9 @@ from repro.core.isa import TdNucaISA
 from repro.core.rrt import RRT
 from repro.core.tdnuca import TdNucaPolicy
 from repro.energy.model import EnergyBreakdown, EnergyTally
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.schedule import FaultSchedule, parse_fault_spec
 from repro.mem.address import AddressMap
 from repro.mem.pagetable import PageTable
 from repro.mem.tlb import TLB, TLBStats
@@ -74,6 +77,8 @@ class MachineStats:
     mean_nuca_distance: float = 0.0
     router_bytes: int = 0
     bypassed_accesses: int = 0
+    #: degraded-mode accounting; ``None`` when no fault schedule attached.
+    faults: FaultStats | None = None
     extra: dict = field(default_factory=dict)
 
 
@@ -124,6 +129,16 @@ class Machine:
             isa.flush_executor = self._execute_flush
         self._data_bytes = data_message_bytes(cfg.block_bytes)
         self._page_block_shift = self.amap.page_shift - self.amap.block_shift
+        # Fault injection / strict checking (idle unless configured).
+        self.tasks_completed = 0
+        self.fault_injector: FaultInjector | None = None
+        self.invariant_checker = (
+            InvariantChecker(cfg.strict_check_interval)
+            if cfg.strict_invariants
+            else None
+        )
+        self._dead_banks: set[int] = set()
+        self._alive_banks: list[int] = list(range(cfg.num_banks))
         # Per-core runtime/stack scratch regions (non-dependency traffic).
         # Placed at the top of the virtual address space so they can never
         # alias workload allocations (which grow upward from 0x1000).
@@ -161,6 +176,7 @@ class Machine:
                 ]
             )
         if len(vblocks) == 0:
+            self._task_boundary()
             return 0
         if self.census is not None:
             self.census.record(core, vblocks, writes)
@@ -174,7 +190,18 @@ class Machine:
         for action in self.policy.classify_pages(core, uniq_pages.tolist(), wrote.tolist()):
             self._apply_flush_action(action)
 
-        return self._run_blocks(core, pblocks, writes, task.compute_per_access)
+        cycles = self._run_blocks(core, pblocks, writes, task.compute_per_access)
+        self._task_boundary()
+        return cycles
+
+    def _task_boundary(self) -> None:
+        """One task's trace finished: fire due faults, then (strict mode)
+        check invariants against the now-quiescent hierarchy."""
+        self.tasks_completed += 1
+        if self.fault_injector is not None:
+            self.fault_injector.on_task_boundary(self.tasks_completed)
+        if self.invariant_checker is not None:
+            self.invariant_checker.on_task_boundary(self, self.tasks_completed)
 
     def _run_blocks(
         self,
@@ -269,6 +296,81 @@ class Machine:
         return cycles
 
     # ------------------------------------------------------------------
+    # fault injection (graceful degradation)
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, schedule: FaultSchedule, seed: int = 0) -> FaultInjector:
+        """Install a fault schedule; fires any ``at_task=0`` events now."""
+        if self.fault_injector is not None:
+            raise RuntimeError("a fault schedule is already attached")
+        injector = FaultInjector(self, schedule, seed)
+        self.fault_injector = injector
+        injector.activate()
+        return injector
+
+    def fail_bank(self, bank: int) -> dict[str, int]:
+        """Hard-fail one LLC bank: its contents are lost, the policy remaps
+        future accesses to surviving banks, orphaned L1 copies are
+        back-invalidated (dirty ones drain to DRAM — the L1s still work)
+        and TD-NUCA RRT entries naming the bank are invalidated.  Returns
+        the loss accounting for :class:`repro.faults.injector.FaultStats`."""
+        victims = self.llc.banks[bank].resident_items()
+        self.llc.kill_bank(bank)
+        self.policy.disable_bank(bank)
+        self._dead_banks.add(bank)
+        self._alive_banks = [
+            b for b in range(self.cfg.num_banks) if b not in self._dead_banks
+        ]
+        l1_dropped = 0
+        for block, _dirty in victims:
+            if self.llc.banks_holding(block):
+                continue  # a replica in a live bank preserves inclusion
+            for core in self.directory.drop_block(block):
+                present, was_dirty = self.l1s[core].invalidate(block)
+                if not present:
+                    continue
+                l1_dropped += 1
+                if was_dirty:
+                    mc, _ = self.dram.write(block)
+                    self.traffic.record_message(
+                        MessageClass.WRITEBACK,
+                        self._data_bytes,
+                        self.mesh.hops(core, mc),
+                    )
+                    self.energy.dram_accesses += 1
+        rrt_dropped = 0
+        if self.rrts is not None:
+            for rrt in self.rrts:
+                rrt_dropped += rrt.drop_bank_entries(bank)
+        return {
+            "blocks_lost": len(victims),
+            "dirty_blocks_lost": sum(1 for _, d in victims if d),
+            "l1_copies_dropped": l1_dropped,
+            "rrt_entries_dropped": rrt_dropped,
+        }
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Hard-fail one NoC link; the mesh recomputes all distances over
+        the surviving links (fault-aware fallback routing)."""
+        self.mesh.fail_link(a, b)
+
+    def _home_bank(self, block: int) -> int:
+        """Static home bank for coherence traffic, remapped around dead
+        banks the same way the policies remap (block-interleaved over the
+        survivors)."""
+        bank = block % self.cfg.num_banks
+        if self._dead_banks and bank in self._dead_banks:
+            alive = self._alive_banks
+            bank = alive[block % len(alive)]
+        return bank
+
+    def check_invariants(self) -> list[InvariantViolation]:
+        """Full machine-wide invariant sweep; [] means consistent."""
+        from repro.faults.invariants import check_machine
+
+        return check_machine(self)
+
+    # ------------------------------------------------------------------
     # coherence and writeback helpers
     # ------------------------------------------------------------------
 
@@ -279,7 +381,7 @@ class Machine:
         bit = 1 << core
         if mask & ~bit:
             actions = directory.on_l1_fill(core, block, True)
-            bank = block % self.cfg.num_banks  # upgrade goes to home bank
+            bank = self._home_bank(block)  # upgrade goes to home bank
             self._coherence_actions(core, block, bank, actions)
         elif directory.owner(block) != core:
             # Silent E->M (or stale-presence) upgrade: just take ownership.
@@ -289,7 +391,7 @@ class Machine:
         """Perform invalidations/downgrades; returns added cycles."""
         traffic = self.traffic
         mesh = self.mesh
-        home = bank if bank != BYPASS else block % self.cfg.num_banks
+        home = bank if bank != BYPASS else self._home_bank(block)
         cycles = 0
         for victim_core in actions.invalidate:
             hops = mesh.hops(home, victim_core)
@@ -494,6 +596,21 @@ class Machine:
         for t in self.tlbs:
             tlb.merge(t.stats)
         energy = self.energy.breakdown(self.cfg.energy, self.traffic.flit_hops)
+        extra: dict = {}
+        if self.invariant_checker is not None:
+            # Final sweep so even a run shorter than the check interval
+            # ends with at least one full consistency proof.
+            self.invariant_checker.full_sweep(self)
+            extra["invariants"] = {
+                "checks_run": self.invariant_checker.checks_run,
+                "full_sweeps": self.invariant_checker.full_sweeps,
+                "violations": self.invariant_checker.violations_found,
+            }
+        faults = (
+            self.fault_injector.snapshot()
+            if self.fault_injector is not None
+            else None
+        )
         return MachineStats(
             policy=self.policy.name,
             llc=llc,
@@ -508,7 +625,16 @@ class Machine:
             mean_nuca_distance=self.traffic.mean_nuca_distance,
             router_bytes=self.traffic.router_bytes,
             bypassed_accesses=self.policy.stats.bypasses,
+            faults=faults,
+            extra=extra,
         )
+
+
+def _finalize_machine(machine: Machine, cfg: SystemConfig, seed: int) -> Machine:
+    """Attach the configured fault schedule (if any) to a fresh machine."""
+    if cfg.fault_spec:
+        machine.attach_faults(parse_fault_spec(cfg.fault_spec), seed)
+    return machine
 
 
 def build_machine(
@@ -532,20 +658,23 @@ def build_machine(
     amap = AddressMap(cfg.block_bytes, cfg.page_bytes, cfg.physical_address_bits)
     mesh = Mesh(cfg.mesh_width, cfg.mesh_height, cfg.cluster_width, cfg.cluster_height)
     if policy == "snuca":
-        return Machine(
+        machine = Machine(
             cfg, SNuca(cfg.num_banks), fragmentation=fragmentation, seed=seed,
             census=census,
         )
+        return _finalize_machine(machine, cfg, seed)
     if policy == "rnuca":
-        return Machine(
+        machine = Machine(
             cfg, RNuca(mesh, amap), fragmentation=fragmentation, seed=seed,
             census=census,
         )
+        return _finalize_machine(machine, cfg, seed)
     if policy == "dnuca":
-        return Machine(
+        machine = Machine(
             cfg, DNuca(mesh), fragmentation=fragmentation, seed=seed,
             census=census,
         )
+        return _finalize_machine(machine, cfg, seed)
     if policy == "tdnuca-noisa":
         # Section V-E runtime-overhead experiment: the runtime extension
         # runs all its bookkeeping but never executes the ISA instructions,
@@ -559,7 +688,7 @@ def build_machine(
         rrts = [RRT(c, cfg.rrt_entries) for c in range(cfg.num_cores)]
         machine.isa = TdNucaISA(machine.amap, machine.tlbs, rrts, cfg.latency)
         machine.isa.flush_executor = machine._execute_flush
-        return machine
+        return _finalize_machine(machine, cfg, seed)
     # TD-NUCA variants share the RRT/ISA hardware.
     rrts = [RRT(c, cfg.rrt_entries) for c in range(cfg.num_cores)]
     lookup = (
@@ -577,4 +706,4 @@ def build_machine(
     isa = TdNucaISA(machine.amap, machine.tlbs, rrts, cfg.latency)
     machine.isa = isa
     isa.flush_executor = machine._execute_flush
-    return machine
+    return _finalize_machine(machine, cfg, seed)

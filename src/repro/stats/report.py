@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["format_table", "normalize_series", "geomean"]
+__all__ = ["format_table", "normalize_series", "geomean", "fault_report_rows"]
 
 
 def format_table(
@@ -24,6 +24,43 @@ def format_table(
     for row in cells[1:]:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def fault_report_rows(faults) -> list[list[str]]:
+    """Degraded-mode rows for the run report, from a
+    :class:`repro.faults.injector.FaultStats` (skips all-zero groups so
+    fault-free metrics stay uncluttered)."""
+    rows: list[list[str]] = []
+    if faults.banks_failed:
+        rows.append(["LLC banks failed", f"{faults.banks_failed}"])
+        rows.append(
+            [
+                "LLC blocks lost (dirty)",
+                f"{faults.blocks_lost:,} ({faults.dirty_blocks_lost:,})",
+            ]
+        )
+        rows.append(["L1 copies dropped", f"{faults.l1_copies_dropped:,}"])
+        rows.append(["dead-bank redirects", f"{faults.dead_bank_redirects:,}"])
+        if faults.rrt_entries_dropped:
+            rows.append(["RRT entries dropped", f"{faults.rrt_entries_dropped:,}"])
+    if faults.links_failed:
+        rows.append(["NoC links failed", f"{faults.links_failed}"])
+        rows.append(["mean hop inflation", f"{faults.mean_hop_inflation:.3f}"])
+    if faults.dram_transient_errors or faults.dram_retries:
+        rows.append(
+            [
+                "DRAM transient errors / retries",
+                f"{faults.dram_transient_errors:,} / {faults.dram_retries:,}",
+            ]
+        )
+        rows.append(["DRAM retry cycles", f"{faults.dram_retry_cycles:,}"])
+        if faults.dram_retries_exhausted:
+            rows.append(
+                ["DRAM retries exhausted", f"{faults.dram_retries_exhausted:,}"]
+            )
+    if faults.pending_events:
+        rows.append(["fault events never triggered", f"{faults.pending_events}"])
+    return rows
 
 
 def normalize_series(

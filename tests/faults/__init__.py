@@ -1,0 +1,1 @@
+"""Tests for the hardware fault injection subsystem."""

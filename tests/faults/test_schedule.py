@@ -1,0 +1,146 @@
+"""Fault-spec parsing: grammar, validation and rejection of nonsense."""
+
+import pytest
+
+from repro.faults.schedule import (
+    DEFAULT_DRAM_RETRIES,
+    BankFault,
+    DramFaultModel,
+    FaultSchedule,
+    LinkFault,
+    parse_fault_spec,
+)
+
+
+class TestParsing:
+    def test_empty_spec_is_falsy(self):
+        schedule = parse_fault_spec("")
+        assert not schedule
+        assert schedule.last_trigger == 0
+
+    def test_single_bank_fault(self):
+        schedule = parse_fault_spec("bank:5@task=100")
+        assert schedule.bank_faults == (BankFault(5, 100),)
+        assert schedule.link_faults == ()
+        assert schedule.dram is None
+        assert schedule.last_trigger == 100
+
+    def test_single_link_fault(self):
+        schedule = parse_fault_spec("link:3-7@task=250")
+        assert schedule.link_faults == (LinkFault(3, 7, 250),)
+
+    def test_dram_fault_default_retries(self):
+        schedule = parse_fault_spec("dram:transient:p=1e-4")
+        assert schedule.dram == DramFaultModel(1e-4, DEFAULT_DRAM_RETRIES)
+
+    def test_dram_fault_explicit_retries(self):
+        schedule = parse_fault_spec("dram:transient:p=0.01:retries=3")
+        assert schedule.dram == DramFaultModel(0.01, 3)
+
+    def test_combined_spec(self):
+        schedule = parse_fault_spec(
+            "bank:5@task=100,link:3-7@task=250,dram:transient:p=1e-4"
+        )
+        assert bool(schedule)
+        assert len(schedule.bank_faults) == 1
+        assert len(schedule.link_faults) == 1
+        assert schedule.dram is not None
+        assert schedule.last_trigger == 250
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        schedule = parse_fault_spec(" bank:1@task=0 , ,link:0-1@task=2 ")
+        assert schedule.bank_faults == (BankFault(1, 0),)
+        assert schedule.link_faults == (LinkFault(0, 1, 2),)
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bank:5",
+            "bank:5@task=x",
+            "bank:-1@task=0",
+            "link:3@task=0",
+            "link:3-7",
+            "dram:transient",
+            "dram:transient:p=",
+            "nonsense",
+            "bank:5@task=1;link:0-1@task=2",  # wrong separator
+        ],
+    )
+    def test_malformed_items(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault_spec(spec)
+
+    def test_link_endpoints_must_differ(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            parse_fault_spec("link:3-3@task=0")
+
+    def test_duplicate_bank_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            parse_fault_spec("bank:5@task=1,bank:5@task=2")
+
+    def test_duplicate_link_rejected_either_direction(self):
+        with pytest.raises(ValueError, match="twice"):
+            parse_fault_spec("link:3-7@task=1,link:7-3@task=2")
+
+    def test_multiple_dram_models_rejected(self):
+        with pytest.raises(ValueError, match="one dram"):
+            parse_fault_spec("dram:transient:p=0.1,dram:transient:p=0.2")
+
+    @pytest.mark.parametrize("p", ["1.0", "1.5", "-0.1"])
+    def test_probability_out_of_range(self, p):
+        with pytest.raises(ValueError, match="probability"):
+            parse_fault_spec(f"dram:transient:p={p}")
+
+    def test_zero_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            parse_fault_spec("dram:transient:p=0.1:retries=0")
+
+
+class TestGeometryValidation:
+    def test_bank_out_of_range(self):
+        schedule = parse_fault_spec("bank:16@task=0")
+        with pytest.raises(ValueError, match="bank 16"):
+            schedule.validate_against(16, 16)
+
+    def test_tile_out_of_range(self):
+        schedule = parse_fault_spec("link:0-16@task=0")
+        with pytest.raises(ValueError, match="tile 16"):
+            schedule.validate_against(16, 16)
+
+    def test_killing_every_bank_rejected(self):
+        spec = ",".join(f"bank:{b}@task=0" for b in range(4))
+        schedule = parse_fault_spec(spec)
+        with pytest.raises(ValueError, match="every LLC bank"):
+            schedule.validate_against(4, 4)
+
+    def test_valid_schedule_passes(self):
+        schedule = parse_fault_spec("bank:5@task=0,link:3-7@task=0")
+        schedule.validate_against(16, 16)
+
+
+class TestConfigIntegration:
+    def test_config_validate_rejects_bad_spec(self):
+        from dataclasses import replace
+
+        from tests.conftest import tiny_config
+
+        cfg = replace(tiny_config(), fault_spec="bank:99@task=0")
+        with pytest.raises(ValueError, match="bank 99"):
+            cfg.validate()
+
+    def test_config_validate_accepts_good_spec(self):
+        from dataclasses import replace
+
+        from tests.conftest import tiny_config
+
+        cfg = replace(tiny_config(), fault_spec="bank:5@task=10")
+        cfg.validate()
+
+
+def test_schedule_is_hashable_and_frozen():
+    schedule = FaultSchedule((BankFault(1, 2),), (), None)
+    hash(schedule)
+    with pytest.raises(AttributeError):
+        schedule.dram = DramFaultModel(0.5)

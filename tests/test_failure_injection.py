@@ -89,3 +89,110 @@ class TestZeroNondepTraffic:
         assert r.execution.tasks_executed == 128
         # Without scratch, essentially everything bypasses.
         assert r.machine.llc_accesses < 300
+
+
+# ---------------------------------------------------------------------------
+# Hardware fault axis: injected bank/link/DRAM failures (repro.faults).
+# The trace is the work, so fault handling may change *where* data lives and
+# *how long* accesses take — never how many references the cores issue.
+# ---------------------------------------------------------------------------
+
+
+def _faulted(workload, policy, spec, seed=0):
+    cfg = replace(CFG, fault_spec=spec, strict_invariants=True)
+    return run_experiment(workload, policy, cfg, seed=seed)
+
+
+class TestBankFailure:
+    @pytest.mark.parametrize("policy", ["snuca", "rnuca", "dnuca", "tdnuca"])
+    def test_midrun_bank_death_preserves_work(self, policy):
+        """Every policy completes with the exact same L1 access count and
+        a clean invariant report when a bank dies mid-run."""
+        healthy = run_experiment("lu", policy, CFG)
+        faulted = _faulted("lu", policy, "bank:5@task=20")
+        assert faulted.execution.tasks_executed == healthy.execution.tasks_executed
+        assert faulted.machine.l1.accesses == healthy.machine.l1.accesses
+        assert faulted.machine.faults.banks_failed == 1
+        assert faulted.machine.faults.dead_bank_redirects > 0
+        assert faulted.machine.extra["invariants"]["violations"] == 0
+
+    @pytest.mark.parametrize("bank", [0, 7, 15])
+    def test_any_single_bank_position(self, bank):
+        healthy = run_experiment("kmeans", "tdnuca", CFG)
+        faulted = _faulted("kmeans", "tdnuca", f"bank:{bank}@task=10")
+        assert faulted.machine.l1.accesses == healthy.machine.l1.accesses
+        assert faulted.machine.extra["invariants"]["violations"] == 0
+
+    def test_every_workload_survives_a_bank_death(self):
+        from repro.workloads.registry import workload_names
+
+        for wl in workload_names():
+            healthy = run_experiment(wl, "tdnuca", CFG)
+            faulted = _faulted(wl, "tdnuca", "bank:3@task=5")
+            assert faulted.machine.l1.accesses == healthy.machine.l1.accesses, wl
+            assert faulted.machine.extra["invariants"]["violations"] == 0, wl
+
+    def test_dead_from_start_bank(self):
+        faulted = _faulted("md5", "snuca", "bank:2@task=0")
+        assert faulted.execution.tasks_executed == 128
+        assert faulted.machine.faults.blocks_lost == 0  # bank never filled
+        assert faulted.machine.extra["invariants"]["violations"] == 0
+
+
+class TestLinkFailure:
+    @pytest.mark.parametrize("spec", ["link:1-2@task=10", "link:10-14@task=0"])
+    def test_single_link_death_preserves_work(self, spec):
+        healthy = run_experiment("jacobi", "tdnuca", CFG)
+        faulted = _faulted("jacobi", "tdnuca", spec)
+        assert faulted.execution.tasks_executed == healthy.execution.tasks_executed
+        assert faulted.machine.l1.accesses == healthy.machine.l1.accesses
+        assert faulted.machine.faults.links_failed == 1
+        assert faulted.machine.faults.mean_hop_inflation > 0
+        assert faulted.machine.extra["invariants"]["violations"] == 0
+
+
+class TestDramTransientErrors:
+    def test_errors_slow_the_run_but_change_no_work(self):
+        healthy = run_experiment("md5", "snuca", CFG, seed=4)
+        faulted = _faulted("md5", "snuca", "dram:transient:p=0.01", seed=4)
+        assert faulted.machine.l1.accesses == healthy.machine.l1.accesses
+        assert faulted.machine.faults.dram_transient_errors > 0
+        assert faulted.machine.faults.dram_retry_cycles > 0
+        assert faulted.makespan > healthy.makespan
+
+
+class TestFaultDeterminism:
+    def test_same_seed_same_stats_bit_for_bit(self):
+        from repro.experiments.serialize import result_to_dict
+
+        spec = "bank:5@task=10,link:1-2@task=20,dram:transient:p=1e-3"
+        a = result_to_dict(_faulted("lu", "tdnuca", spec, seed=11))
+        b = result_to_dict(_faulted("lu", "tdnuca", spec, seed=11))
+        assert a == b
+
+    def test_different_seed_different_dram_errors(self):
+        spec = "dram:transient:p=1e-2"
+        a = _faulted("md5", "snuca", spec, seed=1)
+        b = _faulted("md5", "snuca", spec, seed=2)
+        assert (
+            a.machine.faults.dram_transient_errors
+            != b.machine.faults.dram_transient_errors
+            or a.machine.faults.dram_retry_cycles
+            != b.machine.faults.dram_retry_cycles
+        )
+
+
+class TestStrictModeFaultFree:
+    @pytest.mark.parametrize("policy", ["snuca", "tdnuca"])
+    def test_fault_free_strict_run_is_clean_and_identical(self, policy):
+        plain = run_experiment("kmeans", policy, CFG, seed=0)
+        strict = run_experiment(
+            "kmeans", policy, replace(CFG, strict_invariants=True), seed=0
+        )
+        inv = strict.machine.extra["invariants"]
+        assert inv["violations"] == 0
+        assert inv["checks_run"] > 0 and inv["full_sweeps"] >= 1
+        # Checking must observe, never perturb, the simulation.
+        assert strict.makespan == plain.makespan
+        assert strict.machine.l1.accesses == plain.machine.l1.accesses
+        assert strict.machine.llc_accesses == plain.machine.llc_accesses

@@ -28,6 +28,14 @@ PUBLIC_API = {
         "OrderedScheduler",
     ],
     "repro.sim": ["Machine", "build_machine", "MemoryControllers"],
+    "repro.faults": [
+        "FaultSchedule",
+        "FaultInjector",
+        "FaultStats",
+        "InvariantChecker",
+        "parse_fault_spec",
+        "check_machine",
+    ],
     "repro.energy": ["EnergyTally", "EnergyBreakdown"],
     "repro.stats": ["BlockCensus", "format_table"],
     "repro.workloads": ["Workload", "get_workload", "BENCHMARKS"],
