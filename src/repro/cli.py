@@ -5,6 +5,7 @@
     python -m repro run lu tdnuca [...]       # one experiment, full stats
     python -m repro figures [...]             # the paper's figures 3, 8-14
     python -m repro sweep --out results.json  # archive a suite as JSON
+    python -m repro sweep --resume DIR        # finish an interrupted sweep
 
 Scale is given as ``--scale N`` meaning capacities at 1/N of Table I
 (default 64, the calibrated experiment scale).
@@ -19,7 +20,7 @@ import time
 from repro.config import scaled_config
 from repro.experiments import figures
 from repro.experiments.runner import run_experiment, run_suite
-from repro.experiments.serialize import result_to_dict, results_to_json
+from repro.experiments.serialize import result_to_dict
 from repro.sim.machine import POLICIES
 from repro.stats.report import fault_report_rows, format_table
 from repro.workloads.registry import get_workload, workload_names
@@ -87,11 +88,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="run the suite, write JSON results")
     _add_scale(p_sweep)
-    p_sweep.add_argument("--out", required=True, help="output JSON path")
+    p_sweep.add_argument(
+        "--out", default=None, help="output JSON path (required unless --resume)"
+    )
     p_sweep.add_argument(
         "--policies", nargs="*", choices=list(POLICIES), default=None
     )
+    p_sweep.add_argument(
+        "--workloads", nargs="*", choices=workload_names(), default=None,
+        help="subset of benchmarks (default: all)",
+    )
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--faults", default="", metavar="SPEC",
+        help="fault schedule applied to every run (see 'repro run --faults')",
+    )
+    p_sweep.add_argument(
+        "--strict", action="store_true",
+        help="check machine invariants after every task in every run",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel worker processes (N>1 isolates each run; default 1)",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock limit (implies process isolation)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries per job for transient failures (default 1)",
+    )
+    p_sweep.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="checkpoint directory (default: <out>.d) — one JSON shard per "
+        "finished job plus a manifest, enabling --resume",
+    )
+    p_sweep.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume the sweep checkpointed in DIR: skip finished shards, "
+        "re-run only failed/missing jobs, then merge",
+    )
 
     p_cmp = sub.add_parser(
         "compare", help="diff two sweep JSON files (regression check)"
@@ -222,21 +259,136 @@ def cmd_figures(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    results = run_suite(policies=args.policies, cfg=_cfg(args), seed=args.seed)
-    with open(args.out, "w") as fh:
-        fh.write(results_to_json(results))
-    print(f"wrote {len(results)} results to {args.out}")
-    return 0
+    from dataclasses import replace
+
+    from repro.experiments import harness
+    from repro.experiments.serialize import sweep_to_json
+    from repro.ioutils import atomic_write
+    from repro.stats.report import sweep_summary_rows
+
+    if args.resume:
+        run_dir = args.resume
+        manifest = harness.load_manifest(run_dir)
+        req = manifest.get("request", {})
+        scale = req.get("scale", args.scale)
+        cfg = scaled_config(1.0 / scale)
+        if req.get("faults") or req.get("strict"):
+            cfg = replace(
+                cfg,
+                fault_spec=req.get("faults", ""),
+                strict_invariants=bool(req.get("strict")),
+            )
+            cfg.validate()
+        jobs = [harness.Job(wl, pol, seed) for wl, pol, seed in manifest["jobs"]]
+        out = args.out or req.get("out")
+        if not out:
+            print("error: the manifest records no output path; pass --out")
+            return 2
+        seed = req.get("seed", 0)
+        request = req
+    else:
+        if not args.out:
+            print("error: --out is required unless resuming with --resume DIR")
+            return 2
+        cfg = _cfg(args)
+        if args.faults or args.strict:
+            cfg = replace(
+                cfg, fault_spec=args.faults, strict_invariants=args.strict
+            )
+            cfg.validate()
+        workloads = args.workloads or workload_names()
+        policies = args.policies or ["snuca", "rnuca", "tdnuca"]
+        jobs = [
+            harness.Job(wl, pol, args.seed)
+            for wl in workloads
+            for pol in policies
+        ]
+        out = args.out
+        run_dir = args.run_dir or out + ".d"
+        seed = args.seed
+        request = {
+            "scale": args.scale,
+            "workloads": workloads,
+            "policies": policies,
+            "seed": args.seed,
+            "faults": args.faults,
+            "strict": args.strict,
+            "out": out,
+        }
+
+    total = len(jobs)
+    progress = {"done": 0}
+
+    def on_event(kind: str, job: harness.Job, detail: str) -> None:
+        if kind in ("ok", "failed", "timeout", "skipped"):
+            progress["done"] += 1
+            print(
+                f"[{progress['done']}/{total}] {kind:8s} {job.label}  {detail}",
+                file=sys.stderr,
+            )
+        elif kind == "retry":
+            print(f"          {kind:8s} {job.label}  {detail}", file=sys.stderr)
+
+    outcome = harness.run_sweep(
+        jobs,
+        cfg,
+        workers=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        run_dir=run_dir,
+        resume=bool(args.resume),
+        request=request,
+        on_event=on_event,
+    )
+    meta = {
+        "config_sha256": harness.config_fingerprint(cfg),
+        "seed": seed,
+        "scale": request.get("scale"),
+        "wall_time_s": round(outcome.wall_time, 3),
+    }
+    with atomic_write(out) as fh:
+        fh.write(
+            sweep_to_json(
+                outcome.result_dicts(),
+                [f.to_dict() for f in outcome.failures],
+                meta,
+            )
+        )
+    print(format_table(["metric", "value"], sweep_summary_rows(outcome),
+                       "sweep summary"))
+    print(f"wrote {outcome.ok} results to {out} (checkpoints in {run_dir})")
+    if outcome.failures:
+        print(f"{outcome.failed} job(s) failed — fix or re-run with "
+              f"'repro sweep --resume {run_dir}'")
+    return 1 if outcome.failures else 0
 
 
 def cmd_compare(args) -> int:
     from repro.experiments.compare import compare_result_sets
-    from repro.experiments.serialize import load_results_json
+    from repro.experiments.serialize import SchemaVersionError, load_sweep
 
-    with open(args.old) as fh:
-        old = load_results_json(fh.read())
-    with open(args.new) as fh:
-        new = load_results_json(fh.read())
+    docs = {}
+    for label, path in (("old", args.old), ("new", args.new)):
+        with open(path) as fh:
+            text = fh.read()
+        try:
+            docs[label] = load_sweep(text)
+        except SchemaVersionError as exc:
+            print(
+                f"{path}: schema version mismatch — the file was written "
+                f"under schema {exc.found!r}, this tool reads {exc.expected}"
+            )
+            return 2
+        except ValueError as exc:
+            print(f"{path}: {exc}")
+            return 2
+    for label in ("old", "new"):
+        if docs[label].failures:
+            print(
+                f"note: the {label} sweep records "
+                f"{len(docs[label].failures)} failed run(s)"
+            )
+    old, new = docs["old"].runs, docs["new"].runs
     deltas = compare_result_sets(old, new, tolerance=args.tolerance)
     if not deltas:
         print(f"no deviations beyond {args.tolerance:.1%} across {len(new)} runs")
@@ -248,11 +400,12 @@ def cmd_compare(args) -> int:
 
 
 def cmd_tdg(args) -> int:
+    from repro.ioutils import atomic_write
     from repro.runtime.tdgviz import program_to_dot
 
     program = get_workload(args.workload).build(_cfg(args))
     dot = program_to_dot(program, max_tasks=args.max_tasks)
-    with open(args.out, "w") as fh:
+    with atomic_write(args.out) as fh:
         fh.write(dot)
     nodes = dot.count("label=")
     print(f"wrote {args.out} ({nodes} tasks; render with: dot -Tpdf {args.out})")

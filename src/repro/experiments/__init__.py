@@ -2,6 +2,13 @@
 table and figure of the paper's evaluation section."""
 
 from repro.experiments.runner import ExperimentResult, run_experiment, run_suite
-from repro.experiments import figures, paper
+from repro.experiments import figures, harness, paper
 
-__all__ = ["ExperimentResult", "run_experiment", "run_suite", "figures", "paper"]
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "run_suite",
+    "figures",
+    "harness",
+    "paper",
+]

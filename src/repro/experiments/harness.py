@@ -1,0 +1,667 @@
+"""Crash-tolerant parallel sweep harness.
+
+Long simulation campaigns are the dominant cost of reproduction work, and a
+serial double loop loses the whole campaign to one hung or crashed run.
+This module runs each :class:`Job` — one ``(workload, policy, seed)`` cell
+of a sweep — through a small job engine that provides:
+
+* **Process isolation** — each attempt runs in its own ``multiprocessing``
+  worker (spawn-safe: the worker entry point and all job arguments are
+  module-level picklables), so a segfault, ``os._exit``, or unbounded hang
+  in one run cannot take down the sweep.
+* **Per-job wall-clock timeouts** — a worker past its deadline is
+  terminated (then killed) and the attempt is recorded as timed out.
+* **Bounded retries with exponential backoff** — transient failures
+  (worker crashes, timeouts, I/O errors) are retried up to ``retries``
+  times with ``backoff * 2**(attempt-1)`` seconds between attempts;
+  deterministic errors (:data:`PERMANENT_ERRORS`) fail immediately.
+* **Graceful degradation** — a job that exhausts its retries becomes a
+  structured :class:`FailedRun` (error class, message, traceback, attempt
+  count, elapsed time) in the outcome instead of an exception that aborts
+  the sweep.
+* **Incremental checkpointing** — with a ``run_dir``, every finished job is
+  written atomically as one JSON shard under ``run_dir/shards/`` and the
+  sweep identity (config hash, job list, request) is kept in
+  ``run_dir/manifest.json``; ``resume=True`` skips jobs with a valid "ok"
+  shard and re-runs only failed or missing ones.
+
+With ``workers=1`` and no timeout the engine degrades to an in-process
+serial loop (no subprocess overhead) that still retries and checkpoints —
+that is the mode :func:`repro.experiments.runner.run_suite` uses by
+default, so library callers pay nothing for the robustness they don't ask
+for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import asdict, dataclass, field, is_dataclass
+from multiprocessing import connection
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.experiments.serialize import SCHEMA_VERSION, SchemaVersionError
+from repro.ioutils import atomic_write
+
+__all__ = [
+    "Job",
+    "FailedRun",
+    "CompletedRun",
+    "SweepOutcome",
+    "SweepFailure",
+    "run_sweep",
+    "load_manifest",
+    "config_fingerprint",
+    "PERMANENT_ERRORS",
+    "MANIFEST_NAME",
+    "SHARD_DIR",
+    "CRASH_ENV",
+]
+
+MANIFEST_NAME = "manifest.json"
+SHARD_DIR = "shards"
+
+#: error classes retrying cannot fix: deterministic programming or
+#: configuration mistakes.  Everything else — worker crashes, timeouts,
+#: OS-level I/O hiccups — is treated as transient and retried.
+PERMANENT_ERRORS = (
+    ValueError,
+    TypeError,
+    KeyError,
+    AttributeError,
+    NotImplementedError,
+)
+
+#: chaos hook for tests and CI smoke runs: set to a job label
+#: ("workload/policy") and every isolated worker for that job exits hard
+#: with status 99 before running, emulating a native crash.
+CRASH_ENV = "REPRO_HARNESS_CRASH"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One cell of a sweep."""
+
+    workload: str
+    policy: str
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/{self.policy}"
+
+    @property
+    def shard_name(self) -> str:
+        return f"{self.workload}__{self.policy}__s{self.seed}.json"
+
+
+@dataclass
+class FailedRun:
+    """A job that exhausted its retries, as a structured record."""
+
+    workload: str
+    policy: str
+    seed: int
+    error: str  # exception class name, "Timeout", or "WorkerCrash"
+    message: str
+    traceback: str
+    attempts: int
+    elapsed: float
+    timed_out: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d["elapsed"] = round(self.elapsed, 3)
+        return d
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "FailedRun":
+        return cls(**{k: raw[k] for k in cls.__dataclass_fields__ if k in raw})
+
+
+@dataclass
+class CompletedRun:
+    """A finished job: live :class:`ExperimentResult`, or the flattened
+    dict loaded back from a checkpoint shard on resume."""
+
+    workload: str
+    policy: str
+    seed: int
+    attempts: int
+    elapsed: float
+    result: Any
+    from_checkpoint: bool = False
+
+    def result_dict(self) -> dict[str, Any]:
+        if isinstance(self.result, dict):
+            return self.result
+        from repro.experiments.serialize import result_to_dict
+
+        return result_to_dict(self.result)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced, including its failures."""
+
+    completed: list[CompletedRun] = field(default_factory=list)
+    failures: list[FailedRun] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> int:
+        return len(self.completed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def timed_out(self) -> int:
+        return sum(1 for f in self.failures if f.timed_out)
+
+    @property
+    def retried(self) -> int:
+        return sum(1 for r in self.completed if r.attempts > 1) + sum(
+            1 for f in self.failures if f.attempts > 1
+        )
+
+    @property
+    def from_checkpoint(self) -> int:
+        return sum(1 for r in self.completed if r.from_checkpoint)
+
+    def results(self) -> dict[tuple[str, str], Any]:
+        """Completed results keyed ``(workload, policy)``."""
+        out: dict[tuple[str, str], Any] = {}
+        for run in self.completed:
+            key = (run.workload, run.policy)
+            if key in out:
+                raise ValueError(
+                    f"duplicate run {run.workload}/{run.policy}: merging by "
+                    "(workload, policy) needs one seed per pair"
+                )
+            out[key] = run.result
+        return out
+
+    def result_dicts(self) -> dict[tuple[str, str], dict[str, Any]]:
+        """Like :meth:`results` but every value flattened to a dict."""
+        out: dict[tuple[str, str], dict[str, Any]] = {}
+        for run in self.completed:
+            key = (run.workload, run.policy)
+            if key in out:
+                raise ValueError(
+                    f"duplicate run {run.workload}/{run.policy}: merging by "
+                    "(workload, policy) needs one seed per pair"
+                )
+            out[key] = run.result_dict()
+        return out
+
+
+class SweepFailure(RuntimeError):
+    """Raised by :func:`repro.experiments.runner.run_suite` when jobs
+    failed after retries (the CLI reports failures instead of raising)."""
+
+    def __init__(self, failures: Iterable[FailedRun]):
+        self.failures = list(failures)
+        shown = ", ".join(
+            f"{f.workload}/{f.policy} ({f.error})" for f in self.failures[:5]
+        )
+        extra = len(self.failures) - 5
+        if extra > 0:
+            shown += f" and {extra} more"
+        super().__init__(f"{len(self.failures)} sweep job(s) failed: {shown}")
+
+
+def config_fingerprint(cfg: Any) -> str:
+    """Stable hash of a sweep's configuration, stored in the manifest so a
+    resume against a differently-configured run directory fails loudly."""
+    if is_dataclass(cfg) and not isinstance(cfg, type):
+        payload: Any = asdict(cfg)
+    else:
+        payload = repr(cfg)
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _default_runner(job: Job, cfg: Any) -> Any:
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment(job.workload, job.policy, cfg, seed=job.seed)
+
+
+def _worker_main(conn_w, runner, job: Job, cfg: Any) -> None:
+    """Worker entry point (module-level so ``spawn`` can pickle it)."""
+    if os.environ.get(CRASH_ENV, "") == job.label:
+        os._exit(99)
+    try:
+        result = runner(job, cfg)
+        payload = ("ok", result)
+    except BaseException as exc:  # report everything, incl. SystemExit
+        payload = (
+            "error",
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(),
+            isinstance(exc, PERMANENT_ERRORS),
+        )
+    try:
+        conn_w.send(payload)
+    except Exception as exc:  # e.g. the result failed to pickle
+        try:
+            conn_w.send(
+                ("error", type(exc).__name__,
+                 f"result could not be sent to the parent: {exc}",
+                 traceback.format_exc(), True)
+            )
+        except Exception:
+            pass
+    finally:
+        conn_w.close()
+
+
+@dataclass
+class _Pending:
+    job: Job
+    attempt: int = 1
+    ready_at: float = 0.0
+    spent: float = 0.0  # wall time burned by earlier attempts
+
+
+@dataclass
+class _Running:
+    item: _Pending
+    proc: Any
+    recv: Any
+    started: float
+    deadline: float | None
+
+
+def run_sweep(
+    jobs: Sequence[Job | tuple],
+    cfg: Any = None,
+    *,
+    workers: int = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.5,
+    run_dir: str | Path | None = None,
+    resume: bool = False,
+    isolated: bool | None = None,
+    runner: Callable[[Job, Any], Any] | None = None,
+    on_event: Callable[[str, Job, str], None] | None = None,
+    mp_context: str = "spawn",
+    request: dict[str, Any] | None = None,
+) -> SweepOutcome:
+    """Run a sweep plan; never raises for individual job failures.
+
+    ``isolated=None`` auto-selects: subprocess workers whenever ``workers >
+    1`` or a ``timeout`` is set, the in-process serial loop otherwise.
+    ``runner`` defaults to :func:`run_experiment` on ``cfg``; tests inject
+    module-level stubs (they must be picklable for spawn).  ``on_event``
+    receives ``(kind, job, detail)`` progress callbacks with kinds
+    ``start``/``ok``/``retry``/``failed``/``timeout``/``skipped``.
+    ``request`` is recorded verbatim in the manifest so a resume can
+    reconstruct the original CLI invocation.
+    """
+    plan = [j if isinstance(j, Job) else Job(*j) for j in jobs]
+    if len(set(plan)) != len(plan):
+        raise ValueError("duplicate jobs in sweep plan")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if backoff < 0:
+        raise ValueError("backoff must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive")
+    if isolated is None:
+        isolated = workers > 1 or timeout is not None
+    if timeout is not None and not isolated:
+        raise ValueError("per-job timeouts require isolated workers")
+    if resume and run_dir is None:
+        raise ValueError("resume requires the run directory of a prior sweep")
+    run = runner if runner is not None else _default_runner
+    emit = on_event if on_event is not None else (lambda kind, job, detail: None)
+
+    outcome = SweepOutcome()
+    pending = list(plan)
+    shard_dir: Path | None = None
+    rd = Path(run_dir) if run_dir is not None else None
+    if rd is not None:
+        shard_dir = rd / SHARD_DIR
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        if resume:
+            manifest = load_manifest(rd)
+            recorded = manifest.get("config_sha256")
+            fingerprint = config_fingerprint(cfg)
+            if recorded and recorded != fingerprint:
+                raise ValueError(
+                    f"cannot resume {rd}: the run directory was created "
+                    f"with a different configuration (config_sha256 "
+                    f"{recorded[:12]}… != {fingerprint[:12]}…)"
+                )
+            pending = []
+            for job in plan:
+                rec = _load_shard(shard_dir / job.shard_name)
+                if rec is not None:
+                    outcome.completed.append(
+                        CompletedRun(
+                            job.workload,
+                            job.policy,
+                            job.seed,
+                            attempts=rec.get("attempts", 1),
+                            elapsed=rec.get("elapsed", 0.0),
+                            result=rec["result"],
+                            from_checkpoint=True,
+                        )
+                    )
+                    emit("skipped", job, "already checkpointed")
+                else:
+                    pending.append(job)
+        _write_manifest(rd, plan, cfg, request)
+
+    def complete(job: Job, result: Any, attempts: int, elapsed: float) -> None:
+        done = CompletedRun(
+            job.workload, job.policy, job.seed,
+            attempts=attempts, elapsed=elapsed, result=result,
+        )
+        outcome.completed.append(done)
+        if shard_dir is not None:
+            _write_shard(
+                shard_dir, job,
+                {"status": "ok", "attempts": attempts,
+                 "elapsed": round(elapsed, 3), "result": done.result_dict()},
+            )
+        detail = f"{elapsed:.2f}s"
+        if attempts > 1:
+            detail += f" after {attempts} attempts"
+        emit("ok", job, detail)
+
+    def fail(
+        job: Job, error: str, message: str, tb: str,
+        attempts: int, elapsed: float, timed_out: bool,
+    ) -> None:
+        rec = FailedRun(
+            job.workload, job.policy, job.seed,
+            error=error, message=message, traceback=tb,
+            attempts=attempts, elapsed=elapsed, timed_out=timed_out,
+        )
+        outcome.failures.append(rec)
+        if shard_dir is not None:
+            _write_shard(
+                shard_dir, job,
+                {"status": "failed", "attempts": attempts,
+                 "elapsed": round(elapsed, 3), "failure": rec.to_dict()},
+            )
+        emit("timeout" if timed_out else "failed", job,
+             f"{error}: {message}"[:200])
+
+    t0 = time.monotonic()
+    if isolated:
+        _run_isolated(
+            pending, cfg, run, workers, timeout, retries, backoff,
+            mp_context, complete, fail, emit,
+        )
+    else:
+        _run_inline(pending, cfg, run, retries, backoff, complete, fail, emit)
+    outcome.wall_time = time.monotonic() - t0
+    outcome.failures.sort(key=lambda f: (f.workload, f.policy, f.seed))
+    if rd is not None:
+        _write_manifest(rd, plan, cfg, request, outcome=outcome)
+    return outcome
+
+
+def _run_inline(
+    pending: list[Job],
+    cfg: Any,
+    runner: Callable[[Job, Any], Any],
+    retries: int,
+    backoff: float,
+    complete: Callable,
+    fail: Callable,
+    emit: Callable,
+) -> None:
+    """Serial in-process execution: retries and checkpoints, no isolation."""
+    for job in pending:
+        attempt, spent = 1, 0.0
+        while True:
+            emit("start", job, f"attempt {attempt}")
+            t0 = time.monotonic()
+            try:
+                result = runner(job, cfg)
+            except Exception as exc:
+                spent += time.monotonic() - t0
+                permanent = isinstance(exc, PERMANENT_ERRORS)
+                if not permanent and attempt <= retries:
+                    emit("retry", job, f"attempt {attempt}: {type(exc).__name__}")
+                    if backoff:
+                        time.sleep(backoff * (2 ** (attempt - 1)))
+                    attempt += 1
+                    continue
+                fail(job, type(exc).__name__, str(exc),
+                     traceback.format_exc(), attempt, spent, False)
+                break
+            spent += time.monotonic() - t0
+            complete(job, result, attempt, spent)
+            break
+
+
+def _run_isolated(
+    pending: list[Job],
+    cfg: Any,
+    runner: Callable[[Job, Any], Any],
+    workers: int,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    mp_context: str,
+    complete: Callable,
+    fail: Callable,
+    emit: Callable,
+) -> None:
+    """Parallel execution, one subprocess per attempt, deadline-enforced."""
+    ctx = multiprocessing.get_context(mp_context)
+    queue: deque[_Pending] = deque(_Pending(job) for job in pending)
+    running: dict[Any, _Running] = {}
+
+    def handle_failure(
+        item: _Pending, error: str, message: str, tb: str,
+        permanent: bool, timed_out: bool, spent: float,
+    ) -> None:
+        if not permanent and item.attempt <= retries:
+            delay = backoff * (2 ** (item.attempt - 1))
+            queue.append(
+                _Pending(item.job, item.attempt + 1,
+                         time.monotonic() + delay, spent)
+            )
+            emit("retry", item.job, f"attempt {item.attempt}: {error}")
+        else:
+            fail(item.job, error, message, tb, item.attempt, spent, timed_out)
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            # Launch every ready pending job while a worker slot is free;
+            # items still backing off rotate to the back of the queue.
+            for _ in range(len(queue)):
+                if len(running) >= workers:
+                    break
+                item = queue.popleft()
+                if item.ready_at > now:
+                    queue.append(item)
+                    continue
+                recv, send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main, args=(send, runner, item.job, cfg),
+                    daemon=True,
+                )
+                proc.start()
+                send.close()  # keep only the child's end open for EOF
+                started = time.monotonic()
+                running[proc.sentinel] = _Running(
+                    item, proc, recv, started,
+                    started + timeout if timeout is not None else None,
+                )
+                emit("start", item.job, f"attempt {item.attempt}")
+
+            # Block until a child exits, a deadline passes, or a backoff
+            # window opens.
+            wait_for = 0.25
+            now = time.monotonic()
+            if running:
+                deadlines = [
+                    r.deadline for r in running.values() if r.deadline is not None
+                ]
+                if deadlines:
+                    wait_for = max(0.0, min(wait_for, min(deadlines) - now))
+                connection.wait(list(running), timeout=wait_for)
+            elif queue:
+                soonest = min(item.ready_at for item in queue)
+                if soonest > now:
+                    time.sleep(min(soonest - now, wait_for))
+
+            # Reap exited children and enforce deadlines.
+            now = time.monotonic()
+            for sentinel, r in list(running.items()):
+                alive = r.proc.is_alive()
+                expired = r.deadline is not None and now >= r.deadline
+                if alive and not expired:
+                    continue
+                del running[sentinel]
+                if alive:
+                    r.proc.terminate()
+                    r.proc.join(1.0)
+                    if r.proc.is_alive():
+                        r.proc.kill()
+                        r.proc.join(10.0)
+                msg = None
+                if r.recv.poll():
+                    try:
+                        msg = r.recv.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                r.recv.close()
+                exitcode = r.proc.exitcode
+                spent = r.item.spent + (time.monotonic() - r.started)
+                if msg is not None and msg[0] == "ok":
+                    complete(r.item.job, msg[1], r.item.attempt, spent)
+                elif alive:  # we had to kill it: deadline exceeded
+                    handle_failure(
+                        r.item, "Timeout",
+                        f"worker exceeded the {timeout}s deadline", "",
+                        permanent=False, timed_out=True, spent=spent,
+                    )
+                elif msg is not None:
+                    _, error, message, tb, permanent = msg
+                    handle_failure(
+                        r.item, error, message, tb,
+                        permanent=permanent, timed_out=False, spent=spent,
+                    )
+                else:  # died without a word: native crash, os._exit, signal
+                    handle_failure(
+                        r.item, "WorkerCrash",
+                        f"worker exited with code {exitcode} "
+                        "before reporting a result", "",
+                        permanent=False, timed_out=False, spent=spent,
+                    )
+    finally:
+        for r in running.values():
+            if r.proc.is_alive():
+                r.proc.kill()
+            r.recv.close()
+
+
+# --------------------------------------------------------------------------
+# checkpoint shards and manifest
+
+
+def _write_shard(shard_dir: Path, job: Job, record: dict[str, Any]) -> None:
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "workload": job.workload,
+        "policy": job.policy,
+        "seed": job.seed,
+        **record,
+    }
+    with atomic_write(shard_dir / job.shard_name) as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _load_shard(path: Path) -> dict[str, Any] | None:
+    """A shard's record iff it is a valid, current, completed ("ok") shard;
+    missing, corrupt, stale-schema, and failed shards all return ``None``
+    so the job is simply re-run."""
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(raw, dict) or raw.get("schema_version") != SCHEMA_VERSION:
+        return None
+    if raw.get("status") != "ok" or not isinstance(raw.get("result"), dict):
+        return None
+    return raw
+
+
+def _write_manifest(
+    run_dir: Path,
+    plan: list[Job],
+    cfg: Any,
+    request: dict[str, Any] | None,
+    outcome: SweepOutcome | None = None,
+) -> None:
+    doc: dict[str, Any] = {
+        "kind": "sweep-manifest",
+        "schema_version": SCHEMA_VERSION,
+        "config_sha256": config_fingerprint(cfg),
+        "request": dict(request or {}),
+        "jobs": [[j.workload, j.policy, j.seed] for j in plan],
+    }
+    if outcome is not None:
+        status: dict[str, Any] = {}
+        for run in outcome.completed:
+            status[f"{run.workload}/{run.policy}"] = {
+                "status": "ok",
+                "attempts": run.attempts,
+                "elapsed": round(run.elapsed, 3),
+                "from_checkpoint": run.from_checkpoint,
+            }
+        for rec in outcome.failures:
+            status[f"{rec.workload}/{rec.policy}"] = {
+                "status": "timeout" if rec.timed_out else "failed",
+                "attempts": rec.attempts,
+                "elapsed": round(rec.elapsed, 3),
+            }
+        doc["status"] = status
+        doc["failures"] = [f.to_dict() for f in outcome.failures]
+        doc["wall_time_s"] = round(outcome.wall_time, 3)
+    with atomic_write(Path(run_dir) / MANIFEST_NAME) as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_manifest(run_dir: str | Path) -> dict[str, Any]:
+    """The manifest of a prior sweep, validated; raises ``ValueError`` with
+    a clear message when ``run_dir`` is not a resumable sweep directory."""
+    path = Path(run_dir) / MANIFEST_NAME
+    try:
+        raw = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ValueError(
+            f"{path} not found — {run_dir} is not a sweep run directory"
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"corrupt sweep manifest {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("kind") != "sweep-manifest":
+        raise ValueError(f"{path} is not a sweep manifest")
+    if raw.get("schema_version") != SCHEMA_VERSION:
+        raise SchemaVersionError(raw.get("schema_version"))
+    if not isinstance(raw.get("jobs"), list):
+        raise ValueError(f"{path}: manifest is missing its job list")
+    return raw

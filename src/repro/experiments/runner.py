@@ -147,15 +147,37 @@ def run_suite(
     cfg: SystemConfig | None = None,
     *,
     seed: int = 0,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    run_dir=None,
 ) -> dict[tuple[str, str], ExperimentResult]:
-    """Run every (workload, policy) pair; returns results keyed by pair."""
+    """Run every (workload, policy) pair; returns results keyed by pair.
+
+    Delegates to the crash-tolerant engine in
+    :mod:`repro.experiments.harness`.  With the defaults everything runs
+    serially in-process exactly as before; ``jobs > 1`` or a ``timeout``
+    moves each run into an isolated worker subprocess, ``retries`` retries
+    transient failures, and ``run_dir`` checkpoints each finished run.  A
+    job that still fails after its retries raises
+    :class:`repro.experiments.harness.SweepFailure` listing the structured
+    failure records (the ``repro sweep`` CLI instead degrades gracefully
+    and archives the failures).
+    """
+    from repro.experiments.harness import Job, SweepFailure, run_sweep
     from repro.workloads.registry import workload_names
 
     workloads = workloads if workloads is not None else workload_names()
     policies = policies if policies is not None else ["snuca", "rnuca", "tdnuca"]
     cfg = cfg if cfg is not None else default_config()
-    out: dict[tuple[str, str], ExperimentResult] = {}
-    for wl in workloads:
-        for pol in policies:
-            out[(wl, pol)] = run_experiment(wl, pol, cfg, seed=seed)
-    return out
+    plan = [Job(wl, pol, seed) for wl in workloads for pol in policies]
+    outcome = run_sweep(
+        plan, cfg, workers=jobs, timeout=timeout, retries=retries,
+        run_dir=run_dir,
+    )
+    if outcome.failures:
+        raise SweepFailure(outcome.failures)
+    results = outcome.results()
+    return {
+        (wl, pol): results[(wl, pol)] for wl in workloads for pol in policies
+    }

@@ -4,23 +4,69 @@ Results become plain dicts/JSON so sweeps can be archived, diffed across
 simulator versions, and rendered into EXPERIMENTS.md without re-running
 multi-minute simulations.  Figures render to JSON, Markdown tables, or
 ASCII bar charts.
+
+Sweep JSON is a versioned envelope (``SCHEMA_VERSION``)::
+
+    {"schema_version": 2,
+     "runs":     {"workload/policy": {...per-run metrics...}},
+     "failures": [ ...structured FailedRun records... ],
+     "sweep":    {config_sha256, seed, scale, wall_time_s, ...}}
+
+Only ``sweep.wall_time_s`` varies between otherwise-identical campaigns;
+everything under ``runs`` is deterministic for a given config and seed, so
+archives diff cleanly.  Loading validates the version and raises a clear
+:class:`ValueError` (or :class:`SchemaVersionError`) on unversioned or
+corrupt input instead of a bare ``KeyError`` deep in the compare pipeline.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.experiments.figures import Figure
 from repro.experiments.runner import ExperimentResult
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "SweepDocument",
     "result_to_dict",
     "results_to_json",
+    "sweep_to_json",
     "figure_to_dict",
     "figure_to_markdown",
     "load_results_json",
+    "load_sweep",
 ]
+
+#: version of the sweep JSON envelope (and of harness shards/manifests).
+#: Bump whenever the layout of the archived metrics changes incompatibly.
+SCHEMA_VERSION = 2
+
+
+class SchemaVersionError(ValueError):
+    """A sweep archive was written under a different schema version."""
+
+    def __init__(self, found: Any, expected: int = SCHEMA_VERSION):
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            f"sweep JSON schema version {found!r} is not supported "
+            f"(this tool reads version {expected}); re-archive the sweep "
+            f"with 'repro sweep'"
+        )
+
+
+@dataclass
+class SweepDocument:
+    """A parsed sweep archive: runs, failure records, and sweep metadata."""
+
+    runs: dict[tuple[str, str], dict[str, Any]]
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
 
 
 def result_to_dict(r: ExperimentResult) -> dict[str, Any]:
@@ -121,27 +167,89 @@ def result_to_dict(r: ExperimentResult) -> dict[str, Any]:
     return out
 
 
+def sweep_to_json(
+    runs: dict[tuple[str, str], Any],
+    failures: list[dict[str, Any]] | tuple = (),
+    meta: dict[str, Any] | None = None,
+    indent: int = 2,
+) -> str:
+    """Serialize a sweep into the versioned envelope.
+
+    ``runs`` values may be :class:`ExperimentResult` objects (flattened via
+    :func:`result_to_dict`) or already-flattened dicts, e.g. loaded back
+    from harness checkpoint shards.  Keys are sorted so the output is
+    byte-stable regardless of job completion order.
+    """
+    payload: dict[str, Any] = {}
+    for (wl, pol), value in runs.items():
+        payload[f"{wl}/{pol}"] = (
+            result_to_dict(value) if isinstance(value, ExperimentResult) else value
+        )
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "runs": payload,
+        "failures": list(failures),
+        "sweep": dict(meta or {}),
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
 def results_to_json(
     results: dict[tuple[str, str], ExperimentResult], indent: int = 2
 ) -> str:
     """Serialize a whole suite, keyed ``"workload/policy"``."""
-    payload = {
-        f"{wl}/{pol}": result_to_dict(r) for (wl, pol), r in results.items()
-    }
-    return json.dumps(payload, indent=indent, sort_keys=True)
+    return sweep_to_json(results, indent=indent)
+
+
+def load_sweep(text: str) -> SweepDocument:
+    """Parse and validate a sweep archive.
+
+    Raises :class:`SchemaVersionError` when the archive was written under a
+    different schema version and plain :class:`ValueError` (with a message
+    naming the problem) on corrupt, unversioned, or malformed input.
+    """
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"corrupt sweep JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ValueError("corrupt sweep JSON: top level must be an object")
+    if "schema_version" not in raw:
+        raise ValueError(
+            "unversioned sweep JSON (written before schema versioning); "
+            "re-archive it with 'repro sweep'"
+        )
+    if raw["schema_version"] != SCHEMA_VERSION:
+        raise SchemaVersionError(raw["schema_version"])
+    runs_raw = raw.get("runs")
+    if not isinstance(runs_raw, dict):
+        raise ValueError("corrupt sweep JSON: missing 'runs' object")
+    runs: dict[tuple[str, str], dict[str, Any]] = {}
+    for key, value in runs_raw.items():
+        wl, _, pol = key.partition("/")
+        if not pol:
+            raise ValueError(f"malformed result key {key!r}")
+        if not isinstance(value, dict):
+            raise ValueError(f"corrupt sweep JSON: run {key!r} is not an object")
+        runs[(wl, pol)] = value
+    failures = raw.get("failures", [])
+    if not isinstance(failures, list):
+        raise ValueError("corrupt sweep JSON: 'failures' must be a list")
+    meta = raw.get("sweep", {})
+    if not isinstance(meta, dict):
+        raise ValueError("corrupt sweep JSON: 'sweep' must be an object")
+    return SweepDocument(
+        runs=runs,
+        failures=failures,
+        meta=meta,
+        schema_version=raw["schema_version"],
+    )
 
 
 def load_results_json(text: str) -> dict[tuple[str, str], dict[str, Any]]:
     """Inverse of :func:`results_to_json` (as plain dicts — the snapshot
     is for reporting/diffing, not for resuming simulations)."""
-    raw = json.loads(text)
-    out = {}
-    for key, value in raw.items():
-        wl, _, pol = key.partition("/")
-        if not pol:
-            raise ValueError(f"malformed result key {key!r}")
-        out[(wl, pol)] = value
-    return out
+    return load_sweep(text).runs
 
 
 def figure_to_dict(fig: Figure) -> dict[str, Any]:

@@ -1,0 +1,51 @@
+"""Atomic file writes.
+
+Every file the CLI or the sweep harness produces (sweep JSON, checkpoint
+shards, manifests, DOT exports) goes through :func:`atomic_write`: content
+is written to a temporary file in the destination directory, fsynced, and
+``os.replace``d over the target.  A crash — up to and including ``kill -9``
+mid-write — therefore never leaves a truncated file behind: readers see
+either the previous complete content or the new complete content.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["atomic_write"]
+
+
+@contextmanager
+def atomic_write(path: str | Path, mode: str = "w", *, fsync: bool = True):
+    """Yield a writable file handle whose content replaces ``path`` atomically.
+
+    The handle writes to a ``*.tmp`` sibling; on clean exit from the
+    ``with`` block the data is flushed (and fsynced unless ``fsync=False``)
+    and renamed over ``path`` in one ``os.replace`` call.  If the block
+    raises, the temporary file is removed and ``path`` is untouched.  Only
+    write modes (``"w"``/``"wb"``/``"x"``/``"xb"``) make sense here.
+    """
+    if any(flag in mode for flag in ("r", "a", "+")):
+        raise ValueError(f"atomic_write needs a plain write mode, got {mode!r}")
+    path = Path(path)
+    directory = str(path.parent) if str(path.parent) else "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        encoding = None if "b" in mode else "utf-8"
+        with os.fdopen(fd, mode.replace("x", "w"), encoding=encoding) as fh:
+            yield fh
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

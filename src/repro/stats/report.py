@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["format_table", "normalize_series", "geomean", "fault_report_rows"]
+__all__ = [
+    "format_table",
+    "normalize_series",
+    "geomean",
+    "fault_report_rows",
+    "sweep_summary_rows",
+]
 
 
 def format_table(
@@ -61,6 +67,26 @@ def fault_report_rows(faults) -> list[list[str]]:
     if faults.pending_events:
         rows.append(["fault events never triggered", f"{faults.pending_events}"])
     return rows
+
+
+def sweep_summary_rows(outcome) -> list[list[str]]:
+    """Per-sweep summary rows for the CLI, from a
+    :class:`repro.experiments.harness.SweepOutcome` (duck-typed so the
+    stats layer stays import-light): job counts by outcome plus total wall
+    time."""
+    ok = f"{outcome.ok}"
+    if outcome.from_checkpoint:
+        ok += f" ({outcome.from_checkpoint} from checkpoint)"
+    failed = f"{outcome.failed}"
+    if outcome.timed_out:
+        failed += f" ({outcome.timed_out} timed out)"
+    return [
+        ["jobs", f"{outcome.ok + outcome.failed}"],
+        ["ok", ok],
+        ["retried", f"{outcome.retried}"],
+        ["failed", failed],
+        ["wall time", f"{outcome.wall_time:.1f}s"],
+    ]
 
 
 def normalize_series(

@@ -8,11 +8,15 @@ from repro.config import scaled_config
 from repro.experiments import figures
 from repro.experiments.runner import run_experiment
 from repro.experiments.serialize import (
+    SCHEMA_VERSION,
+    SchemaVersionError,
     figure_to_dict,
     figure_to_markdown,
     load_results_json,
+    load_sweep,
     result_to_dict,
     results_to_json,
+    sweep_to_json,
 )
 
 CFG = scaled_config(1 / 1024)
@@ -58,9 +62,50 @@ class TestSuiteJson:
             == results[("md5", "tdnuca")].makespan
         )
 
+    def test_envelope_is_versioned(self, results):
+        doc = json.loads(results_to_json(results))
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert set(doc) == {"schema_version", "runs", "failures", "sweep"}
+
+    def test_sweep_document_carries_failures_and_meta(self, results):
+        failure = {"workload": "lu", "policy": "tdnuca", "error": "Timeout"}
+        text = sweep_to_json(
+            {k: result_to_dict(v) for k, v in results.items()},
+            [failure],
+            {"seed": 3, "wall_time_s": 1.5},
+        )
+        doc = load_sweep(text)
+        assert doc.failures == [failure]
+        assert doc.meta["seed"] == 3
+        assert set(doc.runs) == set(results)
+
     def test_malformed_key(self):
         with pytest.raises(ValueError):
-            load_results_json('{"nokey": {}}')
+            load_results_json(
+                '{"schema_version": 2, "runs": {"nokey": {}}}'
+            )
+
+    def test_unversioned_input_rejected(self):
+        with pytest.raises(ValueError, match="unversioned"):
+            load_results_json('{"md5/snuca": {"makespan_cycles": 1}}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SchemaVersionError) as info:
+            load_results_json('{"schema_version": 99, "runs": {}}')
+        assert info.value.found == 99
+        assert info.value.expected == SCHEMA_VERSION
+
+    def test_corrupt_input_rejected(self):
+        with pytest.raises(ValueError, match="corrupt"):
+            load_results_json('{"schema_version": 2, "ru')
+        with pytest.raises(ValueError, match="corrupt"):
+            load_results_json('[1, 2, 3]')
+        with pytest.raises(ValueError, match="corrupt"):
+            load_results_json('{"schema_version": 2}')
+        with pytest.raises(ValueError, match="corrupt"):
+            load_results_json(
+                '{"schema_version": 2, "runs": {"md5/snuca": 5}}'
+            )
 
 
 class TestFigureSerialization:

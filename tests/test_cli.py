@@ -76,5 +76,95 @@ class TestCommands:
         )
         assert rc == 0
         payload = json.loads(out_file.read_text())
-        assert "md5/tdnuca" in payload
-        assert len(payload) == 16  # 8 workloads x 2 policies
+        assert payload["schema_version"] == 2
+        assert "md5/tdnuca" in payload["runs"]
+        assert len(payload["runs"]) == 16  # 8 workloads x 2 policies
+        assert payload["failures"] == []
+        assert "config_sha256" in payload["sweep"]
+        # checkpoints land next to the output by default
+        assert (tmp_path / "results.json.d" / "manifest.json").exists()
+
+    def test_sweep_workload_subset_with_faults(self, tmp_path, capsys):
+        out_file = tmp_path / "faulted.json"
+        rc = main(
+            [
+                "sweep", "--scale", "2048", "--out", str(out_file),
+                "--workloads", "md5", "--policies", "snuca",
+                "--faults", "bank:5@task=20", "--strict",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out_file.read_text())
+        assert set(payload["runs"]) == {"md5/snuca"}
+        run = payload["runs"]["md5/snuca"]
+        assert run["faults"]["banks_failed"] == 1
+        assert run["invariants"]["violations"] == 0
+
+    def test_sweep_requires_out_or_resume(self, capsys):
+        assert main(["sweep", "--scale", "2048"]) == 2
+        assert "--out is required" in capsys.readouterr().out
+
+    def test_sweep_compare_roundtrip(self, tmp_path, capsys):
+        """Parallel sweep -> compare with itself is clean (CLI round trip)."""
+        out_file = tmp_path / "s.json"
+        rc = main(
+            [
+                "sweep", "--scale", "2048", "--workloads", "md5",
+                "--policies", "snuca", "tdnuca", "--jobs", "2",
+                "--out", str(out_file), "--run-dir", str(tmp_path / "rd"),
+            ]
+        )
+        assert rc == 0
+        assert main(["compare", str(out_file), str(out_file)]) == 0
+        assert "no deviations" in capsys.readouterr().out
+
+    def test_sweep_crash_then_resume(self, tmp_path, capsys, monkeypatch):
+        """Acceptance: a crashed job degrades gracefully, and a resumed
+        sweep merges to the same JSON as a clean one (modulo wall time)."""
+        clean, faulted = tmp_path / "clean.json", tmp_path / "faulted.json"
+        argv = [
+            "sweep", "--scale", "2048", "--workloads", "md5",
+            "--policies", "snuca", "tdnuca",
+        ]
+        assert main(argv + ["--out", str(clean)]) == 0
+
+        monkeypatch.setenv("REPRO_HARNESS_CRASH", "md5/tdnuca")
+        rc = main(
+            argv
+            + ["--out", str(faulted), "--jobs", "2", "--retries", "0",
+               "--run-dir", str(tmp_path / "rd")]
+        )
+        assert rc == 1
+        payload = json.loads(faulted.read_text())
+        assert set(payload["runs"]) == {"md5/snuca"}
+        assert payload["failures"][0]["error"] == "WorkerCrash"
+        manifest = json.loads((tmp_path / "rd" / "manifest.json").read_text())
+        assert manifest["status"]["md5/tdnuca"]["status"] == "failed"
+
+        monkeypatch.delenv("REPRO_HARNESS_CRASH")
+        assert main(["sweep", "--resume", str(tmp_path / "rd")]) == 0
+        a = json.loads(clean.read_text())
+        b = json.loads(faulted.read_text())
+        a["sweep"].pop("wall_time_s")
+        b["sweep"].pop("wall_time_s")
+        assert a == b
+
+    def test_compare_reports_schema_mismatch(self, tmp_path, capsys):
+        versioned = tmp_path / "new.json"
+        versioned.write_text(
+            json.dumps({"schema_version": 2, "runs": {}, "failures": [],
+                        "sweep": {}})
+        )
+        stale = tmp_path / "old.json"
+        stale.write_text(json.dumps({"schema_version": 1, "runs": {}}))
+        rc = main(["compare", str(stale), str(versioned)])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "schema version mismatch" in out and "old.json" in out
+
+    def test_compare_rejects_unversioned(self, tmp_path, capsys):
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text('{"md5/snuca": {"makespan_cycles": 1}}')
+        rc = main(["compare", str(legacy), str(legacy)])
+        assert rc == 2
+        assert "unversioned" in capsys.readouterr().out
