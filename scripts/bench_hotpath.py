@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the simulator's per-reference hot path.
+
+Runs a fixed set of (workload, policy) cases *without* cProfile (so the
+numbers reflect real interpreter speed, not profiler overhead), takes the
+best of ``--repeats`` runs per case, and writes a schema-versioned
+``BENCH_hotpath.json`` next to the repo root (or ``--out``).  The output
+is written atomically, so a crash mid-benchmark never corrupts a
+previously recorded baseline.
+
+The JSON keeps both machine-dependent timings (seconds, us/reference)
+and machine-independent volume (references, tasks) so two checkouts can
+be compared meaningfully: identical reference counts mean the runs did
+the same simulated work.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_hotpath.py
+    PYTHONPATH=src python scripts/bench_hotpath.py --smoke   # CI: 1 case, 1 repeat
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.config import scaled_config  # noqa: E402
+from repro.experiments.runner import run_experiment  # noqa: E402
+from repro.ioutils import atomic_write  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: canonical hot-path cases: the paper's most TD-NUCA-sensitive workload
+#: under the optimised policy, plus the static baseline for contrast.
+DEFAULT_CASES = (
+    ("kmeans", "tdnuca"),
+    ("kmeans", "snuca"),
+    ("jacobi", "tdnuca"),
+)
+SMOKE_CASES = (("kmeans", "tdnuca"),)
+
+
+def bench_case(
+    workload: str, policy: str, denom: int, repeats: int
+) -> dict:
+    cfg = scaled_config(1.0 / denom)
+    best = None
+    references = tasks = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_experiment(workload, policy, cfg)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        references = result.machine.l1.accesses
+        tasks = result.execution.tasks_executed
+    return {
+        "workload": workload,
+        "policy": policy,
+        "references": references,
+        "tasks": tasks,
+        "seconds_best": round(best, 6),
+        "us_per_reference": round(best / max(1, references) * 1e6, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--scale", type=int, default=256, metavar="DENOM",
+        help="run at 1/DENOM of the paper's full-size config (default 256)",
+    )
+    ap.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per case; best-of is recorded (default 3)",
+    )
+    ap.add_argument(
+        "--out", type=Path, default=ROOT / "BENCH_hotpath.json",
+        help="output JSON path (default BENCH_hotpath.json at the repo root)",
+    )
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: one case, one repeat, still writes the JSON",
+    )
+    args = ap.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else DEFAULT_CASES
+    repeats = 1 if args.smoke else args.repeats
+    results = []
+    for workload, policy in cases:
+        row = bench_case(workload, policy, args.scale, repeats)
+        results.append(row)
+        print(
+            f"{workload}/{policy} @1/{args.scale}: "
+            f"{row['references']:,} references, "
+            f"{row['seconds_best']:.3f}s best of {repeats} -> "
+            f"{row['us_per_reference']:.2f} us/reference"
+        )
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "scale_denominator": args.scale,
+        "repeats": repeats,
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    with atomic_write(args.out) as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Deterministic perf-regression smoke test for CI.
+
+Wall-clock timing is useless on shared CI runners, but the *number of
+Python function calls* the simulator makes per run is fully deterministic
+(fixed seeds, fixed traces).  This test runs the canonical hot-path case
+(kmeans/tdnuca at 1/256 scale) under cProfile and fails if the total call
+count exceeds a ceiling, so an accidental re-introduction of per-reference
+call overhead (the exact regression the flattened hot path removed) is
+caught on every push.
+
+The ceiling is the measured count (~0.99M calls after the hot-path
+flattening; it was ~3.6M before) plus ~15% headroom for legitimate
+feature growth.  If you trip it with a real feature, re-measure with
+``scripts/profile_simulator.py --json`` and raise the ceiling in the same
+commit, stating the new measured count.
+
+Usage: ``PYTHONPATH=src python scripts/perf_smoke.py``
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from profile_simulator import profile_run  # noqa: E402
+
+WORKLOAD = "kmeans"
+POLICY = "tdnuca"
+DENOM = 256
+#: measured 985,574 calls after the hot-path flattening (+15% headroom).
+CALL_CEILING = 1_150_000
+
+
+def main() -> int:
+    result, stats = profile_run(WORKLOAD, POLICY, DENOM)
+    calls = stats.total_calls
+    references = result.machine.l1.accesses
+    print(
+        f"{WORKLOAD}/{POLICY} @1/{DENOM}: {references:,} references, "
+        f"{calls:,} function calls (ceiling {CALL_CEILING:,})"
+    )
+    if calls > CALL_CEILING:
+        print(
+            "FAIL: call count exceeds the hot-path ceiling — a per-reference "
+            "call chain has probably crept back in.  Profile with "
+            "scripts/profile_simulator.py and either flatten it or raise "
+            "CALL_CEILING with a re-measured baseline.",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

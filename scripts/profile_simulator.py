@@ -6,42 +6,81 @@ experiment under cProfile and prints the top functions by cumulative and
 internal time, so changes to the per-access loop can be checked for
 regressions.
 
+With ``--json PATH`` a machine-readable summary (us/reference, total
+function calls) is also written atomically, for diffing across commits.
+
 Usage: python scripts/profile_simulator.py [workload] [policy] [1/scale]
+                                           [--json PATH]
 """
 
 from __future__ import annotations
 
+import argparse
 import cProfile
+import json
 import pstats
-import sys
+from pathlib import Path
 
 from repro.config import scaled_config
 from repro.experiments.runner import run_experiment
+from repro.ioutils import atomic_write
+
+JSON_SCHEMA_VERSION = 1
 
 
-def main() -> None:
-    workload = sys.argv[1] if len(sys.argv) > 1 else "kmeans"
-    policy = sys.argv[2] if len(sys.argv) > 2 else "tdnuca"
-    denom = int(sys.argv[3]) if len(sys.argv) > 3 else 256
+def profile_run(workload: str, policy: str, denom: int):
+    """Run one experiment under cProfile; returns ``(result, stats)``."""
     cfg = scaled_config(1.0 / denom)
-
     profiler = cProfile.Profile()
     profiler.enable()
     result = run_experiment(workload, policy, cfg)
     profiler.disable()
+    return result, pstats.Stats(profiler)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description="Profile the simulator hot path")
+    ap.add_argument("workload", nargs="?", default="kmeans")
+    ap.add_argument("policy", nargs="?", default="tdnuca")
+    ap.add_argument("denom", nargs="?", type=int, default=256,
+                    help="scale denominator (config at 1/denom)")
+    ap.add_argument("--json", type=Path, default=None, metavar="PATH",
+                    help="also write a machine-readable summary to PATH")
+    args = ap.parse_args(argv)
+
+    result, stats = profile_run(args.workload, args.policy, args.denom)
 
     accesses = result.machine.l1.accesses
-    stats = pstats.Stats(profiler)
     total = stats.total_tt
+    us_per_ref = total / max(1, accesses) * 1e6
     print(
-        f"{workload}/{policy} @1/{denom}: {accesses:,} memory references, "
-        f"{total:.2f}s -> {total / max(1, accesses) * 1e6:.2f} us/reference\n"
+        f"{args.workload}/{args.policy} @1/{args.denom}: "
+        f"{accesses:,} memory references, "
+        f"{total:.2f}s -> {us_per_ref:.2f} us/reference\n"
     )
+
+    if args.json is not None:
+        payload = {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "workload": args.workload,
+            "policy": args.policy,
+            "scale_denominator": args.denom,
+            "references": accesses,
+            "total_seconds": round(total, 6),
+            "us_per_reference": round(us_per_ref, 4),
+            "total_calls": stats.total_calls,
+        }
+        with atomic_write(args.json) as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}\n")
+
     print("== top 15 by cumulative time ==")
     stats.sort_stats("cumulative").print_stats(15)
     print("== top 15 by internal time ==")
     stats.sort_stats("tottime").print_stats(15)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -94,6 +94,10 @@ class CacheBank:
         ]
         self._dirty: list[list[bool]] = [[False] * assoc for _ in range(self.num_sets)]
         self._repl = [make_replacement(replacement, assoc) for _ in range(self.num_sets)]
+        # Tree-PLRU with a materialized victim table supports fully inlined
+        # touch/victim on the hot path; LRU (and very wide PLRU trees, which
+        # have no table) keep the method-call protocol.
+        self._plru_fast = getattr(self._repl[0], "_victim", None) is not None
         # Maintained valid-block counter; audited against the per-set maps
         # by the runtime invariant checker (occupancy-counter balance).
         self._occupancy = 0
@@ -165,55 +169,96 @@ class CacheBank:
 
     # --- the hot path ---
 
-    def access(self, block: int, write: bool) -> AccessResult:
-        """Access ``block``; on miss, fill it, evicting a victim if needed."""
+    def probe(self, block: int, write: bool) -> bool:
+        """Hit fast path: on a hit, update stats/dirty/PLRU and return
+        ``True``; on a miss return ``False`` *without* filling (and without
+        counting the miss — pair with :meth:`fill_demand`)."""
+        s = block & self._set_mask
+        way = self._map[s].get(block)
+        if way is None:
+            return False
+        st = self.stats
+        st.hits += 1
+        if write:
+            st.write_hits += 1
+            self._dirty[s][way] = True
+        else:
+            st.read_hits += 1
+        repl = self._repl[s]
+        if self._plru_fast:
+            repl._bits = (repl._bits | repl._or[way]) & repl._and[way]
+        else:
+            repl.touch(way)
+        return True
+
+    def _insert(self, block: int, dirty: bool) -> tuple[int, bool]:
+        """Place a non-resident ``block``; returns ``(evicted, dirty)``
+        with ``evicted == -1`` when no victim was displaced.  The caller
+        must have established that ``block`` is absent."""
         s = block & self._set_mask
         smap = self._map[s]
-        way = smap.get(block)
-        repl = self._repl[s]
-        st = self.stats
-        if way is not None:
-            st.hits += 1
-            if write:
-                st.write_hits += 1
-                self._dirty[s][way] = True
-            else:
-                st.read_hits += 1
-            repl.touch(way)
-            return _HIT
-        # Miss: find a way (invalid first, else replacement victim).
-        st.misses += 1
         ways = self._ways[s]
-        evicted = None
-        evicted_dirty = False
+        repl = self._repl[s]
+        fast = self._plru_fast
         if len(smap) < self.assoc:
             way = ways.index(None)
             self._occupancy += 1
+            evicted = -1
+            evicted_dirty = False
         else:
-            way = repl.victim()
+            way = repl._victim[repl._bits] if fast else repl.victim()
             evicted = ways[way]
             evicted_dirty = self._dirty[s][way]
             del smap[evicted]
+            st = self.stats
             st.evictions += 1
             if evicted_dirty:
                 st.dirty_evictions += 1
         ways[way] = block
         smap[block] = way
-        self._dirty[s][way] = write
-        repl.touch(way)
-        if evicted is None:
+        self._dirty[s][way] = dirty
+        if fast:
+            repl._bits = (repl._bits | repl._or[way]) & repl._and[way]
+        else:
+            repl.touch(way)
+        return evicted, evicted_dirty
+
+    def fill_demand(self, block: int, write: bool) -> tuple[int, bool]:
+        """Miss slow path: count a demand miss and insert ``block``;
+        returns ``(evicted, evicted_dirty)`` with ``evicted == -1`` when
+        nothing was displaced.  Only call after :meth:`probe` missed."""
+        self.stats.misses += 1
+        return self._insert(block, write)
+
+    def access(self, block: int, write: bool) -> AccessResult:
+        """Access ``block``; on miss, fill it, evicting a victim if needed."""
+        if self.probe(block, write):
+            return _HIT
+        self.stats.misses += 1
+        evicted, evicted_dirty = self._insert(block, write)
+        if evicted < 0:
             return _MISS_NO_EVICT
         return AccessResult(False, evicted, evicted_dirty)
 
     def fill(self, block: int, dirty: bool = False) -> AccessResult:
         """Insert ``block`` without counting a demand access (used by
-        victim-fill style operations); returns eviction info."""
-        hits, misses = self.stats.hits, self.stats.misses
-        rh, wh = self.stats.read_hits, self.stats.write_hits
-        result = self.access(block, dirty)
-        self.stats.hits, self.stats.misses = hits, misses
-        self.stats.read_hits, self.stats.write_hits = rh, wh
-        return AccessResult(result.hit, result.evicted, result.evicted_dirty)
+        victim-fill style operations); returns eviction info.
+
+        Evictions it causes *are* counted (the displaced victim really
+        leaves the cache); only the demand-side hit/miss counters stay
+        untouched.
+        """
+        s = block & self._set_mask
+        way = self._map[s].get(block)
+        if way is not None:
+            if dirty:
+                self._dirty[s][way] = True
+            self._repl[s].touch(way)
+            return _HIT
+        evicted, evicted_dirty = self._insert(block, dirty)
+        if evicted < 0:
+            return _MISS_NO_EVICT
+        return AccessResult(False, evicted, evicted_dirty)
 
     # --- invalidation / flushing ---
 
@@ -240,22 +285,43 @@ class CacheBank:
         self.stats.invalidations += 1
         return True, dirty
 
+    def flush_blocks_collect(self, blocks) -> list[tuple[int, bool]]:
+        """Invalidate every block in ``blocks`` that is resident and count
+        them in ``flushed_blocks``; returns the removed ``(block, dirty)``
+        pairs so the caller can perform the dirty writebacks."""
+        removed: list[tuple[int, bool]] = []
+        append = removed.append
+        smaps = self._map
+        ways = self._ways
+        dirties = self._dirty
+        mask = self._set_mask
+        # invalidate() inlined: flushes sweep whole regions, so this loop
+        # runs tens of thousands of times per ISA flush-heavy workload.
+        for block in blocks:
+            s = block & mask
+            way = smaps[s].pop(block, None)
+            if way is None:
+                continue
+            drow = dirties[s]
+            append((block, drow[way]))
+            ways[s][way] = None
+            drow[way] = False
+        n = len(removed)
+        self._occupancy -= n
+        st = self.stats
+        st.invalidations += n
+        # invalidate() counted these in invalidations too; keep both views.
+        st.flushed_blocks += n
+        return removed
+
     def flush_blocks(self, blocks) -> tuple[int, int]:
         """Invalidate every block in ``blocks`` that is resident.
 
         Returns ``(flushed, dirty_flushed)`` — the dirty count is the number
         of writebacks the flush transaction must perform.
         """
-        flushed = dirty_count = 0
-        for block in blocks:
-            present, dirty = self.invalidate(block)
-            if present:
-                flushed += 1
-                if dirty:
-                    dirty_count += 1
-        self.stats.flushed_blocks += flushed
-        # invalidate() counted these in invalidations too; keep both views.
-        return flushed, dirty_count
+        removed = self.flush_blocks_collect(blocks)
+        return len(removed), sum(1 for _, dirty in removed if dirty)
 
     def clear(self) -> None:
         """Drop all contents and reset replacement state (not stats)."""

@@ -80,6 +80,15 @@ class NucaLLC:
         """All banks where ``block`` is currently resident (replicas)."""
         return [i for i, b in enumerate(self.banks) if b.contains(block)]
 
+    def any_bank_holds(self, block: int) -> bool:
+        """Whether any bank holds ``block`` — the inclusion check on the
+        eviction path; stops at the first replica instead of building the
+        full :meth:`banks_holding` list."""
+        for b in self.banks:
+            if block in b._map[block & b._set_mask]:
+                return True
+        return False
+
     def invalidate_everywhere(self, block: int) -> tuple[int, int]:
         """Remove ``block`` from every bank; returns (copies, dirty_copies)."""
         copies = dirty = 0

@@ -23,46 +23,117 @@ def _check_assoc(assoc: int) -> None:
         raise ValueError("associativity must be a positive power of two")
 
 
-class TreePLRUState:
-    """Tree pseudo-LRU over ``assoc`` ways (power of two)."""
+def _touch_masks(assoc: int, way: int) -> tuple[int, int]:
+    """(or_mask, and_mask) equivalent to walking ``way``'s tree path.
 
-    __slots__ = ("assoc", "_levels", "_bits")
+    The node sequence and directions a ``touch`` takes depend only on the
+    way index, so the whole walk collapses to one OR (bits set toward the
+    right subtree) and one AND (bits cleared toward the left subtree).
+    """
+    or_mask = 0
+    and_mask = -1  # all ones
+    node = 0
+    half = assoc >> 1
+    lo = 0
+    levels = assoc.bit_length() - 1
+    for _ in range(levels):
+        if way < lo + half:
+            or_mask |= 1 << node  # LRU side is right
+            node = 2 * node + 1
+        else:
+            and_mask &= ~(1 << node)  # LRU side is left
+            node = 2 * node + 2
+            lo += half
+        half >>= 1
+    return or_mask, and_mask
+
+
+def _victim_for_bits(assoc: int, bits: int) -> int:
+    """Reference tree walk: LRU way designated by ``bits``."""
+    node = 0
+    way = 0
+    half = assoc >> 1
+    levels = assoc.bit_length() - 1
+    for _ in range(levels):
+        if bits >> node & 1:  # go right
+            node = 2 * node + 2
+            way += half
+        else:
+            node = 2 * node + 1
+        half >>= 1
+    return way
+
+
+#: per-assoc (or_masks, and_masks, victim_table), built once and shared by
+#: every set of every bank — the tables make touch/victim O(1) table hits
+#: on the per-reference hot path.
+_PLRU_TABLES: dict[int, tuple[list[int], list[int], list[int] | None]] = {}
+
+
+#: largest associativity whose victim table (2^(assoc-1) entries) is
+#: worth materializing; wider trees fall back to the explicit walk.
+_VICTIM_TABLE_MAX_ASSOC = 16
+
+
+def _plru_tables(assoc: int) -> tuple[list[int], list[int], list[int] | None]:
+    tables = _PLRU_TABLES.get(assoc)
+    if tables is None:
+        masks = [_touch_masks(assoc, way) for way in range(assoc)]
+        or_masks = [m[0] for m in masks]
+        and_masks = [m[1] for m in masks]
+        victim_table = None
+        if assoc <= _VICTIM_TABLE_MAX_ASSOC:
+            # Inline walk (same as _victim_for_bits): building the 2^(a-1)
+            # entries must not cost 2^(a-1) profiled function calls.
+            levels = assoc.bit_length() - 1
+            victim_table = []
+            append = victim_table.append
+            for bits in range(1 << max(0, assoc - 1)):
+                node = 0
+                way = 0
+                half = assoc >> 1
+                for _ in range(levels):
+                    if bits >> node & 1:
+                        node = 2 * node + 2
+                        way += half
+                    else:
+                        node = 2 * node + 1
+                    half >>= 1
+                append(way)
+        tables = (or_masks, and_masks, victim_table)
+        _PLRU_TABLES[assoc] = tables
+    return tables
+
+
+class TreePLRUState:
+    """Tree pseudo-LRU over ``assoc`` ways (power of two).
+
+    The tree is packed into ``assoc - 1`` bits, but the walks are
+    precomputed: ``touch`` applies a per-way OR/AND mask pair and
+    ``victim`` is a direct table lookup over the packed bits.  Both are
+    bit-for-bit equivalent to the explicit tree walk (see
+    ``tests/cache/test_replacement.py``).
+    """
+
+    __slots__ = ("assoc", "_bits", "_or", "_and", "_victim")
 
     def __init__(self, assoc: int) -> None:
         _check_assoc(assoc)
         self.assoc = assoc
-        self._levels = assoc.bit_length() - 1
+        self._or, self._and, self._victim = _plru_tables(assoc)
         self._bits = 0
 
     def touch(self, way: int) -> None:
         """Mark ``way`` most-recently used: point every tree node on its
         path *away* from it."""
-        node = 0
-        half = self.assoc >> 1
-        lo = 0
-        for _ in range(self._levels):
-            if way < lo + half:
-                self._bits |= 1 << node  # LRU side is right
-                node = 2 * node + 1
-            else:
-                self._bits &= ~(1 << node)  # LRU side is left
-                node = 2 * node + 2
-                lo += half
-            half >>= 1
+        self._bits = (self._bits | self._or[way]) & self._and[way]
 
     def victim(self) -> int:
         """Way index the tree currently designates least-recently used."""
-        node = 0
-        way = 0
-        half = self.assoc >> 1
-        for _ in range(self._levels):
-            if self._bits >> node & 1:  # go right
-                node = 2 * node + 2
-                way += half
-            else:
-                node = 2 * node + 1
-            half >>= 1
-        return way
+        table = self._victim
+        if table is not None:
+            return table[self._bits]
+        return _victim_for_bits(self.assoc, self._bits)
 
     def reset(self) -> None:
         self._bits = 0

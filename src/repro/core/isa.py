@@ -143,14 +143,46 @@ class TdNucaISA:
         ranges: list[tuple[int, int]] = []
         run_start = run_end = None
         pages = 0
+        # TLB lookup and page-table walk inlined: register/invalidate/flush
+        # instructions sweep every page of a dependency, so this loop runs
+        # tens of thousands of times per workload.  Hit/miss stats are
+        # batched; LRU order and eviction behave exactly as
+        # :meth:`TLB.lookup_page`.
+        page_shift = amap.page_shift
+        page_mask = amap.page_bytes - 1
+        r_start = region.start
+        r_end = region.end
+        tcache = tlb._cache
+        tcache_get = tcache.get
+        tlb_entries = tlb.entries
+        pt = tlb.pagetable
+        pt_map = pt._map
+        t_hits = 0
+        t_misses = 0
         for vpage in region.pages(amap):
-            frame = tlb.lookup_page(vpage)
+            frame = tcache_get(vpage)
+            if frame is not None:
+                t_hits += 1
+                tcache.move_to_end(vpage)
+            else:
+                t_misses += 1
+                frame = pt_map.get(vpage)
+                if frame is None:
+                    frame = pt._allocate_frame()
+                    pt_map[vpage] = frame
+                tcache[vpage] = frame
+                if len(tcache) > tlb_entries:
+                    tcache.popitem(last=False)
             pages += 1
-            pstart = frame << amap.page_shift
-            lo = max(region.start, vpage << amap.page_shift)
-            hi = min(region.end, (vpage + 1) << amap.page_shift)
-            plo = pstart + (lo & (amap.page_bytes - 1))
-            phi = pstart + ((hi - 1) & (amap.page_bytes - 1)) + 1
+            pstart = frame << page_shift
+            lo = vpage << page_shift
+            if lo < r_start:
+                lo = r_start
+            hi = (vpage + 1) << page_shift
+            if hi > r_end:
+                hi = r_end
+            plo = pstart + (lo & page_mask)
+            phi = pstart + ((hi - 1) & page_mask) + 1
             if run_end is not None and plo == run_end:
                 run_end = phi
             else:
@@ -159,6 +191,9 @@ class TdNucaISA:
                 run_start, run_end = plo, phi
         if run_start is not None:
             ranges.append((run_start, run_end))
+        tst = tlb.stats
+        tst.hits += t_hits
+        tst.misses += t_misses
         self.stats.translation_tlb_accesses += pages
         return ranges, self.ISSUE_CYCLES + pages * self.latency.tlb_lookup
 

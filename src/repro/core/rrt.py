@@ -221,12 +221,16 @@ class RRT:
 
     def lookup(self, paddr: int) -> int | None:
         """BankMask of the entry containing ``paddr``, else None."""
-        self.stats.lookups += 1
+        st = self.stats
+        st.lookups += 1
         table = self._tables.get(self._active_pid)
-        if not table:
+        if table is None:
             return None
-        i = bisect_right(table.starts, paddr) - 1
+        starts = table.starts
+        if not starts:
+            return None
+        i = bisect_right(starts, paddr) - 1
         if i >= 0 and paddr < table.ends[i]:
-            self.stats.hits += 1
+            st.hits += 1
             return table.masks[i]
         return None

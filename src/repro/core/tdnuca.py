@@ -15,6 +15,8 @@ The RRT lookup adds :attr:`lookup_cycles` to each private-cache miss
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from repro.core.rrt import RRT, decode_bank_mask
 from repro.mem.address import AddressMap
 from repro.noc.topology import Mesh
@@ -49,12 +51,38 @@ class TdNucaPolicy(NucaPolicy):
         self._block_shift = amap.block_shift
 
     def bank_for(self, core: int, block: int, write: bool) -> int:
-        mask = self.rrts[core].lookup(block << self._block_shift)
+        # Fused RRT lookup + stats counting: this runs on every private-
+        # cache miss, so the :meth:`RRT.lookup` and
+        # :meth:`NucaPolicy._count` bodies are inlined (bit-identical
+        # counter updates, no per-miss call chain).
+        rrt = self.rrts[core]
+        rst = rrt.stats
+        rst.lookups += 1
+        mask = None
+        table = rrt._tables.get(rrt._active_pid)
+        if table is not None:
+            starts = table.starts
+            if starts:
+                paddr = block << self._block_shift
+                i = bisect_right(starts, paddr) - 1
+                if i >= 0 and paddr < table.ends[i]:
+                    rst.hits += 1
+                    mask = table.masks[i]
+        st = self.stats
+        st.resolutions += 1
         if mask is None:
-            return self._count(core, block & self._bank_mask, block)
-        if mask == 0:
-            return self._count(core, BYPASS)
-        banks = decode_bank_mask(mask)
-        if len(banks) == 1:
-            return self._count(core, banks[0], block)
-        return self._count(core, banks[block % len(banks)], block)
+            bank = block & self._bank_mask
+        elif mask == 0:
+            st.bypasses += 1
+            return BYPASS
+        else:
+            banks = decode_bank_mask(mask)
+            n = len(banks)
+            bank = banks[0] if n == 1 else banks[block % n]
+        if self._dead_banks and bank in self._dead_banks:
+            alive = self._alive_banks
+            bank = alive[block % len(alive)]
+            st.dead_bank_redirects += 1
+        if bank == core:
+            st.local_bank_hits += 1
+        return bank

@@ -54,6 +54,11 @@ class Mesh:
         ).astype(np.int64)
         #: fault-free Manhattan distances (never mutated by link failures).
         self.manhattan = self.distance.copy()
+        #: :attr:`distance` as plain per-tile Python lists — the form the
+        #: per-reference hot path reads, so no numpy scalar (and no
+        #: ``int()`` conversion) ever crosses a memory access.  Rebuilt
+        #: whenever :meth:`fail_link` recomputes the matrix.
+        self.dist_rows: list[list[int]] = self.distance.tolist()
         self._dead_links: set[frozenset[int]] = set()
         self._cluster_of = (
             (ys // cluster_height) * self.clusters_x + (xs // cluster_width)
@@ -77,7 +82,7 @@ class Mesh:
         """Hop count between two tiles (0 for the local tile)."""
         self._check(src)
         self._check(dst)
-        return int(self.distance[src, dst])
+        return self.dist_rows[src][dst]
 
     def cluster_of(self, tile: int) -> int:
         """Cluster index containing ``tile``."""
@@ -159,6 +164,7 @@ class Mesh:
                 f"disabling link {a}-{b} would disconnect the mesh"
             )
         self.distance = distance
+        self.dist_rows = distance.tolist()
 
     def _bfs_all_pairs(self) -> np.ndarray:
         """All-pairs shortest hop counts over the surviving links;

@@ -6,14 +6,28 @@ travelling DRAM -> L1 under TD-NUCA.  A message of ``B`` bytes whose XY
 route crosses ``h`` links passes through ``h + 1`` routers, contributing
 ``B * (h + 1)`` router-bytes.  Flit-hops (16-byte flits) feed the NoC
 dynamic-energy model (Fig. 14).
+
+Performance shape: :class:`MessageClass` is an :class:`~enum.IntEnum` so a
+message class indexes a dense per-class counter list directly — no enum
+hashing on the hot path.  The machine's per-reference loop does not call
+:meth:`TrafficStats.record_message` per message at all; it accumulates
+deltas in local integers and flushes them once per task through
+:meth:`TrafficStats.add_batch`, which is also where the range validation
+happens.  ``record_message`` remains the public per-message API and still
+raises on bad input.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from enum import Enum
+from enum import IntEnum
 
-__all__ = ["MessageClass", "TrafficStats", "CONTROL_BYTES", "data_message_bytes"]
+__all__ = [
+    "MessageClass",
+    "TrafficStats",
+    "CONTROL_BYTES",
+    "NUM_MESSAGE_CLASSES",
+    "data_message_bytes",
+]
 
 #: size of a control message (request, invalidation, ack) in bytes.
 CONTROL_BYTES = 8
@@ -26,35 +40,67 @@ def data_message_bytes(block_bytes: int) -> int:
     return block_bytes + HEADER_BYTES
 
 
-class MessageClass(Enum):
-    """Coherence/NoC message classes tracked separately for reporting."""
+class MessageClass(IntEnum):
+    """Coherence/NoC message classes tracked separately for reporting.
 
-    REQUEST = "request"          # core -> LLC bank / directory
-    DATA = "data"                # LLC bank -> core (block fill)
-    WRITEBACK = "writeback"      # L1 -> LLC bank (dirty block)
-    INVALIDATION = "invalidation"  # directory -> sharer
-    ACK = "ack"                  # sharer -> directory
-    FLUSH = "flush"              # tdnuca_flush control traffic
-    DRAM_REQUEST = "dram_request"  # LLC bank / core -> memory controller
-    DRAM_DATA = "dram_data"      # memory controller -> LLC bank / core
+    Values are dense indices into :attr:`TrafficStats.class_bytes`.
+    """
+
+    REQUEST = 0        # core -> LLC bank / directory
+    DATA = 1           # LLC bank -> core (block fill)
+    WRITEBACK = 2      # L1 -> LLC bank (dirty block)
+    INVALIDATION = 3   # directory -> sharer
+    ACK = 4            # sharer -> directory
+    FLUSH = 5          # tdnuca_flush control traffic
+    DRAM_REQUEST = 6   # LLC bank / core -> memory controller
+    DRAM_DATA = 7      # memory controller -> LLC bank / core
+
+    @property
+    def label(self) -> str:
+        """Lower-case report label (``"dram_request"`` style)."""
+        return self.name.lower()
 
 
-@dataclass
+NUM_MESSAGE_CLASSES = len(MessageClass)
+
+
 class TrafficStats:
     """Aggregate NoC traffic counters.
 
     ``flit_bytes`` is the flit width used to convert messages to flits for
-    the energy model.
+    the energy model.  Per-class byte counts live in the dense
+    :attr:`class_bytes` list indexed by :class:`MessageClass`;
+    :attr:`bytes_by_class` presents them as the familiar dict view.
     """
 
-    flit_bytes: int = 16
-    router_bytes: int = 0
-    flit_hops: int = 0
-    messages: int = 0
-    bytes_by_class: dict[MessageClass, int] = field(default_factory=dict)
-    # NUCA-distance census over core -> LLC-bank requests (Fig. 11).
-    nuca_distance_sum: int = 0
-    nuca_distance_count: int = 0
+    __slots__ = (
+        "flit_bytes",
+        "router_bytes",
+        "flit_hops",
+        "messages",
+        "class_bytes",
+        "nuca_distance_sum",
+        "nuca_distance_count",
+    )
+
+    def __init__(self, flit_bytes: int = 16) -> None:
+        self.flit_bytes = flit_bytes
+        self.router_bytes = 0
+        self.flit_hops = 0
+        self.messages = 0
+        self.class_bytes: list[int] = [0] * NUM_MESSAGE_CLASSES
+        # NUCA-distance census over core -> LLC-bank requests (Fig. 11).
+        self.nuca_distance_sum = 0
+        self.nuca_distance_count = 0
+
+    @property
+    def bytes_by_class(self) -> dict[MessageClass, int]:
+        """Per-class byte totals for the classes seen so far."""
+        return {
+            cls: self.class_bytes[cls]
+            for cls in MessageClass
+            if self.class_bytes[cls]
+        }
 
     def record_message(
         self, msg_class: MessageClass, size_bytes: int, hop_count: int, count: int = 1
@@ -68,9 +114,7 @@ class TrafficStats:
         flits = -(-size_bytes // self.flit_bytes)  # ceil division
         self.flit_hops += flits * routers * count
         self.messages += count
-        self.bytes_by_class[msg_class] = (
-            self.bytes_by_class.get(msg_class, 0) + size_bytes * count
-        )
+        self.class_bytes[msg_class] += size_bytes * count
 
     def record_nuca_distance(self, hop_count: int, count: int = 1) -> None:
         """Record the NUCA distance of ``count`` core->LLC requests.
@@ -82,6 +126,45 @@ class TrafficStats:
         self.nuca_distance_sum += hop_count * count
         self.nuca_distance_count += count
 
+    def add_batch(
+        self,
+        router_bytes: int,
+        flit_hops: int,
+        messages: int,
+        class_bytes,
+        nuca_distance_sum: int = 0,
+        nuca_distance_count: int = 0,
+    ) -> None:
+        """Flush a batch of pre-aggregated traffic deltas.
+
+        This is the hot loop's once-per-task flush point, and the place the
+        range checks moved to: validation runs once per batch instead of
+        once per message.  ``class_bytes`` must be a dense per-class list
+        of length :data:`NUM_MESSAGE_CLASSES`.
+        """
+        if len(class_bytes) != NUM_MESSAGE_CLASSES:
+            raise ValueError(
+                f"class_bytes must have {NUM_MESSAGE_CLASSES} entries, "
+                f"got {len(class_bytes)}"
+            )
+        if (
+            router_bytes < 0
+            or flit_hops < 0
+            or messages < 0
+            or nuca_distance_sum < 0
+            or nuca_distance_count < 0
+            or any(b < 0 for b in class_bytes)
+        ):
+            raise ValueError("traffic quantities must be non-negative")
+        self.router_bytes += router_bytes
+        self.flit_hops += flit_hops
+        self.messages += messages
+        mine = self.class_bytes
+        for i in range(NUM_MESSAGE_CLASSES):
+            mine[i] += class_bytes[i]
+        self.nuca_distance_sum += nuca_distance_sum
+        self.nuca_distance_count += nuca_distance_count
+
     @property
     def mean_nuca_distance(self) -> float:
         if not self.nuca_distance_count:
@@ -92,7 +175,14 @@ class TrafficStats:
         self.router_bytes += other.router_bytes
         self.flit_hops += other.flit_hops
         self.messages += other.messages
-        for cls, nbytes in other.bytes_by_class.items():
-            self.bytes_by_class[cls] = self.bytes_by_class.get(cls, 0) + nbytes
+        mine = self.class_bytes
+        for i, nbytes in enumerate(other.class_bytes):
+            mine[i] += nbytes
         self.nuca_distance_sum += other.nuca_distance_sum
         self.nuca_distance_count += other.nuca_distance_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrafficStats(router_bytes={self.router_bytes}, "
+            f"flit_hops={self.flit_hops}, messages={self.messages})"
+        )

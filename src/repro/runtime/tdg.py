@@ -32,6 +32,14 @@ class _RegionState:
     region: Region
     last_writer: Task | None = None
     readers_since_write: list[Task] = field(default_factory=list)
+    # Bounds denormalized from ``region`` so the interval-mode overlap
+    # scan compares plain ints instead of calling Region properties.
+    start: int = 0
+    end: int = 0
+
+    def __post_init__(self) -> None:
+        self.start = self.region.start
+        self.end = self.region.start + self.region.size
 
 
 @dataclass
@@ -79,16 +87,31 @@ class TaskGraph:
         # Interval mode: candidates come from the buckets the region spans.
         out: list[_RegionState] = []
         seen: set[int] = set()
-        for b in self._bucket_range(region):
-            for state in self._buckets.get(b, ()):
-                if id(state) not in seen and state.region.overlaps(region):
+        r_start = region.start
+        r_end = r_start + region.size
+        nonempty = region.size > 0
+        buckets = self._buckets
+        bucket_range = range(
+            r_start >> self.BUCKET_SHIFT,
+            ((r_end - 1) >> self.BUCKET_SHIFT) + 1,
+        )
+        for b in bucket_range:
+            for state in buckets.get(b, ()):
+                # Inline Region.overlaps over the denormalized bounds.
+                if (
+                    nonempty
+                    and state.start < r_end
+                    and r_start < state.end
+                    and state.end > state.start
+                    and id(state) not in seen
+                ):
                     seen.add(id(state))
                     out.append(state)
         if key not in self._regions:
             state = _RegionState(region)
             self._regions[key] = state
-            for b in self._bucket_range(region):
-                self._buckets.setdefault(b, []).append(state)
+            for b in bucket_range:
+                buckets.setdefault(b, []).append(state)
             out.append(state)
         return out
 

@@ -15,7 +15,7 @@ import numpy as np
 from repro.mem.address import AddressMap
 from repro.runtime.task import Task
 
-__all__ = ["TaskTrace", "build_trace"]
+__all__ = ["TaskTrace", "build_trace", "build_trace_cached", "trace_signature"]
 
 
 class TaskTrace:
@@ -62,3 +62,43 @@ def build_trace(task: Task, amap: AddressMap) -> TaskTrace:
         empty = np.empty(0, dtype=np.int64)
         return TaskTrace(empty, np.empty(0, dtype=bool))
     return TaskTrace(np.concatenate(parts), np.concatenate(flags))
+
+
+def trace_signature(task: Task) -> tuple:
+    """Hashable key capturing everything :func:`build_trace` reads.
+
+    Two tasks with equal signatures produce identical traces for a given
+    address map, so the expansion can be shared: task-dataflow programs
+    re-execute the same kernel shapes over and over (every Jacobi sweep,
+    every k-means assign phase), and re-materializing the same NumPy
+    arrays per task instance is pure interpreter overhead.
+    """
+    return tuple(
+        (c.region.start, c.region.size, c.write, c.passes, c.rmw)
+        for c in task.effective_accesses()
+    )
+
+
+#: signature-cache ceiling; programs with more distinct kernel shapes than
+#: this simply stop sharing (correctness is unaffected).
+_TRACE_CACHE_MAX = 4096
+
+
+def build_trace_cached(
+    task: Task, amap: AddressMap, cache: dict[tuple, TaskTrace]
+) -> TaskTrace:
+    """Memoized :func:`build_trace`.
+
+    ``cache`` is owned by the caller (one per machine) because traces
+    depend on the address map's block geometry.  Returned traces are
+    shared and must be treated as immutable, which every consumer already
+    does — translation and census read them, nothing writes.
+    """
+    sig = trace_signature(task)
+    trace = cache.get(sig)
+    if trace is None:
+        if len(cache) >= _TRACE_CACHE_MAX:
+            cache.clear()
+        trace = build_trace(task, amap)
+        cache[sig] = trace
+    return trace

@@ -132,11 +132,44 @@ class MemoryControllers:
         return penalty
 
     def read(self, block: int) -> tuple[int, int]:
-        """Record a DRAM read; returns ``(controller tile, cycles)``."""
-        self.stats.reads += 1
-        return self._access(block)
+        """Record a DRAM read; returns ``(controller tile, cycles)``.
+
+        The row-buffer model is inlined (rather than delegated to
+        :meth:`_access`) because reads sit on the per-reference hot path.
+        """
+        st = self.stats
+        st.reads += 1
+        mc = block % len(self.tiles)
+        row = block // self.latency.dram_row_blocks
+        open_row = self._open_row
+        if open_row.get(mc) == row:
+            st.row_hits += 1
+            cycles = self.latency.dram_row_hit
+        else:
+            st.row_misses += 1
+            open_row[mc] = row
+            cycles = self.latency.dram
+        if self._error_p:
+            cycles += self._retry_penalty(cycles)
+        return self.tiles[mc], cycles
 
     def write(self, block: int) -> tuple[int, int]:
-        """Record a DRAM write; returns ``(controller tile, cycles)``."""
-        self.stats.writes += 1
-        return self._access(block)
+        """Record a DRAM write; returns ``(controller tile, cycles)``.
+
+        Inlined like :meth:`read` — writebacks ride the same hot path.
+        """
+        st = self.stats
+        st.writes += 1
+        mc = block % len(self.tiles)
+        row = block // self.latency.dram_row_blocks
+        open_row = self._open_row
+        if open_row.get(mc) == row:
+            st.row_hits += 1
+            cycles = self.latency.dram_row_hit
+        else:
+            st.row_misses += 1
+            open_row[mc] = row
+            cycles = self.latency.dram
+        if self._error_p:
+            cycles += self._retry_penalty(cycles)
+        return self.tiles[mc], cycles

@@ -16,6 +16,7 @@ the memory component of execution time (Fig. 8).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,7 +27,7 @@ from repro.cache.l1 import L1Cache
 from repro.cache.llc import NucaLLC
 from repro.config import SystemConfig
 from repro.core.isa import TdNucaISA
-from repro.core.rrt import RRT
+from repro.core.rrt import RRT, decode_bank_mask
 from repro.core.tdnuca import TdNucaPolicy
 from repro.energy.model import EnergyBreakdown, EnergyTally
 from repro.faults.injector import FaultInjector, FaultStats
@@ -36,18 +37,33 @@ from repro.mem.address import AddressMap
 from repro.mem.pagetable import PageTable
 from repro.mem.tlb import TLB, TLBStats
 from repro.noc.topology import Mesh
-from repro.noc.traffic import CONTROL_BYTES, MessageClass, TrafficStats, data_message_bytes
+from repro.noc.traffic import (
+    CONTROL_BYTES,
+    NUM_MESSAGE_CLASSES,
+    MessageClass,
+    TrafficStats,
+    data_message_bytes,
+)
 from repro.nuca.base import BYPASS, FlushAction, NucaPolicy
 from repro.nuca.dnuca import DNuca
 from repro.nuca.rnuca import RNuca
 from repro.nuca.snuca import SNuca
 from repro.runtime.task import Task
-from repro.runtime.trace import build_trace
+from repro.runtime.trace import TaskTrace, build_trace_cached
 from repro.sim.dram import MemoryControllers
 from repro.sim.latency import LatencyModel
 from repro.stats.counters import BlockCensus
 
 __all__ = ["Machine", "MachineStats", "build_machine", "POLICIES"]
+
+# Dense MessageClass indices as plain ints for the batched accounting.
+_REQUEST = int(MessageClass.REQUEST)
+_DATA = int(MessageClass.DATA)
+_WRITEBACK = int(MessageClass.WRITEBACK)
+_INVALIDATION = int(MessageClass.INVALIDATION)
+_ACK = int(MessageClass.ACK)
+_DRAM_REQUEST = int(MessageClass.DRAM_REQUEST)
+_DRAM_DATA = int(MessageClass.DRAM_DATA)
 
 #: recognised policy names for :func:`build_machine`.
 POLICIES = (
@@ -129,6 +145,19 @@ class Machine:
             isa.flush_executor = self._execute_flush
         self._data_bytes = data_message_bytes(cfg.block_bytes)
         self._page_block_shift = self.amap.page_shift - self.amap.block_shift
+        # Precomputed flit counts: every message in the simulator is either
+        # a control message or a whole-block data message, so the hot loop
+        # never performs a ceil-division.
+        self._flit_bytes = cfg.energy.flit_bytes
+        self._ctrl_flits = -(-CONTROL_BYTES // self._flit_bytes)
+        self._data_flits = -(-self._data_bytes // self._flit_bytes)
+        #: memoized task traces keyed by trace signature (task-dataflow
+        #: programs re-run the same kernel shapes many times).
+        self._trace_cache: dict[tuple, TaskTrace] = {}
+        # Pending traffic batch: the per-reference loop and the coherence
+        # helpers accumulate message deltas here; they are validated and
+        # drained into :attr:`traffic` once per task (see _flush_traffic).
+        self._reset_pending()
         # Fault injection / strict checking (idle unless configured).
         self.tasks_completed = 0
         self.fault_injector: FaultInjector | None = None
@@ -150,10 +179,53 @@ class Machine:
             self._scratch_vblocks.append(
                 np.arange(start, start + cfg.nondep_blocks_per_task, dtype=np.int64)
             )
+        # Write-flag arrays for the scratch sweeps, built once instead of
+        # per task.  np.concatenate copies, so sharing them is safe.
+        self._scratch_read_flags = np.zeros(cfg.nondep_blocks_per_task, dtype=bool)
+        self._scratch_write_flags = np.ones(cfg.nondep_blocks_per_task, dtype=bool)
 
     @property
     def num_cores(self) -> int:
         return self.cfg.num_cores
+
+    # ------------------------------------------------------------------
+    # batched traffic accounting
+    # ------------------------------------------------------------------
+
+    def _reset_pending(self) -> None:
+        """Zero the pending traffic batch (dropping anything unflushed)."""
+        self._acc_router_bytes = 0
+        self._acc_flit_hops = 0
+        self._acc_messages = 0
+        self._acc_class_bytes = [0] * NUM_MESSAGE_CLASSES
+        self._acc_nuca_sum = 0
+        self._acc_nuca_count = 0
+
+    def _record(self, msg_class: int, size_bytes: int, hop_count: int) -> None:
+        """Accumulate one message into the pending batch.
+
+        This is the coherence/flush helpers' counterpart of
+        :meth:`TrafficStats.record_message`; range validation happens once
+        per batch in :meth:`TrafficStats.add_batch` instead of here.
+        """
+        routers = hop_count + 1
+        self._acc_router_bytes += size_bytes * routers
+        self._acc_flit_hops += -(-size_bytes // self._flit_bytes) * routers
+        self._acc_messages += 1
+        self._acc_class_bytes[msg_class] += size_bytes
+
+    def _flush_traffic(self) -> None:
+        """Drain the pending batch into :attr:`traffic` (validated there)."""
+        if self._acc_messages or self._acc_nuca_count:
+            self.traffic.add_batch(
+                self._acc_router_bytes,
+                self._acc_flit_hops,
+                self._acc_messages,
+                self._acc_class_bytes,
+                self._acc_nuca_sum,
+                self._acc_nuca_count,
+            )
+            self._reset_pending()
 
     # ------------------------------------------------------------------
     # trace execution (the hot path)
@@ -162,18 +234,14 @@ class Machine:
     def run_task_trace(self, core: int, task: Task) -> int:
         """Apply ``task``'s memory trace issued from ``core``; returns the
         memory + per-access compute cycles it took."""
-        trace = build_trace(task, self.amap)
+        trace = build_trace_cached(task, self.amap, self._trace_cache)
         vblocks, writes = trace.vblocks, trace.writes
         scratch = self._scratch_vblocks[core]
         if len(scratch):
             # Runtime/stack traffic: one read and one write sweep per task.
             vblocks = np.concatenate([scratch, vblocks, scratch])
             writes = np.concatenate(
-                [
-                    np.zeros(len(scratch), dtype=bool),
-                    writes,
-                    np.ones(len(scratch), dtype=bool),
-                ]
+                [self._scratch_read_flags, writes, self._scratch_write_flags]
             )
         if len(vblocks) == 0:
             self._task_boundary()
@@ -197,6 +265,7 @@ class Machine:
     def _task_boundary(self) -> None:
         """One task's trace finished: fire due faults, then (strict mode)
         check invariants against the now-quiescent hierarchy."""
+        self._flush_traffic()
         self.tasks_completed += 1
         if self.fault_injector is not None:
             self.fault_injector.on_task_boundary(self.tasks_completed)
@@ -210,78 +279,254 @@ class Machine:
         writes: np.ndarray,
         compute_per_access: int | None = None,
     ) -> int:
-        # Local aliases: this loop runs per memory reference.
+        # Local aliases: this loop runs per memory reference.  Latency,
+        # traffic and energy deltas that are fixed per event kind are
+        # accumulated in local integers and applied once after the loop;
+        # only data-dependent quantities (DRAM row-buffer cycles, hop
+        # counts) are touched per reference.
         lat = self.latency
         l1 = self.l1s[core]
-        llc = self.llc
-        mesh_dist = self.mesh.distance[core]
+        l1_sets = l1._map
+        l1_ways = l1._ways
+        l1_assoc = l1.assoc
+        l1_mask = l1._set_mask
+        l1_dirty = l1._dirty
+        l1_repl = l1._repl
+        l1_plru = l1._plru_fast
+        llc_banks = self.llc.banks
+        llc_dead = self.llc._dead
+        llc_mask = llc_banks[0]._set_mask
+        llc_plru = llc_banks[0]._plru_fast
+        dist_rows = self.mesh.dist_rows
+        dist_core = dist_rows[core]
         policy = self.policy
         bank_for = policy.bank_for
         directory = self.directory
+        on_l1_fill = directory.on_l1_fill
+        d_sharers = directory._sharers
+        d_owner = directory._owner
+        d_stats = directory.stats
+        bit_core = 1 << core
         dram = self.dram
-        traffic = self.traffic
+        dram_read = dram.read
+        dram_write = dram.write
+        # Fault-free DRAM is the common case: inline the row-buffer model
+        # and batch its stats.  With transient errors installed, fall back
+        # to the method calls (they own the retry/backoff machinery).
+        dram_fast = dram._error_p == 0.0
+        dram_open = dram._open_row
+        dram_tiles = dram.tiles
+        dram_n_mc = len(dram_tiles)
+        dram_row_blocks = dram.latency.dram_row_blocks
+        dram_row_hit_cyc = dram.latency.dram_row_hit
+        dram_miss_cyc = dram.latency.dram
         energy = self.energy
         rrt_cycles = policy.lookup_cycles
-        data_bytes = self._data_bytes
         is_td = self.rrts is not None
         dnuca = self._dnuca
         compute = lat.compute if compute_per_access is None else compute_per_access
+        bypass = BYPASS
         cycles = 0
 
-        for block, write in zip(pblocks.tolist(), writes.tolist()):
-            cycles += compute
-            energy.l1_accesses += 1
-            res = l1.access(block, write)
-            if res.hit:
-                cycles += lat.l1_hit
+        # TD-NUCA bank resolution, specialised: within one task trace the
+        # requesting core's RRT table is immutable (ISA instructions only
+        # run at task boundaries), so the fused lookup in
+        # :meth:`TdNucaPolicy.bank_for` can be hoisted here and its stats
+        # batched.  Fault-degraded runs (dead banks) keep the method call.
+        td_fast = type(policy) is TdNucaPolicy and not policy._dead_banks
+        td_starts = None
+        if td_fast:
+            td_rrt = policy.rrts[core]
+            td_table = td_rrt._tables.get(td_rrt._active_pid)
+            if td_table is not None and td_table.starts:
+                td_starts = td_table.starts
+                td_ends = td_table.ends
+                td_masks = td_table.masks
+            td_shift = policy._block_shift
+            td_bank_mask = policy._bank_mask
+
+        # Batched counters (flushed after the loop).
+        l1_hits = 0
+        l1_write_hits = 0
+        n_l1_miss = 0
+        llc_hits = 0
+        llc_misses = 0
+        llc_req_units = 0  # sum of (hops + 1) over core <-> bank round trips
+        dram_pairs = 0     # DRAM request/data message pairs
+        dram_units = 0     # sum of (hops + 1) over those pairs
+        n_wb = 0           # dirty L1 victims written back (policy-resolved)
+        wb_llc = 0         # ... of which landed in an LLC bank
+        wb_units = 0       # sum of (hops + 1) over WRITEBACK messages
+        wb_dram = 0        # ... of which went straight to DRAM (bypass)
+        l1_new = 0         # L1 fills into empty ways (occupancy delta)
+        l1_evs = 0         # L1 evictions
+        l1_dirty_evs = 0   # ... of which were dirty
+        n_rrt_hits = 0     # td_fast: RRT lookup hits
+        n_bypass = 0       # td_fast: LLC bypasses
+        n_local = 0        # td_fast: local-bank resolutions
+        d_reads = 0        # dram_fast: demand reads
+        d_writes = 0       # dram_fast: bypassed writebacks
+        d_row_hits = 0     # dram_fast: row-buffer hits
+        d_row_misses = 0   # dram_fast: row-buffer misses
+
+        blocks_list = pblocks.tolist()
+        for block, write in zip(blocks_list, writes.tolist()):
+            # Inlined L1 probe (the allocation-free hit fast path).
+            s = block & l1_mask
+            way = l1_sets[s].get(block)
+            if way is not None:
+                l1_hits += 1
+                repl = l1_repl[s]
+                if l1_plru:
+                    repl._bits = (repl._bits | repl._or[way]) & repl._and[way]
+                else:
+                    repl.touch(way)
                 if write:
+                    l1_write_hits += 1
+                    l1_dirty[s][way] = True
                     self._write_hit_coherence(core, block)
                 continue
 
-            # L1 miss: RRT lookup (TD-NUCA) / NUCA search (D-NUCA), then
-            # bank resolution.
-            if is_td:
-                cycles += rrt_cycles
-                energy.rrt_lookups += 1
-            elif dnuca is not None:
-                cycles += rrt_cycles  # location-table search cost
-            bank = bank_for(core, block, write)
+            # L1 miss: fill (the miss count is batched below), then RRT
+            # lookup (TD-NUCA) / NUCA search (D-NUCA), then bank resolution.
+            # The fill is CacheBank._insert inlined with batched counters.
+            n_l1_miss += 1
+            smap = l1_sets[s]
+            sways = l1_ways[s]
+            repl = l1_repl[s]
+            if len(smap) < l1_assoc:
+                way = sways.index(None)
+                l1_new += 1
+                ev_l1 = -1
+                ev_l1_dirty = False
+            else:
+                way = repl._victim[repl._bits] if l1_plru else repl.victim()
+                ev_l1 = sways[way]
+                ev_l1_dirty = l1_dirty[s][way]
+                del smap[ev_l1]
+                l1_evs += 1
+                if ev_l1_dirty:
+                    l1_dirty_evs += 1
+            sways[way] = block
+            smap[block] = way
+            l1_dirty[s][way] = write
+            if l1_plru:
+                repl._bits = (repl._bits | repl._or[way]) & repl._and[way]
+            else:
+                repl.touch(way)
+
+            if td_fast:
+                # TdNucaPolicy.bank_for, inlined over the hoisted table.
+                mask_bits = None
+                if td_starts is not None:
+                    paddr = block << td_shift
+                    i = bisect_right(td_starts, paddr) - 1
+                    if i >= 0 and paddr < td_ends[i]:
+                        n_rrt_hits += 1
+                        mask_bits = td_masks[i]
+                if mask_bits is None:
+                    bank = block & td_bank_mask
+                    if bank == core:
+                        n_local += 1
+                elif mask_bits == 0:
+                    n_bypass += 1
+                    bank = bypass
+                else:
+                    dbanks = decode_bank_mask(mask_bits)
+                    nb = len(dbanks)
+                    bank = dbanks[0] if nb == 1 else dbanks[block % nb]
+                    if bank == core:
+                        n_local += 1
+            else:
+                bank = bank_for(core, block, write)
 
             # Coherence: fetch may invalidate/downgrade remote L1 copies.
-            actions = directory.on_l1_fill(core, block, write)
-            if actions.invalidate or actions.writeback_from is not None:
-                cycles += self._coherence_actions(core, block, bank, actions)
-
-            if bank == BYPASS:
-                mc, dram_cycles = dram.read(block)
-                hops = int(mesh_dist[mc])
-                traffic.record_message(MessageClass.DRAM_REQUEST, CONTROL_BYTES, hops)
-                traffic.record_message(MessageClass.DRAM_DATA, data_bytes, hops)
-                energy.dram_accesses += 1
-                cycles += lat.bypass_access(hops, dram_cycles)
-            else:
-                hops = int(mesh_dist[bank])
-                traffic.record_message(MessageClass.REQUEST, CONTROL_BYTES, hops)
-                traffic.record_nuca_distance(hops)
-                res2 = llc.access(bank, block, False)
-                if res2.hit:
-                    energy.llc_hit_read()
-                    cycles += lat.llc_access(hops)
+            # The directory's common cases (untracked block, or this core
+            # already the only party) are inlined; contended blocks fall
+            # back to the full protocol method.
+            mask = d_sharers.get(block, 0)
+            if write:
+                if mask & ~bit_core:
+                    actions = on_l1_fill(core, block, True)
+                    cycles += self._coherence_actions(core, block, bank, actions)
                 else:
-                    energy.llc_miss_fill()
-                    mc, dram_cycles = dram.read(block)
-                    mc_hops = self.mesh.hops(bank, mc)
-                    traffic.record_message(
-                        MessageClass.DRAM_REQUEST, CONTROL_BYTES, mc_hops
+                    d_sharers[block] = bit_core
+                    d_owner[block] = core
+            else:
+                owner = d_owner.get(block)
+                if owner is not None and owner != core:
+                    actions = on_l1_fill(core, block, False)
+                    cycles += self._coherence_actions(core, block, bank, actions)
+                else:
+                    d_sharers[block] = mask | bit_core
+            entries = len(d_sharers)
+            if entries > d_stats.entries_peak:
+                d_stats.entries_peak = entries
+
+            if bank == bypass:
+                dram_pairs += 1
+                if dram_fast:
+                    mcix = block % dram_n_mc
+                    row = block // dram_row_blocks
+                    if dram_open.get(mcix) == row:
+                        d_row_hits += 1
+                        cycles += dram_row_hit_cyc
+                    else:
+                        d_row_misses += 1
+                        dram_open[mcix] = row
+                        cycles += dram_miss_cyc
+                    d_reads += 1
+                    mc = dram_tiles[mcix]
+                else:
+                    mc, dram_cycles = dram_read(block)
+                    cycles += dram_cycles
+                dram_units += dist_core[mc] + 1
+            else:
+                llc_req_units += dist_core[bank] + 1
+                if llc_dead and bank in llc_dead:
+                    raise RuntimeError(
+                        f"access routed to dead LLC bank {bank}; "
+                        "policy remap failed"
                     )
-                    traffic.record_message(MessageClass.DRAM_DATA, data_bytes, mc_hops)
-                    energy.dram_accesses += 1
-                    cycles += lat.llc_miss_detect(hops) + lat.llc_miss_extra(
-                        mc_hops, dram_cycles
-                    )
-                    if res2.evicted is not None:
-                        self._llc_eviction(bank, res2.evicted, res2.evicted_dirty)
-                traffic.record_message(MessageClass.DATA, data_bytes, hops)
+                bank_obj = llc_banks[bank]
+                bs = block & llc_mask
+                bway = bank_obj._map[bs].get(block)
+                if bway is not None:
+                    # Inlined LLC read-probe hit.
+                    llc_hits += 1
+                    bst = bank_obj.stats
+                    bst.hits += 1
+                    bst.read_hits += 1
+                    repl = bank_obj._repl[bs]
+                    if llc_plru:
+                        repl._bits = (
+                            repl._bits | repl._or[bway]
+                        ) & repl._and[bway]
+                    else:
+                        repl.touch(bway)
+                else:
+                    llc_misses += 1
+                    bank_obj.stats.misses += 1
+                    dram_pairs += 1
+                    if dram_fast:
+                        mcix = block % dram_n_mc
+                        row = block // dram_row_blocks
+                        if dram_open.get(mcix) == row:
+                            d_row_hits += 1
+                            cycles += dram_row_hit_cyc
+                        else:
+                            d_row_misses += 1
+                            dram_open[mcix] = row
+                            cycles += dram_miss_cyc
+                        d_reads += 1
+                        mc = dram_tiles[mcix]
+                    else:
+                        mc, dram_cycles = dram_read(block)
+                        cycles += dram_cycles
+                    dram_units += dist_rows[bank][mc] + 1
+                    evicted, evicted_dirty = bank_obj._insert(block, False)
+                    if evicted >= 0:
+                        self._llc_eviction(bank, evicted, evicted_dirty)
                 if dnuca is not None:
                     migration = dnuca.post_access(core, block, bank)
                     if migration is not None:
@@ -290,8 +535,145 @@ class Machine:
             # L1 fill displaced a victim; dirty victims write back through
             # the policy-resolved bank (the RRT is consulted for
             # writebacks too — Section III-B3).
-            if res.evicted is not None and res.evicted_dirty:
-                self._l1_writeback(core, res.evicted)
+            if ev_l1_dirty:
+                n_wb += 1
+                if td_fast:
+                    mask_bits = None
+                    if td_starts is not None:
+                        paddr = ev_l1 << td_shift
+                        i = bisect_right(td_starts, paddr) - 1
+                        if i >= 0 and paddr < td_ends[i]:
+                            n_rrt_hits += 1
+                            mask_bits = td_masks[i]
+                    if mask_bits is None:
+                        wb_bank = ev_l1 & td_bank_mask
+                        if wb_bank == core:
+                            n_local += 1
+                    elif mask_bits == 0:
+                        n_bypass += 1
+                        wb_bank = bypass
+                    else:
+                        dbanks = decode_bank_mask(mask_bits)
+                        nb = len(dbanks)
+                        wb_bank = dbanks[0] if nb == 1 else dbanks[ev_l1 % nb]
+                        if wb_bank == core:
+                            n_local += 1
+                else:
+                    wb_bank = bank_for(core, ev_l1, True)
+                # Inlined directory.on_l1_evict (dirty eviction).
+                mask = d_sharers.get(ev_l1, 0) & ~bit_core
+                if mask:
+                    d_sharers[ev_l1] = mask
+                else:
+                    d_sharers.pop(ev_l1, None)
+                if d_owner.get(ev_l1) == core:
+                    del d_owner[ev_l1]
+                if wb_bank == bypass:
+                    wb_dram += 1
+                    if dram_fast:
+                        mcix = ev_l1 % dram_n_mc
+                        row = ev_l1 // dram_row_blocks
+                        if dram_open.get(mcix) == row:
+                            d_row_hits += 1
+                        else:
+                            d_row_misses += 1
+                            dram_open[mcix] = row
+                        d_writes += 1
+                        mc = dram_tiles[mcix]
+                    else:
+                        mc, _wb_cycles = dram_write(ev_l1)
+                    wb_units += dist_core[mc] + 1
+                else:
+                    wb_units += dist_core[wb_bank] + 1
+                    if llc_dead and wb_bank in llc_dead:
+                        raise RuntimeError(
+                            f"access routed to dead LLC bank {wb_bank}; "
+                            "policy remap failed"
+                        )
+                    wb_obj = llc_banks[wb_bank]
+                    wb_llc += 1
+                    if not wb_obj.probe(ev_l1, True):
+                        wb_obj.stats.misses += 1
+                        ev2, ev2_dirty = wb_obj._insert(ev_l1, True)
+                        if ev2 >= 0:
+                            self._llc_eviction(wb_bank, ev2, ev2_dirty)
+
+        # --- apply the batched deltas ---
+        n = len(blocks_list)
+        llc_req = llc_hits + llc_misses
+
+        # Latency: every access pays compute + the L1 probe; LLC legs pay
+        # the round trip (2 * hops * per_hop, summed via the router units)
+        # plus the hit or tag-probe service time; DRAM legs likewise.
+        cycles += (compute + lat.l1_hit) * n
+        if is_td or dnuca is not None:
+            cycles += rrt_cycles * n_l1_miss
+        cycles += lat.llc_hit * llc_hits + lat.llc_miss_probe * llc_misses
+        cycles += 2 * lat.per_hop * (
+            llc_req_units - llc_req + dram_units - dram_pairs
+        )
+
+        # L1 demand stats (inserts above skipped the per-call counting).
+        st = l1.stats
+        st.hits += l1_hits
+        st.read_hits += l1_hits - l1_write_hits
+        st.write_hits += l1_write_hits
+        st.misses += n_l1_miss
+        st.evictions += l1_evs
+        st.dirty_evictions += l1_dirty_evs
+        l1._occupancy += l1_new
+
+        # Specialised-path stat batches (exact counter-for-counter match
+        # with the bank_for / MemoryControllers method bodies).
+        if td_fast:
+            n_res = n_l1_miss + n_wb
+            rst = td_rrt.stats
+            rst.lookups += n_res
+            rst.hits += n_rrt_hits
+            pst = policy.stats
+            pst.resolutions += n_res
+            pst.bypasses += n_bypass
+            pst.local_bank_hits += n_local
+        if dram_fast:
+            dst = dram.stats
+            dst.reads += d_reads
+            dst.writes += d_writes
+            dst.row_hits += d_row_hits
+            dst.row_misses += d_row_misses
+
+        # Energy events.
+        energy.l1_accesses += n
+        if is_td:
+            energy.rrt_lookups += n_l1_miss + n_wb
+        energy.llc_tag_probes += llc_req + wb_llc
+        energy.llc_data_reads += llc_hits
+        energy.llc_data_writes += llc_misses + wb_llc
+        energy.dram_accesses += dram_pairs + wb_dram
+
+        # Traffic: each LLC access is a REQUEST/DATA pair and each DRAM
+        # access a DRAM_REQUEST/DRAM_DATA pair, both legs sharing one hop
+        # count — so router-bytes and flit-hops factor over the summed
+        # (hops + 1) router units.  L1 victim writebacks add one
+        # WRITEBACK data message each.
+        data_bytes = self._data_bytes
+        total_units = llc_req_units + dram_units
+        self._acc_router_bytes += (
+            (CONTROL_BYTES + data_bytes) * total_units + data_bytes * wb_units
+        )
+        self._acc_flit_hops += (
+            (self._ctrl_flits + self._data_flits) * total_units
+            + self._data_flits * wb_units
+        )
+        self._acc_messages += 2 * (llc_req + dram_pairs) + n_wb
+        acc_cb = self._acc_class_bytes
+        acc_cb[_REQUEST] += CONTROL_BYTES * llc_req
+        acc_cb[_DATA] += data_bytes * llc_req
+        acc_cb[_WRITEBACK] += data_bytes * n_wb
+        acc_cb[_DRAM_REQUEST] += CONTROL_BYTES * dram_pairs
+        acc_cb[_DRAM_DATA] += data_bytes * dram_pairs
+        self._acc_nuca_sum += llc_req_units - llc_req
+        self._acc_nuca_count += llc_req
+        self._flush_traffic()
 
         return cycles
 
@@ -323,7 +705,7 @@ class Machine:
         ]
         l1_dropped = 0
         for block, _dirty in victims:
-            if self.llc.banks_holding(block):
+            if self.llc.any_bank_holds(block):
                 continue  # a replica in a live bank preserves inclusion
             for core in self.directory.drop_block(block):
                 present, was_dirty = self.l1s[core].invalidate(block)
@@ -332,10 +714,8 @@ class Machine:
                 l1_dropped += 1
                 if was_dirty:
                     mc, _ = self.dram.write(block)
-                    self.traffic.record_message(
-                        MessageClass.WRITEBACK,
-                        self._data_bytes,
-                        self.mesh.hops(core, mc),
+                    self._record(
+                        _WRITEBACK, self._data_bytes, self.mesh.dist_rows[core][mc]
                     )
                     self.energy.dram_accesses += 1
         rrt_dropped = 0
@@ -368,6 +748,7 @@ class Machine:
         """Full machine-wide invariant sweep; [] means consistent."""
         from repro.faults.invariants import check_machine
 
+        self._flush_traffic()
         return check_machine(self)
 
     # ------------------------------------------------------------------
@@ -389,53 +770,44 @@ class Machine:
 
     def _coherence_actions(self, core: int, block: int, bank: int, actions) -> int:
         """Perform invalidations/downgrades; returns added cycles."""
-        traffic = self.traffic
-        mesh = self.mesh
         home = bank if bank != BYPASS else self._home_bank(block)
+        dist_home = self.mesh.dist_rows[home]
+        per_hop = self.latency.per_hop
         cycles = 0
         for victim_core in actions.invalidate:
-            hops = mesh.hops(home, victim_core)
-            traffic.record_message(MessageClass.INVALIDATION, CONTROL_BYTES, hops)
-            traffic.record_message(MessageClass.ACK, CONTROL_BYTES, hops)
+            hops = dist_home[victim_core]
+            self._record(_INVALIDATION, CONTROL_BYTES, hops)
+            self._record(_ACK, CONTROL_BYTES, hops)
             present, dirty = self.l1s[victim_core].invalidate(block)
             if present and dirty and victim_core != actions.writeback_from:
                 self._writeback_to_llc(victim_core, block, home)
-            cycles = max(cycles, 2 * hops * self.latency.per_hop)
+            cycles = max(cycles, 2 * hops * per_hop)
         wb = actions.writeback_from
         if wb is not None and wb not in actions.invalidate:
             # Downgrade: owner supplies data and keeps a clean copy.
             self.l1s[wb].make_clean(block)
             self._writeback_to_llc(wb, block, home)
-            cycles = max(cycles, 2 * mesh.hops(home, wb) * self.latency.per_hop)
+            cycles = max(cycles, 2 * dist_home[wb] * per_hop)
         elif wb is not None:
             self._writeback_to_llc(wb, block, home)
         return cycles
 
     def _writeback_to_llc(self, core: int, block: int, bank: int) -> None:
         """Dirty data moves from ``core``'s L1 into ``bank``."""
-        hops = self.mesh.hops(core, bank)
-        self.traffic.record_message(MessageClass.WRITEBACK, self._data_bytes, hops)
-        res = self.llc.access(bank, block, True)
-        if res.hit:
-            self.energy.llc_hit_write()
-        else:
-            self.energy.llc_miss_fill()
-            if res.evicted is not None:
-                self._llc_eviction(bank, res.evicted, res.evicted_dirty)
-
-    def _l1_writeback(self, core: int, block: int) -> None:
-        """Dirty L1 victim: policy decides where the writeback goes."""
-        bank = self.policy.bank_for(core, block, True)
-        if self.rrts is not None:
-            self.energy.rrt_lookups += 1
-        self.directory.on_l1_evict(core, block, True)
-        if bank == BYPASS:
-            mc, _ = self.dram.write(block)
-            hops = self.mesh.hops(core, mc)
-            self.traffic.record_message(MessageClass.WRITEBACK, self._data_bytes, hops)
-            self.energy.dram_accesses += 1
-        else:
-            self._writeback_to_llc(core, block, bank)
+        self._record(_WRITEBACK, self._data_bytes, self.mesh.dist_rows[core][bank])
+        llc = self.llc
+        if llc._dead and bank in llc._dead:
+            raise RuntimeError(
+                f"access routed to dead LLC bank {bank}; policy remap failed"
+            )
+        energy = self.energy
+        energy.llc_tag_probes += 1
+        energy.llc_data_writes += 1  # hit-write and miss-fill both write data
+        bank_obj = llc.banks[bank]
+        if not bank_obj.probe(block, True):
+            evicted, evicted_dirty = bank_obj.fill_demand(block, True)
+            if evicted >= 0:
+                self._llc_eviction(bank, evicted, evicted_dirty)
 
     def _migrate_block(self, migration) -> None:
         """D-NUCA gradual migration: move the block one bank over."""
@@ -444,11 +816,16 @@ class Machine:
         )
         if not present:
             return
-        hops = self.mesh.hops(migration.src_bank, migration.dst_bank)
-        self.traffic.record_message(MessageClass.DATA, self._data_bytes, hops)
-        self.energy.llc_victim_read()
+        self._record(
+            _DATA,
+            self._data_bytes,
+            self.mesh.dist_rows[migration.src_bank][migration.dst_bank],
+        )
+        energy = self.energy
+        energy.llc_data_reads += 1  # victim read out at the source bank
         res = self.llc.banks[migration.dst_bank].fill(migration.block, dirty)
-        self.energy.llc_miss_fill()
+        energy.llc_tag_probes += 1
+        energy.llc_data_writes += 1  # fill at the destination
         if res.evicted is not None:
             if self._dnuca is not None:
                 self._dnuca.evicted(res.evicted)
@@ -459,28 +836,38 @@ class Machine:
         back-invalidate L1 copies (the LLC is inclusive)."""
         if self._dnuca is not None:
             self._dnuca.evicted(victim)
+        dist_bank = self.mesh.dist_rows[bank]
+        data_bytes = self._data_bytes
+        data_flits = self._data_flits
+        acc_cb = self._acc_class_bytes
         if dirty:
-            self.energy.llc_victim_read()
+            self.energy.llc_data_reads += 1  # victim read out for writeback
             mc, _ = self.dram.write(victim)
-            hops = self.mesh.hops(bank, mc)
-            self.traffic.record_message(MessageClass.WRITEBACK, self._data_bytes, hops)
+            # _record(_WRITEBACK, ...) inlined (LLC fills evict constantly).
+            routers = dist_bank[mc] + 1
+            self._acc_router_bytes += data_bytes * routers
+            self._acc_flit_hops += data_flits * routers
+            self._acc_messages += 1
+            acc_cb[_WRITEBACK] += data_bytes
             self.energy.dram_accesses += 1
         # Inclusive LLC: if no other bank holds a replica, L1 copies must go.
-        if not self.llc.banks_holding(victim):
+        if not self.llc.any_bank_holds(victim):
+            ctrl_flits = self._ctrl_flits
             for core in self.directory.drop_block(victim):
-                hops = self.mesh.hops(bank, core)
-                self.traffic.record_message(
-                    MessageClass.INVALIDATION, CONTROL_BYTES, hops
-                )
-                self.traffic.record_message(MessageClass.ACK, CONTROL_BYTES, hops)
+                routers = dist_bank[core] + 1
+                self._acc_router_bytes += 2 * CONTROL_BYTES * routers
+                self._acc_flit_hops += 2 * ctrl_flits * routers
+                self._acc_messages += 2
+                acc_cb[_INVALIDATION] += CONTROL_BYTES
+                acc_cb[_ACK] += CONTROL_BYTES
                 present, was_dirty = self.l1s[core].invalidate(victim)
                 if present and was_dirty:
                     mc, _ = self.dram.write(victim)
-                    self.traffic.record_message(
-                        MessageClass.WRITEBACK,
-                        self._data_bytes,
-                        self.mesh.hops(core, mc),
-                    )
+                    routers = self.mesh.dist_rows[core][mc] + 1
+                    self._acc_router_bytes += data_bytes * routers
+                    self._acc_flit_hops += data_flits * routers
+                    self._acc_messages += 1
+                    acc_cb[_WRITEBACK] += data_bytes
                     self.energy.dram_accesses += 1
 
     # ------------------------------------------------------------------
@@ -504,24 +891,20 @@ class Machine:
         return self._flush_llc(blocks, tiles)
 
     def _flush_l1(self, blocks: list[int], cores) -> tuple[int, int]:
+        """Flush ``blocks`` from the named cores' L1s through the uniform
+        flush accounting (``flushed_blocks``), like every other flush."""
         flushed = dirty_total = 0
+        directory = self.directory
         for core in cores:
-            l1 = self.l1s[core]
-            directory = self.directory
-            for block in blocks:
-                present, dirty = l1.invalidate(block)
-                if not present:
-                    continue
-                flushed += 1
+            removed = self.l1s[core].flush_blocks_collect(blocks)
+            flushed += len(removed)
+            dist_core = self.mesh.dist_rows[core]
+            for block, dirty in removed:
                 directory.on_l1_evict(core, block, dirty)
                 if dirty:
                     dirty_total += 1
                     mc, _ = self.dram.write(block)
-                    self.traffic.record_message(
-                        MessageClass.WRITEBACK,
-                        self._data_bytes,
-                        self.mesh.hops(core, mc),
-                    )
+                    self._record(_WRITEBACK, self._data_bytes, dist_core[mc])
                     self.energy.dram_accesses += 1
         return flushed, dirty_total
 
@@ -530,20 +913,15 @@ class Machine:
         for bank in banks:
             bank_obj = self.llc.banks[bank]
             self.energy.llc_probe(len(blocks))
-            for block in blocks:
-                present, dirty = bank_obj.invalidate(block)
-                if not present:
-                    continue
-                flushed += 1
+            removed = bank_obj.flush_blocks_collect(blocks)
+            flushed += len(removed)
+            dist_bank = self.mesh.dist_rows[bank]
+            for block, dirty in removed:
                 if dirty:
                     dirty_total += 1
                     self.energy.llc_victim_read()
                     mc, _ = self.dram.write(block)
-                    self.traffic.record_message(
-                        MessageClass.WRITEBACK,
-                        self._data_bytes,
-                        self.mesh.hops(bank, mc),
-                    )
+                    self._record(_WRITEBACK, self._data_bytes, dist_bank[mc])
                     self.energy.dram_accesses += 1
         return flushed, dirty_total
 
@@ -571,6 +949,7 @@ class Machine:
         self.directory.stats = DirectoryStats()
         self.dram.stats = DramStats()
         self.traffic = TrafficStats(self.cfg.energy.flit_bytes)
+        self._reset_pending()  # unflushed warmup deltas die with the window
         self.energy = EnergyTally()
         self.policy.stats = PolicyStats()
         if self.census is not None:
@@ -588,6 +967,7 @@ class Machine:
     # ------------------------------------------------------------------
 
     def collect_stats(self) -> MachineStats:
+        self._flush_traffic()
         llc = self.llc.aggregate_stats()
         l1 = BankStats()
         for cache in self.l1s:
