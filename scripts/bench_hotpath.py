@@ -30,8 +30,8 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.api import Session  # noqa: E402
 from repro.config import scaled_config  # noqa: E402
-from repro.experiments.runner import run_experiment  # noqa: E402
 from repro.ioutils import atomic_write  # noqa: E402
 
 SCHEMA_VERSION = 1
@@ -49,12 +49,12 @@ SMOKE_CASES = (("kmeans", "tdnuca"),)
 def bench_case(
     workload: str, policy: str, denom: int, repeats: int
 ) -> dict:
-    cfg = scaled_config(1.0 / denom)
+    session = Session(scaled_config(1.0 / denom))
     best = None
     references = tasks = 0
     for _ in range(repeats):
         start = time.perf_counter()
-        result = run_experiment(workload, policy, cfg)
+        result = session.run(workload, policy)
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
         references = result.machine.l1.accesses

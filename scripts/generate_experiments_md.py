@@ -13,9 +13,9 @@ from __future__ import annotations
 import sys
 import time
 
+from repro.api import Session
 from repro.config import scaled_config
 from repro.experiments import figures
-from repro.experiments.runner import run_suite
 from repro.experiments.serialize import figure_to_markdown
 
 SCALE = 1 / 64
@@ -44,9 +44,8 @@ def main() -> None:
     cfg = scaled_config(SCALE)
     print(f"running full suite at scale 1/{int(1 / SCALE)} ...", file=sys.stderr)
     t0 = time.time()
-    results = run_suite(
+    results = Session(cfg).suite(
         policies=["snuca", "rnuca", "tdnuca", "tdnuca-bypass-only", "tdnuca-noisa"],
-        cfg=cfg,
     )
     elapsed = time.time() - t0
     print(f"suite done in {elapsed:.0f}s", file=sys.stderr)

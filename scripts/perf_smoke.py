@@ -33,6 +33,11 @@ POLICY = "tdnuca"
 DENOM = 256
 #: measured 985,574 calls after the hot-path flattening (+15% headroom).
 CALL_CEILING = 1_150_000
+#: tracing must stay off the per-reference path: a traced run may make at
+#: most 5% more function calls than the identical untraced run (events
+#: fire at task/phase boundaries only, so the overhead is O(tasks), which
+#: is a rounding error next to O(references)).
+TRACED_RATIO_CEILING = 1.05
 
 
 def main() -> int:
@@ -49,6 +54,29 @@ def main() -> int:
             "call chain has probably crept back in.  Profile with "
             "scripts/profile_simulator.py and either flatten it or raise "
             "CALL_CEILING with a re-measured baseline.",
+            file=sys.stderr,
+        )
+        return 1
+
+    traced_result, traced_stats = profile_run(WORKLOAD, POLICY, DENOM, trace=True)
+    if traced_result.machine.l1.accesses != references:
+        print(
+            "FAIL: tracing changed the simulated work "
+            f"({traced_result.machine.l1.accesses:,} references vs "
+            f"{references:,} untraced) — observability must be read-only.",
+            file=sys.stderr,
+        )
+        return 1
+    ratio = traced_stats.total_calls / max(1, calls)
+    print(
+        f"traced: {traced_stats.total_calls:,} function calls -> "
+        f"{ratio:.4f}x untraced (ceiling {TRACED_RATIO_CEILING}x)"
+    )
+    if ratio > TRACED_RATIO_CEILING:
+        print(
+            "FAIL: tracing overhead exceeds the ratio ceiling — an observer "
+            "hook has probably landed on the per-reference path.  Keep event "
+            "emission at task/phase boundaries only.",
             file=sys.stderr,
         )
         return 1

@@ -21,19 +21,24 @@ import json
 import pstats
 from pathlib import Path
 
+from repro.api import Session
 from repro.config import scaled_config
-from repro.experiments.runner import run_experiment
 from repro.ioutils import atomic_write
 
 JSON_SCHEMA_VERSION = 1
 
 
-def profile_run(workload: str, policy: str, denom: int):
-    """Run one experiment under cProfile; returns ``(result, stats)``."""
-    cfg = scaled_config(1.0 / denom)
+def profile_run(workload: str, policy: str, denom: int, trace: bool = False):
+    """Run one experiment under cProfile; returns ``(result, stats)``.
+
+    The session is built outside the profiled region so only simulation
+    work is measured; ``trace=True`` profiles the observability-enabled
+    path (used by the perf smoke test to bound tracing overhead).
+    """
+    session = Session(scaled_config(1.0 / denom))
     profiler = cProfile.Profile()
     profiler.enable()
-    result = run_experiment(workload, policy, cfg)
+    result = session.run(workload, policy, trace=trace)
     profiler.disable()
     return result, pstats.Stats(profiler)
 
@@ -46,9 +51,13 @@ def main(argv: list[str] | None = None) -> int:
                     help="scale denominator (config at 1/denom)")
     ap.add_argument("--json", type=Path, default=None, metavar="PATH",
                     help="also write a machine-readable summary to PATH")
+    ap.add_argument("--trace", action="store_true",
+                    help="profile with the observability layer attached")
     args = ap.parse_args(argv)
 
-    result, stats = profile_run(args.workload, args.policy, args.denom)
+    result, stats = profile_run(
+        args.workload, args.policy, args.denom, trace=args.trace
+    )
 
     accesses = result.machine.l1.accesses
     total = stats.total_tt
@@ -65,6 +74,7 @@ def main(argv: list[str] | None = None) -> int:
             "workload": args.workload,
             "policy": args.policy,
             "scale_denominator": args.denom,
+            "traced": args.trace,
             "references": accesses,
             "total_seconds": round(total, 6),
             "us_per_reference": round(us_per_ref, 4),

@@ -1,23 +1,48 @@
 """TD-NUCA reproduction: runtime-driven management of NUCA caches in task
 dataflow programming models (Caheny et al., SC 2022).
 
-Public entry points:
+The front door is :class:`Session` — a configured simulation context that
+runs experiments, sweeps, and the full figure suite, with observability
+(event tracing, bank/link heatmap timelines, Chrome-trace export) one
+keyword away::
 
-* :func:`repro.experiments.runner.run_experiment` — one (workload, policy)
-  simulation with full statistics.
-* :func:`repro.experiments.runner.run_suite` — the full evaluation sweep.
+    from repro import Session
+
+    session = Session(scale=1 / 64)              # calibrated paper scale
+    result = session.run("kmeans", "tdnuca", trace=True)
+    print(result.makespan, result.machine.llc_hit_ratio)
+    print(result.bank_heatmap())                 # ASCII bank-load timeline
+    result.write_chrome_trace("trace.json")      # open in ui.perfetto.dev
+
+:class:`RunResult` delegates every statistic of the classic
+:class:`~repro.experiments.runner.ExperimentResult` and adds the trace
+accessors, so reporting code accepts either.
+
+Other entry points:
+
+* :meth:`Session.sweep` / :meth:`Session.suite` — the crash-tolerant
+  evaluation sweep (parallel workers, checkpoint/resume, per-job traces).
 * :mod:`repro.experiments.figures` — every table/figure of the paper.
+* :mod:`repro.obs` — the observability layer itself (``Observer``,
+  ``EventTrace``, exporters) for custom sinks and sampling periods.
 * :func:`repro.sim.machine.build_machine` +
   :class:`repro.runtime.Executor` — build your own experiments.
-* ``python -m repro`` — the command-line interface.
+* ``python -m repro`` — the command-line interface (``run``, ``sweep``,
+  ``figures``, ``trace``, ...).
+
+The pre-1.1 functional paths (``run_experiment`` / ``run_suite``) still
+work but emit :class:`DeprecationWarning` pointing at :class:`Session`.
 """
 
+from repro.api import RunResult, Session
 from repro.config import SystemConfig, paper_config, scaled_config
 from repro.deps import DepMode
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Session",
+    "RunResult",
     "SystemConfig",
     "paper_config",
     "scaled_config",

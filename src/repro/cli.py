@@ -3,12 +3,14 @@
     python -m repro list                      # benchmarks and policies
     python -m repro config [--scale N]        # print the machine (Table I)
     python -m repro run lu tdnuca [...]       # one experiment, full stats
+    python -m repro trace lu tdnuca --out t.json  # traced run + heatmaps
     python -m repro figures [...]             # the paper's figures 3, 8-14
     python -m repro sweep --out results.json  # archive a suite as JSON
     python -m repro sweep --resume DIR        # finish an interrupted sweep
 
 Scale is given as ``--scale N`` meaning capacities at 1/N of Table I
-(default 64, the calibrated experiment scale).
+(default 64, the calibrated experiment scale).  Every simulation command
+is a thin shell over :class:`repro.api.Session`.
 """
 
 from __future__ import annotations
@@ -17,10 +19,10 @@ import argparse
 import sys
 import time
 
+from repro.api import Session
 from repro.config import scaled_config
 from repro.experiments import figures
-from repro.experiments.runner import run_experiment, run_suite
-from repro.experiments.serialize import result_to_dict
+from repro.obs.observer import DEFAULT_SAMPLE_EVERY
 from repro.sim.machine import POLICIES
 from repro.stats.report import fault_report_rows, format_table
 from repro.workloads.registry import get_workload, workload_names
@@ -70,6 +72,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check machine invariants after every task (graceful-"
         "degradation proof; aborts on the first violation)",
+    )
+    p_run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record an event trace and write Chrome/Perfetto JSON to FILE",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one experiment with tracing on; write a Chrome/Perfetto "
+        "trace and print bank/link heatmaps",
+    )
+    p_trace.add_argument("workload", choices=workload_names())
+    p_trace.add_argument("policy", choices=list(POLICIES))
+    _add_scale(p_trace)
+    p_trace.add_argument(
+        "--out", required=True, metavar="FILE",
+        help="Chrome/Perfetto trace JSON path (open at ui.perfetto.dev)",
+    )
+    p_trace.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="also write the flat JSONL event log to FILE",
+    )
+    p_trace.add_argument(
+        "--sample-every", type=int, default=DEFAULT_SAMPLE_EVERY, metavar="N",
+        help="timeline sampling period in completed tasks (default "
+        "%(default)s)",
+    )
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument(
+        "--faults", default="", metavar="SPEC",
+        help="fault schedule (see 'repro run --faults')",
+    )
+    p_trace.add_argument(
+        "--strict", action="store_true",
+        help="check machine invariants after every task",
     )
 
     p_fig = sub.add_parser("figures", help="run the suite and print figures")
@@ -129,6 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume the sweep checkpointed in DIR: skip finished shards, "
         "re-run only failed/missing jobs, then merge",
     )
+    p_sweep.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="trace every job and write one Chrome trace JSON per "
+        "(workload, policy) into DIR",
+    )
 
     p_cmp = sub.add_parser(
         "compare", help="diff two sweep JSON files (regression check)"
@@ -183,21 +225,22 @@ def cmd_config(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from dataclasses import replace
-
-    cfg = _cfg(args)
-    if args.faults or args.strict:
-        cfg = replace(
-            cfg, fault_spec=args.faults, strict_invariants=args.strict
-        )
-        cfg.validate()
+    session = Session(_cfg(args), seed=args.seed)
     t0 = time.time()
-    result = run_experiment(args.workload, args.policy, cfg, seed=args.seed)
+    result = session.run(
+        args.workload,
+        args.policy,
+        trace=bool(args.trace),
+        faults=args.faults,
+        strict=args.strict,
+    )
     elapsed = time.time() - t0
+    if args.trace:
+        result.write_chrome_trace(args.trace)
     if args.json:
         import json
 
-        print(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
     m = result.machine
     rows = [
@@ -237,7 +280,55 @@ def cmd_run(args) -> int:
             ["metric", "value"], rows, f"{args.workload} under {args.policy}"
         )
     )
+    if args.trace:
+        print(f"\nwrote {args.trace} — open at https://ui.perfetto.dev")
     print(f"\nsimulated in {elapsed:.1f}s wall time")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.events import EventTrace
+
+    session = Session(_cfg(args), seed=args.seed)
+    t0 = time.time()
+    result = session.run(
+        args.workload,
+        args.policy,
+        trace=True,
+        sample_every=args.sample_every,
+        faults=args.faults,
+        strict=args.strict,
+    )
+    elapsed = time.time() - t0
+    result.write_chrome_trace(args.out)
+    if args.events:
+        result.write_event_log(args.events)
+    sink = result.observer.sink
+    recorded = sink.total if isinstance(sink, EventTrace) else len(result.events)
+    dropped = sink.dropped if isinstance(sink, EventTrace) else 0
+    rows = [
+        ["makespan (cycles)", f"{result.makespan:,}"],
+        ["tasks executed", f"{result.execution.tasks_executed:,}"],
+        ["LLC hit ratio", f"{result.machine.llc_hit_ratio:.2%}"],
+        ["events recorded", f"{recorded:,}"],
+        ["events dropped (ring full)", f"{dropped:,}"],
+        ["timeline samples", f"{result.timeline.num_samples:,}"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            f"traced {args.workload} under {args.policy}",
+        )
+    )
+    print()
+    print(result.bank_heatmap())
+    print()
+    print(result.link_heatmap())
+    print(f"\nwrote {args.out} — open at https://ui.perfetto.dev "
+          "or chrome://tracing")
+    if args.events:
+        print(f"wrote {args.events} (JSONL event log)")
+    print(f"simulated in {elapsed:.1f}s wall time")
     return 0
 
 
@@ -247,9 +338,8 @@ def cmd_figures(args) -> int:
     if "fig15" in wanted:
         policies.append("tdnuca-bypass-only")
     print(f"running the suite at scale 1/{args.scale} ...", file=sys.stderr)
-    results = run_suite(
-        workloads=args.workloads, policies=policies, cfg=_cfg(args),
-        seed=args.seed,
+    results = Session(_cfg(args), seed=args.seed).suite(
+        workloads=args.workloads, policies=policies,
     )
     for key in wanted:
         fig = FIGURE_BUILDERS[key](results)
@@ -329,16 +419,17 @@ def cmd_sweep(args) -> int:
         elif kind == "retry":
             print(f"          {kind:8s} {job.label}  {detail}", file=sys.stderr)
 
-    outcome = harness.run_sweep(
-        jobs,
-        cfg,
-        workers=args.jobs,
+    session = Session(cfg)
+    outcome = session.sweep(
+        plan=jobs,
+        jobs=args.jobs,
         timeout=args.timeout,
         retries=args.retries,
         run_dir=run_dir,
         resume=bool(args.resume),
         request=request,
         on_event=on_event,
+        trace_dir=args.trace,
     )
     meta = {
         "config_sha256": harness.config_fingerprint(cfg),
@@ -416,6 +507,7 @@ _COMMANDS = {
     "list": cmd_list,
     "config": cmd_config,
     "run": cmd_run,
+    "trace": cmd_trace,
     "figures": cmd_figures,
     "sweep": cmd_sweep,
     "compare": cmd_compare,

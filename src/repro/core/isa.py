@@ -124,6 +124,10 @@ class TdNucaISA:
         self.completion = FlushCompletionRegister(len(rrts))
         self.stats = ISAStats()
         self.flush_executor: FlushExecutor | None = None
+        # Observability hook (repro.obs.Observer.attach plants it): RRT
+        # install/drop/evict events are emitted here, where the per-range
+        # outcome is known, instead of inside the RRT itself.
+        self.obs = None
 
     # --- shared translation walk (Fig. 5) ---
 
@@ -215,9 +219,15 @@ class TdNucaISA:
             return self.ISSUE_CYCLES
         ranges, cycles = self._translate_ranges(core, trimmed)
         rrt = self.rrts[core]
+        obs = self.obs
         for start, end in ranges:
-            rrt.register(start, end, bank_mask)
+            installed = rrt.register(start, end, bank_mask)
             cycles += 1
+            if obs is not None:
+                if installed:
+                    obs.rrt_install(core, start, end, bank_mask)
+                else:
+                    obs.rrt_drop(core, start, end, bank_mask)
         self.stats.register_cycles += cycles
         return cycles
 
@@ -230,12 +240,16 @@ class TdNucaISA:
             self.stats.invalidate_cycles += self.ISSUE_CYCLES
             return self.ISSUE_CYCLES
         ranges, cycles = self._translate_ranges(core, trimmed)
+        obs = self.obs
         for target in range(len(self.rrts)):
             if core_mask >> target & 1:
                 rrt = self.rrts[target]
+                removed = 0
                 for start, end in ranges:
-                    rrt.invalidate(start, end)
+                    removed += rrt.invalidate(start, end)
                     cycles += 1
+                if obs is not None and removed:
+                    obs.rrt_evict(target, removed)
         self.stats.invalidate_cycles += cycles
         return cycles
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.api import _run_one
 from repro.config import SystemConfig
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
 from repro.runtime.scheduler import (
     FifoScheduler,
     OrderedScheduler,
@@ -45,7 +46,7 @@ def sweep_rrt_capacity(
     policy: str = "tdnuca",
 ) -> dict[int, ExperimentResult]:
     return {
-        n: run_experiment(workload, policy, replace(cfg, rrt_entries=n))
+        n: _run_one(workload, policy, replace(cfg, rrt_entries=n))
         for n in capacities
     }
 
@@ -56,7 +57,7 @@ def sweep_rrt_latency(
     latencies=(0, 1, 2, 3, 4),
 ) -> dict[int, ExperimentResult]:
     return {
-        c: run_experiment(workload, "tdnuca", cfg, rrt_lookup_cycles=c)
+        c: _run_one(workload, "tdnuca", cfg, rrt_lookup_cycles=c)
         for c in latencies
     }
 
@@ -70,7 +71,7 @@ def sweep_cluster_size(
     out = {}
     for w, h in geometries:
         c = replace(cfg, cluster_width=w, cluster_height=h)
-        out[(w, h)] = run_experiment(workload, policy, c)
+        out[(w, h)] = _run_one(workload, policy, c)
     return out
 
 
@@ -87,7 +88,7 @@ def sweep_scheduler(
         "random": lambda: RandomScheduler(seed=1),
     }
     return {
-        name: run_experiment(workload, policy, cfg, scheduler=maker())
+        name: _run_one(workload, policy, cfg, scheduler=maker())
         for name, maker in makers.items()
     }
 
@@ -99,6 +100,6 @@ def sweep_page_size(
     policy: str = "tdnuca",
 ) -> dict[int, ExperimentResult]:
     return {
-        p: run_experiment(workload, policy, replace(cfg, page_bytes=p))
+        p: _run_one(workload, policy, replace(cfg, page_bytes=p))
         for p in page_sizes
     }

@@ -157,9 +157,9 @@ def canonical_stats(result) -> dict[str, Any]:
 
 def run_case(case: GoldenCase) -> dict[str, Any]:
     """Execute one golden case and return its canonical snapshot."""
-    from repro.experiments.runner import run_experiment
+    from repro.api import _run_one
 
-    result = run_experiment(
+    result = _run_one(
         case.workload, case.policy, case.config(), seed=case.seed
     )
     return canonical_stats(result)

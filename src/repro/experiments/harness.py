@@ -46,7 +46,11 @@ from multiprocessing import connection
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.experiments.serialize import SCHEMA_VERSION, SchemaVersionError
+from repro.experiments.serialize import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    SchemaVersionError,
+)
 from repro.ioutils import atomic_write
 
 __all__ = [
@@ -230,9 +234,11 @@ def config_fingerprint(cfg: Any) -> str:
 
 
 def _default_runner(job: Job, cfg: Any) -> Any:
-    from repro.experiments.runner import run_experiment
+    # The facade's functional core, not the deprecated run_experiment shim,
+    # so library sweeps stay warning-free.
+    from repro.api import _run_one
 
-    return run_experiment(job.workload, job.policy, cfg, seed=job.seed)
+    return _run_one(job.workload, job.policy, cfg, seed=job.seed)
 
 
 def _worker_main(conn_w, runner, job: Job, cfg: Any) -> None:
@@ -602,7 +608,10 @@ def _load_shard(path: Path) -> dict[str, Any] | None:
         raw = json.loads(path.read_text())
     except (OSError, ValueError):
         return None
-    if not isinstance(raw, dict) or raw.get("schema_version") != SCHEMA_VERSION:
+    if (
+        not isinstance(raw, dict)
+        or raw.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS
+    ):
         return None
     if raw.get("status") != "ok" or not isinstance(raw.get("result"), dict):
         return None
@@ -660,7 +669,7 @@ def load_manifest(run_dir: str | Path) -> dict[str, Any]:
         raise ValueError(f"corrupt sweep manifest {path}: {exc}") from exc
     if not isinstance(raw, dict) or raw.get("kind") != "sweep-manifest":
         raise ValueError(f"{path} is not a sweep manifest")
-    if raw.get("schema_version") != SCHEMA_VERSION:
+    if raw.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS:
         raise SchemaVersionError(raw.get("schema_version"))
     if not isinstance(raw.get("jobs"), list):
         raise ValueError(f"{path}: manifest is missing its job list")

@@ -1,18 +1,26 @@
-"""Run one benchmark under one NUCA policy and collect every statistic the
-figures need."""
+"""Experiment result record and the deprecated functional entry points.
+
+:class:`ExperimentResult` (every statistic one run produces) and
+:func:`build_runtime` live here; the run logic itself moved to
+:mod:`repro.api`, whose :class:`~repro.api.Session` facade is the
+documented way to run simulations.  :func:`run_experiment` and
+:func:`run_suite` remain as thin shims that emit a
+:class:`DeprecationWarning` and delegate, so existing scripts keep
+producing bit-identical results.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.config import SystemConfig, scaled_config
 from repro.core.isa import ISAStats
-from repro.runtime.executor import ExecutionStats, Executor
+from repro.runtime.executor import ExecutionStats
 from repro.runtime.extensions import RuntimeExtension, TdNucaRuntime, TdNucaRuntimeStats
 from repro.runtime.scheduler import Scheduler
-from repro.sim.machine import POLICIES, Machine, MachineStats, build_machine
+from repro.sim.machine import Machine, MachineStats
 from repro.stats.counters import RNucaCensus
-from repro.workloads.registry import get_workload
 
 __all__ = ["ExperimentResult", "run_experiment", "run_suite", "default_config"]
 
@@ -70,75 +78,29 @@ def run_experiment(
     scheduler: Scheduler | None = None,
     census: bool = True,
 ) -> ExperimentResult:
-    """Build the machine, run the benchmark, snapshot the statistics."""
-    if policy not in POLICIES:
-        raise ValueError(f"unknown policy {policy!r}")
-    cfg = cfg if cfg is not None else default_config()
-    cfg.validate()  # fail early, with a clear message, on nonsense configs
-    wl = get_workload(workload)
-    program = wl.build(cfg, seed)
-    machine = build_machine(
-        cfg, policy, rrt_lookup_cycles=rrt_lookup_cycles, seed=seed, census=census
+    """Deprecated: use :meth:`repro.api.Session.run` instead.
+
+    Build the machine, run the benchmark, snapshot the statistics.  This
+    shim delegates to the same internal path :class:`repro.api.Session`
+    uses, so results are bit-identical to the facade.
+    """
+    warnings.warn(
+        "run_experiment() is deprecated; use repro.Session(config).run("
+        "workload, policy) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    extension = build_runtime(machine, policy)
-    executor = Executor(
-        machine,
+    from repro.api import _run_one
+
+    return _run_one(
+        workload,
+        policy,
+        cfg,
+        seed=seed,
+        rrt_lookup_cycles=rrt_lookup_cycles,
         scheduler=scheduler,
-        extension=extension,
-        overlap_mode=wl.tdg_overlap,
+        census=census,
     )
-    if program.warmup_phases:
-        # Initialization phases: run, then reset counters — the paper
-        # measures the post-initialisation parallel execution only.
-        from repro.runtime.task import Program as _Program
-
-        warmup = _Program(program.name, program.phases[: program.warmup_phases])
-        main = _Program(program.name, program.phases[program.warmup_phases :])
-        executor.run(warmup)
-        machine.reset_stats()
-        if isinstance(extension, TdNucaRuntime):
-            extension.reset_stats()
-        exec_stats = executor.run(main)
-    else:
-        exec_stats = executor.run(program)
-
-    result = ExperimentResult(
-        workload=wl.name,
-        policy=policy,
-        machine=machine.collect_stats(),
-        execution=exec_stats,
-    )
-    if machine.census is not None:
-        result.rnuca_census = machine.census.rnuca_census()
-        result.unique_blocks = machine.census.unique_blocks
-    if isinstance(extension, TdNucaRuntime):
-        result.runtime = extension.stats
-        result.isa = machine.isa.stats if machine.isa is not None else None
-        result.dependency_categories = extension.dependency_categories()
-        # Unique-block counts per Fig.-3 category (priority: a block touched
-        # by several dependencies takes the "most reused" category so that
-        # NotReused truly means every covering dependency was always
-        # bypassed).
-        amap = machine.amap
-        raw: dict[str, set[int]] = {}
-        for cat, regions in result.dependency_categories.items():
-            blocks: set[int] = set()
-            for region in regions:
-                blocks.update(region.blocks(amap))
-            raw[cat] = blocks
-        both = raw["both"] | (raw["in"] & raw["out"])
-        in_only = raw["in"] - both
-        out_only = raw["out"] - both
-        reused = both | raw["in"] | raw["out"]
-        not_reused = raw["not_reused"] - reused
-        result.extra["dep_category_blocks"] = {
-            "both": len(both),
-            "in": len(in_only),
-            "out": len(out_only),
-            "not_reused": len(not_reused),
-        }
-        result.extra["dep_blocks_total"] = len(reused | not_reused)
-    return result
 
 
 def run_suite(
@@ -152,32 +114,28 @@ def run_suite(
     retries: int = 0,
     run_dir=None,
 ) -> dict[tuple[str, str], ExperimentResult]:
-    """Run every (workload, policy) pair; returns results keyed by pair.
+    """Deprecated: use :meth:`repro.api.Session.suite` instead.
 
-    Delegates to the crash-tolerant engine in
-    :mod:`repro.experiments.harness`.  With the defaults everything runs
-    serially in-process exactly as before; ``jobs > 1`` or a ``timeout``
-    moves each run into an isolated worker subprocess, ``retries`` retries
-    transient failures, and ``run_dir`` checkpoints each finished run.  A
-    job that still fails after its retries raises
-    :class:`repro.experiments.harness.SweepFailure` listing the structured
-    failure records (the ``repro sweep`` CLI instead degrades gracefully
-    and archives the failures).
+    Run every (workload, policy) pair; returns results keyed by pair,
+    raising :class:`repro.experiments.harness.SweepFailure` if any job
+    still fails after its retries.  This shim delegates to
+    :meth:`Session.suite`, which preserves the all-or-nothing, grid-ordered
+    semantics the figure builders rely on.
     """
-    from repro.experiments.harness import Job, SweepFailure, run_sweep
-    from repro.workloads.registry import workload_names
+    warnings.warn(
+        "run_suite() is deprecated; use repro.Session(config).suite("
+        "workloads, policies) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import Session
 
-    workloads = workloads if workloads is not None else workload_names()
-    policies = policies if policies is not None else ["snuca", "rnuca", "tdnuca"]
-    cfg = cfg if cfg is not None else default_config()
-    plan = [Job(wl, pol, seed) for wl in workloads for pol in policies]
-    outcome = run_sweep(
-        plan, cfg, workers=jobs, timeout=timeout, retries=retries,
+    session = Session(cfg if cfg is not None else default_config(), seed=seed)
+    return session.suite(
+        workloads,
+        policies,
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
         run_dir=run_dir,
     )
-    if outcome.failures:
-        raise SweepFailure(outcome.failures)
-    results = outcome.results()
-    return {
-        (wl, pol): results[(wl, pol)] for wl in workloads for pol in policies
-    }

@@ -7,10 +7,17 @@ ASCII bar charts.
 
 Sweep JSON is a versioned envelope (``SCHEMA_VERSION``)::
 
-    {"schema_version": 2,
+    {"schema_version": 3,
      "runs":     {"workload/policy": {...per-run metrics...}},
      "failures": [ ...structured FailedRun records... ],
      "sweep":    {config_sha256, seed, scale, wall_time_s, ...}}
+
+Schema 3 adds two *optional* per-run sections to schema 2 — ``trace``
+(ring-buffer accounting and an event census for a traced run) and
+``timeline`` (the interval-metric samples and core->bank request matrix
+from :mod:`repro.obs`) — and changes nothing else, so loaders accept both
+versions (:data:`SUPPORTED_SCHEMA_VERSIONS`) and untraced archives are
+bytewise identical to schema 2 apart from the version number.
 
 Only ``sweep.wall_time_s`` varies between otherwise-identical campaigns;
 everything under ``runs`` is deterministic for a given config and seed, so
@@ -30,6 +37,7 @@ from repro.experiments.runner import ExperimentResult
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "SchemaVersionError",
     "SweepDocument",
     "result_to_dict",
@@ -43,19 +51,24 @@ __all__ = [
 
 #: version of the sweep JSON envelope (and of harness shards/manifests).
 #: Bump whenever the layout of the archived metrics changes incompatibly.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+#: versions loaders accept.  Schema 3 only *adds* optional trace/timeline
+#: sections, so schema-2 archives load unchanged.
+SUPPORTED_SCHEMA_VERSIONS = (2, 3)
 
 
 class SchemaVersionError(ValueError):
-    """A sweep archive was written under a different schema version."""
+    """A sweep archive was written under an unsupported schema version."""
 
     def __init__(self, found: Any, expected: int = SCHEMA_VERSION):
         self.found = found
         self.expected = expected
+        supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
         super().__init__(
             f"sweep JSON schema version {found!r} is not supported "
-            f"(this tool reads version {expected}); re-archive the sweep "
-            f"with 'repro sweep'"
+            f"(this tool reads versions {supported} and writes version "
+            f"{expected}); re-archive the sweep with 'repro sweep'"
         )
 
 
@@ -69,8 +82,19 @@ class SweepDocument:
     schema_version: int = SCHEMA_VERSION
 
 
-def result_to_dict(r: ExperimentResult) -> dict[str, Any]:
-    """Flatten one run's statistics into a JSON-safe dict."""
+def result_to_dict(
+    r: ExperimentResult,
+    *,
+    trace: Any = None,
+    timeline: Any = None,
+) -> dict[str, Any]:
+    """Flatten one run's statistics into a JSON-safe dict.
+
+    ``trace`` (a :class:`repro.obs.events.EventTrace`) and ``timeline`` (a
+    :class:`repro.obs.timeline.IntervalTimeline`) add the optional schema-3
+    observability sections; both default to absent so untraced runs
+    serialize exactly as under schema 2.
+    """
     m = r.machine
     out: dict[str, Any] = {
         "workload": r.workload,
@@ -164,6 +188,19 @@ def result_to_dict(r: ExperimentResult) -> dict[str, Any]:
     if "dep_category_blocks" in r.extra:
         out["dep_category_blocks"] = dict(r.extra["dep_category_blocks"])
         out["dep_blocks_total"] = r.extra["dep_blocks_total"]
+    if trace is not None:
+        by_kind: dict[str, int] = {}
+        for ev in trace.events():
+            key = ev.kind.value
+            by_kind[key] = by_kind.get(key, 0) + 1
+        out["trace"] = {
+            "events_recorded": trace.total,
+            "events_dropped": trace.dropped,
+            "capacity": trace.capacity,
+            "by_kind": dict(sorted(by_kind.items())),
+        }
+    if timeline is not None:
+        out["timeline"] = timeline.to_dict()
     return out
 
 
@@ -219,7 +256,7 @@ def load_sweep(text: str) -> SweepDocument:
             "unversioned sweep JSON (written before schema versioning); "
             "re-archive it with 'repro sweep'"
         )
-    if raw["schema_version"] != SCHEMA_VERSION:
+    if raw["schema_version"] not in SUPPORTED_SCHEMA_VERSIONS:
         raise SchemaVersionError(raw["schema_version"])
     runs_raw = raw.get("runs")
     if not isinstance(runs_raw, dict):

@@ -125,10 +125,28 @@ class FaultInjector:
         self._dirty_blocks_lost += report["dirty_blocks_lost"]
         self._l1_copies_dropped += report["l1_copies_dropped"]
         self._rrt_entries_dropped += report["rrt_entries_dropped"]
+        obs = self.machine.obs
+        if obs is not None:
+            from repro.obs.events import EventKind
+
+            obs.fault_fired(
+                EventKind.FAULT_BANK,
+                f"bank {event.bank} failed",
+                {"bank": event.bank, "at_task": event.at_task, **report},
+            )
 
     def _fire_link(self, event: LinkFault) -> None:
         self.machine.fail_link(event.a, event.b)
         self._links_failed += 1
+        obs = self.machine.obs
+        if obs is not None:
+            from repro.obs.events import EventKind
+
+            obs.fault_fired(
+                EventKind.FAULT_LINK,
+                f"link {event.a}-{event.b} failed",
+                {"a": event.a, "b": event.b, "at_task": event.at_task},
+            )
 
     @property
     def pending_events(self) -> int:

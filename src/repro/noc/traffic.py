@@ -165,6 +165,21 @@ class TrafficStats:
         self.nuca_distance_sum += nuca_distance_sum
         self.nuca_distance_count += nuca_distance_count
 
+    def snapshot(self) -> dict[str, object]:
+        """Cheap point-in-time copy of the cumulative counters.
+
+        Used by the observability timeline (sampled every N tasks), so a
+        later mutation of this object never aliases an archived sample.
+        """
+        return {
+            "router_bytes": self.router_bytes,
+            "flit_hops": self.flit_hops,
+            "messages": self.messages,
+            "class_bytes": list(self.class_bytes),
+            "nuca_distance_sum": self.nuca_distance_sum,
+            "nuca_distance_count": self.nuca_distance_count,
+        }
+
     @property
     def mean_nuca_distance(self) -> float:
         if not self.nuca_distance_count:

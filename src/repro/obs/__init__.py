@@ -1,0 +1,42 @@
+"""Simulation observability: event tracing, interval metrics, exporters.
+
+Three pieces, all off (and free) by default:
+
+* :class:`~repro.obs.events.EventTrace` — a ring-buffered sink of typed
+  :class:`~repro.obs.events.TraceEvent` records (task start/end, flush
+  begin/end, RRT install/evict/drop, NUCA remap, faults, DRAM retries),
+  emitted at task/phase boundaries only.
+* :class:`~repro.obs.timeline.IntervalTimeline` — per-bank occupancy and
+  hit-rate snapshots plus a core->bank request matrix, sampled every N
+  completed tasks, from which per-link NoC load is derived.
+* :mod:`~repro.obs.export` — Chrome ``chrome://tracing`` / Perfetto JSON
+  and flat JSONL writers.
+
+The usual entry point is ``repro.Session(cfg).run(wl, pol, trace=True)``;
+:class:`~repro.obs.observer.Observer` is the wiring underneath.
+"""
+
+from repro.obs.events import EventKind, EventTrace, TraceEvent, TraceSink
+from repro.obs.export import (
+    chrome_trace_dict,
+    events_to_jsonl,
+    write_chrome_trace,
+    write_event_log,
+)
+from repro.obs.observer import DEFAULT_SAMPLE_EVERY, Observer
+from repro.obs.timeline import IntervalSample, IntervalTimeline
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "TraceSink",
+    "EventTrace",
+    "Observer",
+    "DEFAULT_SAMPLE_EVERY",
+    "IntervalSample",
+    "IntervalTimeline",
+    "chrome_trace_dict",
+    "events_to_jsonl",
+    "write_chrome_trace",
+    "write_event_log",
+]

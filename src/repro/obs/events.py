@@ -1,0 +1,137 @@
+"""Typed simulation events and the ring-buffered trace that records them.
+
+Events are emitted only at task/phase boundaries and batch-flush points —
+never per memory reference — so enabling tracing cannot reintroduce the
+per-reference call chains the flattened hot path removed (see DESIGN.md
+and ``scripts/perf_smoke.py``, which enforces the traced/untraced call
+ratio in CI).
+
+:class:`TraceEvent` is the one event record; :attr:`TraceEvent.kind` names
+what happened (:class:`EventKind`), ``ts`` is the simulated cycle it
+happened at, ``core`` the issuing core (``-1`` for machine-wide events).
+:class:`EventTrace` is the default :class:`TraceSink`: a fixed-capacity
+ring buffer that keeps the most recent events and counts what it dropped,
+so a billion-task run cannot exhaust memory.  Custom sinks (a streaming
+JSONL writer, a filter) only need ``emit(event)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+__all__ = ["EventKind", "TraceEvent", "TraceSink", "EventTrace"]
+
+#: default ring capacity: enough for every event of the calibrated-scale
+#: suite while bounding a runaway run to a few tens of MB.
+DEFAULT_CAPACITY = 65_536
+
+
+class EventKind(str, Enum):
+    """What happened.  Values are the stable wire names used in exports."""
+
+    TASK_START = "task_start"
+    TASK_END = "task_end"
+    PHASE_BEGIN = "phase_begin"
+    PHASE_END = "phase_end"
+    FLUSH_BEGIN = "flush_begin"
+    FLUSH_END = "flush_end"
+    RRT_INSTALL = "rrt_install"
+    RRT_EVICT = "rrt_evict"
+    RRT_DROP = "rrt_drop"
+    NUCA_REMAP = "nuca_remap"
+    FAULT_BANK = "fault_bank"
+    FAULT_LINK = "fault_link"
+    DRAM_RETRY = "dram_retry"
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One simulation event.
+
+    ``dur`` is nonzero only for span events (tasks); ``args`` carries
+    kind-specific detail (flush counts, RRT ranges, fault reports) and is
+    ``None`` for argument-free events to keep emission allocation-light.
+    """
+
+    kind: EventKind
+    ts: int
+    core: int
+    name: str
+    dur: int = 0
+    args: dict[str, Any] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": self.kind.value,
+            "ts": self.ts,
+            "core": self.core,
+            "name": self.name,
+        }
+        if self.dur:
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive :class:`TraceEvent` objects."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event.  Must be cheap: called at task boundaries."""
+
+
+class EventTrace:
+    """Ring-buffered :class:`TraceSink` keeping the newest events.
+
+    ``total`` counts every event ever emitted; once ``total`` exceeds
+    ``capacity`` the oldest events are overwritten and show up in
+    :attr:`dropped`.  :meth:`events` returns the retained events oldest
+    first, so wraparound is invisible to consumers.
+    """
+
+    __slots__ = ("capacity", "total", "_buf", "_head")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.total = 0
+        self._buf: list[TraceEvent] = []
+        self._head = 0  # index of the oldest event once the buffer is full
+
+    @property
+    def dropped(self) -> int:
+        return self.total - len(self._buf)
+
+    def emit(self, event: TraceEvent) -> None:
+        buf = self._buf
+        if len(buf) < self.capacity:
+            buf.append(event)
+        else:
+            buf[self._head] = event
+            head = self._head + 1
+            self._head = 0 if head == self.capacity else head
+        self.total += 1
+
+    def events(self) -> list[TraceEvent]:
+        """Retained events, oldest first."""
+        head = self._head
+        if not head:
+            return list(self._buf)
+        return self._buf[head:] + self._buf[:head]
+
+    def clear(self) -> None:
+        """Forget everything (used when the warmup window is discarded)."""
+        self._buf.clear()
+        self._head = 0
+        self.total = 0
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())

@@ -1,0 +1,155 @@
+"""Trace exporters: Chrome ``chrome://tracing`` / Perfetto JSON and JSONL.
+
+The Chrome format is the ``{"traceEvents": [...]}`` JSON object both
+``chrome://tracing`` and https://ui.perfetto.dev load directly.  The
+convention here is **1 trace microsecond = 1 simulated cycle**:
+
+* pid 0 ("cores"): one thread track per core carrying complete ("X")
+  task events; phases are begin/end ("B"/"E") spans on a dedicated track;
+  flush / RRT / fault / DRAM-retry events are instants ("i") on a
+  "runtime" track (or their issuing core's track when they have one).
+* pid 1 ("llc banks"): counter ("C") events per bank — occupancy in
+  blocks and cumulative accesses — from the interval timeline.
+
+The JSONL export is one JSON object per line (a ``trace_meta`` header
+line, then one line per event) for grep/jq-style ad-hoc analysis.  Both
+writers go through :func:`repro.ioutils.atomic_write`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.ioutils import atomic_write
+from repro.obs.events import EventKind, TraceEvent
+from repro.obs.timeline import IntervalTimeline
+
+__all__ = [
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "events_to_jsonl",
+    "write_event_log",
+]
+
+#: instant-event kinds rendered on the runtime track (core < 0) or the
+#: issuing core's track.
+_INSTANT_KINDS = frozenset(
+    {
+        EventKind.FLUSH_BEGIN,
+        EventKind.FLUSH_END,
+        EventKind.RRT_INSTALL,
+        EventKind.RRT_EVICT,
+        EventKind.RRT_DROP,
+        EventKind.NUCA_REMAP,
+        EventKind.FAULT_BANK,
+        EventKind.FAULT_LINK,
+        EventKind.DRAM_RETRY,
+    }
+)
+
+
+def _num_cores(events: Iterable[TraceEvent], timeline) -> int:
+    if timeline is not None:
+        return timeline.num_cores
+    cores = [e.core for e in events]
+    return max(cores, default=-1) + 1
+
+
+def chrome_trace_dict(
+    events: Iterable[TraceEvent],
+    timeline: IntervalTimeline | None = None,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build the Chrome/Perfetto trace object for ``events`` (+timeline)."""
+    events = list(events)
+    ncores = _num_cores(events, timeline)
+    phase_tid = ncores
+    runtime_tid = ncores + 1
+    out: list[dict[str, Any]] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": "cores"}},
+    ]
+    for core in range(ncores):
+        out.append({"ph": "M", "pid": 0, "tid": core, "name": "thread_name",
+                    "args": {"name": f"core {core}"}})
+    out.append({"ph": "M", "pid": 0, "tid": phase_tid, "name": "thread_name",
+                "args": {"name": "phases"}})
+    out.append({"ph": "M", "pid": 0, "tid": runtime_tid, "name": "thread_name",
+                "args": {"name": "runtime"}})
+
+    body: list[dict[str, Any]] = []
+    for ev in events:
+        kind = ev.kind
+        if kind is EventKind.TASK_START:
+            body.append({"ph": "X", "pid": 0, "tid": ev.core, "ts": ev.ts,
+                         "dur": ev.dur, "name": ev.name,
+                         "args": ev.args or {}})
+        elif kind is EventKind.TASK_END:
+            continue  # folded into the TASK_START complete event
+        elif kind is EventKind.PHASE_BEGIN:
+            body.append({"ph": "B", "pid": 0, "tid": phase_tid, "ts": ev.ts,
+                         "name": ev.name, "args": ev.args or {}})
+        elif kind is EventKind.PHASE_END:
+            body.append({"ph": "E", "pid": 0, "tid": phase_tid, "ts": ev.ts,
+                         "name": ev.name})
+        elif kind in _INSTANT_KINDS:
+            tid = ev.core if ev.core >= 0 else runtime_tid
+            body.append({"ph": "i", "s": "t", "pid": 0, "tid": tid,
+                         "ts": ev.ts, "name": f"{kind.value}: {ev.name}",
+                         "args": ev.args or {}})
+
+    if timeline is not None and timeline.samples:
+        out.append({"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+                    "args": {"name": "llc banks"}})
+        for sample in timeline.samples:
+            ts = sample.cycles
+            for bank in range(timeline.num_banks):
+                body.append({"ph": "C", "pid": 1, "tid": 0, "ts": ts,
+                             "name": f"bank{bank} occupancy",
+                             "args": {"blocks": sample.bank_occupancy[bank]}})
+                body.append({"ph": "C", "pid": 1, "tid": 0, "ts": ts,
+                             "name": f"bank{bank} accesses",
+                             "args": {"accesses": sample.bank_accesses[bank]}})
+
+    body.sort(key=lambda e: e["ts"])
+    doc: dict[str, Any] = {
+        "traceEvents": out + body,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "1us = 1 simulated cycle",
+                      **(meta or {})},
+    }
+    return doc
+
+
+def write_chrome_trace(
+    path,
+    events: Iterable[TraceEvent],
+    timeline: IntervalTimeline | None = None,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Atomically write the Chrome/Perfetto trace JSON to ``path``."""
+    doc = chrome_trace_dict(events, timeline, meta)
+    with atomic_write(path) as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+
+
+def events_to_jsonl(
+    events: Iterable[TraceEvent], meta: dict[str, Any] | None = None
+) -> str:
+    """Flat JSONL: a ``trace_meta`` header line, then one event per line."""
+    lines = [json.dumps({"trace_meta": dict(meta or {})}, sort_keys=True)]
+    for ev in events:
+        lines.append(json.dumps(ev.to_dict(), sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_event_log(
+    path,
+    events: Iterable[TraceEvent],
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Atomically write the flat JSONL event log to ``path``."""
+    with atomic_write(path) as fh:
+        fh.write(events_to_jsonl(events, meta))

@@ -1,0 +1,221 @@
+"""The observer: wires event emission and interval sampling into a machine.
+
+One :class:`Observer` watches one :class:`~repro.sim.machine.Machine`.
+``attach`` plants the observer on the machine, its ISA, and its DRAM
+controllers (each holds a plain ``obs`` attribute that is ``None`` when
+tracing is off, so every hook site is a single attribute test on the
+untraced path and the golden byte-identical snapshots are unaffected).
+
+The executor stamps :attr:`Observer.now` with the simulated dispatch time
+before running a task, so events emitted from deep inside the machine
+(flushes, RRT updates, DRAM retries) carry the right timestamp without
+the machine knowing about simulated time at all.
+
+Overhead discipline: every hook is O(1) or O(num_banks) and fires at task
+or phase granularity.  ``scripts/perf_smoke.py`` asserts the traced /
+untraced function-call ratio stays under 1.05 in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.events import DEFAULT_CAPACITY, EventKind, EventTrace, TraceEvent, TraceSink
+from repro.obs.timeline import IntervalSample, IntervalTimeline
+
+__all__ = ["Observer", "DEFAULT_SAMPLE_EVERY"]
+
+#: default sampling period, in completed tasks, for interval metrics.
+DEFAULT_SAMPLE_EVERY = 64
+
+
+class Observer:
+    """Records typed events into a sink and interval metrics into a timeline."""
+
+    def __init__(
+        self,
+        sink: TraceSink | None = None,
+        *,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+        capacity: int = DEFAULT_CAPACITY,
+        timeline: bool = True,
+    ) -> None:
+        self.sink: TraceSink = sink if sink is not None else EventTrace(capacity)
+        self._emit = self.sink.emit  # bound once: emission is 2 calls/event
+        self.sample_every = sample_every
+        #: simulated cycle of the current dispatch (stamped by the executor).
+        self.now = 0
+        self.timeline: IntervalTimeline | None = None
+        self._want_timeline = timeline
+        self._machine = None
+        self.mesh = None
+        self._last_bank_acc: list[int] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, machine) -> "Observer":
+        """Plant this observer on ``machine`` (and its ISA/DRAM)."""
+        if self._machine is not None:
+            raise RuntimeError("observer is already attached to a machine")
+        self._machine = machine
+        self.mesh = machine.mesh
+        machine.obs = self
+        machine.dram.obs = self
+        if machine.isa is not None:
+            machine.isa.obs = self
+        cfg = machine.cfg
+        if self._want_timeline:
+            bank0 = machine.llc.banks[0]
+            from repro.noc.traffic import CONTROL_BYTES, data_message_bytes
+
+            self.timeline = IntervalTimeline(
+                num_cores=cfg.num_cores,
+                num_banks=cfg.num_banks,
+                sample_every=self.sample_every,
+                bank_capacity=bank0.num_sets * bank0.assoc,
+                bytes_per_request=CONTROL_BYTES
+                + data_message_bytes(cfg.block_bytes),
+            )
+            self._last_bank_acc = [0] * cfg.num_banks
+            self._sample(machine)  # t=0 baseline
+        return self
+
+    def events(self):
+        """Retained events, oldest first ([] for sinks that keep nothing)."""
+        sink = self.sink
+        return sink.events() if isinstance(sink, EventTrace) else []
+
+    # ------------------------------------------------------------------
+    # task / phase boundary hooks (the executor and machine call these)
+    # ------------------------------------------------------------------
+
+    def task_executed(self, core: int, name: str, start: int, duration: int,
+                      tid: int) -> None:
+        """One task ran on ``core`` from ``start`` for ``duration`` cycles."""
+        emit = self._emit
+        emit(TraceEvent(EventKind.TASK_START, start, core, name, duration,
+                        {"tid": tid}))
+        emit(TraceEvent(EventKind.TASK_END, start + duration, core, name))
+
+    def phase_begin(self, index: int, num_tasks: int, ts: int) -> None:
+        self._emit(TraceEvent(EventKind.PHASE_BEGIN, ts, -1, f"phase {index}",
+                              0, {"tasks": num_tasks}))
+
+    def phase_end(self, index: int, ts: int) -> None:
+        self._emit(TraceEvent(EventKind.PHASE_END, ts, -1, f"phase {index}"))
+
+    def on_task_boundary(self, machine, core: int) -> None:
+        """Machine hook after each task's trace: attribute the task's
+        per-bank access deltas to ``core`` and sample every N tasks."""
+        tl = self.timeline
+        if tl is None:
+            return
+        last = self._last_bank_acc
+        row = tl.core_bank_requests[core] if core >= 0 else None
+        banks = machine.llc.banks
+        for b in range(len(last)):
+            st = banks[b].stats
+            acc = st.hits + st.misses
+            delta = acc - last[b]
+            if delta:
+                last[b] = acc
+                if row is not None:
+                    row[b] += delta
+        if machine.tasks_completed % self.sample_every == 0:
+            self._sample(machine)
+
+    def on_stats_reset(self, machine) -> None:
+        """The warmup window was discarded: restart the trace with it."""
+        sink = self.sink
+        if isinstance(sink, EventTrace):
+            sink.clear()
+        if self.timeline is not None:
+            self.timeline.clear()
+            self._last_bank_acc = [0] * len(self._last_bank_acc)
+            self._sample(machine)  # fresh baseline (caches stay warm)
+
+    # ------------------------------------------------------------------
+    # component event hooks (machine / ISA / injector / DRAM call these)
+    # ------------------------------------------------------------------
+
+    def flush_begin(self, level: str, tiles, blocks: int) -> None:
+        self._emit(TraceEvent(EventKind.FLUSH_BEGIN, self.now, -1,
+                              f"flush {level}", 0,
+                              {"tiles": list(tiles), "blocks": blocks}))
+
+    def flush_end(self, level: str, flushed: int, dirty: int) -> None:
+        self._emit(TraceEvent(EventKind.FLUSH_END, self.now, -1,
+                              f"flush {level}", 0,
+                              {"flushed": flushed, "dirty": dirty}))
+
+    def rrt_install(self, core: int, start: int, end: int,
+                    bank_mask: int) -> None:
+        self._emit(TraceEvent(EventKind.RRT_INSTALL, self.now, core,
+                              "rrt install", 0,
+                              {"start": start, "end": end,
+                               "bank_mask": bank_mask}))
+
+    def rrt_drop(self, core: int, start: int, end: int,
+                 bank_mask: int) -> None:
+        """An RRT register was dropped because the table is full."""
+        self._emit(TraceEvent(EventKind.RRT_DROP, self.now, core,
+                              "rrt drop", 0,
+                              {"start": start, "end": end,
+                               "bank_mask": bank_mask}))
+
+    def rrt_evict(self, core: int, removed: int) -> None:
+        """``removed`` entries left ``core``'s RRT via tdnuca_invalidate."""
+        self._emit(TraceEvent(EventKind.RRT_EVICT, self.now, core,
+                              "rrt evict", 0, {"removed": removed}))
+
+    def nuca_remap(self, bank: int, report: dict[str, Any]) -> None:
+        """A bank death forced the policy to remap around it."""
+        self._emit(TraceEvent(EventKind.NUCA_REMAP, self.now, -1,
+                              f"remap bank {bank}", 0,
+                              {"bank": bank, **report}))
+
+    def fault_fired(self, kind: EventKind, name: str,
+                    args: dict[str, Any]) -> None:
+        self._emit(TraceEvent(kind, self.now, -1, name, 0, args))
+
+    def dram_retry(self, attempts: int, penalty: int, exhausted: bool) -> None:
+        self._emit(TraceEvent(EventKind.DRAM_RETRY, self.now, -1,
+                              "dram retry", 0,
+                              {"attempts": attempts, "penalty": penalty,
+                               "exhausted": exhausted}))
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def _sample(self, machine) -> None:
+        tl = self.timeline
+        acc: list[int] = []
+        hits: list[int] = []
+        occ: list[int] = []
+        for bank in machine.llc.banks:
+            st = bank.stats
+            acc.append(st.hits + st.misses)
+            hits.append(st.hits)
+            occ.append(bank.occupancy)
+        traffic = machine.traffic
+        rrt_occ = (
+            [rrt.occupancy for rrt in machine.rrts]
+            if machine.rrts is not None
+            else None
+        )
+        tl.samples.append(
+            IntervalSample(
+                tasks_completed=machine.tasks_completed,
+                cycles=self.now,
+                bank_accesses=acc,
+                bank_hits=hits,
+                bank_occupancy=occ,
+                router_bytes=traffic.router_bytes,
+                flit_hops=traffic.flit_hops,
+                messages=traffic.messages,
+                rrt_occupancy=rrt_occ,
+            )
+        )

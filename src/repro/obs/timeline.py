@@ -1,0 +1,146 @@
+"""Interval metrics: periodic snapshots of where data sits on the chip.
+
+End-of-run aggregates cannot show a placement decision going wrong
+mid-run.  The timeline samples cheap cumulative counters every ``N``
+completed tasks — per-bank accesses/hits/occupancy, aggregate NoC bytes,
+per-core RRT occupancy — into :class:`IntervalSample` records.  Between
+samples the observer also attributes each task's per-bank LLC access
+deltas to the core that ran it (a task runs on exactly one core, so the
+delta of the cumulative bank counters over the task *is* that core's
+contribution), building the ``core -> bank`` request matrix that per-link
+NoC load heatmaps are derived from at render time via XY routing.
+
+Everything here is O(num_banks) per task and O(num_banks + num_cores) per
+sample; nothing touches the per-reference hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["IntervalSample", "IntervalTimeline"]
+
+
+@dataclass(slots=True)
+class IntervalSample:
+    """One snapshot of cumulative machine counters.
+
+    Bank series are cumulative since the start of the measured window
+    (post-warmup); consumers diff consecutive samples for interval rates.
+    ``bank_occupancy`` is instantaneous (valid blocks resident).
+    """
+
+    tasks_completed: int
+    cycles: int
+    bank_accesses: list[int]
+    bank_hits: list[int]
+    bank_occupancy: list[int]
+    router_bytes: int
+    flit_hops: int
+    messages: int
+    rrt_occupancy: list[int] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "tasks": self.tasks_completed,
+            "cycles": self.cycles,
+            "bank_accesses": list(self.bank_accesses),
+            "bank_hits": list(self.bank_hits),
+            "bank_occupancy": list(self.bank_occupancy),
+            "router_bytes": self.router_bytes,
+            "flit_hops": self.flit_hops,
+            "messages": self.messages,
+        }
+        if self.rrt_occupancy is not None:
+            out["rrt_occupancy"] = list(self.rrt_occupancy)
+        return out
+
+
+@dataclass
+class IntervalTimeline:
+    """The sampled timeline plus the core->bank request attribution matrix."""
+
+    num_cores: int
+    num_banks: int
+    sample_every: int
+    #: blocks one LLC bank can hold (occupancy normalisation).
+    bank_capacity: int = 0
+    #: wire bytes one core->bank request/response pair contributes
+    #: (request control message + block data message), used to turn the
+    #: request matrix into per-link byte loads.
+    bytes_per_request: int = 0
+    samples: list[IntervalSample] = field(default_factory=list)
+    #: ``core_bank_requests[core][bank]``: LLC accesses ``core`` made to
+    #: ``bank`` over the measured window (task-boundary attribution).
+    core_bank_requests: list[list[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        if not self.core_bank_requests:
+            self.core_bank_requests = [
+                [0] * self.num_banks for _ in range(self.num_cores)
+            ]
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples)
+
+    def clear(self) -> None:
+        """Drop all samples and attribution (warmup-window reset)."""
+        self.samples.clear()
+        for row in self.core_bank_requests:
+            for b in range(self.num_banks):
+                row[b] = 0
+
+    # --- derived views -------------------------------------------------
+
+    def bank_access_deltas(self) -> list[list[int]]:
+        """Per-interval per-bank access counts (one row per interval)."""
+        out: list[list[int]] = []
+        for prev, cur in zip(self.samples, self.samples[1:]):
+            out.append(
+                [c - p for p, c in zip(prev.bank_accesses, cur.bank_accesses)]
+            )
+        return out
+
+    def interval_hit_rates(self) -> list[float]:
+        """Aggregate LLC hit rate of each interval (0.0 when idle)."""
+        rates: list[float] = []
+        for prev, cur in zip(self.samples, self.samples[1:]):
+            acc = sum(cur.bank_accesses) - sum(prev.bank_accesses)
+            hits = sum(cur.bank_hits) - sum(prev.bank_hits)
+            rates.append(hits / acc if acc else 0.0)
+        return rates
+
+    def link_loads(self, mesh) -> dict[tuple[int, int], int]:
+        """Bytes crossing each mesh link, keyed by the (lo, hi) tile pair.
+
+        Derived from the core->bank request matrix by XY-routing every
+        (core, bank) flow — the same routing the simulator charges — and
+        spreading that flow's bytes over the links of its route.
+        """
+        from repro.noc.routing import xy_route
+
+        loads: dict[tuple[int, int], int] = {}
+        per_request = self.bytes_per_request
+        for core, row in enumerate(self.core_bank_requests):
+            for bank, count in enumerate(row):
+                if not count or core == bank:
+                    continue
+                route = xy_route(mesh, core, bank)
+                nbytes = count * per_request
+                for a, b in zip(route, route[1:]):
+                    key = (a, b) if a < b else (b, a)
+                    loads[key] = loads.get(key, 0) + nbytes
+        return loads
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sample_every": self.sample_every,
+            "bank_capacity_blocks": self.bank_capacity,
+            "bytes_per_request": self.bytes_per_request,
+            "samples": [s.to_dict() for s in self.samples],
+            "core_bank_requests": [list(row) for row in self.core_bank_requests],
+        }

@@ -78,11 +78,16 @@ class Executor:
         overlap_mode: str = "exact",
         jitter: float = 0.08,
         jitter_seed: int = 0,
+        observer=None,
     ) -> None:
         self.machine = machine
         self.scheduler = scheduler if scheduler is not None else OrderedScheduler()
         self.extension = extension if extension is not None else RuntimeExtension()
         self.overlap_mode = overlap_mode
+        #: optional :class:`repro.obs.observer.Observer`: the executor
+        #: stamps it with simulated dispatch times and emits task/phase
+        #: events; None costs one attribute test per task.
+        self.observer = observer
         if not 0.0 <= jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
         # Real runtimes are not cycle-deterministic: OS noise and contention
@@ -105,11 +110,16 @@ class Executor:
     def run(self, program: Program) -> ExecutionStats:
         ncores = self.machine.num_cores
         stats = ExecutionStats(busy_cycles=[0] * ncores)
+        obs = self.observer
         now = 0
         for phase in program.phases:
             if not phase:
                 continue
+            if obs is not None:
+                obs.phase_begin(stats.phases, len(phase), now)
             now = self._run_phase(phase, now, stats)
+            if obs is not None:
+                obs.phase_end(stats.phases, now)
             stats.phases += 1
         stats.makespan_cycles = now
         return stats
@@ -176,7 +186,7 @@ class Executor:
                 if task is None:
                     break
                 idle.discard(core)
-                duration = self._execute(task, core, stats)
+                duration = self._execute(task, core, stats, now)
                 task.state = TaskState.RUNNING
                 heapq.heappush(events, (now + duration, seq, _FINISH, (core, task)))
                 seq += 1
@@ -187,7 +197,14 @@ class Executor:
         del core0_joined
         return now
 
-    def _execute(self, task: Task, core: int, stats: ExecutionStats) -> int:
+    def _execute(
+        self, task: Task, core: int, stats: ExecutionStats, now: int = 0
+    ) -> int:
+        obs = self.observer
+        if obs is not None:
+            # Stamp the dispatch time first: every event emitted from
+            # inside the machine/ISA during this task reads it.
+            obs.now = now
         ext_cycles = self.extension.on_task_start(task, core)
         trace_cycles = self.machine.run_task_trace(core, task)
         ext_cycles += self.extension.on_task_end(task, core)
@@ -198,4 +215,6 @@ class Executor:
         stats.tasks_executed += 1
         stats.extension_cycles += ext_cycles
         stats.busy_cycles[core] += duration
+        if obs is not None:
+            obs.task_executed(core, task.name, now, duration, task.tid)
         return duration

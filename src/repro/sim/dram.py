@@ -65,6 +65,10 @@ class MemoryControllers:
         self._error_p: float = 0.0
         self._max_retries: int = 0
         self._rng = None
+        # Observability hook (repro.obs.Observer.attach plants it).  Only
+        # the fault slow path (_retry_penalty) consults it, so the inlined
+        # fault-free DRAM fast path is untouched.
+        self.obs = None
 
     def set_fault_model(
         self, probability: float, max_retries: int, rng, retry_cost=None
@@ -111,11 +115,13 @@ class MemoryControllers:
     def _retry_penalty(self, base_cycles: int) -> int:
         """Cycles added by transient errors on one access (0 normally)."""
         attempts = 0
+        exhausted = False
         st = self.stats
         while self._rng.random() < self._error_p:
             attempts += 1
             if attempts >= self._max_retries:
                 st.retries_exhausted += 1
+                exhausted = True
                 break
         if not attempts:
             return 0
@@ -129,6 +135,8 @@ class MemoryControllers:
             else:
                 penalty += base_cycles + (backoff << (attempt - 1))
         st.retry_cycles += penalty
+        if self.obs is not None:
+            self.obs.dram_retry(attempts, penalty, exhausted)
         return penalty
 
     def read(self, block: int) -> tuple[int, int]:

@@ -161,6 +161,10 @@ class Machine:
         # Fault injection / strict checking (idle unless configured).
         self.tasks_completed = 0
         self.fault_injector: FaultInjector | None = None
+        # Observability hook (repro.obs.Observer.attach plants it); None
+        # keeps every traced code path a single attribute test, so runs
+        # with tracing off stay byte-identical to the golden snapshots.
+        self.obs = None
         self.invariant_checker = (
             InvariantChecker(cfg.strict_check_interval)
             if cfg.strict_invariants
@@ -244,7 +248,7 @@ class Machine:
                 [self._scratch_read_flags, writes, self._scratch_write_flags]
             )
         if len(vblocks) == 0:
-            self._task_boundary()
+            self._task_boundary(core)
             return 0
         if self.census is not None:
             self.census.record(core, vblocks, writes)
@@ -259,18 +263,21 @@ class Machine:
             self._apply_flush_action(action)
 
         cycles = self._run_blocks(core, pblocks, writes, task.compute_per_access)
-        self._task_boundary()
+        self._task_boundary(core)
         return cycles
 
-    def _task_boundary(self) -> None:
+    def _task_boundary(self, core: int = -1) -> None:
         """One task's trace finished: fire due faults, then (strict mode)
-        check invariants against the now-quiescent hierarchy."""
+        check invariants against the now-quiescent hierarchy, then let the
+        observer attribute the task's bank deltas and sample its timeline."""
         self._flush_traffic()
         self.tasks_completed += 1
         if self.fault_injector is not None:
             self.fault_injector.on_task_boundary(self.tasks_completed)
         if self.invariant_checker is not None:
             self.invariant_checker.on_task_boundary(self, self.tasks_completed)
+        if self.obs is not None:
+            self.obs.on_task_boundary(self, core)
 
     def _run_blocks(
         self,
@@ -722,12 +729,15 @@ class Machine:
         if self.rrts is not None:
             for rrt in self.rrts:
                 rrt_dropped += rrt.drop_bank_entries(bank)
-        return {
+        report = {
             "blocks_lost": len(victims),
             "dirty_blocks_lost": sum(1 for _, d in victims if d),
             "l1_copies_dropped": l1_dropped,
             "rrt_entries_dropped": rrt_dropped,
         }
+        if self.obs is not None:
+            self.obs.nuca_remap(bank, report)
+        return report
 
     def fail_link(self, a: int, b: int) -> None:
         """Hard-fail one NoC link; the mesh recomputes all distances over
@@ -893,6 +903,9 @@ class Machine:
     def _flush_l1(self, blocks: list[int], cores) -> tuple[int, int]:
         """Flush ``blocks`` from the named cores' L1s through the uniform
         flush accounting (``flushed_blocks``), like every other flush."""
+        obs = self.obs
+        if obs is not None:
+            obs.flush_begin("l1", cores, len(blocks))
         flushed = dirty_total = 0
         directory = self.directory
         for core in cores:
@@ -906,9 +919,14 @@ class Machine:
                     mc, _ = self.dram.write(block)
                     self._record(_WRITEBACK, self._data_bytes, dist_core[mc])
                     self.energy.dram_accesses += 1
+        if obs is not None:
+            obs.flush_end("l1", flushed, dirty_total)
         return flushed, dirty_total
 
     def _flush_llc(self, blocks: list[int], banks) -> tuple[int, int]:
+        obs = self.obs
+        if obs is not None:
+            obs.flush_begin("llc", banks, len(blocks))
         flushed = dirty_total = 0
         for bank in banks:
             bank_obj = self.llc.banks[bank]
@@ -923,6 +941,8 @@ class Machine:
                     mc, _ = self.dram.write(block)
                     self._record(_WRITEBACK, self._data_bytes, dist_bank[mc])
                     self.energy.dram_accesses += 1
+        if obs is not None:
+            obs.flush_end("llc", flushed, dirty_total)
         return flushed, dirty_total
 
     # ------------------------------------------------------------------
@@ -961,6 +981,10 @@ class Machine:
             from repro.core.isa import ISAStats
 
             self.isa.stats = ISAStats()
+        if self.obs is not None:
+            # The observer's trace and baselines restart with the counters
+            # so the exported window matches the measured one.
+            self.obs.on_stats_reset(self)
 
     # ------------------------------------------------------------------
     # stats snapshot

@@ -1,6 +1,17 @@
 """Statistics collection and reporting."""
 
 from repro.stats.counters import BlockCensus
-from repro.stats.report import format_table, normalize_series
+from repro.stats.report import (
+    format_table,
+    normalize_series,
+    timeline_bank_heatmap,
+    timeline_link_heatmap,
+)
 
-__all__ = ["BlockCensus", "format_table", "normalize_series"]
+__all__ = [
+    "BlockCensus",
+    "format_table",
+    "normalize_series",
+    "timeline_bank_heatmap",
+    "timeline_link_heatmap",
+]

@@ -10,7 +10,24 @@ __all__ = [
     "geomean",
     "fault_report_rows",
     "sweep_summary_rows",
+    "timeline_bank_heatmap",
+    "timeline_link_heatmap",
 ]
+
+#: intensity ramp for the ASCII heatmaps, blank through solid block.
+HEAT_SHADES = " ░▒▓█"
+
+
+def _shade(value: float, peak: float) -> str:
+    """The ramp character for ``value`` against the hottest cell."""
+    if peak <= 0 or value <= 0:
+        return HEAT_SHADES[0]
+    idx = 1 + int((value / peak) * (len(HEAT_SHADES) - 2))
+    return HEAT_SHADES[min(idx, len(HEAT_SHADES) - 1)]
+
+
+def _link_key(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)
 
 
 def format_table(
@@ -99,6 +116,98 @@ def normalize_series(
         base = baseline[key]
         out[key] = value / base if base else 0.0
     return out
+
+
+def timeline_bank_heatmap(
+    timeline, *, max_rows: int = 20, title: str = "LLC bank access heatmap"
+) -> str:
+    """ASCII heatmap of per-bank LLC accesses over the run.
+
+    One row per sampling interval (rebinned so at most ``max_rows`` rows
+    print), one column per bank; each cell's shade scales with that bank's
+    access count in the interval relative to the hottest cell anywhere.
+    Rows are annotated with their task range and aggregate LLC hit rate.
+    Duck-typed over :class:`repro.obs.timeline.IntervalTimeline` so the
+    stats layer stays import-light.
+    """
+    samples = timeline.samples
+    deltas = timeline.bank_access_deltas()
+    if not deltas:
+        return f"{title}\n  (no intervals sampled)"
+    step = -(-len(deltas) // max_rows)  # ceil division
+    rows: list[tuple[int, int, list[int], float]] = []
+    for start in range(0, len(deltas), step):
+        end = min(start + step, len(deltas))
+        merged = [0] * timeline.num_banks
+        for interval in deltas[start:end]:
+            for b, v in enumerate(interval):
+                merged[b] += v
+        s0, s1 = samples[start], samples[end]
+        acc = sum(s1.bank_accesses) - sum(s0.bank_accesses)
+        hits = sum(s1.bank_hits) - sum(s0.bank_hits)
+        rows.append(
+            (
+                s0.tasks_completed,
+                s1.tasks_completed,
+                merged,
+                hits / acc if acc else 0.0,
+            )
+        )
+    peak = max(max(r[2]) for r in rows)
+    digits = "".join(str(b % 10) for b in range(timeline.num_banks))
+    width = max(len(str(rows[-1][1])), 5)
+    lines = [
+        title,
+        f"  {'tasks':>{2 * width + 1}}  bank {digits}  LLC hit%",
+    ]
+    for t0, t1, merged, rate in rows:
+        cells = "".join(_shade(v, peak) for v in merged)
+        lines.append(
+            f"  {t0:>{width}}-{t1:<{width}}       {cells}  {rate * 100:7.1f}%"
+        )
+    lines.append(f"  peak cell: {peak:,} accesses, shades low->high {HEAT_SHADES[1:]!r}")
+    return "\n".join(lines)
+
+
+def timeline_link_heatmap(
+    timeline, mesh, *, title: str = "NoC link load heatmap"
+) -> str:
+    """ASCII mesh floorplan with every link shaded by its byte load.
+
+    Loads come from :meth:`IntervalTimeline.link_loads`, which XY-routes
+    the timeline's core->bank request matrix — the same routing the
+    simulator charges.  Links that carried no attributed traffic print as
+    ``.`` so the mesh structure stays visible.
+    """
+    loads = timeline.link_loads(mesh)
+    peak = max(loads.values(), default=0)
+
+    def link_char(a: int, b: int) -> str:
+        load = loads.get(_link_key(a, b), 0)
+        return _shade(load, peak) if load else "."
+
+    lines = [title]
+    for y in range(mesh.height):
+        row = []
+        for x in range(mesh.width):
+            tile = mesh.tile_at(x, y)
+            row.append(f"{tile:2d}")
+            if x < mesh.width - 1:
+                row.append(link_char(tile, mesh.tile_at(x + 1, y)) * 3)
+        lines.append("  " + "".join(row))
+        if y < mesh.height - 1:
+            vrow = []
+            for x in range(mesh.width):
+                tile = mesh.tile_at(x, y)
+                vrow.append(" " + link_char(tile, mesh.tile_at(x, y + 1)) + "   ")
+            lines.append("  " + "".join(vrow).rstrip())
+    if peak:
+        lines.append(
+            f"  peak link: {peak:,} bytes, shades low->high {HEAT_SHADES[1:]!r}"
+        )
+    else:
+        lines.append("  (no cross-tile traffic attributed)")
+    return "\n".join(lines)
 
 
 def geomean(values: Sequence[float]) -> float:

@@ -9,6 +9,7 @@ from repro.experiments import figures
 from repro.experiments.runner import run_experiment
 from repro.experiments.serialize import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     SchemaVersionError,
     figure_to_dict,
     figure_to_markdown,
@@ -106,6 +107,40 @@ class TestSuiteJson:
             load_results_json(
                 '{"schema_version": 2, "runs": {"md5/snuca": 5}}'
             )
+
+
+class TestSchemaVersions:
+    """Schema 3 adds optional trace/timeline sections; 2 stays readable."""
+
+    def test_version_3_is_current_and_2_supported(self):
+        assert SCHEMA_VERSION == 3
+        assert SUPPORTED_SCHEMA_VERSIONS == (2, 3)
+
+    def test_v2_document_still_loads(self, results):
+        # A v2 archive is a v3 archive without the optional sections.
+        doc = json.loads(results_to_json(results))
+        doc["schema_version"] = 2
+        loaded = load_sweep(json.dumps(doc))
+        assert set(loaded.runs) == set(results)
+
+    def test_v3_trace_sections_round_trip(self, results):
+        from repro.api import Session
+        from repro.config import scaled_config
+
+        r = Session(scaled_config(1 / 1024)).run("md5", "tdnuca", trace=True)
+        d = r.to_dict()
+        assert d["trace"]["events_recorded"] > 0
+        assert d["trace"]["by_kind"]["task_start"] > 0
+        assert d["timeline"]["samples"]
+        text = sweep_to_json({("md5", "tdnuca"): d}, [], {"seed": 0})
+        loaded = load_sweep(text)
+        run = loaded.runs[("md5", "tdnuca")]
+        assert run["trace"] == d["trace"]
+        assert run["timeline"]["sample_every"] == d["timeline"]["sample_every"]
+
+    def test_untraced_runs_omit_the_optional_sections(self, results):
+        d = result_to_dict(results[("md5", "snuca")])
+        assert "trace" not in d and "timeline" not in d
 
 
 class TestFigureSerialization:

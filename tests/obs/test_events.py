@@ -1,0 +1,77 @@
+"""Event records and the ring-buffered trace sink."""
+
+import pytest
+
+from repro.obs.events import EventKind, EventTrace, TraceEvent, TraceSink
+
+
+def ev(i: int) -> TraceEvent:
+    return TraceEvent(EventKind.TASK_START, ts=i, core=i % 4, name=f"t{i}")
+
+
+class TestTraceEvent:
+    def test_to_dict_minimal(self):
+        d = ev(3).to_dict()
+        assert d == {"kind": "task_start", "ts": 3, "core": 3, "name": "t3"}
+
+    def test_to_dict_full(self):
+        e = TraceEvent(
+            EventKind.TASK_START, 10, 2, "work", dur=5, args={"tid": 7}
+        )
+        d = e.to_dict()
+        assert d["dur"] == 5 and d["args"] == {"tid": 7}
+
+    def test_kind_values_are_wire_names(self):
+        assert EventKind.NUCA_REMAP.value == "nuca_remap"
+        assert EventKind("dram_retry") is EventKind.DRAM_RETRY
+
+
+class TestEventTrace:
+    def test_is_a_trace_sink(self):
+        assert isinstance(EventTrace(4), TraceSink)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EventTrace(0)
+
+    def test_records_in_order_below_capacity(self):
+        trace = EventTrace(8)
+        for i in range(5):
+            trace.emit(ev(i))
+        assert [e.ts for e in trace.events()] == [0, 1, 2, 3, 4]
+        assert len(trace) == 5
+        assert trace.total == 5
+        assert trace.dropped == 0
+
+    def test_wraparound_keeps_newest_oldest_first(self):
+        trace = EventTrace(4)
+        for i in range(11):
+            trace.emit(ev(i))
+        assert [e.ts for e in trace.events()] == [7, 8, 9, 10]
+        assert len(trace) == 4
+        assert trace.total == 11
+        assert trace.dropped == 7
+
+    def test_wraparound_exactly_at_capacity(self):
+        trace = EventTrace(3)
+        for i in range(3):
+            trace.emit(ev(i))
+        assert trace.dropped == 0
+        trace.emit(ev(3))
+        assert [e.ts for e in trace.events()] == [1, 2, 3]
+        assert trace.dropped == 1
+
+    def test_iteration_matches_events(self):
+        trace = EventTrace(4)
+        for i in range(6):
+            trace.emit(ev(i))
+        assert [e.ts for e in trace] == [e.ts for e in trace.events()]
+
+    def test_clear_resets_everything(self):
+        trace = EventTrace(2)
+        for i in range(5):
+            trace.emit(ev(i))
+        trace.clear()
+        assert trace.events() == [] and trace.total == 0 and trace.dropped == 0
+        trace.emit(ev(9))
+        assert [e.ts for e in trace.events()] == [9]

@@ -1,0 +1,130 @@
+"""Chrome-trace and JSONL exporters."""
+
+import json
+
+from repro.obs.events import EventKind, TraceEvent
+from repro.obs.export import (
+    chrome_trace_dict,
+    events_to_jsonl,
+    write_chrome_trace,
+    write_event_log,
+)
+from repro.obs.timeline import IntervalSample, IntervalTimeline
+
+#: the minimal shape every Chrome trace event must satisfy, per phase type.
+REQUIRED_BY_PHASE = {
+    "M": {"pid", "tid", "name", "args"},
+    "X": {"pid", "tid", "ts", "dur", "name"},
+    "B": {"pid", "tid", "ts", "name"},
+    "E": {"pid", "tid", "ts", "name"},
+    "i": {"pid", "tid", "ts", "name", "s"},
+    "C": {"pid", "tid", "ts", "name", "args"},
+}
+
+
+def task(ts, core, name="work", dur=10, tid=0):
+    return TraceEvent(EventKind.TASK_START, ts, core, name, dur, {"tid": tid})
+
+
+def sample_events():
+    return [
+        TraceEvent(EventKind.PHASE_BEGIN, 0, -1, "phase 0", 0, {"tasks": 2}),
+        task(0, 0, tid=1),
+        task(5, 1, tid=2),
+        TraceEvent(EventKind.TASK_END, 10, 0, "work"),
+        TraceEvent(EventKind.FLUSH_BEGIN, 12, -1, "flush llc", 0,
+                   {"tiles": [0], "blocks": 4}),
+        TraceEvent(EventKind.PHASE_END, 20, -1, "phase 0"),
+    ]
+
+
+def timeline_with_samples():
+    tl = IntervalTimeline(num_cores=2, num_banks=2, sample_every=1)
+    tl.samples.append(
+        IntervalSample(
+            tasks_completed=1,
+            cycles=10,
+            bank_accesses=[3, 4],
+            bank_hits=[1, 2],
+            bank_occupancy=[5, 6],
+            router_bytes=0,
+            flit_hops=0,
+            messages=0,
+        )
+    )
+    return tl
+
+
+class TestChromeTrace:
+    def test_validates_against_minimal_schema(self):
+        doc = chrome_trace_dict(sample_events(), timeline_with_samples())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        for event in doc["traceEvents"]:
+            assert event["ph"] in REQUIRED_BY_PHASE
+            missing = REQUIRED_BY_PHASE[event["ph"]] - set(event)
+            assert not missing, f"{event['ph']} event missing {missing}"
+        json.dumps(doc)  # must be JSON-serialisable as-is
+
+    def test_task_events_become_complete_spans_per_core(self):
+        doc = chrome_trace_dict(sample_events())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [(s["tid"], s["ts"], s["dur"]) for s in spans] == [
+            (0, 0, 10), (1, 5, 10),
+        ]
+        # TASK_END is folded into the complete event, never emitted alone.
+        assert all(e["ph"] != "E" or e["name"].startswith("phase")
+                   for e in doc["traceEvents"])
+
+    def test_per_core_thread_metadata(self):
+        doc = chrome_trace_dict(sample_events())
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[(0, 0)] == "core 0" and names[(0, 1)] == "core 1"
+        assert "phases" in names.values() and "runtime" in names.values()
+
+    def test_bank_counters_from_timeline(self):
+        doc = chrome_trace_dict([], timeline_with_samples())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert {c["name"] for c in counters} == {
+            "bank0 occupancy", "bank0 accesses",
+            "bank1 occupancy", "bank1 accesses",
+        }
+        occ1 = next(c for c in counters if c["name"] == "bank1 occupancy")
+        assert occ1["args"] == {"blocks": 6} and occ1["pid"] == 1
+
+    def test_body_sorted_by_timestamp(self):
+        doc = chrome_trace_dict(sample_events(), timeline_with_samples())
+        stamped = [e["ts"] for e in doc["traceEvents"] if "ts" in e]
+        assert stamped == sorted(stamped)
+
+    def test_meta_lands_in_other_data(self):
+        doc = chrome_trace_dict([], meta={"workload": "lu"})
+        assert doc["otherData"]["workload"] == "lu"
+        assert "time_unit" in doc["otherData"]
+
+    def test_write_is_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, sample_events(), timeline_with_samples(),
+                           meta={"workload": "lu"})
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestJsonl:
+    def test_header_then_one_event_per_line(self):
+        text = events_to_jsonl(sample_events(), meta={"policy": "tdnuca"})
+        lines = text.strip().split("\n")
+        assert json.loads(lines[0]) == {"trace_meta": {"policy": "tdnuca"}}
+        assert len(lines) == 1 + len(sample_events())
+        assert json.loads(lines[1])["kind"] == "phase_begin"
+
+    def test_write_event_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_event_log(path, sample_events())
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 1 + len(sample_events())
+        for line in lines:
+            json.loads(line)

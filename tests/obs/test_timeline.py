@@ -1,0 +1,105 @@
+"""Interval timeline: derived views and link-load attribution."""
+
+import pytest
+
+from repro.noc.topology import Mesh
+from repro.obs.timeline import IntervalSample, IntervalTimeline
+
+
+def sample(tasks, acc, hits, occ=None, **kw):
+    n = len(acc)
+    return IntervalSample(
+        tasks_completed=tasks,
+        cycles=tasks * 100,
+        bank_accesses=list(acc),
+        bank_hits=list(hits),
+        bank_occupancy=list(occ) if occ is not None else [0] * n,
+        router_bytes=kw.get("router_bytes", 0),
+        flit_hops=0,
+        messages=0,
+    )
+
+
+def make_timeline(num_cores=4, num_banks=4, sample_every=2):
+    return IntervalTimeline(
+        num_cores=num_cores,
+        num_banks=num_banks,
+        sample_every=sample_every,
+        bank_capacity=64,
+        bytes_per_request=80,
+    )
+
+
+class TestValidation:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            make_timeline(sample_every=0)
+
+    def test_attribution_matrix_shape(self):
+        tl = make_timeline(num_cores=3, num_banks=5)
+        assert len(tl.core_bank_requests) == 3
+        assert all(len(row) == 5 for row in tl.core_bank_requests)
+
+
+class TestDerivedViews:
+    def test_bank_access_deltas(self):
+        tl = make_timeline()
+        tl.samples.append(sample(0, [0, 0, 0, 0], [0, 0, 0, 0]))
+        tl.samples.append(sample(2, [10, 4, 0, 2], [5, 4, 0, 0]))
+        tl.samples.append(sample(4, [15, 8, 1, 2], [9, 6, 1, 0]))
+        assert tl.bank_access_deltas() == [[10, 4, 0, 2], [5, 4, 1, 0]]
+
+    def test_interval_hit_rates(self):
+        tl = make_timeline()
+        tl.samples.append(sample(0, [0, 0, 0, 0], [0, 0, 0, 0]))
+        tl.samples.append(sample(2, [8, 8, 0, 0], [4, 4, 0, 0]))
+        tl.samples.append(sample(4, [8, 8, 0, 0], [4, 4, 0, 0]))  # idle
+        assert tl.interval_hit_rates() == [0.5, 0.0]
+
+    def test_clear_drops_samples_and_attribution(self):
+        tl = make_timeline()
+        tl.samples.append(sample(0, [0] * 4, [0] * 4))
+        tl.core_bank_requests[1][2] = 9
+        tl.clear()
+        assert tl.num_samples == 0
+        assert tl.core_bank_requests[1][2] == 0
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        tl = make_timeline()
+        tl.samples.append(sample(0, [0] * 4, [0] * 4, occ=[1, 2, 3, 4]))
+        tl.core_bank_requests[0][1] = 3
+        d = json.loads(json.dumps(tl.to_dict()))
+        assert d["sample_every"] == 2
+        assert d["samples"][0]["bank_occupancy"] == [1, 2, 3, 4]
+        assert d["core_bank_requests"][0][1] == 3
+
+
+class TestLinkLoads:
+    def test_xy_routes_spread_bytes_over_links(self):
+        # 4x4 mesh; core 0 (tile 0) -> bank 2 (tile 2) goes 0->1->2.
+        mesh = Mesh(4, 4)
+        tl = IntervalTimeline(
+            num_cores=16, num_banks=16, sample_every=1, bytes_per_request=10
+        )
+        tl.core_bank_requests[0][2] = 5
+        loads = tl.link_loads(mesh)
+        assert loads == {(0, 1): 50, (1, 2): 50}
+
+    def test_local_access_crosses_no_links(self):
+        mesh = Mesh(4, 4)
+        tl = IntervalTimeline(
+            num_cores=16, num_banks=16, sample_every=1, bytes_per_request=10
+        )
+        tl.core_bank_requests[5][5] = 100
+        assert tl.link_loads(mesh) == {}
+
+    def test_opposing_flows_share_the_link_key(self):
+        mesh = Mesh(4, 4)
+        tl = IntervalTimeline(
+            num_cores=16, num_banks=16, sample_every=1, bytes_per_request=10
+        )
+        tl.core_bank_requests[0][1] = 1
+        tl.core_bank_requests[1][0] = 2
+        assert tl.link_loads(mesh) == {(0, 1): 30}

@@ -1,0 +1,136 @@
+"""End-to-end observability: traced runs tell the truth and change nothing."""
+
+import pytest
+
+from repro.api import Session
+from repro.config import scaled_config
+from repro.experiments.serialize import result_to_dict
+from repro.obs.events import EventKind, EventTrace
+from repro.obs.observer import Observer
+
+CFG = scaled_config(1 / 1024)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return Session(CFG).run("kmeans", "tdnuca", trace=True, sample_every=32)
+
+
+class TestReadOnly:
+    def test_traced_stats_identical_to_untraced(self, traced):
+        untraced = Session(CFG).run("kmeans", "tdnuca")
+        assert result_to_dict(untraced.experiment) == result_to_dict(
+            traced.experiment
+        )
+
+    def test_untraced_run_has_no_observability(self):
+        r = Session(CFG).run("kmeans", "snuca")
+        assert not r.traced and r.events == [] and r.timeline is None
+        with pytest.raises(ValueError, match="not traced"):
+            r.write_chrome_trace("/tmp/never-written.json")
+
+
+class TestEventStream:
+    def test_events_cover_the_expected_kinds(self, traced):
+        kinds = {e.kind for e in traced.events}
+        assert EventKind.TASK_START in kinds
+        assert EventKind.TASK_END in kinds
+        assert EventKind.PHASE_BEGIN in kinds and EventKind.PHASE_END in kinds
+        assert EventKind.RRT_INSTALL in kinds  # tdnuca registers dependencies
+
+    def test_task_spans_are_consistent(self, traced):
+        starts = [e for e in traced.events if e.kind is EventKind.TASK_START]
+        assert starts, "no task events recorded"
+        for e in starts[:50]:
+            assert e.dur > 0 and e.core >= 0 and e.args["tid"] >= 0
+
+    def test_phase_brackets_nest(self, traced):
+        depth = 0
+        for e in traced.events:
+            if e.kind is EventKind.PHASE_BEGIN:
+                depth += 1
+                assert depth == 1  # phases never overlap
+            elif e.kind is EventKind.PHASE_END:
+                depth -= 1
+        assert depth == 0
+
+    def test_warmup_events_discarded(self, traced):
+        # kmeans has warmup phases; the trace restarts with the measured
+        # window, so the first phase event is phase index 0 again and no
+        # timestamp precedes the fresh executor clock.
+        first = traced.events[0]
+        assert first.ts >= 0
+        sink = traced.observer.sink
+        assert isinstance(sink, EventTrace)
+        task_events = sum(
+            1 for e in traced.events if e.kind is EventKind.TASK_START
+        )
+        assert task_events <= traced.execution.tasks_executed
+
+
+class TestTimelineSampling:
+    def test_deterministic_under_fixed_seed(self):
+        a = Session(CFG, seed=3).run("jacobi", "tdnuca", trace=True,
+                                     sample_every=16)
+        b = Session(CFG, seed=3).run("jacobi", "tdnuca", trace=True,
+                                     sample_every=16)
+        assert a.timeline.to_dict() == b.timeline.to_dict()
+
+    def test_samples_are_monotonic(self, traced):
+        tl = traced.timeline
+        assert tl.num_samples >= 2
+        tasks = [s.tasks_completed for s in tl.samples]
+        assert tasks == sorted(tasks)
+        for prev, cur in zip(tl.samples, tl.samples[1:]):
+            for p, c in zip(prev.bank_accesses, cur.bank_accesses):
+                assert c >= p  # cumulative counters never go backwards
+
+    def test_attribution_matches_bank_totals(self, traced):
+        # Every LLC access attributed to some core must appear in the
+        # sampled cumulative counters (attribution is a partition of the
+        # post-warmup access stream, modulo the tail after the last task).
+        tl = traced.timeline
+        attributed = sum(sum(row) for row in tl.core_bank_requests)
+        llc = traced.machine.llc_accesses
+        assert attributed == llc
+
+    def test_heatmaps_render(self, traced):
+        bank_map = traced.bank_heatmap(max_rows=6)
+        assert "bank" in bank_map and "hit%" in bank_map
+        link_map = traced.link_heatmap()
+        assert "15" in link_map  # the last tile of the 4x4 floorplan
+
+
+class TestCustomObserver:
+    def test_observer_instance_is_honoured(self):
+        obs = Observer(sample_every=8, capacity=128)
+        r = Session(CFG).run("md5", "tdnuca", trace=obs)
+        assert r.observer is obs
+        assert obs.sink.capacity == 128
+
+    def test_double_attach_rejected(self):
+        obs = Observer()
+        Session(CFG).run("md5", "snuca", trace=obs)
+        with pytest.raises(RuntimeError, match="already attached"):
+            Session(CFG).run("md5", "snuca", trace=obs)
+
+
+class TestFaultEvents:
+    def test_bank_death_emits_fault_and_remap(self):
+        # md5 has no warmup phases, so the fault's events cannot be
+        # discarded with a warmup window.
+        r = Session(CFG).run(
+            "md5", "tdnuca", trace=True, faults="bank:5@task=10"
+        )
+        kinds = [e.kind for e in r.events]
+        assert EventKind.FAULT_BANK in kinds
+        assert EventKind.NUCA_REMAP in kinds
+        fault = next(e for e in r.events if e.kind is EventKind.FAULT_BANK)
+        assert fault.args["bank"] == 5
+
+    def test_envelope_carries_trace_summary(self):
+        r = Session(CFG).run("md5", "tdnuca", trace=True)
+        d = r.to_dict()
+        assert d["trace"]["events_recorded"] == r.observer.sink.total
+        assert d["trace"]["by_kind"]["task_start"] > 0
+        assert d["timeline"]["samples"]

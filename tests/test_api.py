@@ -1,0 +1,128 @@
+"""The repro.api session facade and the deprecation shims over it."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import RunResult, Session
+from repro.config import scaled_config
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_experiment,
+    run_suite,
+)
+from repro.experiments.serialize import result_to_dict
+
+CFG = scaled_config(1 / 1024)
+
+
+class TestSessionConstruction:
+    def test_reexported_from_package_root(self):
+        assert repro.Session is Session
+        assert repro.RunResult is RunResult
+
+    def test_config_and_scale_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            Session(CFG, scale=1 / 64)
+
+    def test_scale_builds_a_scaled_config(self):
+        s = Session(scale=1 / 1024)
+        assert s.config.llc_bank_bytes == CFG.llc_bank_bytes
+
+    def test_default_is_the_calibrated_scale(self):
+        assert Session().config.llc_bank_bytes == scaled_config(1 / 64).llc_bank_bytes
+
+    def test_invalid_config_rejected_at_construction(self):
+        from dataclasses import replace
+
+        bad = replace(CFG, l1_bytes=-1)
+        with pytest.raises(ValueError):
+            Session(bad)
+
+
+class TestSessionRun:
+    def test_returns_runresult_delegating_stats(self):
+        r = Session(CFG).run("md5", "tdnuca")
+        assert isinstance(r, RunResult)
+        assert isinstance(r.experiment, ExperimentResult)
+        assert r.makespan == r.experiment.makespan
+        assert r.machine.llc_accesses > 0
+        assert r.workload == "md5" and r.policy == "tdnuca"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            Session(CFG).run("md5", "nonsense")
+
+    def test_per_run_seed_overrides_session_seed(self):
+        s = Session(CFG, seed=1)
+        a = s.run("kmeans", "snuca")
+        b = s.run("kmeans", "snuca", seed=2)
+        c = Session(CFG, seed=2).run("kmeans", "snuca")
+        assert a.makespan != b.makespan
+        assert b.makespan == c.makespan
+
+    def test_faults_do_not_leak_into_session_config(self):
+        s = Session(CFG)
+        faulted = s.run("md5", "snuca", faults="bank:5@task=10")
+        clean = s.run("md5", "snuca")
+        assert s.config.fault_spec == ""
+        assert faulted.machine.faults is not None
+        assert clean.machine.faults is None
+
+
+class TestDeprecationShims:
+    def test_run_experiment_warns_exactly_once_per_call(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_experiment("md5", "snuca", CFG)
+        deps = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deps) == 1
+        assert "Session" in str(deps[0].message)
+        assert isinstance(result, ExperimentResult)
+
+    def test_shim_results_identical_to_facade(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_shim = run_experiment("md5", "tdnuca", CFG, seed=4)
+        via_facade = Session(CFG).run("md5", "tdnuca", seed=4)
+        assert result_to_dict(via_shim) == result_to_dict(via_facade.experiment)
+
+    def test_run_suite_warns_and_matches_suite(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            via_shim = run_suite(["md5"], ["snuca", "tdnuca"], CFG)
+        deps = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deps) == 1 and "Session" in str(deps[0].message)
+        via_facade = Session(CFG).suite(["md5"], ["snuca", "tdnuca"])
+        assert list(via_shim) == list(via_facade)  # grid order preserved
+        for key, shim_result in via_shim.items():
+            assert result_to_dict(shim_result) == result_to_dict(
+                via_facade[key]
+            )
+
+    def test_facade_path_emits_no_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Session(CFG).run("md5", "snuca")
+            Session(CFG).suite(["md5"], ["snuca"])
+
+
+class TestSessionSweep:
+    def test_sweep_returns_outcome(self):
+        outcome = Session(CFG).sweep(["md5"], ["snuca", "tdnuca"])
+        assert outcome.ok == 2 and outcome.failed == 0
+        assert set(outcome.results()) == {("md5", "snuca"), ("md5", "tdnuca")}
+
+    def test_traced_sweep_writes_one_trace_per_job(self, tmp_path):
+        import json
+
+        trace_dir = tmp_path / "traces"
+        outcome = Session(CFG).sweep(
+            ["md5"], ["snuca"], trace_dir=trace_dir, sample_every=16
+        )
+        assert outcome.ok == 1
+        doc = json.loads((trace_dir / "md5-snuca.trace.json").read_text())
+        assert doc["traceEvents"]
+        run = outcome.result_dicts()[("md5", "snuca")]
+        assert "trace" in run and "timeline" in run

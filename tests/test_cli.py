@@ -45,6 +45,39 @@ class TestCommands:
         assert payload["workload"] == "md5"
         assert payload["tdnuca_runtime"]["bypass"] > 0
 
+    def test_run_with_trace_file(self, tmp_path, capsys):
+        trace_file = tmp_path / "run.trace.json"
+        rc = main(
+            [
+                "run", "md5", "tdnuca", "--scale", "2048",
+                "--trace", str(trace_file),
+            ]
+        )
+        assert rc == 0
+        assert "perfetto" in capsys.readouterr().out
+        doc = json.loads(trace_file.read_text())
+        assert doc["traceEvents"]
+
+    def test_trace_command(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.json"
+        events_file = tmp_path / "t.jsonl"
+        rc = main(
+            [
+                "trace", "md5", "tdnuca", "--scale", "2048",
+                "--out", str(trace_file), "--events", str(events_file),
+                "--sample-every", "16",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events recorded" in out
+        assert "bank access heatmap" in out
+        assert "link load heatmap" in out
+        doc = json.loads(trace_file.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "C" in phases
+        assert events_file.read_text().startswith('{"trace_meta"')
+
     def test_figures_subset(self, capsys):
         rc = main(
             [
@@ -76,7 +109,7 @@ class TestCommands:
         )
         assert rc == 0
         payload = json.loads(out_file.read_text())
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert "md5/tdnuca" in payload["runs"]
         assert len(payload["runs"]) == 16  # 8 workloads x 2 policies
         assert payload["failures"] == []

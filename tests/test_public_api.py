@@ -5,7 +5,28 @@ import importlib
 import pytest
 
 PUBLIC_API = {
-    "repro": ["SystemConfig", "paper_config", "scaled_config", "DepMode"],
+    "repro": [
+        "Session",
+        "RunResult",
+        "SystemConfig",
+        "paper_config",
+        "scaled_config",
+        "DepMode",
+    ],
+    "repro.api": ["Session", "RunResult"],
+    "repro.obs": [
+        "EventKind",
+        "TraceEvent",
+        "TraceSink",
+        "EventTrace",
+        "Observer",
+        "IntervalSample",
+        "IntervalTimeline",
+        "chrome_trace_dict",
+        "events_to_jsonl",
+        "write_chrome_trace",
+        "write_event_log",
+    ],
     "repro.mem": ["AddressMap", "Region", "VirtualAllocator", "PageTable", "TLB"],
     "repro.noc": ["Mesh", "hops", "xy_route", "MessageClass", "TrafficStats"],
     "repro.cache": ["CacheBank", "L1Cache", "NucaLLC", "CoherenceDirectory"],
@@ -37,7 +58,12 @@ PUBLIC_API = {
         "check_machine",
     ],
     "repro.energy": ["EnergyTally", "EnergyBreakdown"],
-    "repro.stats": ["BlockCensus", "format_table"],
+    "repro.stats": [
+        "BlockCensus",
+        "format_table",
+        "timeline_bank_heatmap",
+        "timeline_link_heatmap",
+    ],
     "repro.workloads": ["Workload", "get_workload", "BENCHMARKS"],
     "repro.experiments": ["run_experiment", "run_suite", "figures", "paper"],
 }
