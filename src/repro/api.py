@@ -203,6 +203,8 @@ class Session:
         rrt_lookup_cycles: int | None = None,
         scheduler: Scheduler | None = None,
         census: bool = True,
+        checkpoint=None,
+        resume_from=None,
     ) -> RunResult:
         """Run one (workload, policy) simulation.
 
@@ -210,6 +212,10 @@ class Session:
         :class:`~repro.obs.observer.Observer` (ring-buffered events +
         interval timeline); passing an :class:`Observer` instance uses it
         as-is (custom sink, sampling period, or no timeline).
+
+        ``checkpoint`` (a :class:`~repro.snapshot.Checkpointer`) enables
+        task-boundary snapshots; ``resume_from`` continues a snapshotted
+        run from its file, byte-identically.
         """
         observer: Observer | None = None
         if trace:
@@ -228,6 +234,8 @@ class Session:
             scheduler=scheduler,
             census=census,
             observer=observer,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
         )
         return RunResult(experiment, observer)
 
@@ -249,6 +257,9 @@ class Session:
         strict: bool = False,
         trace_dir=None,
         sample_every: int = DEFAULT_SAMPLE_EVERY,
+        checkpoint_every: int = 0,
+        deadline: float | None = None,
+        preempt_after_tasks: int = 0,
     ):
         """Run every (workload, policy) pair through the crash-tolerant
         harness; returns its :class:`~repro.experiments.harness.SweepOutcome`.
@@ -257,6 +268,12 @@ class Session:
         overrides the ``workloads x policies`` grid — the CLI uses it to
         resume a checkpointed sweep.  With ``trace_dir`` every job runs
         traced and writes ``<dir>/<workload>-<policy>.trace.json``.
+
+        ``checkpoint_every``/``deadline``/``preempt_after_tasks`` pass
+        through to the harness's graceful-preemption machinery (see
+        :func:`repro.experiments.harness.run_sweep`); SIGTERM/SIGINT make
+        in-flight jobs snapshot at their next task boundary, and a
+        ``resume=True`` sweep continues them byte-identically.
         """
         from repro.experiments import harness
         from repro.workloads.registry import workload_names
@@ -292,6 +309,9 @@ class Session:
             request=request,
             on_event=on_event,
             runner=runner,
+            checkpoint_every=checkpoint_every,
+            deadline=deadline,
+            preempt_after_tasks=preempt_after_tasks,
         )
 
     def suite(
@@ -345,12 +365,21 @@ def _run_one(
     scheduler: Scheduler | None = None,
     census: bool = True,
     observer: Observer | None = None,
+    checkpoint=None,
+    resume_from=None,
 ) -> ExperimentResult:
     """Build the machine, run the benchmark, snapshot the statistics.
 
     The functional core behind :meth:`Session.run` and the deprecated
     ``run_experiment`` shim.  ``observer`` (when given) is attached to the
     machine and stamped with dispatch times by the executor.
+
+    ``checkpoint`` (a :class:`~repro.snapshot.Checkpointer`) enables
+    periodic / signal-triggered snapshots; a triggered preemption
+    propagates as :class:`~repro.snapshot.PreemptedError` after the
+    snapshot is on disk.  ``resume_from`` (a snapshot file path) restores
+    a preempted run and continues it — the final statistics are
+    byte-identical to the uninterrupted run.
     """
     from repro.runtime.extensions import TdNucaRuntime
 
@@ -358,6 +387,16 @@ def _run_one(
         raise ValueError(f"unknown policy {policy!r}")
     cfg = cfg if cfg is not None else default_config()
     cfg.validate()  # fail early, with a clear message, on nonsense configs
+
+    resume_payload = None
+    if resume_from is not None:
+        from repro.snapshot import load_snapshot, verify_meta
+
+        resume_payload = load_snapshot(resume_from)
+        verify_meta(
+            resume_payload, workload=workload, policy=policy, seed=seed, cfg=cfg
+        )
+
     wl = get_workload(workload)
     program = wl.build(cfg, seed)
     machine = build_machine(
@@ -373,6 +412,18 @@ def _run_one(
         overlap_mode=wl.tdg_overlap,
         observer=observer,
     )
+    if checkpoint is not None:
+        from repro.snapshot import config_sha256
+
+        checkpoint.meta = {
+            "workload": wl.name,
+            "policy": policy,
+            "seed": seed,
+            "config_sha256": config_sha256(cfg),
+        }
+        executor.checkpointer = checkpoint
+
+    segment = resume_payload["meta"]["segment"] if resume_payload else None
     if program.warmup_phases:
         # Initialization phases: run, then reset counters — the paper
         # measures the post-initialisation parallel execution only.  The
@@ -382,13 +433,37 @@ def _run_one(
 
         warmup = _Program(program.name, program.phases[: program.warmup_phases])
         main = _Program(program.name, program.phases[program.warmup_phases :])
-        executor.run(warmup)
-        machine.reset_stats()
-        if isinstance(extension, TdNucaRuntime):
-            extension.reset_stats()
-        exec_stats = executor.run(main)
+        if segment == "main":
+            # The snapshot postdates the warmup (and its stats reset):
+            # restoring it stands in for running the warmup at all.
+            if checkpoint is not None:
+                checkpoint.segment = "main"
+            exec_stats = executor.resume(main, resume_payload)
+        else:
+            if checkpoint is not None:
+                checkpoint.segment = "warmup"
+            if segment == "warmup":
+                executor.resume(warmup, resume_payload)
+            else:
+                executor.run(warmup)
+            machine.reset_stats()
+            if isinstance(extension, TdNucaRuntime):
+                extension.reset_stats()
+            if checkpoint is not None:
+                checkpoint.segment = "main"
+            exec_stats = executor.run(main)
     else:
-        exec_stats = executor.run(program)
+        if segment == "warmup":
+            raise ValueError(
+                "snapshot was taken during warmup but this workload has no "
+                "warmup phases"
+            )
+        if checkpoint is not None:
+            checkpoint.segment = "main"
+        if resume_payload is not None:
+            exec_stats = executor.resume(program, resume_payload)
+        else:
+            exec_stats = executor.run(program)
 
     result = ExperimentResult(
         workload=wl.name,
@@ -396,6 +471,8 @@ def _run_one(
         machine=machine.collect_stats(),
         execution=exec_stats,
     )
+    if resume_payload is not None:
+        result.extra["resumed_from_task"] = resume_payload["meta"]["tasks_completed"]
     if machine.census is not None:
         result.rnuca_census = machine.census.rnuca_census()
         result.unique_blocks = machine.census.unique_blocks
@@ -429,16 +506,21 @@ def _run_one(
     return result
 
 
-def _traced_sweep_runner(job, cfg, *, trace_dir: str, sample_every: int):
+def _traced_sweep_runner(
+    job, cfg, *, trace_dir: str, sample_every: int,
+    checkpoint=None, resume_from=None,
+):
     """Harness runner for traced sweeps (module-level: spawn-picklable).
 
     Writes the job's Chrome trace inside the worker and returns the
-    flattened schema-3 dict (with trace/timeline sections) so nothing
-    heavyweight crosses the process boundary.
+    flattened dict (with trace/timeline sections) so nothing heavyweight
+    crosses the process boundary.  Accepts the harness's ``checkpoint``/
+    ``resume_from`` kwargs so traced sweeps are preemptible too.
     """
     observer = Observer(sample_every=sample_every)
     experiment = _run_one(
-        job.workload, job.policy, cfg, seed=job.seed, observer=observer
+        job.workload, job.policy, cfg, seed=job.seed, observer=observer,
+        checkpoint=checkpoint, resume_from=resume_from,
     )
     result = RunResult(experiment, observer)
     path = Path(trace_dir) / f"{job.workload}-{job.policy}.trace.json"

@@ -11,7 +11,7 @@ PLRU state, no allocation on hits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.cache.replacement import make_replacement
 
@@ -331,6 +331,47 @@ class CacheBank:
             self._dirty[s] = [False] * self.assoc
             self._repl[s].reset()
         self._occupancy = 0
+
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        """Full mutable state (tags, dirty bits, replacement trees, stats)
+        as nested primitives; geometry is excluded — it is rebuilt from the
+        configuration and validated on load."""
+        return {
+            "ways": [
+                [-1 if b is None else b for b in ways] for ways in self._ways
+            ],
+            "dirty": [list(row) for row in self._dirty],
+            "repl": [r.state_dict() for r in self._repl],
+            "stats": asdict(self.stats),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this (same-geometry) bank."""
+        ways = state["ways"]
+        dirty = state["dirty"]
+        if len(ways) != self.num_sets or len(dirty) != self.num_sets:
+            raise ValueError(
+                f"{self.name or 'bank'}: snapshot has {len(ways)} sets, "
+                f"bank has {self.num_sets}"
+            )
+        occupancy = 0
+        for s in range(self.num_sets):
+            row = ways[s]
+            if len(row) != self.assoc:
+                raise ValueError(
+                    f"{self.name or 'bank'} set {s}: snapshot has "
+                    f"{len(row)} ways, bank has {self.assoc}"
+                )
+            self._ways[s] = [None if b < 0 else b for b in row]
+            self._dirty[s] = [bool(d) for d in dirty[s]]
+            smap = {block: way for way, block in enumerate(row) if block >= 0}
+            self._map[s] = smap
+            occupancy += len(smap)
+            self._repl[s].load_state_dict(state["repl"][s])
+        self._occupancy = occupancy
+        self.stats = BankStats(**state["stats"])
 
 
 _HIT = AccessResult(True)

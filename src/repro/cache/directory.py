@@ -113,6 +113,24 @@ class CoherenceDirectory:
                 )
         return issues
 
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        return {
+            "sharers": list(self._sharers.items()),
+            "owner": list(self._owner.items()),
+            "stats": {
+                "invalidations_sent": self.stats.invalidations_sent,
+                "downgrades_sent": self.stats.downgrades_sent,
+                "entries_peak": self.stats.entries_peak,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._sharers = {int(b): int(m) for b, m in state["sharers"]}
+        self._owner = {int(b): int(c) for b, c in state["owner"]}
+        self.stats = DirectoryStats(**state["stats"])
+
     # --- protocol events ---
 
     def on_l1_fill(self, core: int, block: int, write: bool) -> CoherenceActions:

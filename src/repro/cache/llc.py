@@ -117,3 +117,22 @@ class NucaLLC:
     def clear(self) -> None:
         for b in self.banks:
             b.clear()
+
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        return {
+            "banks": [b.state_dict() for b in self.banks],
+            "dead": sorted(self._dead),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        banks = state["banks"]
+        if len(banks) != len(self.banks):
+            raise ValueError(
+                f"snapshot has {len(banks)} LLC banks, machine has "
+                f"{len(self.banks)}"
+            )
+        for bank, bstate in zip(self.banks, banks):
+            bank.load_state_dict(bstate)
+        self._dead = {int(b) for b in state["dead"]}

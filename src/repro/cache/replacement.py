@@ -138,6 +138,12 @@ class TreePLRUState:
     def reset(self) -> None:
         self._bits = 0
 
+    def state_dict(self) -> int:
+        return self._bits
+
+    def load_state_dict(self, state: int) -> None:
+        self._bits = int(state)
+
 
 class LRUState:
     """Exact LRU over ``assoc`` ways (reference implementation)."""
@@ -160,6 +166,14 @@ class LRUState:
 
     def reset(self) -> None:
         self._order = list(range(self.assoc))
+
+    def state_dict(self) -> list[int]:
+        return list(self._order)
+
+    def load_state_dict(self, state: list[int]) -> None:
+        if sorted(state) != list(range(self.assoc)):
+            raise ValueError("LRU order must be a permutation of the ways")
+        self._order = [int(w) for w in state]
 
 
 def make_replacement(kind: str, assoc: int):

@@ -77,6 +77,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="FILE",
         help="record an event trace and write Chrome/Perfetto JSON to FILE",
     )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write a resumable snapshot every N completed tasks",
+    )
+    p_run.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="checkpoint and stop (exit 75) after this much wall time",
+    )
+    p_run.add_argument(
+        "--checkpoint-to", default=None, metavar="FILE",
+        help="snapshot path (default <workload>__<policy>__s<seed>.snap); "
+        "also makes SIGTERM/SIGINT checkpoint-then-exit-75",
+    )
+    p_run.add_argument(
+        "--resume-from", default=None, metavar="FILE",
+        help="restore the run from a snapshot and continue byte-identically",
+    )
 
     p_trace = sub.add_parser(
         "trace",
@@ -171,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace every job and write one Chrome trace JSON per "
         "(workload, policy) into DIR",
     )
+    p_sweep.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="periodic per-job snapshots every N completed tasks",
+    )
+    p_sweep.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="sweep wall-clock budget: in-flight jobs checkpoint and the "
+        "sweep exits 75, resumable with --resume",
+    )
 
     p_cmp = sub.add_parser(
         "compare", help="diff two sweep JSON files (regression check)"
@@ -225,15 +251,63 @@ def cmd_config(args) -> int:
 
 
 def cmd_run(args) -> int:
+    import signal
+
+    from repro.snapshot import Checkpointer, EXIT_PREEMPTED, PreemptedError
+
+    checkpointing = bool(
+        args.checkpoint_every or args.deadline is not None
+        or args.checkpoint_to or args.resume_from
+    )
+    ck = None
+    old_handlers = {}
+    if checkpointing:
+        snap_path = args.checkpoint_to or args.resume_from or (
+            f"{args.workload}__{args.policy}__s{args.seed}.snap"
+        )
+        deadline = (
+            time.monotonic() + args.deadline
+            if args.deadline is not None else None
+        )
+        ck = Checkpointer(
+            snap_path, every=args.checkpoint_every, deadline=deadline
+        )
+        # SIGTERM/SIGINT mean "snapshot at the next task boundary, then
+        # exit 75" — the watchdog contract a job scheduler relies on.
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                old_handlers[signum] = signal.signal(
+                    signum, lambda s, f: ck.request_preempt()
+                )
+        except ValueError:  # pragma: no cover - non-main-thread embedding
+            pass
+
     session = Session(_cfg(args), seed=args.seed)
     t0 = time.time()
-    result = session.run(
-        args.workload,
-        args.policy,
-        trace=bool(args.trace),
-        faults=args.faults,
-        strict=args.strict,
-    )
+    try:
+        result = session.run(
+            args.workload,
+            args.policy,
+            trace=bool(args.trace),
+            faults=args.faults,
+            strict=args.strict,
+            checkpoint=ck,
+            resume_from=args.resume_from,
+        )
+    except PreemptedError as exc:
+        print(
+            f"preempted after {exc.tasks_completed} tasks; resume with:\n"
+            f"  repro run {args.workload} {args.policy} --scale {args.scale} "
+            f"--seed {args.seed} --resume-from {exc.path}",
+            file=sys.stderr,
+        )
+        return EXIT_PREEMPTED
+    finally:
+        for signum, handler in old_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, TypeError):  # pragma: no cover
+                pass
     elapsed = time.time() - t0
     if args.trace:
         result.write_chrome_trace(args.trace)
@@ -410,13 +484,14 @@ def cmd_sweep(args) -> int:
     progress = {"done": 0}
 
     def on_event(kind: str, job: harness.Job, detail: str) -> None:
-        if kind in ("ok", "failed", "timeout", "skipped"):
+        if kind in ("ok", "failed", "timeout", "skipped", "preempted",
+                    "interrupted"):
             progress["done"] += 1
             print(
                 f"[{progress['done']}/{total}] {kind:8s} {job.label}  {detail}",
                 file=sys.stderr,
             )
-        elif kind == "retry":
+        elif kind in ("retry", "resumed"):
             print(f"          {kind:8s} {job.label}  {detail}", file=sys.stderr)
 
     session = Session(cfg)
@@ -430,6 +505,8 @@ def cmd_sweep(args) -> int:
         request=request,
         on_event=on_event,
         trace_dir=args.trace,
+        checkpoint_every=args.checkpoint_every,
+        deadline=args.deadline,
     )
     meta = {
         "config_sha256": harness.config_fingerprint(cfg),
@@ -451,6 +528,14 @@ def cmd_sweep(args) -> int:
     if outcome.failures:
         print(f"{outcome.failed} job(s) failed — fix or re-run with "
               f"'repro sweep --resume {run_dir}'")
+    if outcome.interrupted or outcome.preempted:
+        from repro.snapshot import EXIT_PREEMPTED
+
+        print(
+            f"sweep preempted with {len(outcome.preempted)} job(s) "
+            f"checkpointed — continue with 'repro sweep --resume {run_dir}'"
+        )
+        return EXIT_PREEMPTED
     return 1 if outcome.failures else 0
 
 

@@ -70,6 +70,13 @@ class FlushCompletionRegister:
         if not 0 <= core < self.num_cores:
             raise ValueError("core out of range")
 
+    def state_dict(self) -> dict:
+        return {"bits": self._bits, "polls": self.polls}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._bits = int(state["bits"])
+        self.polls = int(state["polls"])
+
 
 @dataclass
 class ISAStats:
@@ -128,6 +135,22 @@ class TdNucaISA:
         # install/drop/evict events are emitted here, where the per-range
         # outcome is known, instead of inside the RRT itself.
         self.obs = None
+
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        """Instruction counters and the completion register.  The TLBs and
+        RRTs the ISA drives are owned (and serialized) by the machine."""
+        from dataclasses import asdict
+
+        return {
+            "stats": asdict(self.stats),
+            "completion": self.completion.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.stats = ISAStats(**state["stats"])
+        self.completion.load_state_dict(state["completion"])
 
     # --- shared translation walk (Fig. 5) ---
 

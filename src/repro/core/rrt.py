@@ -217,6 +217,37 @@ class RRT:
             other._active_pid = saved_pid
         return moved
 
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        return {
+            "tables": [
+                (pid, list(t.starts), list(t.ends), list(t.masks))
+                for pid, t in self._tables.items()
+            ],
+            "active_pid": self._active_pid,
+            "stats": {
+                "lookups": self.stats.lookups,
+                "hits": self.stats.hits,
+                "registrations": self.stats.registrations,
+                "drops_full": self.stats.drops_full,
+                "invalidations": self.stats.invalidations,
+                "peak_occupancy": self.stats.peak_occupancy,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._tables = {
+            int(pid): _PidTable(
+                [int(s) for s in starts],
+                [int(e) for e in ends],
+                [int(m) for m in masks],
+            )
+            for pid, starts, ends, masks in state["tables"]
+        }
+        self._active_pid = int(state["active_pid"])
+        self.stats = RRTStats(**state["stats"])
+
     # --- the hot-path lookup ---
 
     def lookup(self, paddr: int) -> int | None:

@@ -79,3 +79,26 @@ class RTCacheDirectory:
     def total_outstanding_uses(self) -> int:
         """Sum of UseDesc over all entries (0 when the TDG has drained)."""
         return sum(e.use_desc for e in self._entries.values())
+
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        return {
+            "entries": [
+                (e.start, e.size, e.map_mask, e.use_desc, e.ever_written, e.replicated)
+                for e in self._entries.values()
+            ]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._entries = {
+            (int(start), int(size)): DependencyEntry(
+                int(start),
+                int(size),
+                int(map_mask),
+                int(use_desc),
+                bool(ever_written),
+                bool(replicated),
+            )
+            for start, size, map_mask, use_desc, ever_written, replicated in state["entries"]
+        }

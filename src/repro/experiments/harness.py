@@ -24,6 +24,15 @@ of a sweep — through a small job engine that provides:
   sweep identity (config hash, job list, request) is kept in
   ``run_dir/manifest.json``; ``resume=True`` skips jobs with a valid "ok"
   shard and re-runs only failed or missing ones.
+* **Graceful preemption** — SIGTERM/SIGINT (or an expired ``deadline``)
+  makes every in-flight job write a mid-run simulation snapshot at its
+  next task boundary (see :mod:`repro.snapshot`), records it as a
+  ``"preempted"`` shard pointing at ``run_dir/snapshots/``, terminates and
+  joins all workers, and writes the final manifest with sweep status
+  ``"interrupted"``.  A later ``resume=True`` sweep restores each
+  preempted job from its snapshot and continues it byte-identically; a
+  corrupt snapshot is quarantined to ``*.corrupt`` and the job simply
+  reruns from scratch.
 
 With ``workers=1`` and no timeout the engine degrades to an in-process
 serial loop (no subprocess overhead) that still retries and checkpoints —
@@ -35,9 +44,12 @@ for.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback
 from collections import deque
@@ -52,11 +64,13 @@ from repro.experiments.serialize import (
     SchemaVersionError,
 )
 from repro.ioutils import atomic_write
+from repro.snapshot import Checkpointer, PreemptedError, load_or_quarantine
 
 __all__ = [
     "Job",
     "FailedRun",
     "CompletedRun",
+    "PreemptedRun",
     "SweepOutcome",
     "SweepFailure",
     "run_sweep",
@@ -65,11 +79,18 @@ __all__ = [
     "PERMANENT_ERRORS",
     "MANIFEST_NAME",
     "SHARD_DIR",
+    "SNAPSHOT_DIR",
     "CRASH_ENV",
+    "SLOW_ENV",
 ]
 
 MANIFEST_NAME = "manifest.json"
 SHARD_DIR = "shards"
+SNAPSHOT_DIR = "snapshots"
+
+#: grace period (seconds) a preempting sweep gives its workers to reach a
+#: task boundary and write their snapshots before they are killed.
+PREEMPT_GRACE = 10.0
 
 #: error classes retrying cannot fix: deterministic programming or
 #: configuration mistakes.  Everything else — worker crashes, timeouts,
@@ -86,6 +107,10 @@ PERMANENT_ERRORS = (
 #: ("workload/policy") and every isolated worker for that job exits hard
 #: with status 99 before running, emulating a native crash.
 CRASH_ENV = "REPRO_HARNESS_CRASH"
+
+#: test/smoke hook: a float number of seconds every worker sleeps before
+#: running its job, so an interrupting signal reliably lands mid-flight.
+SLOW_ENV = "REPRO_HARNESS_SLOW"
 
 
 @dataclass(frozen=True)
@@ -151,11 +176,38 @@ class CompletedRun:
 
 
 @dataclass
+class PreemptedRun:
+    """A job stopped mid-run with its snapshot safely on disk.
+
+    Not a failure: a ``resume=True`` sweep restores the snapshot and
+    continues the job to a byte-identical result.
+    """
+
+    workload: str
+    policy: str
+    seed: int
+    snapshot: str
+    tasks_done: int
+    attempts: int = 1
+    elapsed: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d["elapsed"] = round(self.elapsed, 3)
+        return d
+
+
+@dataclass
 class SweepOutcome:
     """Everything a sweep produced, including its failures."""
 
     completed: list[CompletedRun] = field(default_factory=list)
     failures: list[FailedRun] = field(default_factory=list)
+    #: jobs checkpointed mid-run by a signal or deadline (resumable).
+    preempted: list[PreemptedRun] = field(default_factory=list)
+    #: True when the sweep stopped early (signal or deadline) rather than
+    #: draining its plan; the manifest records status "interrupted".
+    interrupted: bool = False
     wall_time: float = 0.0
 
     @property
@@ -233,21 +285,89 @@ def config_fingerprint(cfg: Any) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def _default_runner(job: Job, cfg: Any) -> Any:
+def _default_runner(
+    job: Job, cfg: Any, *, checkpoint=None, resume_from=None
+) -> Any:
     # The facade's functional core, not the deprecated run_experiment shim,
     # so library sweeps stay warning-free.
     from repro.api import _run_one
 
-    return _run_one(job.workload, job.policy, cfg, seed=job.seed)
+    return _run_one(
+        job.workload, job.policy, cfg, seed=job.seed,
+        checkpoint=checkpoint, resume_from=resume_from,
+    )
 
 
-def _worker_main(conn_w, runner, job: Job, cfg: Any) -> None:
+def _runner_supports_checkpoint(runner: Callable) -> bool:
+    """Whether ``runner`` accepts ``checkpoint=``/``resume_from=`` kwargs.
+
+    Test stubs and third-party runners with the plain ``(job, cfg)``
+    signature keep working: they just run without snapshot support (an
+    interrupting signal then terminates them and the job reruns fresh on
+    resume).
+    """
+    try:
+        params = inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
+    if any(p.kind is p.VAR_KEYWORD for p in params.values()):
+        return True
+    return "checkpoint" in params and "resume_from" in params
+
+
+def _build_checkpointer(ck_spec: dict[str, Any] | None) -> Checkpointer | None:
+    if ck_spec is None:
+        return None
+    deadline = None
+    if ck_spec.get("deadline_secs") is not None:
+        deadline = time.monotonic() + max(0.0, ck_spec["deadline_secs"])
+    return Checkpointer(
+        ck_spec["path"],
+        every=ck_spec.get("every", 0),
+        deadline=deadline,
+        preempt_after_tasks=ck_spec.get("preempt_after_tasks", 0),
+    )
+
+
+def _checkpoint_kwargs(ck: Checkpointer | None, ck_spec: dict[str, Any] | None):
+    """Runner kwargs for a checkpointed attempt; quarantines bad snapshots."""
+    if ck is None:
+        return {}
+    kwargs: dict[str, Any] = {"checkpoint": ck}
+    resume_from = ck_spec.get("resume_from")
+    if resume_from is not None and load_or_quarantine(resume_from) is not None:
+        # The snapshot parses and checksums; meta validation happens in
+        # the runner.  A corrupt file was just renamed *.corrupt and the
+        # job restarts from scratch.
+        kwargs["resume_from"] = resume_from
+    return kwargs
+
+
+def _worker_main(conn_w, runner, job: Job, cfg: Any, ck_spec=None) -> None:
     """Worker entry point (module-level so ``spawn`` can pickle it)."""
     if os.environ.get(CRASH_ENV, "") == job.label:
         os._exit(99)
+    ck = _build_checkpointer(ck_spec)
+    if ck is not None:
+        # SIGTERM (forwarded by the parent on its own SIGTERM/SIGINT, or
+        # sent by a job scheduler) asks for checkpoint-then-exit at the
+        # next task boundary.  SIGINT is ignored: a terminal Ctrl-C hits
+        # the whole process group, and the parent coordinates it by
+        # forwarding SIGTERM — dying on the raw SIGINT would lose the
+        # snapshot.
+        try:
+            signal.signal(signal.SIGTERM, lambda signum, frame: ck.request_preempt())
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+        except ValueError:  # pragma: no cover - non-main-thread embedding
+            pass
+    slow = float(os.environ.get(SLOW_ENV, "0") or 0.0)
+    if slow > 0:
+        time.sleep(slow)
     try:
-        result = runner(job, cfg)
+        result = runner(job, cfg, **_checkpoint_kwargs(ck, ck_spec))
         payload = ("ok", result)
+    except PreemptedError as exc:
+        payload = ("preempted", str(exc.path), exc.tasks_completed)
     except BaseException as exc:  # report everything, incl. SystemExit
         payload = (
             "error",
@@ -277,6 +397,7 @@ class _Pending:
     attempt: int = 1
     ready_at: float = 0.0
     spent: float = 0.0  # wall time burned by earlier attempts
+    resume_from: str | None = None  # snapshot of a previously preempted run
 
 
 @dataclass
@@ -303,6 +424,9 @@ def run_sweep(
     on_event: Callable[[str, Job, str], None] | None = None,
     mp_context: str = "spawn",
     request: dict[str, Any] | None = None,
+    checkpoint_every: int = 0,
+    deadline: float | None = None,
+    preempt_after_tasks: int = 0,
 ) -> SweepOutcome:
     """Run a sweep plan; never raises for individual job failures.
 
@@ -311,9 +435,20 @@ def run_sweep(
     ``runner`` defaults to :func:`run_experiment` on ``cfg``; tests inject
     module-level stubs (they must be picklable for spawn).  ``on_event``
     receives ``(kind, job, detail)`` progress callbacks with kinds
-    ``start``/``ok``/``retry``/``failed``/``timeout``/``skipped``.
-    ``request`` is recorded verbatim in the manifest so a resume can
-    reconstruct the original CLI invocation.
+    ``start``/``ok``/``retry``/``failed``/``timeout``/``skipped``/
+    ``resumed``/``preempted``/``interrupted``.  ``request`` is recorded verbatim in the
+    manifest so a resume can reconstruct the original CLI invocation.
+
+    Preemption: while the sweep runs (from the main thread), SIGTERM and
+    SIGINT are trapped — in-flight jobs snapshot at their next task
+    boundary, workers are joined, and the function *returns* an outcome
+    with ``interrupted=True`` instead of raising ``KeyboardInterrupt``.
+    ``checkpoint_every`` adds periodic per-job snapshots, ``deadline``
+    (seconds of sweep wall time) triggers the same graceful stop without a
+    signal, and ``preempt_after_tasks`` is the deterministic test hook.
+    Simulation snapshots need a ``run_dir`` (they live under
+    ``run_dir/snapshots/``) and a checkpoint-aware runner; without them a
+    signal still stops the sweep cleanly, but mid-run progress is lost.
     """
     plan = [j if isinstance(j, Job) else Job(*j) for j in jobs]
     if len(set(plan)) != len(plan):
@@ -326,6 +461,10 @@ def run_sweep(
         raise ValueError("backoff must be >= 0")
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive")
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be >= 0")
+    if deadline is not None and deadline <= 0:
+        raise ValueError("deadline must be positive")
     if isolated is None:
         isolated = workers > 1 or timeout is not None
     if timeout is not None and not isolated:
@@ -336,9 +475,14 @@ def run_sweep(
     emit = on_event if on_event is not None else (lambda kind, job, detail: None)
 
     outcome = SweepOutcome()
-    pending = list(plan)
+    pending = [_Pending(job) for job in plan]
     shard_dir: Path | None = None
+    snap_dir: Path | None = None
     rd = Path(run_dir) if run_dir is not None else None
+    checkpointable = rd is not None and _runner_supports_checkpoint(run)
+    if checkpointable:
+        snap_dir = rd / SNAPSHOT_DIR
+        snap_dir.mkdir(parents=True, exist_ok=True)
     if rd is not None:
         shard_dir = rd / SHARD_DIR
         shard_dir.mkdir(parents=True, exist_ok=True)
@@ -368,8 +512,15 @@ def run_sweep(
                         )
                     )
                     emit("skipped", job, "already checkpointed")
-                else:
-                    pending.append(job)
+                    continue
+                snapshot = (
+                    _load_preempted_snapshot(shard_dir / job.shard_name)
+                    if checkpointable
+                    else None
+                )
+                if snapshot is not None:
+                    emit("resumed", job, f"continuing from snapshot {snapshot}")
+                pending.append(_Pending(job, resume_from=snapshot))
         _write_manifest(rd, plan, cfg, request)
 
     def complete(job: Job, result: Any, attempts: int, elapsed: float) -> None:
@@ -408,43 +559,152 @@ def run_sweep(
         emit("timeout" if timed_out else "failed", job,
              f"{error}: {message}"[:200])
 
-    t0 = time.monotonic()
-    if isolated:
-        _run_isolated(
-            pending, cfg, run, workers, timeout, retries, backoff,
-            mp_context, complete, fail, emit,
+    def preempted_cb(
+        job: Job, snapshot: str, tasks_done: int, attempts: int, elapsed: float
+    ) -> None:
+        rec = PreemptedRun(
+            job.workload, job.policy, job.seed,
+            snapshot=str(snapshot), tasks_done=tasks_done,
+            attempts=attempts, elapsed=elapsed,
         )
-    else:
-        _run_inline(pending, cfg, run, retries, backoff, complete, fail, emit)
+        outcome.preempted.append(rec)
+        if shard_dir is not None:
+            _write_shard(
+                shard_dir, job,
+                {"status": "preempted", "attempts": attempts,
+                 "elapsed": round(elapsed, 3),
+                 "snapshot": str(snapshot), "tasks_done": tasks_done},
+            )
+        emit("preempted", job, f"snapshot after {tasks_done} tasks")
+
+    stop = threading.Event()
+    deadline_at = time.monotonic() + deadline if deadline is not None else None
+
+    def ck_spec_for(item: _Pending) -> dict[str, Any] | None:
+        if not checkpointable:
+            return None
+        snap_path = snap_dir / (Path(item.job.shard_name).stem + ".snap")
+        secs = None
+        if deadline_at is not None:
+            secs = max(0.0, deadline_at - time.monotonic())
+        return {
+            "path": str(snap_path),
+            "every": checkpoint_every,
+            "deadline_secs": secs,
+            "preempt_after_tasks": preempt_after_tasks,
+            "resume_from": item.resume_from,
+        }
+
+    # Signal hygiene: while the sweep runs, SIGTERM/SIGINT mean "checkpoint
+    # everything in flight, join every worker, return cleanly" — never an
+    # exception that strands children or a half-written run directory.
+    # Only the main thread can install handlers; embeddings running the
+    # sweep elsewhere keep deadline/periodic checkpointing.
+    active_ck: list[Checkpointer | None] = [None]  # inline mode's live job
+
+    def _on_signal(signum, frame):
+        stop.set()
+        ck = active_ck[0]
+        if ck is not None:
+            ck.request_preempt()
+
+    old_handlers: dict[int, Any] = {}
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            old_handlers[signum] = signal.signal(signum, _on_signal)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+
+    t0 = time.monotonic()
+    try:
+        if isolated:
+            _run_isolated(
+                pending, cfg, run, workers, timeout, retries, backoff,
+                mp_context, complete, fail, emit,
+                stop=stop, deadline_at=deadline_at,
+                ck_spec_for=ck_spec_for, preempted=preempted_cb,
+            )
+        else:
+            _run_inline(
+                pending, cfg, run, retries, backoff, complete, fail, emit,
+                stop=stop, deadline_at=deadline_at,
+                ck_spec_for=ck_spec_for, preempted=preempted_cb,
+                active_ck=active_ck,
+            )
+    finally:
+        for signum, handler in old_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, TypeError):  # pragma: no cover
+                pass
+    outcome.interrupted = stop.is_set()
     outcome.wall_time = time.monotonic() - t0
     outcome.failures.sort(key=lambda f: (f.workload, f.policy, f.seed))
+    outcome.preempted.sort(key=lambda p: (p.workload, p.policy, p.seed))
     if rd is not None:
         _write_manifest(rd, plan, cfg, request, outcome=outcome)
     return outcome
 
 
 def _run_inline(
-    pending: list[Job],
+    pending: list[_Pending],
     cfg: Any,
-    runner: Callable[[Job, Any], Any],
+    runner: Callable[..., Any],
     retries: int,
     backoff: float,
     complete: Callable,
     fail: Callable,
     emit: Callable,
+    stop: threading.Event | None = None,
+    deadline_at: float | None = None,
+    ck_spec_for: Callable[[_Pending], dict | None] | None = None,
+    preempted: Callable | None = None,
+    active_ck: list | None = None,
 ) -> None:
-    """Serial in-process execution: retries and checkpoints, no isolation."""
-    for job in pending:
-        attempt, spent = 1, 0.0
+    """Serial in-process execution: retries and checkpoints, no isolation.
+
+    The parent *is* the worker here, so the sweep's signal handler preempts
+    the in-flight job through ``active_ck`` and this loop simply stops
+    starting new jobs once ``stop`` is set.
+    """
+    for item in pending:
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            if stop is not None:
+                stop.set()
+        if stop is not None and stop.is_set():
+            emit("interrupted", item.job, "not started")
+            continue
+        job = item.job
+        attempt, spent = item.attempt, item.spent
         while True:
             emit("start", job, f"attempt {attempt}")
+            ck_spec = ck_spec_for(item) if ck_spec_for is not None else None
+            ck = _build_checkpointer(ck_spec)
+            if active_ck is not None:
+                active_ck[0] = ck
             t0 = time.monotonic()
             try:
-                result = runner(job, cfg)
+                result = runner(job, cfg, **_checkpoint_kwargs(ck, ck_spec))
+            except PreemptedError as exc:
+                spent += time.monotonic() - t0
+                # A deadline preemption stops the whole sweep; the
+                # per-task test trigger only stops this job.
+                if (
+                    stop is not None
+                    and ck is not None
+                    and ck.deadline is not None
+                    and time.monotonic() >= ck.deadline
+                ):
+                    stop.set()
+                if preempted is not None:
+                    preempted(job, str(exc.path), exc.tasks_completed,
+                              attempt, spent)
+                break
             except Exception as exc:
                 spent += time.monotonic() - t0
                 permanent = isinstance(exc, PERMANENT_ERRORS)
-                if not permanent and attempt <= retries:
+                interrupted = stop is not None and stop.is_set()
+                if not permanent and not interrupted and attempt <= retries:
                     emit("retry", job, f"attempt {attempt}: {type(exc).__name__}")
                     if backoff:
                         time.sleep(backoff * (2 ** (attempt - 1)))
@@ -453,15 +713,18 @@ def _run_inline(
                 fail(job, type(exc).__name__, str(exc),
                      traceback.format_exc(), attempt, spent, False)
                 break
+            finally:
+                if active_ck is not None:
+                    active_ck[0] = None
             spent += time.monotonic() - t0
             complete(job, result, attempt, spent)
             break
 
 
 def _run_isolated(
-    pending: list[Job],
+    pending: list[_Pending],
     cfg: Any,
-    runner: Callable[[Job, Any], Any],
+    runner: Callable[..., Any],
     workers: int,
     timeout: float | None,
     retries: int,
@@ -470,21 +733,35 @@ def _run_isolated(
     complete: Callable,
     fail: Callable,
     emit: Callable,
+    stop: threading.Event | None = None,
+    deadline_at: float | None = None,
+    ck_spec_for: Callable[[_Pending], dict | None] | None = None,
+    preempted: Callable | None = None,
 ) -> None:
-    """Parallel execution, one subprocess per attempt, deadline-enforced."""
+    """Parallel execution, one subprocess per attempt, deadline-enforced.
+
+    When ``stop`` is set (signal) or ``deadline_at`` passes, the loop
+    drains: no new launches, SIGTERM to every worker so each checkpoints
+    at its next task boundary, a :data:`PREEMPT_GRACE` window to finish
+    writing, then SIGKILL for stragglers.  Every child is joined before
+    this function returns — an interrupted sweep leaves no orphans.
+    """
     ctx = multiprocessing.get_context(mp_context)
-    queue: deque[_Pending] = deque(_Pending(job) for job in pending)
+    queue: deque[_Pending] = deque(pending)
     running: dict[Any, _Running] = {}
+    draining = False
+    grace_deadline = 0.0
 
     def handle_failure(
         item: _Pending, error: str, message: str, tb: str,
         permanent: bool, timed_out: bool, spent: float,
     ) -> None:
-        if not permanent and item.attempt <= retries:
+        retryable = not permanent and item.attempt <= retries and not draining
+        if retryable:
             delay = backoff * (2 ** (item.attempt - 1))
             queue.append(
                 _Pending(item.job, item.attempt + 1,
-                         time.monotonic() + delay, spent)
+                         time.monotonic() + delay, spent, item.resume_from)
             )
             emit("retry", item.job, f"attempt {item.attempt}: {error}")
         else:
@@ -493,28 +770,53 @@ def _run_isolated(
     try:
         while queue or running:
             now = time.monotonic()
+            if (
+                deadline_at is not None
+                and stop is not None
+                and not stop.is_set()
+                and now >= deadline_at
+            ):
+                stop.set()
+            if stop is not None and stop.is_set() and not draining:
+                draining = True
+                grace_deadline = now + PREEMPT_GRACE
+                while queue:
+                    item = queue.popleft()
+                    emit("interrupted", item.job, "not started")
+                for r in running.values():
+                    if r.proc.is_alive():
+                        # Checkpoint-aware workers trap this and snapshot
+                        # at the next task boundary; others just exit.
+                        r.proc.terminate()
+            if draining and running and time.monotonic() >= grace_deadline:
+                for r in running.values():
+                    if r.proc.is_alive():
+                        r.proc.kill()
             # Launch every ready pending job while a worker slot is free;
             # items still backing off rotate to the back of the queue.
-            for _ in range(len(queue)):
-                if len(running) >= workers:
-                    break
-                item = queue.popleft()
-                if item.ready_at > now:
-                    queue.append(item)
-                    continue
-                recv, send = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_worker_main, args=(send, runner, item.job, cfg),
-                    daemon=True,
-                )
-                proc.start()
-                send.close()  # keep only the child's end open for EOF
-                started = time.monotonic()
-                running[proc.sentinel] = _Running(
-                    item, proc, recv, started,
-                    started + timeout if timeout is not None else None,
-                )
-                emit("start", item.job, f"attempt {item.attempt}")
+            if not draining:
+                for _ in range(len(queue)):
+                    if len(running) >= workers:
+                        break
+                    item = queue.popleft()
+                    if item.ready_at > now:
+                        queue.append(item)
+                        continue
+                    recv, send = ctx.Pipe(duplex=False)
+                    ck_spec = ck_spec_for(item) if ck_spec_for is not None else None
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(send, runner, item.job, cfg, ck_spec),
+                        daemon=True,
+                    )
+                    proc.start()
+                    send.close()  # keep only the child's end open for EOF
+                    started = time.monotonic()
+                    running[proc.sentinel] = _Running(
+                        item, proc, recv, started,
+                        started + timeout if timeout is not None else None,
+                    )
+                    emit("start", item.job, f"attempt {item.attempt}")
 
             # Block until a child exits, a deadline passes, or a backoff
             # window opens.
@@ -537,8 +839,10 @@ def _run_isolated(
             for sentinel, r in list(running.items()):
                 alive = r.proc.is_alive()
                 expired = r.deadline is not None and now >= r.deadline
-                if alive and not expired:
+                if alive and not expired and not draining:
                     continue
+                if alive and draining and now < grace_deadline:
+                    continue  # still inside the checkpoint grace window
                 del running[sentinel]
                 if alive:
                     r.proc.terminate()
@@ -557,7 +861,11 @@ def _run_isolated(
                 spent = r.item.spent + (time.monotonic() - r.started)
                 if msg is not None and msg[0] == "ok":
                     complete(r.item.job, msg[1], r.item.attempt, spent)
-                elif alive:  # we had to kill it: deadline exceeded
+                elif msg is not None and msg[0] == "preempted":
+                    if preempted is not None:
+                        preempted(r.item.job, msg[1], msg[2],
+                                  r.item.attempt, spent)
+                elif alive and not draining:  # killed: deadline exceeded
                     handle_failure(
                         r.item, "Timeout",
                         f"worker exceeded the {timeout}s deadline", "",
@@ -569,6 +877,12 @@ def _run_isolated(
                         r.item, error, message, tb,
                         permanent=permanent, timed_out=False, spent=spent,
                     )
+                elif draining:
+                    # Terminated before reaching a checkpoint (or no
+                    # checkpoint support): no shard is written, so a
+                    # resume simply reruns the job from scratch.
+                    emit("interrupted", r.item.job,
+                         "stopped before reaching a checkpoint")
                 else:  # died without a word: native crash, os._exit, signal
                     handle_failure(
                         r.item, "WorkerCrash",
@@ -577,10 +891,14 @@ def _run_isolated(
                         permanent=False, timed_out=False, spent=spent,
                     )
     finally:
+        # Belt and braces: whatever path exits this loop, no child of the
+        # sweep survives it.
         for r in running.values():
             if r.proc.is_alive():
                 r.proc.kill()
             r.recv.close()
+        for r in running.values():
+            r.proc.join(10.0)
 
 
 # --------------------------------------------------------------------------
@@ -618,6 +936,29 @@ def _load_shard(path: Path) -> dict[str, Any] | None:
     return raw
 
 
+def _load_preempted_snapshot(path: Path) -> str | None:
+    """The snapshot path recorded by a valid "preempted" shard, else None.
+
+    Missing/corrupt shards, stale schemas, other statuses, and shards whose
+    snapshot file has since vanished all return ``None`` — the job then
+    reruns from scratch, which is always correct (just slower)."""
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(raw, dict)
+        or raw.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS
+    ):
+        return None
+    if raw.get("status") != "preempted":
+        return None
+    snapshot = raw.get("snapshot")
+    if not isinstance(snapshot, str) or not Path(snapshot).is_file():
+        return None
+    return snapshot
+
+
 def _write_manifest(
     run_dir: Path,
     plan: list[Job],
@@ -647,8 +988,20 @@ def _write_manifest(
                 "attempts": rec.attempts,
                 "elapsed": round(rec.elapsed, 3),
             }
+        for pre in outcome.preempted:
+            status[f"{pre.workload}/{pre.policy}"] = {
+                "status": "preempted",
+                "attempts": pre.attempts,
+                "elapsed": round(pre.elapsed, 3),
+                "snapshot": pre.snapshot,
+                "tasks_done": pre.tasks_done,
+            }
         doc["status"] = status
         doc["failures"] = [f.to_dict() for f in outcome.failures]
+        doc["preempted"] = [p.to_dict() for p in outcome.preempted]
+        doc["sweep_status"] = (
+            "interrupted" if outcome.interrupted else "complete"
+        )
         doc["wall_time_s"] = round(outcome.wall_time, 3)
     with atomic_write(Path(run_dir) / MANIFEST_NAME) as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

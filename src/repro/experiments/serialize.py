@@ -15,9 +15,13 @@ Sweep JSON is a versioned envelope (``SCHEMA_VERSION``)::
 Schema 3 adds two *optional* per-run sections to schema 2 — ``trace``
 (ring-buffer accounting and an event census for a traced run) and
 ``timeline`` (the interval-metric samples and core->bank request matrix
-from :mod:`repro.obs`) — and changes nothing else, so loaders accept both
-versions (:data:`SUPPORTED_SCHEMA_VERSIONS`) and untraced archives are
-bytewise identical to schema 2 apart from the version number.
+from :mod:`repro.obs`).  Schema 4 adds the optional per-run
+``resumed_from_task`` field (the task count a preempted run was resumed
+from — its statistics are byte-identical to an uninterrupted run either
+way) and the ``preempted`` shard status the harness writes on graceful
+shutdown.  Each bump only *adds* optional fields, so loaders accept every
+version in :data:`SUPPORTED_SCHEMA_VERSIONS` and never-preempted untraced
+archives differ from schema 2 only in the version number.
 
 Only ``sweep.wall_time_s`` varies between otherwise-identical campaigns;
 everything under ``runs`` is deterministic for a given config and seed, so
@@ -51,11 +55,13 @@ __all__ = [
 
 #: version of the sweep JSON envelope (and of harness shards/manifests).
 #: Bump whenever the layout of the archived metrics changes incompatibly.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: versions loaders accept.  Schema 3 only *adds* optional trace/timeline
-#: sections, so schema-2 archives load unchanged.
-SUPPORTED_SCHEMA_VERSIONS = (2, 3)
+#: sections and schema 4 only *adds* the optional ``resumed_from_task``
+#: per-run field plus preemption shard/manifest records, so older archives
+#: load unchanged.
+SUPPORTED_SCHEMA_VERSIONS = (2, 3, 4)
 
 
 class SchemaVersionError(ValueError):
@@ -188,6 +194,8 @@ def result_to_dict(
     if "dep_category_blocks" in r.extra:
         out["dep_category_blocks"] = dict(r.extra["dep_category_blocks"])
         out["dep_blocks_total"] = r.extra["dep_blocks_total"]
+    if "resumed_from_task" in r.extra:
+        out["resumed_from_task"] = r.extra["resumed_from_task"]
     if trace is not None:
         by_kind: dict[str, int] = {}
         for ev in trace.events():

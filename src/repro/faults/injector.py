@@ -153,6 +153,44 @@ class FaultInjector:
         """Scheduled discrete events that have not fired yet."""
         return len(self._events) - self._next
 
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        return {
+            "next": self._next,
+            "activated": self._activated,
+            "rng": self.rng.getstate(),
+            "banks_failed": self._banks_failed,
+            "links_failed": self._links_failed,
+            "blocks_lost": self._blocks_lost,
+            "dirty_blocks_lost": self._dirty_blocks_lost,
+            "l1_copies_dropped": self._l1_copies_dropped,
+            "rrt_entries_dropped": self._rrt_entries_dropped,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the schedule cursor and accounting.
+
+        The RNG is restored *in place* with ``setstate`` because
+        ``set_fault_model`` aliased ``self.rng`` into the DRAM model at
+        activation — replacing the object would silently detach the DRAM's
+        randomness from the injector's.
+        """
+        self._next = int(state["next"])
+        self._activated = bool(state["activated"])
+        rng_state = state["rng"]
+        # random.Random state tuples survive pickling, but inner sequences
+        # may come back as lists; normalize to the tuple shape setstate wants.
+        self.rng.setstate(
+            tuple(tuple(s) if isinstance(s, list) else s for s in rng_state)
+        )
+        self._banks_failed = int(state["banks_failed"])
+        self._links_failed = int(state["links_failed"])
+        self._blocks_lost = int(state["blocks_lost"])
+        self._dirty_blocks_lost = int(state["dirty_blocks_lost"])
+        self._l1_copies_dropped = int(state["l1_copies_dropped"])
+        self._rrt_entries_dropped = int(state["rrt_entries_dropped"])
+
     def snapshot(self) -> FaultStats:
         """Aggregate degraded-mode accounting across the machine."""
         machine = self.machine

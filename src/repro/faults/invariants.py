@@ -186,3 +186,17 @@ class InvariantChecker:
         """Run every invariant; raises :class:`InvariantError` if dirty."""
         self.full_sweeps += 1
         self._raise_if_dirty(check_machine(machine))
+
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        return {
+            "checks_run": self.checks_run,
+            "full_sweeps": self.full_sweeps,
+            "violations_found": self.violations_found,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.checks_run = int(state["checks_run"])
+        self.full_sweeps = int(state["full_sweeps"])
+        self.violations_found = int(state["violations_found"])

@@ -24,9 +24,11 @@ def atomic_write(path: str | Path, mode: str = "w", *, fsync: bool = True):
 
     The handle writes to a ``*.tmp`` sibling; on clean exit from the
     ``with`` block the data is flushed (and fsynced unless ``fsync=False``)
-    and renamed over ``path`` in one ``os.replace`` call.  If the block
-    raises, the temporary file is removed and ``path`` is untouched.  Only
-    write modes (``"w"``/``"wb"``/``"x"``/``"xb"``) make sense here.
+    and renamed over ``path`` in one ``os.replace`` call, after which the
+    parent directory is fsynced so the rename itself survives a power
+    loss.  If the block raises, the temporary file is removed and ``path``
+    is untouched.  Only write modes (``"w"``/``"wb"``/``"x"``/``"xb"``)
+    make sense here.
     """
     if any(flag in mode for flag in ("r", "a", "+")):
         raise ValueError(f"atomic_write needs a plain write mode, got {mode!r}")
@@ -43,9 +45,31 @@ def atomic_write(path: str | Path, mode: str = "w", *, fsync: bool = True):
             if fsync:
                 os.fsync(fh.fileno())
         os.replace(tmp, path)
+        if fsync:
+            _fsync_dir(directory)
     except BaseException:
         try:
             os.unlink(tmp)
         except OSError:
             pass
         raise
+
+
+def _fsync_dir(directory: str) -> None:
+    """Fsync a directory so a completed rename is durable.
+
+    A crash between ``os.replace`` and the directory metadata reaching disk
+    can otherwise resurrect the old file.  Some platforms (Windows, some
+    network filesystems) refuse to open or fsync directories; those errors
+    are swallowed — the write is still atomic, just not rename-durable.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -60,6 +60,20 @@ class PageTable:
         self._next_frame = frame + 1 + gap
         return frame
 
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        return {
+            "map": list(self._map.items()),
+            "next_frame": self._next_frame,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._map = {int(v): int(f) for v, f in state["map"]}
+        self._next_frame = int(state["next_frame"])
+        self._rng.bit_generator.state = state["rng"]
+
     # --- mapping ---
 
     def translate_page(self, vpage: int) -> int:

@@ -87,3 +87,22 @@ class TLB:
     @property
     def occupancy(self) -> int:
         return len(self._cache)
+
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        # Item order is the LRU order — it must survive the round trip.
+        return {
+            "cache": list(self._cache.items()),
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "invalidations": self.stats.invalidations,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._cache = OrderedDict(
+            (int(v), int(f)) for v, f in state["cache"]
+        )
+        self.stats = TLBStats(**state["stats"])

@@ -213,6 +213,26 @@ class Mesh:
         path.reverse()
         return path
 
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        """Only the dead-link set is stored; the distance matrix is
+        recomputed on load by the same BFS :meth:`fail_link` runs, so the
+        restored ``dist_rows`` are bit-identical to the live ones."""
+        return {"dead_links": sorted(sorted(pair) for pair in self._dead_links)}
+
+    def load_state_dict(self, state: dict) -> None:
+        dead = {frozenset(int(t) for t in pair) for pair in state["dead_links"]}
+        self._dead_links = dead
+        if dead:
+            distance = self._bfs_all_pairs()
+            if (distance < 0).any():
+                raise ValueError("snapshot dead links disconnect the mesh")
+            self.distance = distance
+        else:
+            self.distance = self.manhattan.copy()
+        self.dist_rows = self.distance.tolist()
+
     def mean_hop_inflation(self) -> float:
         """Average extra hops per (src, dst) pair vs the fault-free mesh —
         the degraded-mode reroute cost reported in the fault stats."""

@@ -186,6 +186,22 @@ class TrafficStats:
             return 0.0
         return self.nuca_distance_sum / self.nuca_distance_count
 
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        return self.snapshot()
+
+    def load_state_dict(self, state: dict) -> None:
+        self.router_bytes = int(state["router_bytes"])
+        self.flit_hops = int(state["flit_hops"])
+        self.messages = int(state["messages"])
+        class_bytes = [int(b) for b in state["class_bytes"]]
+        if len(class_bytes) != NUM_MESSAGE_CLASSES:
+            raise ValueError("class_bytes length mismatch in snapshot")
+        self.class_bytes = class_bytes
+        self.nuca_distance_sum = int(state["nuca_distance_sum"])
+        self.nuca_distance_count = int(state["nuca_distance_count"])
+
     def merge(self, other: "TrafficStats") -> None:
         self.router_bytes += other.router_bytes
         self.flit_hops += other.flit_hops

@@ -108,6 +108,37 @@ class NucaPolicy(ABC):
         the default does nothing."""
         return []
 
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        """Base counters plus the dead-bank set.  Subclasses with extra
+        mutable state extend the dict via :meth:`_extra_state` hooks."""
+        from dataclasses import asdict
+
+        return {
+            "stats": asdict(self.stats),
+            "dead_banks": sorted(self._dead_banks),
+            "extra": self._extra_state(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.stats = PolicyStats(**state["stats"])
+        self._dead_banks = {int(b) for b in state["dead_banks"]}
+        self._alive_banks = (
+            [b for b in range(self.total_banks) if b not in self._dead_banks]
+            if self._dead_banks
+            else []
+        )
+        self._load_extra_state(state["extra"])
+
+    def _extra_state(self) -> dict:
+        """Subclass hook: additional mutable state to checkpoint."""
+        return {}
+
+    def _load_extra_state(self, extra: dict) -> None:
+        if extra:
+            raise ValueError(f"policy {self.name} cannot load extra state")
+
     def _count(self, core: int, bank: int, block: int = 0) -> int:
         """Record a resolution in the stats and return ``bank``, remapping
         it first if fault injection disabled that bank."""

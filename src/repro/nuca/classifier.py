@@ -115,3 +115,25 @@ class PageClassifier:
     @property
     def pages_tracked(self) -> int:
         return len(self._pages)
+
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "pages": [
+                (page, info.cls.value, info.owner, info.dirty)
+                for page, info in self._pages.items()
+            ],
+            "stats": asdict(self.stats),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        pages: dict[int, _PageInfo] = {}
+        for page, cls, owner, dirty in state["pages"]:
+            info = _PageInfo(int(owner), bool(dirty))
+            info.cls = PageClass(cls)
+            pages[int(page)] = info
+        self._pages = pages
+        self.stats = ClassifierStats(**state["stats"])

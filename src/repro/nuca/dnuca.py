@@ -119,3 +119,17 @@ class DNuca(NucaPolicy):
     @property
     def blocks_relocated(self) -> int:
         return len(self._location)
+
+    # --- checkpoint/restore ---
+
+    def _extra_state(self) -> dict:
+        return {
+            "location": list(self._location.items()),
+            "streak": [(b, c, n) for b, (c, n) in self._streak.items()],
+            "migrations": self.migrations,
+        }
+
+    def _load_extra_state(self, extra: dict) -> None:
+        self._location = {int(b): int(loc) for b, loc in extra["location"]}
+        self._streak = {int(b): (int(c), int(n)) for b, c, n in extra["streak"]}
+        self.migrations = int(extra["migrations"])

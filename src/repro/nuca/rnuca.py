@@ -103,3 +103,11 @@ class RNuca(NucaPolicy):
             return self._count(core, rotational_bank(self.mesh, core, block), block)
         # SHARED or untouched (cannot happen after pre_access): interleave.
         return self._count(core, block & self._bank_mask, block)
+
+    # --- checkpoint/restore ---
+
+    def _extra_state(self) -> dict:
+        return {"classifier": self.classifier.state_dict()}
+
+    def _load_extra_state(self, extra: dict) -> None:
+        self.classifier.load_state_dict(extra["classifier"])

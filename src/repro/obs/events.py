@@ -135,3 +135,28 @@ class EventTrace:
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events())
+
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        """Retained events (oldest first) plus the lifetime total.  The
+        ring's physical layout is not preserved — a restored buffer starts
+        with head 0, which emits identically from the consumer's view."""
+        return {
+            "total": self.total,
+            "events": [
+                (e.kind.value, e.ts, e.core, e.name, e.dur, e.args)
+                for e in self.events()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        events = state["events"]
+        if len(events) > self.capacity:
+            raise ValueError("snapshot trace exceeds this sink's capacity")
+        self._buf = [
+            TraceEvent(EventKind(kind), int(ts), int(core), name, int(dur), args)
+            for kind, ts, core, name, dur, args in events
+        ]
+        self._head = 0
+        self.total = int(state["total"])

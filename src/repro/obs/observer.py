@@ -137,6 +137,39 @@ class Observer:
             self._sample(machine)  # fresh baseline (caches stay warm)
 
     # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Cursors, attribution baseline, retained events and samples.
+
+        Only the default :class:`EventTrace` sink round-trips; custom
+        sinks (streaming writers) are external and are not restored.
+        """
+        sink = self.sink
+        return {
+            "now": self.now,
+            "last_bank_acc": list(self._last_bank_acc),
+            "sink": sink.state_dict() if isinstance(sink, EventTrace) else None,
+            "timeline": (
+                self.timeline.state_dict() if self.timeline is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.now = int(state["now"])
+        self._last_bank_acc = [int(v) for v in state["last_bank_acc"]]
+        if state["sink"] is not None and isinstance(self.sink, EventTrace):
+            self.sink.load_state_dict(state["sink"])
+        if state["timeline"] is not None:
+            if self.timeline is None:
+                raise ValueError(
+                    "snapshot has timeline samples but this observer was "
+                    "built with timeline=False"
+                )
+            self.timeline.load_state_dict(state["timeline"])
+
+    # ------------------------------------------------------------------
     # component event hooks (machine / ISA / injector / DRAM call these)
     # ------------------------------------------------------------------
 

@@ -94,6 +94,47 @@ class IntervalTimeline:
             for b in range(self.num_banks):
                 row[b] = 0
 
+    # --- checkpoint/restore --------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "samples": [
+                (
+                    s.tasks_completed,
+                    s.cycles,
+                    list(s.bank_accesses),
+                    list(s.bank_hits),
+                    list(s.bank_occupancy),
+                    s.router_bytes,
+                    s.flit_hops,
+                    s.messages,
+                    None if s.rrt_occupancy is None else list(s.rrt_occupancy),
+                )
+                for s in self.samples
+            ],
+            "core_bank_requests": [list(row) for row in self.core_bank_requests],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.samples = [
+            IntervalSample(
+                tasks_completed=int(tasks),
+                cycles=int(cycles),
+                bank_accesses=[int(v) for v in acc],
+                bank_hits=[int(v) for v in hits],
+                bank_occupancy=[int(v) for v in occ],
+                router_bytes=int(rb),
+                flit_hops=int(fh),
+                messages=int(msgs),
+                rrt_occupancy=None if rrt is None else [int(v) for v in rrt],
+            )
+            for tasks, cycles, acc, hits, occ, rb, fh, msgs, rrt in state["samples"]
+        ]
+        rows = state["core_bank_requests"]
+        if len(rows) != self.num_cores or any(len(r) != self.num_banks for r in rows):
+            raise ValueError("core_bank_requests shape mismatch in snapshot")
+        self.core_bank_requests = [[int(v) for v in row] for row in rows]
+
     # --- derived views -------------------------------------------------
 
     def bank_access_deltas(self) -> list[list[int]]:

@@ -99,6 +99,13 @@ class Executor:
         # perturbation and comparisons stay fair.
         self.jitter = jitter
         self._jitter_seed = jitter_seed
+        #: optional :class:`repro.snapshot.Checkpointer`: journals every
+        #: dispatch and writes snapshots at task boundaries.  None costs
+        #: one attribute test per dispatch, so the untraced hot path and
+        #: ``scripts/perf_smoke.py``'s call ceiling are unaffected.
+        self.checkpointer = None
+        # Stats of the run in progress (the checkpointer serializes them).
+        self._stats: ExecutionStats | None = None
 
     def _jitter_factor(self, name: str) -> float:
         if not self.jitter:
@@ -107,43 +114,153 @@ class Executor:
         rng = np.random.default_rng(key)
         return 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
 
-    def run(self, program: Program) -> ExecutionStats:
+    def run(self, program: Program, *, resume: dict | None = None) -> ExecutionStats:
+        """Run ``program``; with ``resume``, continue a snapshotted run.
+
+        ``resume`` is the ``{"execution", "progress"}`` slice of a snapshot
+        payload whose machine/extension state has already been restored
+        (see :meth:`resume` for the one-call form).  Phases the snapshot
+        completed are skipped outright; the in-progress phase replays its
+        journal (no machine work) up to the snapshotted dispatch and then
+        continues live, which reproduces the event heap, scheduler queue
+        and simulated clock exactly.
+        """
         ncores = self.machine.num_cores
-        stats = ExecutionStats(busy_cycles=[0] * ncores)
         obs = self.observer
-        now = 0
+        if resume is not None:
+            stats = ExecutionStats(**resume["execution"])
+            if len(stats.busy_cycles) != ncores:
+                raise ValueError("snapshot core count does not match this machine")
+            progress = resume["progress"]
+            if stats.phases != progress["phase_index"]:
+                raise ValueError("inconsistent snapshot: stats/progress disagree")
+            now = progress["phase_start_now"]
+        else:
+            stats = ExecutionStats(busy_cycles=[0] * ncores)
+            progress = None
+            now = 0
+        self._stats = stats
+        nonempty = 0
         for phase in program.phases:
             if not phase:
                 continue
-            if obs is not None:
+            replay = None
+            if progress is not None:
+                if nonempty < progress["phase_index"]:
+                    nonempty += 1
+                    continue  # completed before the snapshot
+                if nonempty == progress["phase_index"]:
+                    replay = progress
+            if obs is not None and replay is None:
                 obs.phase_begin(stats.phases, len(phase), now)
-            now = self._run_phase(phase, now, stats)
+            now = self._run_phase(phase, now, stats, replay=replay)
             if obs is not None:
                 obs.phase_end(stats.phases, now)
             stats.phases += 1
+            nonempty += 1
         stats.makespan_cycles = now
         return stats
 
+    # --- snapshot API ---
+
+    def save_snapshot(self, path=None):
+        """Write a snapshot at the current task boundary; returns the path.
+
+        Requires an attached checkpointer (which holds the run's identity
+        metadata); only valid while a phase is in progress, i.e. from
+        checkpointer triggers or extension hooks.
+        """
+        if self.checkpointer is None:
+            raise RuntimeError("no checkpointer attached to this executor")
+        return self.checkpointer.save(self, path)
+
+    def resume(self, program: Program, payload: dict) -> ExecutionStats:
+        """Restore a snapshot payload into this executor's machine and
+        continue the interrupted ``program`` segment to completion.
+
+        The caller is responsible for segment handling (warmup vs main)
+        and for validating the payload's meta against this run — see
+        ``repro.api._run_one``.
+        """
+        self.machine.load_state_dict(payload["machine"])
+        self.extension.load_state_dict(payload["extension"])
+        return self.run(
+            program,
+            resume={
+                "execution": payload["execution"],
+                "progress": payload["progress"],
+            },
+        )
+
     # --- one phase between taskwait barriers ---
 
-    def _run_phase(self, phase: list[Task], start_time: int, stats: ExecutionStats) -> int:
+    def _run_phase(
+        self,
+        phase: list[Task],
+        start_time: int,
+        stats: ExecutionStats,
+        replay: dict | None = None,
+    ) -> int:
         ncores = self.machine.num_cores
         graph = TaskGraph(self.overlap_mode)
         ext = self.extension
+        ck = self.checkpointer
+
+        # Replay mode: the first ``replay_n`` dispatches of this phase
+        # happened before the snapshot.  Their machine effects and stats
+        # are already in the restored state, so they are re-enacted from
+        # the journal (recorded costs/durations, no _execute) purely to
+        # rebuild the event heap, scheduler queue and task graph.
+        if replay is not None:
+            if len(replay["create_costs"]) != len(phase):
+                raise ValueError(
+                    "snapshot journal does not match this program phase "
+                    f"({len(replay['create_costs'])} recorded creations, "
+                    f"{len(phase)} tasks)"
+                )
+            rng_state = replay["scheduler_rng"]
+            if rng_state is not None:
+                rng = getattr(self.scheduler, "_rng", None)
+                if rng is None:
+                    raise ValueError(
+                        "snapshot recorded scheduler RNG state but this "
+                        "scheduler has none"
+                    )
+                rng.bit_generator.state = rng_state
+            replay_durations = replay["durations"]
+            replay_names = replay["task_names"]
+            replay_n = replay["dispatch_count"]
+            if ck is not None:
+                ck.seed_phase(replay)
+        else:
+            replay_n = 0
+            if ck is not None:
+                ck.phase_begin(self, stats.phases, start_time)
 
         # Creator timeline: core 0 creates tasks sequentially from
         # ``start_time``; each task records its creation completion time.
         created_at: dict[int, int] = {}
         t_create = start_time
-        for task in phase:
-            create_cost = self.CREATE_CYCLES_PER_TASK + ext.on_task_created(task)
-            t_create += create_cost
-            created_at[task.tid] = t_create
-            graph.add_task(task)
-        creation_end = t_create
-        stats.creation_cycles += creation_end - start_time
-        stats.busy_cycles[0] += creation_end - start_time
-        stats.tdg_edges += graph.edges
+        if replay is not None:
+            # Creation (and its stats) completed before the snapshot:
+            # rebuild the graph with the recorded per-task costs.
+            for task, create_cost in zip(phase, replay["create_costs"]):
+                t_create += create_cost
+                created_at[task.tid] = t_create
+                graph.add_task(task)
+            creation_end = t_create
+        else:
+            for task in phase:
+                create_cost = self.CREATE_CYCLES_PER_TASK + ext.on_task_created(task)
+                if ck is not None:
+                    ck.note_create(create_cost)
+                t_create += create_cost
+                created_at[task.tid] = t_create
+                graph.add_task(task)
+            creation_end = t_create
+            stats.creation_cycles += creation_end - start_time
+            stats.busy_cycles[0] += creation_end - start_time
+            stats.tdg_edges += graph.edges
 
         # Event heap: (time, seq, kind, payload).
         events: list[tuple[int, int, int, object]] = []
@@ -160,6 +277,7 @@ class Executor:
         core0_joined = False
 
         finished = 0
+        dispatched = 0
         now = start_time
         while events:
             now, _, kind, payload = heapq.heappop(events)
@@ -186,10 +304,29 @@ class Executor:
                 if task is None:
                     break
                 idle.discard(core)
-                duration = self._execute(task, core, stats, now)
+                if dispatched < replay_n:
+                    # Pre-snapshot dispatch: consume the journaled duration.
+                    if replay_names[dispatched] != task.name:
+                        raise ValueError(
+                            "snapshot journal diverged from this program at "
+                            f"dispatch {dispatched}: recorded "
+                            f"{replay_names[dispatched]!r}, got {task.name!r}"
+                        )
+                    duration = replay_durations[dispatched]
+                    if ck is not None:
+                        ck.record_dispatch(task.name, duration)
+                else:
+                    duration = self._execute(task, core, stats, now)
+                dispatched += 1
                 task.state = TaskState.RUNNING
                 heapq.heappush(events, (now + duration, seq, _FINISH, (core, task)))
                 seq += 1
+                # The machine is quiescent here (trace applied, traffic
+                # flushed): the one safe point to snapshot.  Replayed
+                # dispatches never trigger — their journal entries were
+                # recorded above.
+                if ck is not None and dispatched > replay_n:
+                    ck.after_dispatch(self, task.name, duration)
         if finished != len(phase):
             raise RuntimeError(
                 f"phase deadlock: {finished}/{len(phase)} tasks finished"

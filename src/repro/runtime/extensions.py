@@ -48,6 +48,14 @@ class RuntimeExtension:
         """Hook at task completion; returns core cycles."""
         return 0
 
+    def state_dict(self) -> dict:
+        """Checkpoint payload; the no-op extension has no state."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError("no-op runtime extension cannot load state")
+
 
 @dataclass
 class DependencyUsage:
@@ -259,6 +267,40 @@ class TdNucaRuntime(RuntimeExtension):
         the RTCacheDirectory itself persists."""
         self.stats = TdNucaRuntimeStats()
         self.usage.clear()
+
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        """Directory, counters and usage census.  Snapshots happen only at
+        task boundaries, where no task is in flight — ``_active`` must be
+        empty (it is rebuilt per task, not restored)."""
+        from dataclasses import asdict
+
+        if self._active:
+            raise RuntimeError(
+                "cannot snapshot runtime state with tasks in flight"
+            )
+        return {
+            "directory": self.directory.state_dict(),
+            "stats": asdict(self.stats),
+            "usage": [
+                (u.region.start, u.region.size, u.uses, u.bypassed_uses,
+                 u.read_uses, u.write_uses)
+                for u in self.usage.values()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.directory.load_state_dict(state["directory"])
+        self.stats = TdNucaRuntimeStats(**state["stats"])
+        self.usage = {
+            (int(start), int(size)): DependencyUsage(
+                Region(int(start), int(size)),
+                int(uses), int(bypassed), int(reads), int(writes),
+            )
+            for start, size, uses, bypassed, reads, writes in state["usage"]
+        }
+        self._active = {}
 
     # --- OS thread migration (paper Section III-D) ---
 

@@ -98,6 +98,30 @@ class MemoryControllers:
         """Tile of the controller owning ``block``."""
         return self.tiles[block % len(self.tiles)]
 
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        """Row-buffer and counter state.  The fault model (probability,
+        retry budget, shared RNG) is reinstalled by the injector on rebuild
+        and is not duplicated here."""
+        return {
+            "stats": {
+                "reads": self.stats.reads,
+                "writes": self.stats.writes,
+                "row_hits": self.stats.row_hits,
+                "row_misses": self.stats.row_misses,
+                "transient_errors": self.stats.transient_errors,
+                "retries": self.stats.retries,
+                "retry_cycles": self.stats.retry_cycles,
+                "retries_exhausted": self.stats.retries_exhausted,
+            },
+            "open_row": list(self._open_row.items()),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.stats = DramStats(**state["stats"])
+        self._open_row = {int(mc): int(row) for mc, row in state["open_row"]}
+
     def _access(self, block: int) -> tuple[int, int]:
         mc = block % len(self.tiles)
         row = block // self.latency.dram_row_blocks

@@ -1033,6 +1033,128 @@ class Machine:
             extra=extra,
         )
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full mutable state at a task boundary.
+
+        Must only be called with the machine quiescent: every task
+        boundary flushes the pending traffic batch, so unflushed deltas
+        here mean the caller is mid-trace.  Static structure (geometry,
+        latency tables, scratch arrays, trace memoization) is rebuilt by
+        :func:`build_machine` and is not stored.
+        """
+        from dataclasses import asdict
+
+        if self._acc_messages or self._acc_nuca_count:
+            raise RuntimeError("cannot snapshot with unflushed traffic deltas")
+        # tdnuca-noisa machines keep their RRTs only on the ISA
+        # (machine.rrts stays None); the TD-NUCA variants share one list.
+        rrts = self.isa.rrts if self.isa is not None else self.rrts
+        return {
+            "tasks_completed": self.tasks_completed,
+            "pagetable": self.pagetable.state_dict(),
+            "tlbs": [t.state_dict() for t in self.tlbs],
+            "l1s": [l1.state_dict() for l1 in self.l1s],
+            "llc": self.llc.state_dict(),
+            "directory": self.directory.state_dict(),
+            "dram": self.dram.state_dict(),
+            "traffic": self.traffic.state_dict(),
+            "energy": asdict(self.energy),
+            "policy": self.policy.state_dict(),
+            "census": self.census.state_dict() if self.census is not None else None,
+            "rrts": [r.state_dict() for r in rrts] if rrts is not None else None,
+            "isa": self.isa.state_dict() if self.isa is not None else None,
+            "mesh": self.mesh.state_dict(),
+            "dead_banks": sorted(self._dead_banks),
+            "fault_injector": (
+                self.fault_injector.state_dict()
+                if self.fault_injector is not None
+                else None
+            ),
+            "invariant_checker": (
+                self.invariant_checker.state_dict()
+                if self.invariant_checker is not None
+                else None
+            ),
+            "obs": self.obs.state_dict() if self.obs is not None else None,
+        }
+
+    @staticmethod
+    def _require_matching(name: str, have: bool, stored: bool) -> None:
+        if have != stored:
+            raise ValueError(
+                f"snapshot/machine mismatch: {name} is "
+                f"{'present' if stored else 'absent'} in the snapshot but "
+                f"{'present' if have else 'absent'} on this machine"
+            )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot into a freshly built machine.
+
+        The machine must have been built with the same config, policy and
+        seed as the snapshotted one (the snapshot file layer verifies
+        that); any ``at_task<=0`` fault effects applied during
+        construction are overwritten here, and the injector cursor and
+        RNG are restored last so the continuation replays the same
+        schedule from the same point.
+        """
+        self.tasks_completed = int(state["tasks_completed"])
+        self.pagetable.load_state_dict(state["pagetable"])
+        for name, mine, stored in (
+            ("tlbs", self.tlbs, state["tlbs"]),
+            ("l1s", self.l1s, state["l1s"]),
+        ):
+            if len(mine) != len(stored):
+                raise ValueError(f"snapshot {name} count mismatch")
+            for obj, s in zip(mine, stored):
+                obj.load_state_dict(s)
+        self.llc.load_state_dict(state["llc"])
+        self.directory.load_state_dict(state["directory"])
+        self.dram.load_state_dict(state["dram"])
+        self.traffic.load_state_dict(state["traffic"])
+        self._reset_pending()
+        self.energy = EnergyTally(**state["energy"])
+        self.policy.load_state_dict(state["policy"])
+        self._require_matching("census", self.census is not None,
+                               state["census"] is not None)
+        if self.census is not None:
+            self.census.load_state_dict(state["census"])
+        rrts = self.isa.rrts if self.isa is not None else self.rrts
+        self._require_matching("rrts", rrts is not None,
+                               state["rrts"] is not None)
+        if rrts is not None:
+            if len(rrts) != len(state["rrts"]):
+                raise ValueError("snapshot rrts count mismatch")
+            for rrt, s in zip(rrts, state["rrts"]):
+                rrt.load_state_dict(s)
+        self._require_matching("isa", self.isa is not None,
+                               state["isa"] is not None)
+        if self.isa is not None:
+            self.isa.load_state_dict(state["isa"])
+        self.mesh.load_state_dict(state["mesh"])
+        self._dead_banks = {int(b) for b in state["dead_banks"]}
+        self._alive_banks = [
+            b for b in range(self.cfg.num_banks) if b not in self._dead_banks
+        ]
+        self._require_matching("fault injector", self.fault_injector is not None,
+                               state["fault_injector"] is not None)
+        if self.fault_injector is not None:
+            self.fault_injector.load_state_dict(state["fault_injector"])
+        self._require_matching("invariant checker",
+                               self.invariant_checker is not None,
+                               state["invariant_checker"] is not None)
+        if self.invariant_checker is not None:
+            self.invariant_checker.load_state_dict(state["invariant_checker"])
+        # Tracing configuration may legitimately differ between the
+        # snapshotting run and the resuming one: observer state is
+        # restored when both sides trace, dropped otherwise (it never
+        # feeds MachineStats, so byte-identity is unaffected).
+        if self.obs is not None and state["obs"] is not None:
+            self.obs.load_state_dict(state["obs"])
+
 
 def _finalize_machine(machine: Machine, cfg: SystemConfig, seed: int) -> Machine:
     """Attach the configured fault schedule (if any) to a fresh machine."""

@@ -1,0 +1,51 @@
+"""Preemptible simulation: task-boundary checkpoint/restore.
+
+``save_snapshot``/``load_snapshot`` are the file-level API; the
+:class:`~repro.snapshot.checkpoint.Checkpointer` drives periodic and
+signal-triggered snapshots from inside the executor's dispatch loop; and
+``repro.api._run_one(checkpoint=..., resume_from=...)`` is the run-level
+entry point that validates, restores, and continues a preempted run with
+byte-identical final statistics.  See DESIGN.md §10 for the format and
+the identity guarantee.
+"""
+
+from repro.snapshot.checkpoint import (
+    EXIT_PREEMPTED,
+    Checkpointer,
+    PreemptedError,
+    build_payload,
+)
+from repro.snapshot.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    CorruptSnapshotError,
+    SnapshotMismatchError,
+    config_sha256,
+    load_or_quarantine,
+    read_snapshot_file,
+    verify_meta,
+    write_snapshot_file,
+)
+
+__all__ = [
+    "EXIT_PREEMPTED",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "Checkpointer",
+    "CorruptSnapshotError",
+    "PreemptedError",
+    "SnapshotMismatchError",
+    "build_payload",
+    "config_sha256",
+    "load_or_quarantine",
+    "load_snapshot",
+    "read_snapshot_file",
+    "save_snapshot",
+    "verify_meta",
+    "write_snapshot_file",
+]
+
+#: aliases matching the names used in the design docs: a snapshot is
+#: saved from an executor (via its checkpointer) and loaded as a payload.
+save_snapshot = write_snapshot_file
+load_snapshot = read_snapshot_file

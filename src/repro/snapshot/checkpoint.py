@@ -1,0 +1,229 @@
+"""Task-boundary checkpointing and the preemption protocol.
+
+The simulator's event loop is deterministic, so a snapshot does not need
+to serialize the in-flight event heap: it captures (a) the machine's full
+architectural state at a task boundary via ``Machine.state_dict()`` and
+(b) a *positional journal* of the in-progress phase — the per-task
+creation costs and the duration of every dispatch so far.  Resume rebuilds
+the task graph and event heap by replaying the journal (no machine work,
+no stats updates), then continues live from the exact dispatch the
+snapshot was taken at.  Because every replayed quantity is recorded rather
+than recomputed, and the machine state is restored byte-for-byte, the
+resumed run's final statistics are byte-identical to an uninterrupted run
+(asserted over all golden configurations in CI).
+
+Snapshots are only taken at dispatch boundaries, where the machine is
+quiescent: the last task's traffic batch has been flushed, the TD-NUCA
+runtime has no tasks in flight, and no NoC messages are pending.  The
+:class:`Checkpointer` hangs off ``Executor.checkpointer`` and is a single
+``is not None`` test per dispatch on the untraced path, so it cannot
+disturb ``scripts/perf_smoke.py``'s call-count ceiling.
+
+Triggers:
+
+* ``every=N``     — write a checkpoint every N live dispatches, keep going.
+* ``deadline``    — absolute ``time.monotonic()`` value; first dispatch at
+  or past it checkpoints and raises :class:`PreemptedError`.
+* ``request_preempt()`` — called from a SIGTERM/SIGINT handler; the next
+  dispatch boundary checkpoints and raises.
+* ``preempt_after_tasks=K`` — deterministic trigger used by tests and the
+  preemption smoke script: preempt after exactly K live dispatches
+  (counted across warmup and main segments).
+
+A preempted process exits with :data:`EXIT_PREEMPTED` (75, the sysexits
+``EX_TEMPFAIL``: "try again later" — which is exactly what resume does).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.snapshot.format import write_snapshot_file
+
+__all__ = ["Checkpointer", "PreemptedError", "EXIT_PREEMPTED", "build_payload"]
+
+#: process exit code for "checkpointed and stopped; resume me" (EX_TEMPFAIL).
+EXIT_PREEMPTED = 75
+
+
+class PreemptedError(Exception):
+    """The run was preempted after writing a snapshot.
+
+    ``path`` is the snapshot file; ``tasks_completed`` is the machine's
+    cumulative task count at the checkpoint (surfaced to job records as
+    ``resumed_from_task`` when the run is later resumed).
+    """
+
+    def __init__(self, path: Path, tasks_completed: int) -> None:
+        super().__init__(
+            f"preempted after {tasks_completed} tasks; snapshot at {path}"
+        )
+        self.path = Path(path)
+        self.tasks_completed = tasks_completed
+
+
+def _scheduler_rng_state(scheduler):
+    """Serializable RNG state of a seeded scheduler (None if stateless)."""
+    rng = getattr(scheduler, "_rng", None)
+    if rng is None:
+        return None
+    return rng.bit_generator.state
+
+
+def build_payload(executor, checkpointer) -> dict:
+    """Assemble the full snapshot payload for ``executor`` right now.
+
+    Must be called at a dispatch boundary (``Machine.state_dict`` raises
+    if traffic deltas are pending; ``TdNucaRuntime.state_dict`` raises if
+    tasks are in flight).
+    """
+    journal = checkpointer._journal
+    if journal is None:
+        raise RuntimeError("no phase in progress: nothing to snapshot")
+    machine = executor.machine
+    # Extension end-of-task hooks (TD-NUCA flushes) may have batched
+    # traffic after the trace's own boundary flush.  Draining the batch
+    # here is order-neutral — the counters are additive and nothing reads
+    # them between here and the next boundary — and leaves the machine in
+    # the quiescent shape ``state_dict`` requires.
+    machine._flush_traffic()
+    return {
+        "meta": {
+            **checkpointer.meta,
+            "segment": checkpointer.segment,
+            "tasks_completed": machine.tasks_completed,
+        },
+        "machine": machine.state_dict(),
+        "extension": executor.extension.state_dict(),
+        "execution": asdict(executor._stats),
+        "progress": {
+            "phase_index": journal["phase_index"],
+            "phase_start_now": journal["phase_start_now"],
+            "dispatch_count": len(journal["durations"]),
+            "create_costs": list(journal["create_costs"]),
+            "durations": list(journal["durations"]),
+            "task_names": list(journal["task_names"]),
+            "scheduler_rng": journal["scheduler_rng"],
+        },
+    }
+
+
+class Checkpointer:
+    """Records the executor's replay journal and writes snapshots.
+
+    One instance is attached to an :class:`~repro.runtime.executor.Executor`
+    (``executor.checkpointer``) and lives across the warmup and main
+    segments of a run; ``repro.api._run_one`` stamps :attr:`meta` and
+    :attr:`segment`.  After a :class:`PreemptedError`, build a *fresh*
+    Checkpointer for the resumed run — trigger counters are not reset.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        every: int = 0,
+        deadline: float | None = None,
+        preempt_after_tasks: int = 0,
+        meta: dict | None = None,
+    ) -> None:
+        if every < 0:
+            raise ValueError("every must be >= 0")
+        if preempt_after_tasks < 0:
+            raise ValueError("preempt_after_tasks must be >= 0")
+        self.path = Path(path)
+        self.every = int(every)
+        #: absolute ``time.monotonic()`` deadline, or None.
+        self.deadline = deadline
+        self.preempt_after_tasks = int(preempt_after_tasks)
+        #: identity of the run (workload/policy/seed/config_sha256).
+        self.meta = dict(meta) if meta else {}
+        #: "warmup" or "main" — which executor.run call is in progress.
+        self.segment = "main"
+        #: set (e.g. from a signal handler) to preempt at the next boundary.
+        self.preempt_requested = False
+        #: live (non-replayed) dispatches seen, across segments.
+        self.live_dispatches = 0
+        #: snapshots written (periodic + preemption).
+        self.saves = 0
+        self._journal: dict | None = None
+
+    # --- signal-handler entry point ------------------------------------
+
+    def request_preempt(self) -> None:
+        """Ask for checkpoint-then-stop at the next dispatch boundary.
+
+        Safe to call from a signal handler: it only sets a flag.
+        """
+        self.preempt_requested = True
+
+    # --- journal recording (called by the executor) --------------------
+
+    def phase_begin(self, executor, phase_index: int, start_now: int) -> None:
+        """A live phase is starting: reset the journal for it."""
+        self._journal = {
+            "phase_index": phase_index,
+            "phase_start_now": start_now,
+            "create_costs": [],
+            "durations": [],
+            "task_names": [],
+            "scheduler_rng": _scheduler_rng_state(executor.scheduler),
+        }
+
+    def seed_phase(self, progress: dict) -> None:
+        """A phase is being *resumed*: adopt the snapshot's journal.
+
+        Creation costs and the phase-start scheduler RNG come straight
+        from the snapshot; dispatch durations are re-appended as the
+        executor replays them, so a later checkpoint in the same phase
+        carries the complete journal again.
+        """
+        self._journal = {
+            "phase_index": progress["phase_index"],
+            "phase_start_now": progress["phase_start_now"],
+            "create_costs": list(progress["create_costs"]),
+            "durations": [],
+            "task_names": [],
+            "scheduler_rng": progress["scheduler_rng"],
+        }
+
+    def note_create(self, cost: int) -> None:
+        self._journal["create_costs"].append(cost)
+
+    def record_dispatch(self, name: str, duration: int) -> None:
+        """Journal one dispatch without checking triggers (replay path)."""
+        journal = self._journal
+        journal["durations"].append(duration)
+        journal["task_names"].append(name)
+
+    def after_dispatch(self, executor, name: str, duration: int) -> None:
+        """Journal a live dispatch and fire any due trigger.
+
+        Called immediately after the dispatch's FINISH event is queued —
+        the one point in the event loop where the machine is quiescent.
+        """
+        self.record_dispatch(name, duration)
+        self.live_dispatches += 1
+        if self.preempt_after_tasks and self.live_dispatches >= self.preempt_after_tasks:
+            self._preempt(executor)
+        if self.preempt_requested:
+            self._preempt(executor)
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            self._preempt(executor)
+        if self.every and self.live_dispatches % self.every == 0:
+            self.save(executor)
+
+    # --- snapshot emission ---------------------------------------------
+
+    def save(self, executor, path: str | Path | None = None) -> Path:
+        """Write a snapshot of ``executor``'s current state; returns the path."""
+        target = self.path if path is None else Path(path)
+        write_snapshot_file(target, build_payload(executor, self))
+        self.saves += 1
+        return target
+
+    def _preempt(self, executor) -> None:
+        path = self.save(executor)
+        raise PreemptedError(path, executor.machine.tasks_completed)

@@ -85,6 +85,14 @@ class BlockCensus:
         """All blocks ever touched, ascending."""
         return np.fromiter(self._state.keys(), dtype=np.int64, count=len(self._state))
 
+    # --- checkpoint/restore ---
+
+    def state_dict(self) -> dict:
+        return {"state": list(self._state.items())}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._state = {int(b): int(packed) for b, packed in state["state"]}
+
     def rnuca_census(self) -> RNucaCensus:
         """Classify every touched block per the Fig.-3 left-bar definition."""
         private = shared_ro = shared = 0

@@ -97,13 +97,17 @@ def sweep_summary_rows(outcome) -> list[list[str]]:
     failed = f"{outcome.failed}"
     if outcome.timed_out:
         failed += f" ({outcome.timed_out} timed out)"
-    return [
-        ["jobs", f"{outcome.ok + outcome.failed}"],
+    preempted = list(getattr(outcome, "preempted", ()))
+    rows = [
+        ["jobs", f"{outcome.ok + outcome.failed + len(preempted)}"],
         ["ok", ok],
         ["retried", f"{outcome.retried}"],
         ["failed", failed],
-        ["wall time", f"{outcome.wall_time:.1f}s"],
     ]
+    if preempted:
+        rows.append(["preempted (resumable)", f"{len(preempted)}"])
+    rows.append(["wall time", f"{outcome.wall_time:.1f}s"])
+    return rows
 
 
 def normalize_series(

@@ -110,18 +110,28 @@ class TestSuiteJson:
 
 
 class TestSchemaVersions:
-    """Schema 3 adds optional trace/timeline sections; 2 stays readable."""
+    """Schema 3 added optional trace/timeline sections; 4 adds the
+    optional ``resumed_from_task`` preemption marker; 2 and 3 stay
+    readable."""
 
-    def test_version_3_is_current_and_2_supported(self):
-        assert SCHEMA_VERSION == 3
-        assert SUPPORTED_SCHEMA_VERSIONS == (2, 3)
+    def test_version_4_is_current_and_2_3_supported(self):
+        assert SCHEMA_VERSION == 4
+        assert SUPPORTED_SCHEMA_VERSIONS == (2, 3, 4)
 
-    def test_v2_document_still_loads(self, results):
-        # A v2 archive is a v3 archive without the optional sections.
+    @pytest.mark.parametrize("old_version", [2, 3])
+    def test_older_document_still_loads(self, results, old_version):
+        # An older archive is a v4 archive without the optional sections.
         doc = json.loads(results_to_json(results))
-        doc["schema_version"] = 2
+        doc["schema_version"] = old_version
         loaded = load_sweep(json.dumps(doc))
         assert set(loaded.runs) == set(results)
+
+    def test_v4_resume_marker_round_trips(self, results):
+        d = result_to_dict(results[("md5", "tdnuca")])
+        d["resumed_from_task"] = 7
+        text = sweep_to_json({("md5", "tdnuca"): d}, [], {"seed": 0})
+        loaded = load_sweep(text)
+        assert loaded.runs[("md5", "tdnuca")]["resumed_from_task"] == 7
 
     def test_v3_trace_sections_round_trip(self, results):
         from repro.api import Session

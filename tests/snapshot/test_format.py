@@ -1,0 +1,221 @@
+"""Snapshot file format: magic/version/CRC validation and quarantine."""
+
+from __future__ import annotations
+
+import os
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.config import scaled_config
+from repro.snapshot import (
+    FORMAT_VERSION,
+    MAGIC,
+    CorruptSnapshotError,
+    SnapshotMismatchError,
+    config_sha256,
+    load_or_quarantine,
+    read_snapshot_file,
+    verify_meta,
+    write_snapshot_file,
+)
+
+PAYLOAD = {
+    "meta": {"workload": "kmeans", "policy": "tdnuca", "seed": 0},
+    "machine": {"counters": [1, 2, 3]},
+}
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "run.snap"
+        assert write_snapshot_file(path, PAYLOAD) == path
+        assert read_snapshot_file(path) == PAYLOAD
+
+    def test_header_layout(self, tmp_path):
+        path = tmp_path / "run.snap"
+        write_snapshot_file(path, PAYLOAD)
+        raw = path.read_bytes()
+        assert raw.startswith(MAGIC)
+        version = int.from_bytes(raw[len(MAGIC) : len(MAGIC) + 4], "little")
+        assert version == FORMAT_VERSION
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_snapshot_file(tmp_path / "absent.snap")
+
+
+class TestCorruption:
+    def _write(self, tmp_path) -> Path:
+        path = tmp_path / "run.snap"
+        write_snapshot_file(path, PAYLOAD)
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptSnapshotError, match="magic"):
+            read_snapshot_file(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(MAGIC)] = 99
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptSnapshotError, match="version"):
+            read_snapshot_file(path)
+
+    def test_payload_bit_flip_fails_crc(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01  # single bit of rot in the payload
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptSnapshotError, match="checksum"):
+            read_snapshot_file(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = self._write(tmp_path)
+        path.write_bytes(path.read_bytes()[:4])
+        with pytest.raises(CorruptSnapshotError, match="truncated"):
+            read_snapshot_file(path)
+
+    def test_non_dict_payload(self, tmp_path):
+        path = tmp_path / "run.snap"
+        write_snapshot_file(path, ["not", "a", "dict"])
+        with pytest.raises(CorruptSnapshotError, match="not a snapshot"):
+            read_snapshot_file(path)
+
+
+class TestQuarantine:
+    def test_corrupt_file_renamed_and_warned(self, tmp_path):
+        path = tmp_path / "run.snap"
+        write_snapshot_file(path, PAYLOAD)
+        raw = bytearray(path.read_bytes())
+        raw[-2] ^= 0x40
+        path.write_bytes(bytes(raw))
+        with pytest.warns(UserWarning, match="corrupt snapshot"):
+            assert load_or_quarantine(path) is None
+        assert not path.exists()
+        assert (tmp_path / "run.snap.corrupt").exists()
+
+    def test_valid_file_untouched(self, tmp_path):
+        path = tmp_path / "run.snap"
+        write_snapshot_file(path, PAYLOAD)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_or_quarantine(path) == PAYLOAD
+        assert path.exists()
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_or_quarantine(tmp_path / "absent.snap") is None
+
+
+class TestVerifyMeta:
+    def _payload(self, cfg):
+        return {
+            "meta": {
+                "workload": "kmeans",
+                "policy": "tdnuca",
+                "seed": 3,
+                "config_sha256": config_sha256(cfg),
+            }
+        }
+
+    def test_match_passes(self):
+        cfg = scaled_config(1 / 1024)
+        verify_meta(
+            self._payload(cfg),
+            workload="kmeans", policy="tdnuca", seed=3, cfg=cfg,
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs, what",
+        [
+            ({"workload": "lu"}, "workload"),
+            ({"policy": "snuca"}, "policy"),
+            ({"seed": 4}, "seed"),
+        ],
+    )
+    def test_identity_mismatch_raises(self, kwargs, what):
+        cfg = scaled_config(1 / 1024)
+        expected = dict(workload="kmeans", policy="tdnuca", seed=3, cfg=cfg)
+        expected.update(kwargs)
+        with pytest.raises(SnapshotMismatchError, match=what):
+            verify_meta(self._payload(cfg), **expected)
+
+    def test_config_mismatch_raises(self):
+        cfg = scaled_config(1 / 1024)
+        other = scaled_config(1 / 64)
+        with pytest.raises(SnapshotMismatchError, match="config_sha256"):
+            verify_meta(
+                self._payload(cfg),
+                workload="kmeans", policy="tdnuca", seed=3, cfg=other,
+            )
+
+    def test_mismatch_is_a_value_error(self):
+        # The harness classifies ValueError as permanent (no pointless
+        # retries for a snapshot that can never match).
+        assert issubclass(SnapshotMismatchError, ValueError)
+
+
+class TestAtomicWriteDurability:
+    def test_parent_directory_fsynced(self, tmp_path, monkeypatch):
+        """The rename is made durable: the parent dir is fsynced after
+        os.replace (a crash right after atomic_write returns must not lose
+        the directory entry)."""
+        from repro import ioutils
+
+        synced: list[int] = []
+        real_fsync = os.fsync
+
+        def spy_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(ioutils.os, "fsync", spy_fsync)
+        target = tmp_path / "out.snap"
+        with ioutils.atomic_write(target, "wb") as fh:
+            fh.write(b"payload")
+        assert target.read_bytes() == b"payload"
+        # One fsync for the temp file's contents, one for the parent
+        # directory entry after the rename.
+        assert len(synced) >= 2
+
+    def test_directory_fsync_failure_is_survivable(self, tmp_path, monkeypatch):
+        """Filesystems that cannot fsync a directory (some network mounts)
+        must not break atomic_write — only the data fsync is load-bearing."""
+        import stat
+
+        from repro import ioutils
+
+        real_fsync = os.fsync
+
+        def dir_hostile_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError("directory fsync not supported here")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(ioutils.os, "fsync", dir_hostile_fsync)
+        target = tmp_path / "out.txt"
+        with ioutils.atomic_write(target) as fh:
+            fh.write("hello")
+        assert target.read_text() == "hello"
+
+    def test_unopenable_directory_is_survivable(self, tmp_path, monkeypatch):
+        from repro import ioutils
+
+        real_open = os.open
+
+        def dir_hostile_open(path, flags, *args, **kwargs):
+            if Path(path).is_dir():
+                raise OSError("cannot open directories")
+            return real_open(path, flags, *args, **kwargs)
+
+        monkeypatch.setattr(ioutils.os, "open", dir_hostile_open)
+        target = tmp_path / "out.txt"
+        with ioutils.atomic_write(target) as fh:
+            fh.write("hello")
+        assert target.read_text() == "hello"

@@ -1,0 +1,57 @@
+"""Interrupt-and-resume byte-identity over the golden case matrix.
+
+For every committed golden configuration (all six policies across three
+workloads, plus the fault-injected runs), preempt the simulation after a
+handful of tasks, resume it from the snapshot file, and require the final
+canonical statistics to match the committed ``tests/golden/*.json``
+snapshot exactly — the same oracle the hot-path optimizations answer to.
+A resumed run that drifts by a single counter fails here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import _run_one
+from repro.experiments.golden import GOLDEN_CASES, canonical_stats
+from repro.snapshot import Checkpointer, PreemptedError
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: early enough to land inside warmup for small runs, exercising the
+#: warmup-segment snapshot path as well as the main one.
+PREEMPT_AT = 4
+
+
+@pytest.mark.parametrize(
+    "case", GOLDEN_CASES, ids=[c.case_id for c in GOLDEN_CASES]
+)
+def test_interrupted_run_resumes_to_golden_stats(tmp_path, case):
+    golden_path = GOLDEN_DIR / f"{case.case_id}.json"
+    assert golden_path.exists(), f"missing golden snapshot {golden_path}"
+    expected = json.loads(golden_path.read_text())
+
+    snap = tmp_path / f"{case.case_id}.snap"
+    ck = Checkpointer(snap, preempt_after_tasks=PREEMPT_AT)
+    with pytest.raises(PreemptedError) as err:
+        _run_one(
+            case.workload, case.policy, case.config(),
+            seed=case.seed, checkpoint=ck,
+        )
+    assert err.value.path == snap and snap.exists()
+
+    resumed = _run_one(
+        case.workload, case.policy, case.config(),
+        seed=case.seed, resume_from=snap,
+    )
+    assert resumed.extra["resumed_from_task"] == PREEMPT_AT
+    # JSON round-trip the resumed stats exactly as the committed snapshot
+    # was produced, then require equality down to the last counter.
+    actual = json.loads(json.dumps(canonical_stats(resumed), sort_keys=True))
+    assert actual == expected, (
+        f"{case.case_id}: resumed statistics diverged from the golden "
+        "snapshot"
+    )

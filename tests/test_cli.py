@@ -45,6 +45,57 @@ class TestCommands:
         assert payload["workload"] == "md5"
         assert payload["tdnuca_runtime"]["bypass"] > 0
 
+    def test_run_deadline_preempts_and_resumes(self, tmp_path, capsys):
+        from repro.snapshot import EXIT_PREEMPTED
+
+        snap = tmp_path / "run.snap"
+        rc = main(
+            [
+                "run", "md5", "tdnuca", "--scale", "2048", "--json",
+                "--deadline", "0.0001", "--checkpoint-to", str(snap),
+            ]
+        )
+        assert rc == EXIT_PREEMPTED
+        assert snap.exists()
+        captured = capsys.readouterr()
+        assert "--resume-from" in captured.err
+
+        reference = json.loads(
+            (
+                main(["run", "md5", "tdnuca", "--scale", "2048", "--json"]),
+                capsys.readouterr().out,
+            )[1]
+        )
+        rc = main(
+            [
+                "run", "md5", "tdnuca", "--scale", "2048", "--json",
+                "--resume-from", str(snap),
+            ]
+        )
+        assert rc == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed.pop("resumed_from_task") >= 1
+        assert resumed == reference
+
+    def test_run_resume_rejects_wrong_identity(self, tmp_path, capsys):
+        from repro.snapshot import EXIT_PREEMPTED
+
+        snap = tmp_path / "run.snap"
+        rc = main(
+            [
+                "run", "md5", "tdnuca", "--scale", "2048",
+                "--deadline", "0.0001", "--checkpoint-to", str(snap),
+            ]
+        )
+        assert rc == EXIT_PREEMPTED
+        with pytest.raises(ValueError, match="mismatch"):
+            main(
+                [
+                    "run", "md5", "snuca", "--scale", "2048",
+                    "--resume-from", str(snap),
+                ]
+            )
+
     def test_run_with_trace_file(self, tmp_path, capsys):
         trace_file = tmp_path / "run.trace.json"
         rc = main(
@@ -109,7 +160,7 @@ class TestCommands:
         )
         assert rc == 0
         payload = json.loads(out_file.read_text())
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert "md5/tdnuca" in payload["runs"]
         assert len(payload["runs"]) == 16  # 8 workloads x 2 policies
         assert payload["failures"] == []
