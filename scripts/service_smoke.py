@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""CI chaos smoke for the simulation service.
+
+Drives the real ``repro serve`` process over HTTP and asserts the
+resilience contract end-to-end:
+
+1. A duplicate submit is answered from the content-addressed cache —
+   zero new simulations, result byte-identical to a direct
+   ``repro run --json`` reference.
+2. SIGTERM mid-job drains to a spool snapshot and exits 75
+   (``EX_TEMPFAIL``); ``kill -9`` mid-job loses nothing the periodic
+   checkpointer already wrote.  A restarted server on the same
+   cache/spool directories resumes and the final statistics are
+   byte-identical to the uninterrupted reference.
+3. A bit-flipped cache entry is quarantined to ``<name>.corrupt`` and
+   transparently recomputed, not served.
+
+Usage: ``PYTHONPATH=src python scripts/service_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+EXIT_DRAINED = 75
+SPEC = {"workload": "md5", "policy": "tdnuca", "scale": 2048}
+START_TIMEOUT = 30.0
+KILL_AFTER = 2.0  # seconds into the SLOW hold: server is mid-attempt
+
+
+def _env(**overrides: str) -> dict[str, str]:
+    env = {**os.environ, **overrides}
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _start_server(tmp: Path, **env_overrides: str) -> tuple[subprocess.Popen, ServiceClient]:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", "1",
+            "--cache-dir", str(tmp / "cache"),
+            "--spool-dir", str(tmp / "spool"),
+            "--checkpoint-every", "40",
+            "--drain-grace", "20",
+        ],
+        env=_env(**env_overrides), cwd=ROOT,
+        stdout=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + START_TIMEOUT
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("listening on "):
+            break
+    assert line.startswith("listening on "), f"server never came up: {line!r}"
+    host, _, port = line.split()[-1].rpartition(":")
+    client = ServiceClient(host, int(port), retries=6, backoff=0.1)
+    return proc, client
+
+
+def _stop(proc: subprocess.Popen) -> int:
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=60)
+    proc.stdout.close()
+    return rc
+
+
+def _submit_and_wait(client: ServiceClient) -> tuple[dict, dict]:
+    job = client.submit_run(**SPEC)
+    done = client.wait(job["id"], timeout=120)
+    result = client.result(job["id"])["result"]
+    return done, result
+
+
+def main() -> int:
+    # Uninterrupted reference through the plain CLI.
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "run", "md5", "tdnuca",
+         "--scale", "2048", "--json"],
+        env=_env(), cwd=ROOT, capture_output=True, text=True, check=True,
+    ).stdout
+    reference = json.loads(out)
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+
+        # ------------------------------------------------- cache hits
+        proc, client = _start_server(tmp)
+        try:
+            first, result = _submit_and_wait(client)
+            assert result == reference, "service result diverges from CLI run"
+            assert first["simulated"] == 1, first
+
+            second, dup = _submit_and_wait(client)
+            assert dup == reference
+            assert second["simulated"] == 0, second
+            assert second["cache_hits"] == 1, second
+            health = client.health()
+            assert health["queue"]["simulations_run"] == 1, (
+                "duplicate submit must do zero new simulation work: "
+                f"{health['queue']}"
+            )
+        finally:
+            rc = _stop(proc)
+        assert rc == EXIT_DRAINED, f"SIGTERM drain should exit 75, got {rc}"
+
+        # -------------------------------- SIGTERM drains to a snapshot
+        proc, client = _start_server(tmp, REPRO_SERVICE_SLOW="1.5")
+        client.submit_run(workload="lu", policy="tdnuca", scale=512)
+        time.sleep(KILL_AFTER)
+        rc = _stop(proc)
+        assert rc == EXIT_DRAINED, f"drain mid-job should exit 75, got {rc}"
+        snaps = list((tmp / "spool").glob("*.snap"))
+        assert len(snaps) == 1, f"drain should leave one snapshot: {snaps}"
+
+        # Restart and resubmit: the job resumes from the drain snapshot
+        # and lands byte-identical to an uninterrupted CLI run.
+        lu_clean = json.loads(subprocess.run(
+            [sys.executable, "-m", "repro", "run", "lu", "tdnuca",
+             "--scale", "512", "--json"],
+            env=_env(), cwd=ROOT, capture_output=True, text=True,
+            check=True,
+        ).stdout)
+        proc, client = _start_server(tmp)
+        try:
+            rejob = client.submit_run(workload="lu", policy="tdnuca",
+                                      scale=512)
+            redone = client.wait(rejob["id"], timeout=120)
+            assert redone["resumed_from_task"], (
+                f"restarted job should resume from the snapshot: {redone}"
+            )
+            reresult = client.result(rejob["id"])["result"]
+            assert reresult == lu_clean, (
+                "resumed-after-drain result diverges from a clean run"
+            )
+            assert not list((tmp / "spool").glob("*.snap")), (
+                "snapshot must be consumed after successful resume"
+            )
+        finally:
+            rc = _stop(proc)
+        assert rc == EXIT_DRAINED, f"post-resume drain should exit 75, got {rc}"
+
+        # ------------------------- kill -9, restart, resume from spool
+        # A fresh cell (scale 128: not cached, no snapshot, ~6 s of work)
+        # so the periodic checkpointer — not the drain — is what survives
+        # the SIGKILL.
+        proc, client = _start_server(tmp, REPRO_SERVICE_SLOW="0.5")
+        client.submit_run(workload="lu", policy="tdnuca", scale=128)
+        time.sleep(KILL_AFTER)
+        proc.kill()  # SIGKILL: no drain, no goodbye
+        proc.wait(timeout=30)
+        proc.stdout.close()
+        assert list((tmp / "spool").glob("*.snap")), (
+            "kill -9 mid-job should leave the periodic checkpoint behind"
+        )
+
+        proc, client = _start_server(tmp)
+        try:
+            done, resumed = _submit_and_wait(client)  # md5: still cached
+            assert done["cache_hits"] == 1 and resumed == reference
+
+            rejob = client.submit_run(workload="lu", policy="tdnuca",
+                                      scale=128)
+            redone = client.wait(rejob["id"], timeout=120)
+            reresult = client.result(rejob["id"])["result"]
+            assert redone["resumed_from_task"], (
+                f"job resubmitted after kill -9 should resume: {redone}"
+            )
+            lu_128 = json.loads(subprocess.run(
+                [sys.executable, "-m", "repro", "run", "lu", "tdnuca",
+                 "--scale", "128", "--json"],
+                env=_env(), cwd=ROOT, capture_output=True, text=True,
+                check=True,
+            ).stdout)
+            assert reresult == lu_128, (
+                "resumed-after-kill-9 result diverges from a clean run"
+            )
+            assert not list((tmp / "spool").glob("*.snap")), (
+                "snapshot must be consumed after successful resume"
+            )
+
+            # -------------------- corruption: quarantine and recompute
+            # Flip one bit in one cache entry, then resubmit both cells.
+            # Whichever entry was hit must be recomputed (not served),
+            # quarantined to .corrupt, and the result must still match.
+            entries = sorted((tmp / "cache").glob("*.rcache"))
+            assert entries, "cache should hold entries by now"
+            victim = entries[0]
+            blob = bytearray(victim.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF
+            victim.write_bytes(bytes(blob))
+
+            before = client.health()["queue"]["simulations_run"]
+            _, healed = _submit_and_wait(client)
+            fresh_lu = client.submit_run(workload="lu", policy="tdnuca",
+                                         scale=512)
+            client.wait(fresh_lu["id"], timeout=120)
+            after = client.health()
+            assert after["queue"]["simulations_run"] == before + 1, (
+                "exactly the corrupted cell must be recomputed"
+            )
+            assert after["cache"]["corrupt"] >= 1, after["cache"]
+            assert list((tmp / "cache").glob("*.corrupt")), (
+                "corrupt entry should be quarantined, not deleted"
+            )
+            assert healed == reference
+        finally:
+            rc = _stop(proc)
+        assert rc == EXIT_DRAINED, f"final drain should exit 75, got {rc}"
+
+    print(
+        "service smoke ok: duplicate submit hit the cache, SIGTERM drained "
+        "to a snapshot (exit 75), kill -9 resumed byte-identically, corrupt "
+        "entry quarantined and recomputed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

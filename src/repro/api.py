@@ -151,6 +151,22 @@ class RunResult:
         timeline = obs.timeline if obs is not None else None
         return result_to_dict(self.experiment, trace=trace, timeline=timeline)
 
+    def stats_dict(self) -> dict[str, Any]:
+        """Flatten to the *canonical untraced* result dict.
+
+        Unlike :meth:`to_dict` this never attaches trace/timeline sections
+        or resume markers, so the dict for a traced, resumed, or cached run
+        is byte-identical (under sorted-key JSON) to a plain fresh run of
+        the same configuration — the property the service's
+        content-addressed result cache is built on.  Whether this run was
+        resumed stays available via ``experiment.extra``.
+        """
+        from repro.experiments.serialize import result_to_dict
+
+        out = result_to_dict(self.experiment)
+        out.pop("resumed_from_task", None)
+        return out
+
 
 class Session:
     """A configured simulation context: build once, run many experiments.

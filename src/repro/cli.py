@@ -7,6 +7,8 @@
     python -m repro figures [...]             # the paper's figures 3, 8-14
     python -m repro sweep --out results.json  # archive a suite as JSON
     python -m repro sweep --resume DIR        # finish an interrupted sweep
+    python -m repro serve --port 8642         # simulation-as-a-service
+    python -m repro submit lu tdnuca          # run via the server (cached)
 
 Scale is given as ``--scale N`` meaning capacities at 1/N of Table I
 (default 64, the calibrated experiment scale).  Every simulation command
@@ -43,9 +45,14 @@ FIGURE_BUILDERS = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TD-NUCA (SC'22) reproduction: runtime-driven NUCA management.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -204,6 +211,85 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("old", help="baseline sweep JSON")
     p_cmp.add_argument("new", help="candidate sweep JSON")
     p_cmp.add_argument("--tolerance", type=float, default=0.02)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation job server (asyncio, stdlib-only)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listening port; 0 picks a free one (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default="service-cache", metavar="DIR",
+        help="content-addressed result cache (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--spool-dir", default="service-spool", metavar="DIR",
+        help="checkpoint spool for preempted/evicted jobs "
+        "(default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent simulation workers (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=32, metavar="N",
+        help="queue depth at which the breaker sheds load with 503 "
+        "(default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (jobs past it fail with a typed "
+        "timeout; their checkpoint survives for resubmission)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries per job for transient failures (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--evict-after", type=float, default=None, metavar="SECONDS",
+        help="time-slice: preempt a running job at its next task boundary "
+        "after this long and requeue it behind waiting work",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="also snapshot running jobs every N completed tasks, so even "
+        "kill -9 resumes from the last snapshot",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="SIGTERM: wait this long for in-flight jobs to checkpoint "
+        "before exiting 75 (default %(default)s)",
+    )
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a run to a 'repro serve' server and wait"
+    )
+    p_sub.add_argument("workload", choices=workload_names())
+    p_sub.add_argument("policy", choices=list(POLICIES))
+    _add_scale(p_sub)
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument(
+        "--faults", default="", metavar="SPEC",
+        help="fault schedule (see 'repro run --faults')",
+    )
+    p_sub.add_argument("--strict", action="store_true")
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, default=8642)
+    p_sub.add_argument("--json", action="store_true", help="emit JSON stats")
+    p_sub.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's progress events (NDJSON) to stderr",
+    )
+    p_sub.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without waiting for the result",
+    )
+    p_sub.add_argument(
+        "--wait-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up waiting after this long (default %(default)s)",
+    )
 
     p_tdg = sub.add_parser(
         "tdg", help="export a workload's task dependency graph as DOT"
@@ -548,7 +634,7 @@ def cmd_compare(args) -> int:
         with open(path) as fh:
             text = fh.read()
         try:
-            docs[label] = load_sweep(text)
+            docs[label] = load_sweep(text, path=path)
         except SchemaVersionError as exc:
             print(
                 f"{path}: schema version mismatch — the file was written "
@@ -575,6 +661,86 @@ def cmd_compare(args) -> int:
     return 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import ServiceServer
+
+    server = ServiceServer(
+        args.host,
+        args.port,
+        cache_dir=args.cache_dir,
+        spool_dir=args.spool_dir,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        timeout=args.timeout,
+        retries=args.retries,
+        evict_after=args.evict_after,
+        checkpoint_every=args.checkpoint_every,
+        drain_grace=args.drain_grace,
+    )
+
+    async def run() -> int:
+        await server.start()
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        return await server.serve_forever()
+
+    return asyncio.run(run())
+
+
+def cmd_submit(args) -> int:
+    import json
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.envelope import ServiceError
+    from repro.snapshot import EXIT_PREEMPTED
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        job = client.submit_run(
+            workload=args.workload,
+            policy=args.policy,
+            seed=args.seed,
+            scale=args.scale,
+            faults=args.faults,
+            strict=args.strict,
+        )
+        if args.no_wait:
+            print(job["id"])
+            return 0
+        follower = None
+        if args.follow:
+            def _follow() -> None:
+                try:
+                    for event in client.iter_events(job["id"]):
+                        print(json.dumps(event, sort_keys=True),
+                              file=sys.stderr, flush=True)
+                except (ServiceError, OSError):  # server drained mid-stream
+                    pass
+
+            follower = threading.Thread(target=_follow, daemon=True)
+            follower.start()
+        final = client.wait(job["id"], timeout=args.wait_timeout)
+        data = client.result(job["id"])
+        if follower is not None:
+            follower.join(timeout=5.0)
+    except ServiceError as exc:
+        print(f"error [{exc.type}]: {exc.message}", file=sys.stderr)
+        return EXIT_PREEMPTED if exc.retryable else 1
+    if args.json:
+        print(json.dumps(data["result"], indent=2, sort_keys=True))
+    else:
+        hit = "cache hit" if final.get("simulated", 0) == 0 else "simulated"
+        print(
+            f"{args.workload}/{args.policy}: {final['state']} ({hit}, "
+            f"{final['attempts']} attempt(s), "
+            f"{final['evictions']} eviction(s)) — "
+            f"makespan {data['result']['makespan_cycles']:,} cycles"
+        )
+    return 0
+
+
 def cmd_tdg(args) -> int:
     from repro.ioutils import atomic_write
     from repro.runtime.tdgviz import program_to_dot
@@ -596,6 +762,8 @@ _COMMANDS = {
     "figures": cmd_figures,
     "sweep": cmd_sweep,
     "compare": cmd_compare,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "tdg": cmd_tdg,
 }
 

@@ -76,6 +76,7 @@ __all__ = [
     "run_sweep",
     "load_manifest",
     "config_fingerprint",
+    "retry_delay",
     "PERMANENT_ERRORS",
     "MANIFEST_NAME",
     "SHARD_DIR",
@@ -272,6 +273,23 @@ class SweepFailure(RuntimeError):
         if extra > 0:
             shown += f" and {extra} more"
         super().__init__(f"{len(self.failures)} sweep job(s) failed: {shown}")
+
+
+def retry_delay(
+    attempt: int, backoff: float, *, cap: float = 30.0, rng: Any = None
+) -> float:
+    """Seconds to wait before retrying after ``attempt`` failures.
+
+    Exponential (``backoff * 2**(attempt-1)``) capped at ``cap``; with an
+    ``rng`` (anything exposing ``random()``), full-jitter in the upper
+    half of the window so a thundering herd of retries decorrelates — the
+    service queue passes one, the sweep harness keeps its deterministic
+    schedule by passing none.
+    """
+    delay = min(cap, backoff * (2 ** (attempt - 1)))
+    if rng is None:
+        return delay
+    return delay * (0.5 + 0.5 * rng.random())
 
 
 def config_fingerprint(cfg: Any) -> str:
@@ -707,7 +725,7 @@ def _run_inline(
                 if not permanent and not interrupted and attempt <= retries:
                     emit("retry", job, f"attempt {attempt}: {type(exc).__name__}")
                     if backoff:
-                        time.sleep(backoff * (2 ** (attempt - 1)))
+                        time.sleep(retry_delay(attempt, backoff))
                     attempt += 1
                     continue
                 fail(job, type(exc).__name__, str(exc),
@@ -758,7 +776,7 @@ def _run_isolated(
     ) -> None:
         retryable = not permanent and item.attempt <= retries and not draining
         if retryable:
-            delay = backoff * (2 ** (item.attempt - 1))
+            delay = retry_delay(item.attempt, backoff)
             queue.append(
                 _Pending(item.job, item.attempt + 1,
                          time.monotonic() + delay, spent, item.resume_from)
@@ -1023,7 +1041,7 @@ def load_manifest(run_dir: str | Path) -> dict[str, Any]:
     if not isinstance(raw, dict) or raw.get("kind") != "sweep-manifest":
         raise ValueError(f"{path} is not a sweep manifest")
     if raw.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS:
-        raise SchemaVersionError(raw.get("schema_version"))
+        raise SchemaVersionError(raw.get("schema_version"), path=path)
     if not isinstance(raw.get("jobs"), list):
         raise ValueError(f"{path}: manifest is missing its job list")
     return raw

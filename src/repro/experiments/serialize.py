@@ -65,14 +65,26 @@ SUPPORTED_SCHEMA_VERSIONS = (2, 3, 4)
 
 
 class SchemaVersionError(ValueError):
-    """A sweep archive was written under an unsupported schema version."""
+    """A sweep archive was written under an unsupported schema version.
 
-    def __init__(self, found: Any, expected: int = SCHEMA_VERSION):
+    The message names the offending file (when the caller knows it), the
+    version actually found, and the versions this build reads — enough to
+    fix the problem without opening the file.
+    """
+
+    def __init__(
+        self,
+        found: Any,
+        expected: int = SCHEMA_VERSION,
+        path: Any = None,
+    ):
         self.found = found
         self.expected = expected
+        self.path = path
         supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
+        where = f"{path}: " if path is not None else ""
         super().__init__(
-            f"sweep JSON schema version {found!r} is not supported "
+            f"{where}sweep JSON schema version {found!r} is not supported "
             f"(this tool reads versions {supported} and writes version "
             f"{expected}); re-archive the sweep with 'repro sweep'"
         )
@@ -246,43 +258,47 @@ def results_to_json(
     return sweep_to_json(results, indent=indent)
 
 
-def load_sweep(text: str) -> SweepDocument:
+def load_sweep(text: str, *, path: Any = None) -> SweepDocument:
     """Parse and validate a sweep archive.
 
     Raises :class:`SchemaVersionError` when the archive was written under a
     different schema version and plain :class:`ValueError` (with a message
-    naming the problem) on corrupt, unversioned, or malformed input.
+    naming the problem — and the offending file, when ``path`` is given)
+    on corrupt, unversioned, or malformed input.
     """
+    where = f"{path}: " if path is not None else ""
     try:
         raw = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise ValueError(f"corrupt sweep JSON: {exc}") from exc
+        raise ValueError(f"{where}corrupt sweep JSON: {exc}") from exc
     if not isinstance(raw, dict):
-        raise ValueError("corrupt sweep JSON: top level must be an object")
+        raise ValueError(f"{where}corrupt sweep JSON: top level must be an object")
     if "schema_version" not in raw:
         raise ValueError(
-            "unversioned sweep JSON (written before schema versioning); "
-            "re-archive it with 'repro sweep'"
+            f"{where}unversioned sweep JSON (written before schema "
+            "versioning); re-archive it with 'repro sweep'"
         )
     if raw["schema_version"] not in SUPPORTED_SCHEMA_VERSIONS:
-        raise SchemaVersionError(raw["schema_version"])
+        raise SchemaVersionError(raw["schema_version"], path=path)
     runs_raw = raw.get("runs")
     if not isinstance(runs_raw, dict):
-        raise ValueError("corrupt sweep JSON: missing 'runs' object")
+        raise ValueError(f"{where}corrupt sweep JSON: missing 'runs' object")
     runs: dict[tuple[str, str], dict[str, Any]] = {}
     for key, value in runs_raw.items():
         wl, _, pol = key.partition("/")
         if not pol:
-            raise ValueError(f"malformed result key {key!r}")
+            raise ValueError(f"{where}malformed result key {key!r}")
         if not isinstance(value, dict):
-            raise ValueError(f"corrupt sweep JSON: run {key!r} is not an object")
+            raise ValueError(
+                f"{where}corrupt sweep JSON: run {key!r} is not an object"
+            )
         runs[(wl, pol)] = value
     failures = raw.get("failures", [])
     if not isinstance(failures, list):
-        raise ValueError("corrupt sweep JSON: 'failures' must be a list")
+        raise ValueError(f"{where}corrupt sweep JSON: 'failures' must be a list")
     meta = raw.get("sweep", {})
     if not isinstance(meta, dict):
-        raise ValueError("corrupt sweep JSON: 'sweep' must be an object")
+        raise ValueError(f"{where}corrupt sweep JSON: 'sweep' must be an object")
     return SweepDocument(
         runs=runs,
         failures=failures,

@@ -34,9 +34,15 @@ def atomic_write(path: str | Path, mode: str = "w", *, fsync: bool = True):
         raise ValueError(f"atomic_write needs a plain write mode, got {mode!r}")
     path = Path(path)
     directory = str(path.parent) if str(path.parent) else "."
-    fd, tmp = tempfile.mkstemp(
-        dir=directory, prefix=path.name + ".", suffix=".tmp"
-    )
+    try:
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=path.name + ".", suffix=".tmp"
+        )
+    except FileNotFoundError as exc:
+        raise FileNotFoundError(
+            f"atomic_write target directory does not exist: {directory!r} "
+            f"(writing {path.name!r}); create it first"
+        ) from exc
     try:
         encoding = None if "b" in mode else "utf-8"
         with os.fdopen(fd, mode.replace("x", "w"), encoding=encoding) as fh:

@@ -24,6 +24,7 @@ from repro.obs.export import (
     write_event_log,
 )
 from repro.obs.observer import DEFAULT_SAMPLE_EVERY, Observer
+from repro.obs.stream import CallbackSink, event_to_dict
 from repro.obs.timeline import IntervalSample, IntervalTimeline
 
 __all__ = [
@@ -31,6 +32,8 @@ __all__ = [
     "TraceEvent",
     "TraceSink",
     "EventTrace",
+    "CallbackSink",
+    "event_to_dict",
     "Observer",
     "DEFAULT_SAMPLE_EVERY",
     "IntervalSample",

@@ -1,0 +1,75 @@
+"""Streaming sinks: forward observer events to a callback as they happen.
+
+The service's NDJSON progress endpoint needs live events rather than a
+post-run ring buffer, and it needs them *bounded*: a million-task run
+must not push a million lines at every polling client.  A
+:class:`CallbackSink` forwards every phase/flush/fault/RRT event verbatim
+but samples the high-frequency task events — one ``task_end`` in every
+``task_sample_every`` (carrying the cumulative count) — so the stream
+stays a progress feed, not a firehose.
+
+The callback runs on the simulation thread; callers that cross threads
+(the service appends into a lock-guarded buffer) must make it
+thread-safe themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.events import EventKind, TraceEvent
+
+__all__ = ["CallbackSink", "event_to_dict"]
+
+#: default task-event sampling period for streamed progress.
+DEFAULT_TASK_SAMPLE_EVERY = 64
+
+
+def event_to_dict(event: TraceEvent, tasks_done: int | None = None) -> dict[str, Any]:
+    """A JSON-safe dict for one event (the NDJSON line shape)."""
+    out = event.to_dict()
+    if tasks_done is not None:
+        out["tasks_done"] = tasks_done
+    return out
+
+
+class CallbackSink:
+    """A :class:`~repro.obs.events.TraceSink` that forwards dicts to a callable.
+
+    ``task_sample_every=N`` keeps every Nth ``task_end`` (plus the running
+    task total) and drops ``task_start`` entirely; every other event kind
+    passes through unsampled.  ``task_sample_every=1`` forwards every task
+    boundary; ``0`` silences task events altogether.
+    """
+
+    __slots__ = ("callback", "task_sample_every", "tasks_seen", "forwarded")
+
+    def __init__(
+        self,
+        callback: Callable[[dict[str, Any]], None],
+        *,
+        task_sample_every: int = DEFAULT_TASK_SAMPLE_EVERY,
+    ) -> None:
+        if task_sample_every < 0:
+            raise ValueError("task_sample_every must be >= 0")
+        self.callback = callback
+        self.task_sample_every = task_sample_every
+        self.tasks_seen = 0
+        self.forwarded = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind is EventKind.TASK_START:
+            return
+        if kind is EventKind.TASK_END:
+            every = self.task_sample_every
+            if not every:
+                return
+            self.tasks_seen += 1
+            if self.tasks_seen % every:
+                return
+            payload = event_to_dict(event, tasks_done=self.tasks_seen)
+        else:
+            payload = event_to_dict(event)
+        self.forwarded += 1
+        self.callback(payload)

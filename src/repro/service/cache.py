@@ -1,0 +1,189 @@
+"""Content-addressed result cache keyed on the request's config fingerprint.
+
+A cache entry maps one fully-resolved simulation request — the
+``config_sha256`` the snapshot layer already computes (covering machine
+geometry, fault schedule, and invariant mode) plus workload, policy, and
+seed — to the canonical flattened result dict.  Because simulation is
+deterministic for a given key, identical requests across users are never
+simulated twice: the first run pays, everyone after reads.
+
+Entry files use the snapshot framing (magic, version, CRC32 header over a
+canonical-JSON payload) and are written through
+:func:`repro.ioutils.atomic_write`, so ``kill -9`` mid-store leaves either
+no entry or a complete one.  Reads CRC-validate; a corrupt entry (bit
+rot, truncated copy) is quarantined to ``<name>.corrupt`` with a
+structured warning and reported as a miss, so the caller recomputes
+instead of serving garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import threading
+import warnings
+import zlib
+from pathlib import Path
+from typing import Any
+
+from repro.ioutils import atomic_write
+from repro.snapshot import config_sha256
+
+__all__ = ["ResultCache", "request_key", "CACHE_MAGIC", "CACHE_VERSION"]
+
+#: file magic for a cached result (distinct from the RPROSNAP snapshots).
+CACHE_MAGIC = b"RPROCRES"
+
+#: bump on any incompatible entry layout change; old versions are treated
+#: as misses (and quarantined) rather than loaded wrongly.
+CACHE_VERSION = 1
+
+_HEADER = struct.Struct("<II")  # version, crc32(payload)
+
+
+def request_key(cfg, workload: str, policy: str, seed: int) -> str:
+    """The content address of one simulation request.
+
+    Built from ``config_sha256(cfg)`` — which already folds in capacities,
+    latencies, the fault schedule, and strict-invariant mode — plus the
+    (workload, policy, seed) cell, so two requests share a key exactly
+    when their simulations are guaranteed byte-identical.
+    """
+    blob = f"{config_sha256(cfg)}|{workload}|{policy}|{seed}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """CRC-validated, atomically-written result store under one directory.
+
+    Thread-safe: the service's worker threads store entries while the
+    asyncio loop reads them.  Counters (:attr:`hits`, :attr:`misses`,
+    :attr:`corrupt`, :attr:`stores`) feed the health endpoint and the CI
+    smoke's "zero new simulation work on a duplicate submit" assertion.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+        self._lock = threading.Lock()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.rcache"
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached result for ``key``, or ``None`` on miss.
+
+        A corrupt entry is renamed to ``<name>.corrupt`` (kept for
+        forensics), counted, warned about, and reported as a miss — the
+        degradation path is always "recompute", never "serve garbage".
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            entry = self._decode(path, raw)
+        except ValueError as exc:
+            self._quarantine(path, exc)
+            return None
+        if entry.get("key") != key:
+            # Entry content does not match its address (renamed file?):
+            # treat exactly like corruption.
+            self._quarantine(path, ValueError(f"{path}: key mismatch"))
+            return None
+        with self._lock:
+            self.hits += 1
+        return entry["result"]
+
+    def put(self, key: str, result: dict[str, Any],
+            meta: dict[str, Any] | None = None) -> Path:
+        """Store ``result`` under ``key`` atomically; returns the path."""
+        entry = {
+            "key": key,
+            "meta": dict(meta or {}),
+            "result": result,
+        }
+        payload = json.dumps(entry, sort_keys=True).encode("utf-8")
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        path = self.path_for(key)
+        with atomic_write(path, "wb") as fh:
+            fh.write(CACHE_MAGIC)
+            fh.write(_HEADER.pack(CACHE_VERSION, crc))
+            fh.write(payload)
+        with self._lock:
+            self.stores += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.rcache"))
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "stores": self.stores,
+                "entries": len(self),
+            }
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _decode(path: Path, raw: bytes) -> dict[str, Any]:
+        header_len = len(CACHE_MAGIC) + _HEADER.size
+        if len(raw) < header_len:
+            raise ValueError(
+                f"{path}: truncated cache entry "
+                f"({len(raw)} bytes, header needs {header_len})"
+            )
+        if raw[: len(CACHE_MAGIC)] != CACHE_MAGIC:
+            raise ValueError(
+                f"{path}: not a cache entry (magic "
+                f"{raw[:len(CACHE_MAGIC)]!r}, expected {CACHE_MAGIC!r})"
+            )
+        version, crc = _HEADER.unpack_from(raw, len(CACHE_MAGIC))
+        if version != CACHE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported cache entry version {version} "
+                f"(this build reads version {CACHE_VERSION})"
+            )
+        payload = raw[header_len:]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise ValueError(f"{path}: checksum mismatch (corrupt payload)")
+        try:
+            entry = json.loads(payload)
+        except ValueError as exc:
+            raise ValueError(f"{path}: unreadable payload: {exc}") from exc
+        if not isinstance(entry, dict) or "result" not in entry:
+            raise ValueError(f"{path}: payload is not a cache entry")
+        return entry
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine)
+            where = f"quarantined to {quarantine}"
+        except OSError:
+            where = "could not be quarantined"
+        with self._lock:
+            self.corrupt += 1
+            self.misses += 1
+        warnings.warn(
+            f"ignoring corrupt cache entry ({exc}); {where}; recomputing",
+            stacklevel=3,
+        )

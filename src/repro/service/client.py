@@ -1,0 +1,175 @@
+"""A small retrying HTTP client for the simulation service.
+
+Used by the ``repro submit`` CLI and the smoke/chaos tests.  Connection
+failures and retryable envelopes (``saturated``/``draining``/``timeout``)
+are retried with the same capped exponential backoff + full jitter the
+sweep harness uses (:func:`repro.experiments.harness.retry_delay`),
+honouring the server's ``Retry-After`` hint when one is given.  A
+non-retryable error envelope is raised as the corresponding typed
+:class:`~repro.service.envelope.ServiceError` — the caller never parses
+HTTP status codes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from typing import Any, Iterator
+
+from repro.experiments.harness import retry_delay
+from repro.service.envelope import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        *,
+        retries: int = 4,
+        backoff: float = 0.2,
+        timeout: float = 30.0,
+        jitter_seed: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout = timeout
+        self._rng = random.Random(jitter_seed)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _once(
+        self, method: str, path: str, body: dict[str, Any] | None
+    ) -> dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        finally:
+            conn.close()
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                "internal",
+                f"server returned non-JSON response (status {resp.status})",
+            ) from exc
+        if envelope.get("ok"):
+            return envelope
+        raise ServiceError.from_dict(envelope.get("error") or {})
+
+    def request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """One API call with retries; returns the whole ``ok`` envelope."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._once(method, path, body)
+            except ServiceError as err:
+                if not err.retryable or attempt > self.retries:
+                    raise
+                delay = err.retry_after
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                if attempt > self.retries:
+                    raise ServiceError(
+                        "internal",
+                        f"cannot reach service at {self.host}:{self.port} "
+                        f"after {attempt} attempts: {exc}",
+                    ) from exc
+                delay = None
+            if delay is None:
+                delay = retry_delay(attempt, self.backoff, rng=self._rng)
+            time.sleep(delay)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/health")["data"]
+
+    def submit_run(self, **spec: Any) -> dict[str, Any]:
+        """Submit one run; returns the job record."""
+        return self.request("POST", "/v1/run", spec)["data"]["job"]
+
+    def submit_sweep(self, **spec: Any) -> dict[str, Any]:
+        """Submit a sweep; returns the job record."""
+        return self.request("POST", "/v1/sweep", spec)["data"]["job"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self.request("GET", f"/v1/jobs/{job_id}")["data"]["job"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The finished job's envelope data: ``{"job": ..., "result": ...}``."""
+        return self.request("GET", f"/v1/jobs/{job_id}/result")["data"]
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.1
+    ) -> dict[str, Any]:
+        """Poll until the job settles; returns the final job record.
+
+        A ``failed`` job raises its stored typed error; ``preempted``
+        raises a retryable ``draining`` error (resubmit to a live server —
+        the cache and spool make the retry cheap).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            state = job["state"]
+            if state == "done":
+                return job
+            if state == "failed":
+                raise ServiceError.from_dict(job.get("error") or {})
+            if state == "preempted":
+                raise ServiceError(
+                    "draining",
+                    f"job {job_id} was preempted by server shutdown; "
+                    "resubmit to resume from its checkpoint",
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    "timeout",
+                    f"job {job_id} still {state!r} after {timeout}s of waiting",
+                )
+            time.sleep(poll)
+
+    def iter_events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield the job's NDJSON progress events (hello envelope first)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read()
+                try:
+                    envelope = json.loads(raw)
+                except json.JSONDecodeError:
+                    envelope = {}
+                raise ServiceError.from_dict(envelope.get("error") or {})
+            for raw_line in resp:
+                raw_line = raw_line.strip()
+                if raw_line:
+                    yield json.loads(raw_line)
+        finally:
+            conn.close()

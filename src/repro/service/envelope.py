@@ -1,0 +1,96 @@
+"""Typed response envelopes and the service error taxonomy.
+
+Every HTTP response body the service produces — success or failure — is
+one envelope::
+
+    {"ok": true,  "version": "1.2.0", "data":  {...}}
+    {"ok": false, "version": "1.2.0", "error": {"type": ..., "message": ...,
+                                                "retryable": ...}}
+
+``version`` is the single package version from ``repro.__version__`` so a
+client can detect a mid-deploy skew from any response.  Failures carry a
+machine-readable ``type`` from the closed taxonomy below instead of a
+stack trace; ``retryable`` tells the client whether backing off and
+resubmitting can possibly help (the retrying client honours it).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import repro
+
+__all__ = [
+    "ERROR_TYPES",
+    "ServiceError",
+    "ok_envelope",
+    "error_envelope",
+]
+
+#: the closed error taxonomy: type -> (HTTP status, retryable).
+ERROR_TYPES: dict[str, tuple[int, bool]] = {
+    "invalid-request": (400, False),   # malformed body, unknown workload...
+    "not-found": (404, False),         # unknown job id or route
+    "method-not-allowed": (405, False),
+    "saturated": (503, True),          # breaker open: back off, retry later
+    "draining": (503, True),           # server is shutting down gracefully
+    "timeout": (504, True),            # the job exceeded its wall budget
+    "job-failed": (500, False),        # simulation raised a permanent error
+    "internal": (500, True),           # unexpected server-side failure
+}
+
+
+class ServiceError(Exception):
+    """A failure with a typed envelope representation.
+
+    Raised inside the server (handlers turn it into the matching HTTP
+    status) and re-raised by the client when an error envelope comes back.
+    """
+
+    def __init__(
+        self,
+        type_: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
+        if type_ not in ERROR_TYPES:
+            raise ValueError(f"unknown service error type {type_!r}")
+        super().__init__(message)
+        self.type = type_
+        self.message = message
+        self.status, self.retryable = ERROR_TYPES[type_]
+        #: seconds the client should wait before retrying (503 responses
+        #: surface it as a ``Retry-After`` header too).
+        self.retry_after = retry_after
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "type": self.type,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+        if self.retry_after is not None:
+            out["retry_after"] = round(self.retry_after, 3)
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "ServiceError":
+        type_ = raw.get("type", "internal")
+        if type_ not in ERROR_TYPES:
+            type_ = "internal"
+        return cls(
+            type_,
+            str(raw.get("message", "unknown error")),
+            retry_after=raw.get("retry_after"),
+        )
+
+
+def ok_envelope(data: Any) -> dict[str, Any]:
+    """Wrap a successful payload in the versioned envelope."""
+    return {"ok": True, "version": repro.__version__, "data": data}
+
+
+def error_envelope(err: ServiceError) -> dict[str, Any]:
+    """Wrap a :class:`ServiceError` in the versioned envelope."""
+    return {"ok": False, "version": repro.__version__, "error": err.to_dict()}

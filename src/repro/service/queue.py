@@ -1,0 +1,849 @@
+"""Bounded asyncio job queue: retries, backoff, breaker, eviction, cache.
+
+One :class:`JobQueue` owns every job the server accepts.  The robustness
+contract, piece by piece:
+
+* **Bounded admission** — a :class:`CircuitBreaker` watches queue depth;
+  past ``max_pending`` it opens and submissions are shed with a typed
+  ``saturated`` error (HTTP 503 + ``Retry-After``) until the backlog
+  drains below the low-water mark.  The server never builds an unbounded
+  queue it can only fall over under.
+* **Content-addressed dedup** — before any work, each cell of a job is
+  looked up in the :class:`~repro.service.cache.ResultCache` under
+  :func:`~repro.service.cache.request_key`; duplicate submissions of an
+  identical config perform exactly zero new simulation.
+* **Bounded retries with backoff + jitter** — transient failures re-run
+  the attempt after :func:`repro.experiments.harness.retry_delay`
+  (exponential, capped, jittered); permanent errors
+  (:data:`~repro.experiments.harness.PERMANENT_ERRORS`) fail immediately
+  with a typed ``job-failed`` envelope.
+* **Wall-clock budgets and eviction** — every attempt runs under a
+  :class:`~repro.snapshot.Checkpointer` deadline, so a job past its
+  time slice (``evict_after``) preempts itself *at a task boundary*,
+  leaves a resumable snapshot in the spool, and goes to the back of the
+  queue; a job past its total ``timeout`` fails (typed ``timeout``) but
+  its snapshot survives, so a resubmission resumes instead of restarting.
+* **Graceful drain** — :meth:`JobQueue.drain` (the SIGTERM path) preempts
+  every in-flight job to its snapshot and refuses new work; ``kill -9``
+  loses nothing already cached because cache and spool writes are atomic.
+
+Simulations run on a thread pool.  The simulator is pure Python, so
+threads trade parallel speedup for simplicity; process-level parallelism
+stays the sweep harness's job.  What matters here is that the event loop
+keeps serving status/health requests while workers grind, and that a
+worker can always be stopped at a task boundary through its checkpointer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.harness import PERMANENT_ERRORS, retry_delay
+from repro.service.cache import ResultCache, request_key
+from repro.service.envelope import ServiceError
+from repro.sim.machine import POLICIES
+from repro.snapshot import (
+    Checkpointer,
+    PreemptedError,
+    SnapshotMismatchError,
+    load_or_quarantine,
+)
+
+__all__ = [
+    "RunSpec",
+    "SweepSpec",
+    "Job",
+    "JobQueue",
+    "CircuitBreaker",
+    "EventBuffer",
+    "SLOW_ENV",
+    "CRASH_ENV",
+]
+
+#: chaos hook: a float number of seconds every job attempt sleeps before
+#: simulating, so smoke tests can reliably land a signal mid-job.
+SLOW_ENV = "REPRO_SERVICE_SLOW"
+
+#: chaos hook: set to a job label ("workload/policy") to make its worker
+#: thread kill the whole server process (``os._exit(99)``) before running —
+#: the in-process stand-in for a spot-instance disappearing under us.
+CRASH_ENV = "REPRO_SERVICE_CRASH"
+
+#: extra seconds past a job's graceful budget before the hard backstop
+#: abandons a (presumed hung) worker thread.
+HARD_TIMEOUT_GRACE = 30.0
+
+#: job states.  ``preempted`` is terminal for this server instance but not
+#: for the work: the snapshot in the spool resumes it on resubmission.
+JOB_STATES = ("queued", "running", "done", "failed", "preempted")
+
+
+def _build_config(scale: int, faults: str, strict: bool):
+    from repro.config import scaled_config
+
+    cfg = scaled_config(1.0 / scale)
+    if faults or strict:
+        cfg = replace(cfg, fault_spec=faults, strict_invariants=strict)
+    cfg.validate()
+    return cfg
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (workload, policy) simulation request."""
+
+    workload: str
+    policy: str
+    seed: int = 0
+    scale: int = 64
+    faults: str = ""
+    strict: bool = False
+
+    kind = "run"
+
+    def validate(self) -> None:
+        from repro.workloads.registry import workload_names
+
+        if self.workload not in workload_names(include_extra=True):
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if not isinstance(self.scale, int) or self.scale < 1:
+            raise ValueError(f"scale must be a positive integer, got {self.scale!r}")
+        if not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        # Build (and therefore validate) the config now so a nonsense
+        # fault spec is rejected at submission, not deep inside a worker.
+        self.config()
+
+    def config(self):
+        return _build_config(self.scale, self.faults, self.strict)
+
+    def cells(self) -> list[tuple[str, str]]:
+        return [(self.workload, self.policy)]
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/{self.policy}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "policy": self.policy,
+            "seed": self.seed,
+            "scale": self.scale,
+            "faults": self.faults,
+            "strict": self.strict,
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A workloads x policies grid; each cell caches independently."""
+
+    workloads: tuple[str, ...]
+    policies: tuple[str, ...]
+    seed: int = 0
+    scale: int = 64
+    faults: str = ""
+    strict: bool = False
+
+    kind = "sweep"
+
+    def validate(self) -> None:
+        if not self.workloads or not self.policies:
+            raise ValueError("sweep needs at least one workload and one policy")
+        for wl, pol in [(w, self.policies[0]) for w in self.workloads] + [
+            (self.workloads[0], p) for p in self.policies
+        ]:
+            RunSpec(wl, pol, self.seed, self.scale,
+                    self.faults, self.strict).validate()
+
+    def config(self):
+        return _build_config(self.scale, self.faults, self.strict)
+
+    def cells(self) -> list[tuple[str, str]]:
+        return [(wl, pol) for wl in self.workloads for pol in self.policies]
+
+    @property
+    def label(self) -> str:
+        return f"sweep:{len(self.workloads)}x{len(self.policies)}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "workloads": list(self.workloads),
+            "policies": list(self.policies),
+            "seed": self.seed,
+            "scale": self.scale,
+            "faults": self.faults,
+            "strict": self.strict,
+        }
+
+
+def spec_from_dict(raw: dict[str, Any]) -> RunSpec | SweepSpec:
+    """Parse a submission body into a validated spec.
+
+    Raises plain :class:`ValueError` with a message naming the problem;
+    the server maps it to a typed ``invalid-request`` envelope.
+    """
+    if not isinstance(raw, dict):
+        raise ValueError("request body must be a JSON object")
+    kind = raw.get("kind", "run")
+    common = {
+        "seed": raw.get("seed", 0),
+        "scale": raw.get("scale", 64),
+        "faults": raw.get("faults", ""),
+        "strict": bool(raw.get("strict", False)),
+    }
+    if kind == "run":
+        if "workload" not in raw or "policy" not in raw:
+            raise ValueError("run request needs 'workload' and 'policy'")
+        spec: RunSpec | SweepSpec = RunSpec(
+            str(raw["workload"]), str(raw["policy"]), **common
+        )
+    elif kind == "sweep":
+        workloads = raw.get("workloads")
+        policies = raw.get("policies")
+        if not isinstance(workloads, list) or not isinstance(policies, list):
+            raise ValueError(
+                "sweep request needs 'workloads' and 'policies' lists"
+            )
+        spec = SweepSpec(
+            tuple(str(w) for w in workloads),
+            tuple(str(p) for p in policies),
+            **common,
+        )
+    else:
+        raise ValueError(f"unknown job kind {kind!r} (expected 'run' or 'sweep')")
+    spec.validate()
+    return spec
+
+
+class EventBuffer:
+    """Thread-safe, bounded, cursor-addressed progress feed.
+
+    Worker threads append; the NDJSON endpoint reads with
+    :meth:`since` and polls until :attr:`closed`.  Past ``capacity`` the
+    oldest events are discarded (counted in :attr:`dropped`) — a slow
+    consumer can lose history, never correctness.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self._items: list[dict[str, Any]] = []
+        self._base = 0  # cursor of _items[0]
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def append(self, item: dict[str, Any]) -> None:
+        with self._lock:
+            self._items.append(item)
+            overflow = len(self._items) - self.capacity
+            if overflow > 0:
+                del self._items[:overflow]
+                self._base += overflow
+                self.dropped += overflow
+
+    def since(self, cursor: int) -> tuple[list[dict[str, Any]], int]:
+        """Events at or after ``cursor`` plus the next cursor to poll from."""
+        with self._lock:
+            start = max(0, cursor - self._base)
+            items = self._items[start:]
+            return items, self._base + len(self._items)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+@dataclass
+class Job:
+    """One accepted submission and everything that happened to it."""
+
+    id: str
+    spec: RunSpec | SweepSpec
+    state: str = "queued"
+    attempts: int = 0
+    evictions: int = 0
+    cache_hits: int = 0      # cells answered from the cache
+    simulated: int = 0       # cells this job actually simulated
+    cells_done: int = 0
+    cells_total: int = 1
+    error: dict[str, Any] | None = None
+    result: dict[str, Any] | None = None
+    resumed_from_task: int | None = None
+    snapshot: str | None = None
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    spent: float = 0.0       # wall seconds across attempts
+    events: EventBuffer = field(default_factory=EventBuffer)
+    #: completed cell results carried across evictions/retries.
+    partial: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: the in-flight attempt's checkpointer (set from the worker thread).
+    current_ck: Checkpointer | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The job record served by status endpoints (result separate)."""
+        out: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "attempts": self.attempts,
+            "evictions": self.evictions,
+            "cache_hits": self.cache_hits,
+            "simulated": self.simulated,
+            "cells_done": self.cells_done,
+            "cells_total": self.cells_total,
+            "spent_s": round(self.spent, 3),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.resumed_from_task is not None:
+            out["resumed_from_task"] = self.resumed_from_task
+        if self.snapshot is not None:
+            out["snapshot"] = self.snapshot
+        return out
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when no cell of this job needed new simulation."""
+        return self.simulated == 0 and self.state == "done"
+
+
+class CircuitBreaker:
+    """Depth-watching load shedder with hysteresis.
+
+    ``open`` when the backlog reaches ``max_pending``; stays open (shedding
+    with ``Retry-After``) until the backlog drains to ``low_water`` so the
+    server recovers before accepting more, instead of flapping.
+    """
+
+    def __init__(self, max_pending: int, low_water: int | None = None) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self.low_water = (
+            max(0, max_pending // 2) if low_water is None else low_water
+        )
+        if self.low_water >= max_pending:
+            raise ValueError("low_water must be below max_pending")
+        self.state = "closed"
+        self.trips = 0
+        self.shed = 0
+
+    def admit(self, depth: int) -> None:
+        """Raise a typed ``saturated`` error instead of admitting, when shedding."""
+        if self.state == "closed":
+            if depth >= self.max_pending:
+                self.state = "open"
+                self.trips += 1
+        elif depth <= self.low_water:
+            self.state = "closed"
+        if self.state == "open":
+            self.shed += 1
+            raise ServiceError(
+                "saturated",
+                f"job queue is saturated ({depth} jobs pending, "
+                f"limit {self.max_pending}); retry later",
+                retry_after=round(0.5 + 0.25 * depth, 3),
+            )
+
+
+class JobQueue:
+    """The job engine behind :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_pending: int = 32,
+        timeout: float | None = None,
+        retries: int = 1,
+        backoff: float = 0.25,
+        evict_after: float | None = None,
+        checkpoint_every: int = 0,
+        spool_dir: str | Path,
+        cache: ResultCache | None = None,
+        jitter_seed: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if evict_after is not None and evict_after <= 0:
+            raise ValueError("evict_after must be positive")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.evict_after = evict_after
+        #: also snapshot every N completed tasks, so even ``kill -9``
+        #: (which never reaches the drain path) resumes from the last
+        #: periodic snapshot instead of restarting.
+        self.checkpoint_every = checkpoint_every
+        self.spool = Path(spool_dir)
+        self.spool.mkdir(parents=True, exist_ok=True)
+        self.cache = cache
+        self.breaker = CircuitBreaker(max_pending)
+        self.jobs: dict[str, Job] = {}
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.evicted = 0
+        self.preempted = 0
+        self.simulations_run = 0
+        self.draining = False
+        self._rng = random.Random(jitter_seed)
+        self._ready: asyncio.Queue[str] | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._pool: Any = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._ready = asyncio.Queue()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-job"
+        )
+        self._tasks = [
+            asyncio.create_task(self._worker_loop(), name=f"jobworker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def drain(self, grace: float = 10.0) -> int:
+        """Graceful shutdown: checkpoint in-flight work, stop the workers.
+
+        Every running job's checkpointer gets a preempt request; workers
+        then stop at their next task boundary with a snapshot in the
+        spool.  Jobs still queued are marked ``preempted`` without a
+        snapshot (a resubmission simply reruns them — and hits the cache
+        for every cell that finished).  Returns the number of jobs that
+        did not complete.
+        """
+        self.draining = True
+        deadline = time.monotonic() + grace
+        while True:
+            # Re-request every iteration: a worker mid-attempt may create
+            # its checkpointer *after* drain started, and a requeued job's
+            # next attempt gets a fresh checkpointer too.
+            running = False
+            for job in self.jobs.values():
+                if job.state == "running":
+                    running = True
+                    ck = job.current_ck
+                    if ck is not None:
+                        ck.request_preempt()
+            if not running or time.monotonic() >= deadline:
+                break
+            await asyncio.sleep(0.05)
+        stopped = 0
+        for job in self.jobs.values():
+            if job.state in ("queued", "running"):
+                job.state = "preempted"
+                job.events.append({"kind": "preempted", "reason": "draining"})
+                job.events.close()
+                self.preempted += 1
+                stopped += 1
+            elif job.state == "preempted":
+                stopped += 1
+        for task in self._tasks:
+            task.cancel()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        return stopped
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        return sum(
+            1 for j in self.jobs.values() if j.state in ("queued", "running")
+        )
+
+    def submit(self, spec: RunSpec | SweepSpec) -> Job:
+        """Admit a job (or answer it from cache); raises :class:`ServiceError`.
+
+        The all-cells-cached fast path completes the job synchronously —
+        a duplicate submission never even enters the queue.
+        """
+        if self.draining:
+            raise ServiceError(
+                "draining", "server is shutting down; resubmit elsewhere",
+                retry_after=5.0,
+            )
+        if self._ready is None:
+            raise ServiceError("internal", "job queue is not started")
+        job = Job(
+            id=uuid.uuid4().hex[:12], spec=spec,
+            cells_total=len(spec.cells()),
+        )
+        if self._cache_fast_path(job):
+            self.submitted += 1
+            self.jobs[job.id] = job
+            return job
+        self.breaker.admit(self.depth())
+        self.submitted += 1
+        self.jobs[job.id] = job
+        job.events.append({"kind": "queued", "label": spec.label})
+        self._ready.put_nowait(job.id)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError("not-found", f"unknown job id {job_id!r}")
+        return job
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "depth": self.depth(),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "evicted": self.evicted,
+            "preempted": self.preempted,
+            "simulations_run": self.simulations_run,
+            "breaker": {
+                "state": self.breaker.state,
+                "max_pending": self.breaker.max_pending,
+                "trips": self.breaker.trips,
+                "shed": self.breaker.shed,
+            },
+            "draining": self.draining,
+        }
+
+    def _cache_fast_path(self, job: Job) -> bool:
+        """Complete ``job`` immediately iff every cell is already cached."""
+        if self.cache is None:
+            return False
+        cfg = job.spec.config()
+        cells = job.spec.cells()
+        keys = {
+            cell: request_key(cfg, cell[0], cell[1], job.spec.seed)
+            for cell in cells
+        }
+        if not all(keys[cell] in self.cache for cell in cells):
+            return False
+        for cell in cells:
+            cached = self.cache.get(keys[cell])
+            if cached is None:  # corrupt entry surfaced mid-check: recompute
+                return False
+            job.partial[f"{cell[0]}/{cell[1]}"] = cached
+            job.cache_hits += 1
+            job.cells_done += 1
+            job.events.append(
+                {"kind": "cell_done", "cell": f"{cell[0]}/{cell[1]}",
+                 "cache_hit": True}
+            )
+        self._finish_ok(job)
+        return True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        assert self._ready is not None
+        while True:
+            job_id = await self._ready.get()
+            job = self.jobs.get(job_id)
+            if job is None or job.state != "queued":
+                continue
+            try:
+                await self._run_job(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - never kill the loop
+                self._fail(job, ServiceError(
+                    "internal", f"{type(exc).__name__}: {exc}"
+                ))
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        job.state = "running"
+        if job.started is None:
+            job.started = time.time()
+        while True:
+            job.attempts += 1
+            job.events.append({"kind": "attempt", "n": job.attempts})
+            budget = self._graceful_budget(job)
+            t0 = time.monotonic()
+            fut = loop.run_in_executor(self._pool, self._attempt, job, budget)
+            hard = None if budget is None else budget + HARD_TIMEOUT_GRACE
+            try:
+                await asyncio.wait_for(fut, timeout=hard)
+            except asyncio.TimeoutError:
+                job.spent += time.monotonic() - t0
+                ck = job.current_ck
+                if ck is not None:
+                    ck.request_preempt()  # stop the thread when it can
+                self._fail(job, ServiceError(
+                    "timeout",
+                    f"job exceeded its {self.timeout}s wall-clock budget "
+                    "and did not reach a task boundary in the grace window",
+                ))
+                return
+            except PreemptedError as exc:
+                job.spent += time.monotonic() - t0
+                job.snapshot = str(exc.path)
+                # Settles the job (drain/timeout) or requeues it (eviction);
+                # either way this invocation is over — a requeued job comes
+                # back through the ready queue, behind waiting work.
+                self._classify_preemption(job, exc)
+                return
+            except SnapshotMismatchError as exc:
+                # A stale spool snapshot slipped past the load check;
+                # _simulate_cell already quarantined it — rerun fresh.
+                job.spent += time.monotonic() - t0
+                job.events.append(
+                    {"kind": "snapshot_discarded", "reason": str(exc)}
+                )
+                continue
+            except Exception as exc:  # noqa: BLE001 - classified below
+                job.spent += time.monotonic() - t0
+                if await self._maybe_retry(job, exc):
+                    continue
+                return
+            job.spent += time.monotonic() - t0
+            self._finish_ok(job)
+            return
+
+    def _graceful_budget(self, job: Job) -> float | None:
+        """Seconds this attempt may run before self-preempting, or None."""
+        slices = []
+        if self.evict_after is not None:
+            slices.append(self.evict_after)
+        if self.timeout is not None:
+            slices.append(max(0.05, self.timeout - job.spent))
+        return min(slices) if slices else None
+
+    def _classify_preemption(self, job: Job, exc: PreemptedError) -> None:
+        """Settle (drain/timeout) or requeue (eviction) a preempted job."""
+        if self.draining:
+            job.state = "preempted"
+            job.events.append(
+                {"kind": "preempted", "reason": "draining",
+                 "snapshot": str(exc.path),
+                 "tasks_completed": exc.tasks_completed}
+            )
+            job.events.close()
+            self.preempted += 1
+            return
+        if self.timeout is not None and job.spent >= self.timeout:
+            # Budget exhausted — but the snapshot stays in the spool, so a
+            # resubmission of the same config *resumes* rather than restarts.
+            self._fail(job, ServiceError(
+                "timeout",
+                f"job exceeded its {self.timeout}s wall-clock budget "
+                f"(checkpointed after {exc.tasks_completed} tasks; a "
+                "resubmission will resume from the snapshot)",
+            ))
+            return
+        # Time-slice eviction: back of the queue, snapshot in hand.  The
+        # rerun is continuation, not failure — give its attempt back so
+        # evictions never eat into the retry budget.
+        job.attempts -= 1
+        job.evictions += 1
+        self.evicted += 1
+        job.state = "queued"
+        job.events.append(
+            {"kind": "evicted", "snapshot": str(exc.path),
+             "tasks_completed": exc.tasks_completed}
+        )
+        assert self._ready is not None
+        self._ready.put_nowait(job.id)
+
+    async def _maybe_retry(self, job: Job, exc: Exception) -> bool:
+        """Schedule a retry for a transient failure; False when settled."""
+        permanent = isinstance(exc, PERMANENT_ERRORS)
+        retryable = (
+            not permanent
+            and job.attempts <= self.retries
+            and not self.draining
+        )
+        if not retryable:
+            self._fail(job, ServiceError(
+                "job-failed", f"{type(exc).__name__}: {exc}"
+            ))
+            return False
+        delay = retry_delay(job.attempts, self.backoff, rng=self._rng)
+        job.events.append(
+            {"kind": "retry", "after": round(delay, 3),
+             "error": type(exc).__name__}
+        )
+        if delay:
+            await asyncio.sleep(delay)
+        return True
+
+    def _finish_ok(self, job: Job) -> None:
+        job.result = self._assemble_result(job)
+        job.state = "done"
+        job.finished = time.time()
+        self.completed += 1
+        job.events.append(
+            {"kind": "done", "cache_hits": job.cache_hits,
+             "simulated": job.simulated}
+        )
+        job.events.close()
+
+    def _fail(self, job: Job, err: ServiceError) -> None:
+        job.error = err.to_dict()
+        job.state = "failed"
+        job.finished = time.time()
+        self.failed += 1
+        job.events.append({"kind": "failed", "error": job.error})
+        job.events.close()
+
+    def _assemble_result(self, job: Job) -> dict[str, Any]:
+        if job.spec.kind == "run":
+            return job.partial[job.spec.label]
+        from repro.experiments.harness import config_fingerprint
+        from repro.experiments.serialize import SCHEMA_VERSION
+
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "runs": {cell: job.partial[cell] for cell in sorted(job.partial)},
+            "failures": [],
+            "sweep": {
+                "config_sha256": config_fingerprint(job.spec.config()),
+                "seed": job.spec.seed,
+                "scale": job.spec.scale,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # the worker-thread attempt
+    # ------------------------------------------------------------------
+
+    def _attempt(self, job: Job, budget: float | None) -> None:
+        """Execute every remaining cell of ``job`` (worker thread).
+
+        Cells found in the cache are adopted; the rest simulate under a
+        checkpointer whose deadline implements eviction/timeout.  Raises
+        :class:`PreemptedError` out of the thread when a slice expires —
+        the asyncio side classifies it.
+        """
+        slow = float(os.environ.get(SLOW_ENV, "0") or 0.0)
+        if slow > 0:
+            time.sleep(slow)
+        if os.environ.get(CRASH_ENV, "") == job.spec.label:
+            os._exit(99)
+        cfg = job.spec.config()
+        deadline = (
+            time.monotonic() + budget if budget is not None else None
+        )
+        for wl, pol in job.spec.cells():
+            cell = f"{wl}/{pol}"
+            if cell in job.partial:
+                continue
+            key = request_key(cfg, wl, pol, job.spec.seed)
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                job.partial[cell] = cached
+                job.cache_hits += 1
+                job.cells_done += 1
+                job.events.append(
+                    {"kind": "cell_done", "cell": cell, "cache_hit": True}
+                )
+                continue
+            result = self._simulate_cell(job, cfg, wl, pol, key, deadline)
+            job.partial[cell] = result
+            job.cells_done += 1
+            job.events.append(
+                {"kind": "cell_done", "cell": cell, "cache_hit": False}
+            )
+
+    def _simulate_cell(
+        self, job: Job, cfg, wl: str, pol: str, key: str,
+        deadline: float | None,
+    ) -> dict[str, Any]:
+        from repro.api import Session
+        from repro.obs.observer import Observer
+        from repro.obs.stream import CallbackSink
+
+        snap_path = self.spool / f"{key}.snap"
+        ck = Checkpointer(
+            snap_path, every=self.checkpoint_every, deadline=deadline
+        )
+        job.current_ck = ck
+        resume_from = None
+        if snap_path.is_file() and load_or_quarantine(snap_path) is not None:
+            resume_from = snap_path
+        observer = Observer(
+            sink=CallbackSink(job.events.append), timeline=False
+        )
+        session = Session(cfg, seed=job.spec.seed)
+        try:
+            rr = session.run(
+                wl, pol, trace=observer, checkpoint=ck,
+                resume_from=resume_from,
+            )
+        except SnapshotMismatchError:
+            if resume_from is None:
+                raise
+            # The spool snapshot belongs to some other identity (stale
+            # key collision, older build): quarantine it and run fresh.
+            try:
+                os.replace(snap_path, str(snap_path) + ".corrupt")
+            except OSError:
+                pass
+            job.events.append(
+                {"kind": "snapshot_discarded", "cell": f"{wl}/{pol}"}
+            )
+            ck = Checkpointer(
+                snap_path, every=self.checkpoint_every, deadline=deadline
+            )
+            job.current_ck = ck
+            observer = Observer(
+                sink=CallbackSink(job.events.append), timeline=False
+            )
+            session = Session(cfg, seed=job.spec.seed)
+            rr = session.run(wl, pol, trace=observer, checkpoint=ck)
+        finally:
+            job.current_ck = None
+        self.simulations_run += 1
+        job.simulated += 1
+        result = rr.stats_dict()
+        resumed = rr.experiment.extra.get("resumed_from_task")
+        if resumed is not None:
+            job.resumed_from_task = max(job.resumed_from_task or 0, resumed)
+        if self.cache is not None:
+            self.cache.put(
+                key, result,
+                meta={"workload": wl, "policy": pol, "seed": job.spec.seed,
+                      "scale": job.spec.scale},
+            )
+        try:
+            snap_path.unlink()
+        except OSError:
+            pass
+        return result

@@ -92,9 +92,15 @@ def read_snapshot_file(path: str | Path) -> dict:
     raw = Path(path).read_bytes()
     header_len = len(MAGIC) + _HEADER.size
     if len(raw) < header_len:
-        raise CorruptSnapshotError(f"{path}: truncated snapshot header")
+        raise CorruptSnapshotError(
+            f"{path}: truncated snapshot header "
+            f"({len(raw)} bytes, a snapshot needs at least {header_len})"
+        )
     if raw[: len(MAGIC)] != MAGIC:
-        raise CorruptSnapshotError(f"{path}: not a snapshot file (bad magic)")
+        raise CorruptSnapshotError(
+            f"{path}: not a snapshot file "
+            f"(magic {raw[: len(MAGIC)]!r}, expected {MAGIC!r})"
+        )
     version, crc = _HEADER.unpack_from(raw, len(MAGIC))
     if version != FORMAT_VERSION:
         raise CorruptSnapshotError(
@@ -102,8 +108,12 @@ def read_snapshot_file(path: str | Path) -> dict:
             f"(this build reads version {FORMAT_VERSION})"
         )
     data = raw[header_len:]
-    if zlib.crc32(data) & 0xFFFFFFFF != crc:
-        raise CorruptSnapshotError(f"{path}: checksum mismatch (corrupt payload)")
+    found_crc = zlib.crc32(data) & 0xFFFFFFFF
+    if found_crc != crc:
+        raise CorruptSnapshotError(
+            f"{path}: checksum mismatch (payload crc32 {found_crc:#010x}, "
+            f"header says {crc:#010x}) — corrupt payload"
+        )
     try:
         payload = pickle.loads(data)
     except Exception as exc:  # noqa: BLE001 - pickle raises a zoo of types

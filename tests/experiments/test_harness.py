@@ -27,6 +27,7 @@ from repro.experiments.harness import (
     SweepOutcome,
     config_fingerprint,
     load_manifest,
+    retry_delay,
     run_sweep,
 )
 from repro.ioutils import atomic_write
@@ -275,6 +276,33 @@ class TestOutcomeAndRecords:
         a, b = scaled_config(1 / 64), scaled_config(1 / 64)
         assert config_fingerprint(a) == config_fingerprint(b)
         assert config_fingerprint(a) != config_fingerprint(scaled_config(1 / 128))
+
+
+class TestRetryDelay:
+    def test_exponential_without_rng(self):
+        assert retry_delay(1, 0.25) == 0.25
+        assert retry_delay(2, 0.25) == 0.5
+        assert retry_delay(3, 0.25) == 1.0
+
+    def test_capped(self):
+        assert retry_delay(50, 0.25) == 30.0
+        assert retry_delay(50, 0.25, cap=2.0) == 2.0
+
+    def test_jitter_stays_within_half_to_full(self):
+        import random
+
+        rng = random.Random(7)
+        for attempt in range(1, 8):
+            base = retry_delay(attempt, 0.25)
+            for _ in range(20):
+                d = retry_delay(attempt, 0.25, rng=rng)
+                assert 0.5 * base <= d <= base
+
+    def test_zero_backoff_means_no_delay(self):
+        import random
+
+        assert retry_delay(3, 0.0) == 0.0
+        assert retry_delay(3, 0.0, rng=random.Random(0)) == 0.0
 
 
 class TestAtomicWrite:

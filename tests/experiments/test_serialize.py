@@ -109,6 +109,45 @@ class TestSuiteJson:
             )
 
 
+class TestErrorsNameTheFile:
+    """``load_sweep(path=...)`` must put the offending file in every
+    failure message, so a broken archive in a 30-file run directory is
+    identifiable from the error alone."""
+
+    def test_schema_error_carries_path_and_versions(self):
+        with pytest.raises(SchemaVersionError) as info:
+            load_sweep(
+                '{"schema_version": 99, "runs": {}}',
+                path="results/batch-07.json",
+            )
+        assert info.value.found == 99
+        assert info.value.path == "results/batch-07.json"
+        msg = str(info.value)
+        assert "results/batch-07.json" in msg
+        assert "99" in msg
+        assert str(SCHEMA_VERSION) in msg
+
+    @pytest.mark.parametrize("text, needle", [
+        ('{"schema_ver', "corrupt sweep JSON"),
+        ("[1, 2]", "corrupt sweep JSON"),
+        ('{"runs": {}}', "unversioned"),
+        ('{"schema_version": 4}', "missing 'runs'"),
+        ('{"schema_version": 4, "runs": {"nokey": {}}}', "malformed"),
+        ('{"schema_version": 4, "runs": {"a/b": 5}}', "not an object"),
+        ('{"schema_version": 4, "runs": {}, "failures": 3}', "failures"),
+        ('{"schema_version": 4, "runs": {}, "sweep": 3}', "sweep"),
+    ])
+    def test_every_value_error_is_prefixed_with_the_path(self, text, needle):
+        with pytest.raises(ValueError, match=needle) as info:
+            load_sweep(text, path="broken.json")
+        assert str(info.value).startswith("broken.json: ")
+
+    def test_without_path_messages_stay_clean(self):
+        with pytest.raises(ValueError) as info:
+            load_sweep("[1, 2]")
+        assert "None" not in str(info.value)
+
+
 class TestSchemaVersions:
     """Schema 3 added optional trace/timeline sections; 4 adds the
     optional ``resumed_from_task`` preemption marker; 2 and 3 stay

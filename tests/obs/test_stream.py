@@ -1,0 +1,58 @@
+"""CallbackSink: the sampled, dict-typed event feed behind the service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.config import scaled_config
+from repro.obs.events import EventKind, TraceEvent
+from repro.obs.observer import Observer
+from repro.obs.stream import CallbackSink, event_to_dict
+
+CFG = scaled_config(1 / 2048)
+
+
+class TestEventToDict:
+    def test_fields_are_json_primitives(self):
+        ev = TraceEvent(EventKind.TASK_END, 123, core=2, name="t", dur=9)
+        d = event_to_dict(ev, tasks_done=40)
+        assert d["kind"] == "task_end"
+        assert d["ts"] == 123
+        assert d["tasks_done"] == 40
+
+
+class TestCallbackSink:
+    def _run(self, sink):
+        session = Session(CFG)
+        session.run("md5", "tdnuca",
+                     trace=Observer(sink=sink, timeline=False))
+        return sink
+
+    def test_samples_task_ends_and_forwards_the_rest(self):
+        got = []
+        sink = self._run(CallbackSink(got.append, task_sample_every=64))
+        kinds = {d["kind"] for d in got}
+        assert "task_start" not in kinds  # always dropped: pure noise
+        task_ends = [d for d in got if d["kind"] == "task_end"]
+        assert 0 < len(task_ends) < sink.tasks_seen
+        assert all(d["tasks_done"] % 64 == 0 for d in task_ends)
+        assert "phase_begin" in kinds  # non-task events pass through
+
+    def test_sample_every_zero_silences_task_events(self):
+        got = []
+        self._run(CallbackSink(got.append, task_sample_every=0))
+        assert not any(d["kind"] == "task_end" for d in got)
+        assert got  # but other kinds still flow
+
+    def test_traced_stats_equal_untraced(self):
+        plain = Session(CFG).run("md5", "tdnuca").stats_dict()
+        sink = CallbackSink(lambda d: None)
+        traced = Session(CFG).run(
+            "md5", "tdnuca", trace=Observer(sink=sink, timeline=False)
+        ).stats_dict()
+        assert plain == traced
+
+    def test_negative_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            CallbackSink(lambda d: None, task_sample_every=-1)

@@ -1,0 +1,126 @@
+"""Content-addressed result cache: roundtrip, keys, corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import scaled_config
+from repro.service.cache import (
+    CACHE_MAGIC,
+    ResultCache,
+    request_key,
+)
+
+CFG = scaled_config(1 / 2048)
+RESULT = {"workload": "md5", "policy": "tdnuca", "makespan_cycles": 123456}
+
+
+class TestRequestKey:
+    def test_deterministic(self):
+        a = request_key(CFG, "md5", "tdnuca", 0)
+        b = request_key(CFG, "md5", "tdnuca", 0)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_every_component_changes_the_key(self):
+        base = request_key(CFG, "md5", "tdnuca", 0)
+        assert request_key(CFG, "knn", "tdnuca", 0) != base
+        assert request_key(CFG, "md5", "snuca", 0) != base
+        assert request_key(CFG, "md5", "tdnuca", 7) != base
+        assert request_key(scaled_config(1 / 512), "md5", "tdnuca", 0) != base
+
+
+class TestRoundtrip:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = request_key(CFG, "md5", "tdnuca", 0)
+        assert cache.get(key) is None
+        cache.put(key, RESULT, meta={"workload": "md5"})
+        assert cache.get(key) == RESULT
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "stores": 1, "corrupt": 0,
+        }
+
+    def test_contains_does_not_touch_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = request_key(CFG, "md5", "tdnuca", 0)
+        assert key not in cache
+        cache.put(key, RESULT, meta={})
+        assert key in cache
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_payload_is_canonical_sorted_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = request_key(CFG, "md5", "tdnuca", 0)
+        cache.put(key, RESULT, meta={})
+        raw = cache.path_for(key).read_bytes()
+        assert raw.startswith(CACHE_MAGIC)
+        payload_bytes = raw[len(CACHE_MAGIC) + 8:]
+        payload = json.loads(payload_bytes)
+        assert payload_bytes == json.dumps(
+            payload, sort_keys=True
+        ).encode("utf-8")
+        assert payload["result"] == RESULT
+        assert payload["key"] == key
+
+
+class TestCorruption:
+    def _put_one(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = request_key(CFG, "md5", "tdnuca", 0)
+        cache.put(key, RESULT, meta={})
+        return cache, key
+
+    def test_bit_flip_quarantines_and_degrades_to_miss(self, tmp_path):
+        cache, key = self._put_one(tmp_path)
+        path = cache.path_for(key)
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0x40
+        path.write_bytes(bytes(raw))
+        with pytest.warns(UserWarning, match="corrupt cache entry"):
+            assert cache.get(key) is None
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.exists()
+        stats = cache.stats()
+        assert stats["corrupt"] == 1
+        assert stats["misses"] == 1
+
+    def test_recompute_after_quarantine_repopulates(self, tmp_path):
+        cache, key = self._put_one(tmp_path)
+        path = cache.path_for(key)
+        path.write_bytes(b"garbage not even a header")
+        with pytest.warns(UserWarning):
+            assert cache.get(key) is None
+        cache.put(key, RESULT, meta={})
+        assert cache.get(key) == RESULT
+
+    def test_wrong_magic_quarantined(self, tmp_path):
+        cache, key = self._put_one(tmp_path)
+        path = cache.path_for(key)
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.warns(UserWarning):
+            assert cache.get(key) is None
+
+    def test_key_mismatch_quarantined(self, tmp_path):
+        cache, key = self._put_one(tmp_path)
+        other = request_key(CFG, "knn", "snuca", 3)
+        path = cache.path_for(key)
+        path.rename(cache.path_for(other))
+        with pytest.warns(UserWarning, match="key"):
+            assert cache.get(other) is None
+
+    def test_corruption_message_names_the_file(self, tmp_path):
+        cache, key = self._put_one(tmp_path)
+        path = cache.path_for(key)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.warns(UserWarning) as caught:
+            cache.get(key)
+        assert path.name in str(caught[0].message)

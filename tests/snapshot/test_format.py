@@ -89,6 +89,75 @@ class TestCorruption:
             read_snapshot_file(path)
 
 
+class TestErrorMessagesNameTheEvidence:
+    """A corrupt-snapshot report must say *which file* and *what was found*,
+    not just that something failed — that's the difference between a
+    five-second diagnosis and an strace session."""
+
+    def _write(self, tmp_path) -> Path:
+        path = tmp_path / "evidence.snap"
+        write_snapshot_file(path, PAYLOAD)
+        return path
+
+    def test_bad_magic_names_path_and_actual_bytes(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"EVIL"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptSnapshotError) as exc:
+            read_snapshot_file(path)
+        msg = str(exc.value)
+        assert str(path) in msg
+        assert "EVIL" in msg          # the magic actually found
+        assert repr(MAGIC) in msg     # and the one expected
+
+    def test_truncation_names_path_and_byte_counts(self, tmp_path):
+        path = self._write(tmp_path)
+        path.write_bytes(path.read_bytes()[:5])
+        with pytest.raises(CorruptSnapshotError) as exc:
+            read_snapshot_file(path)
+        msg = str(exc.value)
+        assert str(path) in msg
+        assert "5 bytes" in msg
+
+    def test_version_mismatch_names_both_versions(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(MAGIC)] = 42
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptSnapshotError) as exc:
+            read_snapshot_file(path)
+        msg = str(exc.value)
+        assert str(path) in msg
+        assert "42" in msg
+        assert str(FORMAT_VERSION) in msg
+
+    def test_crc_mismatch_names_path_and_both_checksums(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptSnapshotError) as exc:
+            read_snapshot_file(path)
+        msg = str(exc.value)
+        assert str(path) in msg
+        # Both the computed and the recorded crc32, as 0x-prefixed hex.
+        assert msg.count("0x") == 2
+
+    def test_unpicklable_payload_names_path(self, tmp_path):
+        import struct
+        import zlib
+
+        path = tmp_path / "evidence.snap"
+        bogus = b"\x80\x05not really a pickle"
+        crc = zlib.crc32(bogus) & 0xFFFFFFFF
+        path.write_bytes(
+            MAGIC + struct.pack("<II", FORMAT_VERSION, crc) + bogus
+        )
+        with pytest.raises(CorruptSnapshotError, match="evidence.snap"):
+            read_snapshot_file(path)
+
+
 class TestQuarantine:
     def test_corrupt_file_renamed_and_warned(self, tmp_path):
         path = tmp_path / "run.snap"

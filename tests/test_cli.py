@@ -21,6 +21,48 @@ class TestParser:
             build_parser().parse_args(["run", "md5", "hnuca"])
 
 
+class TestVersion:
+    def test_version_flag_prints_the_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_package_version_is_the_single_source(self):
+        import repro
+        from repro.service.envelope import ok_envelope
+
+        assert ok_envelope({})["version"] == repro.__version__
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8642
+        assert args.workers == 2
+        assert args.checkpoint_every == 0
+
+    def test_submit_validates_workload_and_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "nbody", "tdnuca"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "md5", "hnuca"])
+
+    def test_submit_against_dead_server_fails_typed(self, capsys):
+        # Nothing listens on port 1: the client retries, then reports a
+        # typed error on stderr and exits 75 (retryable — try again later).
+        rc = main([
+            "submit", "md5", "tdnuca", "--scale", "2048",
+            "--port", "1",
+        ])
+        err = capsys.readouterr().err
+        assert rc == 75
+        assert "error [internal]" in err
+        assert "Traceback" not in err
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0

@@ -1,0 +1,153 @@
+"""atomic_write failure paths: missing dirs, denied fsync, racing writers."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.ioutils import atomic_write
+
+
+class TestModeValidation:
+    @pytest.mark.parametrize("mode", ["r", "rb", "a", "ab", "w+", "r+"])
+    def test_non_write_modes_rejected(self, tmp_path, mode):
+        with pytest.raises(ValueError, match="write mode"):
+            with atomic_write(tmp_path / "f", mode):
+                pass
+
+
+class TestMissingTargetDirectory:
+    def test_error_names_the_directory_and_file(self, tmp_path):
+        target = tmp_path / "no" / "such" / "dir" / "out.json"
+        with pytest.raises(FileNotFoundError) as exc:
+            with atomic_write(target) as fh:
+                fh.write("data")
+        msg = str(exc.value)
+        assert str(target.parent) in msg
+        assert "out.json" in msg
+        assert "create it first" in msg
+
+    def test_nothing_is_created_on_failure(self, tmp_path):
+        target = tmp_path / "ghost" / "out.json"
+        with pytest.raises(FileNotFoundError):
+            with atomic_write(target) as fh:
+                fh.write("data")
+        assert not target.parent.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDeniedFsync:
+    def test_unreadable_parent_dir_fsync_is_survivable(
+        self, tmp_path, monkeypatch
+    ):
+        # Some filesystems (and read-only parents) refuse to open a
+        # directory for fsync; the write must still land — just without
+        # rename durability.  Simulated via os.open because the test may
+        # run as root, where chmod-based denial is a no-op.
+        real_open = os.open
+
+        def deny_dir_open(path, flags, *a, **kw):
+            if path == str(tmp_path):
+                raise PermissionError(13, "Permission denied", path)
+            return real_open(path, flags, *a, **kw)
+
+        monkeypatch.setattr(os, "open", deny_dir_open)
+        target = tmp_path / "out.txt"
+        with atomic_write(target) as fh:
+            fh.write("survived")
+        assert target.read_text() == "survived"
+
+    def test_file_fsync_failure_propagates_and_cleans_up(
+        self, tmp_path, monkeypatch
+    ):
+        # Unlike the best-effort directory fsync, a failed *data* fsync
+        # means the content may not be durable — that must surface, and
+        # the half-written temp file must not.
+        real_fsync = os.fsync
+
+        def failing_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        target = tmp_path / "out.txt"
+        target.write_text("previous")
+        with pytest.raises(OSError, match="No space left"):
+            with atomic_write(target) as fh:
+                fh.write("new content")
+        monkeypatch.setattr(os, "fsync", real_fsync)
+        assert target.read_text() == "previous"  # old content intact
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_fsync_false_skips_fsync_entirely(self, tmp_path, monkeypatch):
+        def boom(fd):  # pragma: no cover - must never run
+            raise AssertionError("fsync called despite fsync=False")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        target = tmp_path / "out.txt"
+        with atomic_write(target, fsync=False) as fh:
+            fh.write("fast path")
+        assert target.read_text() == "fast path"
+
+
+class TestRacingWriters:
+    def test_last_writer_wins_and_no_torn_file(self, tmp_path):
+        target = tmp_path / "contested.txt"
+        n_writers, n_rounds = 8, 10
+        # Each writer repeatedly writes a payload that is self-describing
+        # and long enough that interleaving would be visible.
+        payloads = {
+            i: (f"writer-{i}:" + str(i) * 4096 + ":end\n") for i in range(n_writers)
+        }
+        barrier = threading.Barrier(n_writers)
+        errors: list[Exception] = []
+
+        def write_loop(i: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(n_rounds):
+                    with atomic_write(target) as fh:
+                        fh.write(payloads[i])
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write_loop, args=(i,))
+            for i in range(n_writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        # The survivor is exactly one writer's complete payload...
+        assert target.read_text() in payloads.values()
+        # ...and no temporary droppings remain.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_concurrent_reader_never_sees_a_partial_file(self, tmp_path):
+        target = tmp_path / "observed.txt"
+        with atomic_write(target) as fh:
+            fh.write("A" * 65536)
+        stop = threading.Event()
+        bad: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                content = target.read_text()
+                if content not in ("A" * 65536, "B" * 65536):
+                    bad.append(content[:32])
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            for _ in range(20):
+                with atomic_write(target) as fh:
+                    fh.write("B" * 65536)
+                with atomic_write(target) as fh:
+                    fh.write("A" * 65536)
+        finally:
+            stop.set()
+            t.join(timeout=30)
+        assert bad == []
