@@ -14,6 +14,13 @@ resilience contract end-to-end:
    byte-identical to the uninterrupted reference.
 3. A bit-flipped cache entry is quarantined to ``<name>.corrupt`` and
    transparently recomputed, not served.
+4. Failpoint chaos against the worker pool: ``REPRO_FAILPOINTS`` SIGKILLs
+   the worker mid-job and the supervisor requeues it to a byte-identical
+   finish; an always-crashing job is quarantined as poison (with a
+   diagnostic bundle in ``spool/poison/``) while a concurrent healthy job
+   completes and the server keeps serving.
+5. ``/v1/health`` exposes the worker-pool gauges and ``repro serve``
+   prints the ``drained:`` summary line on shutdown.
 
 Usage: ``PYTHONPATH=src python scripts/service_smoke.py``
 """
@@ -33,6 +40,7 @@ ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.envelope import ServiceError  # noqa: E402
 
 EXIT_DRAINED = 75
 SPEC = {"workload": "md5", "policy": "tdnuca", "scale": 2048}
@@ -46,15 +54,18 @@ def _env(**overrides: str) -> dict[str, str]:
     return env
 
 
-def _start_server(tmp: Path, **env_overrides: str) -> tuple[subprocess.Popen, ServiceClient]:
+def _start_server(
+    tmp: Path, *extra_args: str, workers: int = 1, **env_overrides: str
+) -> tuple[subprocess.Popen, ServiceClient]:
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve",
-            "--port", "0", "--workers", "1",
+            "--port", "0", "--workers", str(workers),
             "--cache-dir", str(tmp / "cache"),
             "--spool-dir", str(tmp / "spool"),
             "--checkpoint-every", "40",
             "--drain-grace", "20",
+            *extra_args,
         ],
         env=_env(**env_overrides), cwd=ROOT,
         stdout=subprocess.PIPE, text=True,
@@ -71,11 +82,24 @@ def _start_server(tmp: Path, **env_overrides: str) -> tuple[subprocess.Popen, Se
     return proc, client
 
 
-def _stop(proc: subprocess.Popen) -> int:
+def _stop(proc: subprocess.Popen) -> tuple[int, str]:
+    """SIGTERM the server; return (exit code, remaining stdout)."""
     proc.send_signal(signal.SIGTERM)
-    rc = proc.wait(timeout=60)
-    proc.stdout.close()
-    return rc
+    tail, _ = proc.communicate(timeout=60)
+    return proc.returncode, tail or ""
+
+
+def _wait_for_snapshot(spool: Path, timeout: float = 15.0) -> list[Path]:
+    """Poll for a spool snapshot: the spawn-isolated worker outlives a
+    SIGKILLed server briefly (PDEATHSIG -> snapshot at the next task
+    boundary), so the file can land a moment after the server dies."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        snaps = list(spool.glob("*.snap"))
+        if snaps:
+            return snaps
+        time.sleep(0.1)
+    return []
 
 
 def _submit_and_wait(client: ServiceClient) -> tuple[dict, dict]:
@@ -113,17 +137,27 @@ def main() -> int:
                 "duplicate submit must do zero new simulation work: "
                 f"{health['queue']}"
             )
+            # Worker-pool gauges ride along on /v1/health.
+            pool = health["queue"]["pool"]
+            assert pool["alive"] == 0 and pool["busy"] == 0, pool
+            assert pool["configured"] == 1 and pool["concurrency"] == 1, pool
+            assert pool["spawned"] == 1 and pool["completions"] == 1, pool
+            assert pool["deaths"] == 0 and pool["restarts"] == 0, pool
+            assert health["queue"]["poisoned"] == 0, health["queue"]
         finally:
-            rc = _stop(proc)
+            rc, tail = _stop(proc)
         assert rc == EXIT_DRAINED, f"SIGTERM drain should exit 75, got {rc}"
+        assert "drained:" in tail and "worker_deaths=0" in tail, (
+            f"serve should log pool gauges on drain, got: {tail!r}"
+        )
 
         # -------------------------------- SIGTERM drains to a snapshot
         proc, client = _start_server(tmp, REPRO_SERVICE_SLOW="1.5")
         client.submit_run(workload="lu", policy="tdnuca", scale=512)
         time.sleep(KILL_AFTER)
-        rc = _stop(proc)
+        rc, _ = _stop(proc)
         assert rc == EXIT_DRAINED, f"drain mid-job should exit 75, got {rc}"
-        snaps = list((tmp / "spool").glob("*.snap"))
+        snaps = _wait_for_snapshot(tmp / "spool")
         assert len(snaps) == 1, f"drain should leave one snapshot: {snaps}"
 
         # Restart and resubmit: the job resumes from the drain snapshot
@@ -150,7 +184,7 @@ def main() -> int:
                 "snapshot must be consumed after successful resume"
             )
         finally:
-            rc = _stop(proc)
+            rc, _ = _stop(proc)
         assert rc == EXIT_DRAINED, f"post-resume drain should exit 75, got {rc}"
 
         # ------------------------- kill -9, restart, resume from spool
@@ -163,8 +197,9 @@ def main() -> int:
         proc.kill()  # SIGKILL: no drain, no goodbye
         proc.wait(timeout=30)
         proc.stdout.close()
-        assert list((tmp / "spool").glob("*.snap")), (
-            "kill -9 mid-job should leave the periodic checkpoint behind"
+        assert _wait_for_snapshot(tmp / "spool"), (
+            "kill -9 mid-job should leave a checkpoint behind (periodic, "
+            "or the orphaned worker's PDEATHSIG snapshot)"
         )
 
         proc, client = _start_server(tmp)
@@ -218,13 +253,100 @@ def main() -> int:
             )
             assert healed == reference
         finally:
-            rc = _stop(proc)
+            rc, _ = _stop(proc)
         assert rc == EXIT_DRAINED, f"final drain should exit 75, got {rc}"
+
+        # ------------- failpoint chaos: worker SIGKILLed mid-job by the
+        # registry (not the OS), requeued, byte-identical finish.  Fresh
+        # directories so nothing is answered from the earlier cache.
+        chaos = tmp / "chaos"
+        (chaos / "cache").mkdir(parents=True)
+        (chaos / "spool").mkdir(parents=True)
+        proc, client = _start_server(
+            chaos, "--retries", "1",
+            REPRO_FAILPOINTS="worker.crash=*@attempt:1@task_ge:50@job:lu/tdnuca",
+        )
+        try:
+            job = client.submit_run(workload="lu", policy="tdnuca",
+                                    scale=512)
+            done = client.wait(job["id"], timeout=180)
+            result = client.result(job["id"])["result"]
+            assert done["resumed_from_task"], (
+                f"crashed job should resume from its checkpoint: {done}"
+            )
+            assert result == lu_clean, (
+                "kill -9'd-by-failpoint job diverges from a clean run"
+            )
+            health = client.health()
+            pool = health["queue"]["pool"]
+            assert health["queue"]["worker_deaths"] == 1, health["queue"]
+            assert pool["deaths"] == 1 and pool["restarts"] == 1, pool
+        finally:
+            rc, tail = _stop(proc)
+        assert rc == EXIT_DRAINED
+        assert "worker_deaths=1" in tail and "restarts=1" in tail, tail
+
+        # ------------- poison quarantine: an always-crashing job is
+        # benched with a diagnostic bundle while a healthy concurrent job
+        # completes and the server keeps serving.
+        jacobi_clean = json.loads(subprocess.run(
+            [sys.executable, "-m", "repro", "run", "jacobi", "tdnuca",
+             "--scale", "512", "--json"],
+            env=_env(), cwd=ROOT, capture_output=True, text=True,
+            check=True,
+        ).stdout)
+        poison_dir = tmp / "poison-phase"
+        (poison_dir / "cache").mkdir(parents=True)
+        (poison_dir / "spool").mkdir(parents=True)
+        proc, client = _start_server(
+            poison_dir, "--retries", "5", "--poison-after", "3",
+            workers=2,
+            REPRO_FAILPOINTS="worker.crash=*@job:histo/tdnuca@task_ge:10",
+        )
+        try:
+            doomed = client.submit_run(workload="histo", policy="tdnuca",
+                                       scale=512)
+            healthy = client.submit_run(workload="jacobi", policy="tdnuca",
+                                        scale=512)
+            try:
+                client.wait(doomed["id"], timeout=180)
+                raise AssertionError("3x-crashing job should be poisoned")
+            except ServiceError as err:
+                assert err.type == "poisoned", err
+            bundles = list((poison_dir / "spool" / "poison").glob("*.json"))
+            assert bundles, "poison quarantine should write a bundle"
+            bundle = json.loads(bundles[0].read_text())
+            assert bundle["worker_deaths"] == 3, bundle
+            assert bundle["last_death"]["signal"] == 9, bundle
+
+            # Still serving: the healthy job lands byte-identical, and
+            # the poisoned spec is rejected on resubmission.
+            hdone = client.wait(healthy["id"], timeout=180)
+            assert hdone["state"] == "done", hdone
+            hresult = client.result(healthy["id"])["result"]
+            assert hresult == jacobi_clean, (
+                "healthy job diverged while sharing the pool with poison"
+            )
+            try:
+                client.submit_run(workload="histo", policy="tdnuca",
+                                  scale=512)
+                raise AssertionError("poisoned spec must not be re-admitted")
+            except ServiceError as err:
+                assert err.type == "poisoned", err
+            health = client.health()
+            assert health["queue"]["poisoned"] == 1, health["queue"]
+            assert health["queue"]["worker_deaths"] == 3, health["queue"]
+        finally:
+            rc, tail = _stop(proc)
+        assert rc == EXIT_DRAINED
+        assert "poisoned=1" in tail, tail
 
     print(
         "service smoke ok: duplicate submit hit the cache, SIGTERM drained "
         "to a snapshot (exit 75), kill -9 resumed byte-identically, corrupt "
-        "entry quarantined and recomputed"
+        "entry quarantined and recomputed, failpoint-crashed worker requeued "
+        "to a byte-identical finish, poison job quarantined with bundle "
+        "while the pool kept serving"
     )
     return 0
 

@@ -38,7 +38,7 @@ from repro.api import RunResult, Session
 from repro.config import SystemConfig, paper_config, scaled_config
 from repro.deps import DepMode
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Session",

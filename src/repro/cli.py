@@ -262,6 +262,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="SIGTERM: wait this long for in-flight jobs to checkpoint "
         "before exiting 75 (default %(default)s)",
     )
+    p_serve.add_argument(
+        "--worker-mem-mb", type=int, default=None, metavar="MB",
+        help="RLIMIT_AS for each worker process; a leaking simulation "
+        "gets MemoryError instead of OOM-killing the host",
+    )
+    p_serve.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="kill a worker whose heartbeat goes silent this long and "
+        "requeue its job (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--poison-after", type=int, default=3, metavar="N",
+        help="quarantine a job after it kills N worker processes "
+        "(default %(default)s)",
+    )
 
     p_sub = sub.add_parser(
         "submit", help="submit a run to a 'repro serve' server and wait"
@@ -678,12 +693,30 @@ def cmd_serve(args) -> int:
         evict_after=args.evict_after,
         checkpoint_every=args.checkpoint_every,
         drain_grace=args.drain_grace,
+        worker_mem_mb=args.worker_mem_mb,
+        lease_timeout=args.lease_timeout,
+        poison_after=args.poison_after,
     )
 
     async def run() -> int:
         await server.start()
         print(f"listening on {server.host}:{server.port}", flush=True)
-        return await server.serve_forever()
+        code = await server.serve_forever()
+        stats = server.queue.stats()
+        pool = stats.get("pool") or {}
+        print(
+            "drained: "
+            f"completed={stats['completed']} failed={stats['failed']} "
+            f"preempted={stats['preempted']} "
+            f"worker_deaths={stats['worker_deaths']} "
+            f"restarts={pool.get('restarts', 0)} "
+            f"lease_expired={pool.get('lease_expired', 0)} "
+            f"workers_alive={pool.get('alive', 0)} "
+            f"concurrency={pool.get('concurrency', 0)} "
+            f"poisoned={stats['poisoned']}",
+            flush=True,
+        )
+        return code
 
     return asyncio.run(run())
 

@@ -104,13 +104,13 @@ PERMANENT_ERRORS = (
     NotImplementedError,
 )
 
-#: chaos hook for tests and CI smoke runs: set to a job label
-#: ("workload/policy") and every isolated worker for that job exits hard
-#: with status 99 before running, emulating a native crash.
+#: deprecated chaos hook (now an alias for the ``harness.worker.crash``
+#: failpoint): set to a job label ("workload/policy") and every isolated
+#: worker for that job exits hard with status 99 before running.
 CRASH_ENV = "REPRO_HARNESS_CRASH"
 
-#: test/smoke hook: a float number of seconds every worker sleeps before
-#: running its job, so an interrupting signal reliably lands mid-flight.
+#: deprecated chaos hook (now an alias for the ``harness.worker.slow``
+#: failpoint): seconds every worker sleeps before running its job.
 SLOW_ENV = "REPRO_HARNESS_SLOW"
 
 
@@ -363,8 +363,11 @@ def _checkpoint_kwargs(ck: Checkpointer | None, ck_spec: dict[str, Any] | None):
 
 def _worker_main(conn_w, runner, job: Job, cfg: Any, ck_spec=None) -> None:
     """Worker entry point (module-level so ``spawn`` can pickle it)."""
-    if os.environ.get(CRASH_ENV, "") == job.label:
-        os._exit(99)
+    from repro import failpoints
+
+    # Chaos site (the old CRASH_ENV hook feeds it as a deprecated alias):
+    # default action exits hard with status 99, emulating a native crash.
+    failpoints.fire("harness.worker.crash", job=job.label)
     ck = _build_checkpointer(ck_spec)
     if ck is not None:
         # SIGTERM (forwarded by the parent on its own SIGTERM/SIGINT, or
@@ -378,9 +381,9 @@ def _worker_main(conn_w, runner, job: Job, cfg: Any, ck_spec=None) -> None:
             signal.signal(signal.SIGINT, signal.SIG_IGN)
         except ValueError:  # pragma: no cover - non-main-thread embedding
             pass
-    slow = float(os.environ.get(SLOW_ENV, "0") or 0.0)
-    if slow > 0:
-        time.sleep(slow)
+    # Chaos site (the old SLOW_ENV hook feeds it): sleep before running,
+    # so an interrupting signal reliably lands mid-flight.
+    failpoints.fire("harness.worker.slow", job=job.label)
     try:
         result = runner(job, cfg, **_checkpoint_kwargs(ck, ck_spec))
         payload = ("ok", result)

@@ -14,9 +14,16 @@ Layout:
 
 * :mod:`repro.service.envelope` — the response envelope and error taxonomy.
 * :mod:`repro.service.cache`    — CRC-validated content-addressed results.
-* :mod:`repro.service.queue`    — bounded queue, retries, breaker, eviction.
+* :mod:`repro.service.queue`    — bounded queue, retries, breaker, eviction,
+  poison quarantine.
+* :mod:`repro.service.workers`  — the crash-isolated worker pool: one spawn
+  subprocess per attempt, heartbeat leases, memory rlimits.
 * :mod:`repro.service.server`   — the asyncio HTTP front end.
 * :mod:`repro.service.client`   — the retrying client behind ``repro submit``.
+
+Failure *injection* for all of it is the deterministic failpoint registry
+(:mod:`repro.failpoints`), exercised by ``pytest -m chaos`` and the CI
+service smoke.
 
 See DESIGN.md §11 for the failure-mode inventory and
 ``scripts/service_smoke.py`` for the kill-9/cache-hit chaos gate run in CI.
@@ -27,6 +34,7 @@ from repro.service.client import ServiceClient
 from repro.service.envelope import ServiceError, error_envelope, ok_envelope
 from repro.service.queue import JobQueue, RunSpec, SweepSpec
 from repro.service.server import ServiceServer
+from repro.service.workers import WorkerDied, WorkerPool
 
 __all__ = [
     "JobQueue",
@@ -36,6 +44,8 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "SweepSpec",
+    "WorkerDied",
+    "WorkerPool",
     "error_envelope",
     "ok_envelope",
     "request_key",

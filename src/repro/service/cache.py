@@ -28,6 +28,7 @@ import zlib
 from pathlib import Path
 from typing import Any
 
+from repro import failpoints
 from repro.ioutils import atomic_write
 from repro.snapshot import config_sha256
 
@@ -116,6 +117,9 @@ class ResultCache:
         }
         payload = json.dumps(entry, sort_keys=True).encode("utf-8")
         crc = zlib.crc32(payload) & 0xFFFFFFFF
+        # Chaos site: mangling the payload *after* the CRC models a torn
+        # write — the next read must quarantine the entry, not serve it.
+        payload = failpoints.mangle("cache.write.torn", payload, key=key)
         path = self.path_for(key)
         with atomic_write(path, "wb") as fh:
             fh.write(CACHE_MAGIC)

@@ -3,8 +3,8 @@
 Every HTTP response body the service produces — success or failure — is
 one envelope::
 
-    {"ok": true,  "version": "1.2.0", "data":  {...}}
-    {"ok": false, "version": "1.2.0", "error": {"type": ..., "message": ...,
+    {"ok": true,  "version": "1.3.0", "data":  {...}}
+    {"ok": false, "version": "1.3.0", "error": {"type": ..., "message": ...,
                                                 "retryable": ...}}
 
 ``version`` is the single package version from ``repro.__version__`` so a
@@ -36,6 +36,7 @@ ERROR_TYPES: dict[str, tuple[int, bool]] = {
     "draining": (503, True),           # server is shutting down gracefully
     "timeout": (504, True),            # the job exceeded its wall budget
     "job-failed": (500, False),        # simulation raised a permanent error
+    "poisoned": (500, False),          # job quarantined: kept killing workers
     "internal": (500, True),           # unexpected server-side failure
 }
 

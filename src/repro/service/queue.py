@@ -27,17 +27,32 @@ contract, piece by piece:
   every in-flight job to its snapshot and refuses new work; ``kill -9``
   loses nothing already cached because cache and spool writes are atomic.
 
-Simulations run on a thread pool.  The simulator is pure Python, so
-threads trade parallel speedup for simplicity; process-level parallelism
-stays the sweep harness's job.  What matters here is that the event loop
-keeps serving status/health requests while workers grind, and that a
-worker can always be stopped at a task boundary through its checkpointer.
+Simulations run on a supervised **process-per-attempt worker pool**
+(:class:`~repro.service.workers.WorkerPool`): each attempt is a
+spawn-isolated subprocess holding a heartbeat lease, so a segfault, OOM,
+or hang costs one attempt, never the server.  On top of the pool this
+module adds:
+
+* **Crash requeue** — a :class:`~repro.service.workers.WorkerDied`
+  requeues the job (resuming byte-identically from its last spool
+  snapshot) under a budget that always reaches the poison threshold.
+* **Poison quarantine** — a job whose attempts kill ``poison_after``
+  workers is quarantined with a diagnostic bundle under
+  ``spool/poison/`` and rejected (typed ``poisoned``) for the rest of
+  this server's lifetime, instead of crash-looping the pool.
+* **Graceful degradation** — bursts of worker deaths shed pool
+  concurrency toward 1; healthy completions restore it.
+
+Failure injection for all of the above goes through the deterministic
+failpoint registry (:mod:`repro.failpoints`); the old ad-hoc env hooks
+remain as deprecated aliases.
 """
 
 from __future__ import annotations
 
 import asyncio
-import os
+import hashlib
+import json
 import random
 import threading
 import time
@@ -46,16 +61,19 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
+from repro import failpoints
 from repro.experiments.harness import PERMANENT_ERRORS, retry_delay
+from repro.ioutils import atomic_write
 from repro.service.cache import ResultCache, request_key
 from repro.service.envelope import ServiceError
-from repro.sim.machine import POLICIES
-from repro.snapshot import (
-    Checkpointer,
-    PreemptedError,
-    SnapshotMismatchError,
-    load_or_quarantine,
+from repro.service.workers import (
+    HARD_TIMEOUT_GRACE,
+    WorkerDied,
+    WorkerJobError,
+    WorkerPool,
 )
+from repro.sim.machine import POLICIES
+from repro.snapshot import PreemptedError, SnapshotMismatchError
 
 __all__ = [
     "RunSpec",
@@ -68,18 +86,13 @@ __all__ = [
     "CRASH_ENV",
 ]
 
-#: chaos hook: a float number of seconds every job attempt sleeps before
-#: simulating, so smoke tests can reliably land a signal mid-job.
+#: deprecated chaos hook (now an alias for the ``queue.attempt.slow``
+#: failpoint): seconds every job attempt sleeps before simulating.
 SLOW_ENV = "REPRO_SERVICE_SLOW"
 
-#: chaos hook: set to a job label ("workload/policy") to make its worker
-#: thread kill the whole server process (``os._exit(99)``) before running —
-#: the in-process stand-in for a spot-instance disappearing under us.
+#: deprecated chaos hook (now an alias for the ``queue.attempt.crash``
+#: failpoint): a job label whose worker process exits before running.
 CRASH_ENV = "REPRO_SERVICE_CRASH"
-
-#: extra seconds past a job's graceful budget before the hard backstop
-#: abandons a (presumed hung) worker thread.
-HARD_TIMEOUT_GRACE = 30.0
 
 #: job states.  ``preempted`` is terminal for this server instance but not
 #: for the work: the snapshot in the spool resumes it on resubmission.
@@ -282,6 +295,7 @@ class Job:
     state: str = "queued"
     attempts: int = 0
     evictions: int = 0
+    worker_deaths: int = 0   # attempts that killed their worker process
     cache_hits: int = 0      # cells answered from the cache
     simulated: int = 0       # cells this job actually simulated
     cells_done: int = 0
@@ -297,8 +311,10 @@ class Job:
     events: EventBuffer = field(default_factory=EventBuffer)
     #: completed cell results carried across evictions/retries.
     partial: dict[str, dict[str, Any]] = field(default_factory=dict)
-    #: the in-flight attempt's checkpointer (set from the worker thread).
-    current_ck: Checkpointer | None = None
+    #: the in-flight attempt's preempt target — an
+    #: :class:`~repro.service.workers.AttemptHandle` (or anything with a
+    #: signal-safe ``request_preempt()``), set by the supervision thread.
+    current_ck: Any = None
 
     def to_dict(self) -> dict[str, Any]:
         """The job record served by status endpoints (result separate)."""
@@ -309,6 +325,7 @@ class Job:
             "state": self.state,
             "attempts": self.attempts,
             "evictions": self.evictions,
+            "worker_deaths": self.worker_deaths,
             "cache_hits": self.cache_hits,
             "simulated": self.simulated,
             "cells_done": self.cells_done,
@@ -384,6 +401,11 @@ class JobQueue:
         spool_dir: str | Path,
         cache: ResultCache | None = None,
         jitter_seed: int | None = None,
+        lease_timeout: float = 30.0,
+        worker_mem_mb: int | None = None,
+        poison_after: int = 3,
+        degrade_after: int = 2,
+        degrade_window: float = 60.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -395,6 +417,8 @@ class JobQueue:
             raise ValueError("timeout must be positive")
         if evict_after is not None and evict_after <= 0:
             raise ValueError("evict_after must be positive")
+        if poison_after < 1:
+            raise ValueError("poison_after must be >= 1")
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
@@ -404,19 +428,30 @@ class JobQueue:
         #: (which never reaches the drain path) resumes from the last
         #: periodic snapshot instead of restarting.
         self.checkpoint_every = checkpoint_every
+        self.lease_timeout = lease_timeout
+        self.worker_mem_mb = worker_mem_mb
+        #: worker deaths a single job may cause before it is quarantined.
+        self.poison_after = poison_after
+        self.degrade_after = degrade_after
+        self.degrade_window = degrade_window
         self.spool = Path(spool_dir)
         self.spool.mkdir(parents=True, exist_ok=True)
         self.cache = cache
         self.breaker = CircuitBreaker(max_pending)
         self.jobs: dict[str, Job] = {}
+        #: poison-quarantined spec keys -> diagnostic bundle path.
+        self.poisoned: dict[str, str] = {}
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.evicted = 0
         self.preempted = 0
+        self.worker_deaths = 0
         self.simulations_run = 0
         self.draining = False
+        self.pool: WorkerPool | None = None
         self._rng = random.Random(jitter_seed)
+        self._inflight = 0
         self._ready: asyncio.Queue[str] | None = None
         self._tasks: list[asyncio.Task] = []
         self._pool: Any = None
@@ -429,8 +464,21 @@ class JobQueue:
         from concurrent.futures import ThreadPoolExecutor
 
         self._ready = asyncio.Queue()
+        # Supervision slots: each thread blocks in WorkerPool.run_attempt
+        # babysitting one child process; simulation itself runs in the
+        # children, crash-isolated from this server.
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-job"
+        )
+        self.pool = WorkerPool(
+            self.workers,
+            lease_timeout=self.lease_timeout,
+            mem_limit_mb=self.worker_mem_mb,
+            spool=self.spool,
+            cache_dir=None if self.cache is None else self.cache.root,
+            checkpoint_every=self.checkpoint_every,
+            degrade_after=self.degrade_after,
+            degrade_window=self.degrade_window,
         )
         self._tasks = [
             asyncio.create_task(self._worker_loop(), name=f"jobworker-{i}")
@@ -440,19 +488,24 @@ class JobQueue:
     async def drain(self, grace: float = 10.0) -> int:
         """Graceful shutdown: checkpoint in-flight work, stop the workers.
 
-        Every running job's checkpointer gets a preempt request; workers
-        then stop at their next task boundary with a snapshot in the
-        spool.  Jobs still queued are marked ``preempted`` without a
-        snapshot (a resubmission simply reruns them — and hits the cache
-        for every cell that finished).  Returns the number of jobs that
-        did not complete.
+        Every running job's attempt handle gets a preempt request (the
+        supervisor forwards it to the child as SIGTERM); workers then
+        stop at their next task boundary with a snapshot in the spool.
+        Jobs still queued are marked ``preempted`` without a snapshot (a
+        resubmission simply reruns them — and hits the cache for every
+        cell that finished).  The join is **bounded**: at the grace
+        deadline any still-running child — hung, dying, or mid-crash —
+        is SIGKILLed and its job settled, so drain always returns within
+        ``grace`` plus epsilon.  Returns the number of jobs that did not
+        complete.
         """
         self.draining = True
+        failpoints.fire("queue.drain.stall")
         deadline = time.monotonic() + grace
         while True:
             # Re-request every iteration: a worker mid-attempt may create
-            # its checkpointer *after* drain started, and a requeued job's
-            # next attempt gets a fresh checkpointer too.
+            # its handle *after* drain started, and a requeued job's next
+            # attempt gets a fresh handle too.
             running = False
             for job in self.jobs.values():
                 if job.state == "running":
@@ -473,6 +526,8 @@ class JobQueue:
                 stopped += 1
             elif job.state == "preempted":
                 stopped += 1
+        if self.pool is not None:
+            self.pool.kill_all()
         for task in self._tasks:
             task.cancel()
         if self._pool is not None:
@@ -501,6 +556,14 @@ class JobQueue:
             )
         if self._ready is None:
             raise ServiceError("internal", "job queue is not started")
+        poison_key = self._poison_key(spec)
+        if poison_key in self.poisoned:
+            raise ServiceError(
+                "poisoned",
+                f"job {spec.label!r} (key {poison_key}) is quarantined: it "
+                f"repeatedly killed its worker process; diagnostic bundle "
+                f"at {self.poisoned[poison_key]}",
+            )
         job = Job(
             id=uuid.uuid4().hex[:12], spec=spec,
             cells_total=len(spec.cells()),
@@ -531,7 +594,10 @@ class JobQueue:
             "failed": self.failed,
             "evicted": self.evicted,
             "preempted": self.preempted,
+            "worker_deaths": self.worker_deaths,
+            "poisoned": len(self.poisoned),
             "simulations_run": self.simulations_run,
+            "pool": None if self.pool is None else self.pool.stats(),
             "breaker": {
                 "state": self.breaker.state,
                 "max_pending": self.breaker.max_pending,
@@ -578,6 +644,16 @@ class JobQueue:
             job = self.jobs.get(job_id)
             if job is None or job.state != "queued":
                 continue
+            # Degradation gate: under a burst of worker deaths the pool
+            # sheds concurrency below the configured width; loops past
+            # the current width idle instead of spawning.
+            while (
+                self.pool is not None
+                and self._inflight >= self.pool.concurrency
+                and not self.draining
+            ):
+                await asyncio.sleep(0.05)
+            self._inflight += 1
             try:
                 await self._run_job(job)
             except asyncio.CancelledError:
@@ -586,6 +662,8 @@ class JobQueue:
                 self._fail(job, ServiceError(
                     "internal", f"{type(exc).__name__}: {exc}"
                 ))
+            finally:
+                self._inflight -= 1
 
     async def _run_job(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
@@ -598,19 +676,12 @@ class JobQueue:
             budget = self._graceful_budget(job)
             t0 = time.monotonic()
             fut = loop.run_in_executor(self._pool, self._attempt, job, budget)
-            hard = None if budget is None else budget + HARD_TIMEOUT_GRACE
             try:
-                await asyncio.wait_for(fut, timeout=hard)
-            except asyncio.TimeoutError:
+                await fut
+            except WorkerDied as died:
                 job.spent += time.monotonic() - t0
-                ck = job.current_ck
-                if ck is not None:
-                    ck.request_preempt()  # stop the thread when it can
-                self._fail(job, ServiceError(
-                    "timeout",
-                    f"job exceeded its {self.timeout}s wall-clock budget "
-                    "and did not reach a task boundary in the grace window",
-                ))
+                if await self._handle_worker_death(job, died):
+                    continue
                 return
             except PreemptedError as exc:
                 job.spent += time.monotonic() - t0
@@ -634,6 +705,8 @@ class JobQueue:
                     continue
                 return
             job.spent += time.monotonic() - t0
+            if self.pool is not None:
+                self.pool.note_ok()
             self._finish_ok(job)
             return
 
@@ -684,7 +757,13 @@ class JobQueue:
 
     async def _maybe_retry(self, job: Job, exc: Exception) -> bool:
         """Schedule a retry for a transient failure; False when settled."""
-        permanent = isinstance(exc, PERMANENT_ERRORS)
+        permanent = (
+            isinstance(exc, PERMANENT_ERRORS)
+            or getattr(exc, "permanent", False)
+        )
+        # A child-side failure arrives as WorkerJobError carrying the
+        # original exception's name; report that, not the wrapper's.
+        error_name = getattr(exc, "error_name", type(exc).__name__)
         retryable = (
             not permanent
             and job.attempts <= self.retries
@@ -692,17 +771,112 @@ class JobQueue:
         )
         if not retryable:
             self._fail(job, ServiceError(
-                "job-failed", f"{type(exc).__name__}: {exc}"
+                "job-failed", f"{error_name}: {exc}"
             ))
             return False
         delay = retry_delay(job.attempts, self.backoff, rng=self._rng)
         job.events.append(
             {"kind": "retry", "after": round(delay, 3),
-             "error": type(exc).__name__}
+             "error": error_name}
         )
         if delay:
             await asyncio.sleep(delay)
         return True
+
+    async def _handle_worker_death(self, job: Job, died: WorkerDied) -> bool:
+        """Classify a dead/silent worker; True when the job should rerun.
+
+        Requeues under ``max(retries, poison_after - 1)`` — the crash
+        budget must always reach the poison threshold, or a default
+        ``retries=1`` queue would fail a poison job before diagnosing it.
+        The retry resumes byte-identically from the job's last periodic
+        snapshot in the spool.
+        """
+        job.worker_deaths += 1
+        self.worker_deaths += 1
+        if self.pool is not None:
+            self.pool.note_death()
+        job.events.append({
+            "kind": "worker_died", "reason": died.reason,
+            "exitcode": died.exitcode, "signal": died.term_signal,
+            "heartbeat_age_s": round(died.heartbeat_age, 3),
+        })
+        if self.draining:
+            if job.state == "running":
+                job.state = "preempted"
+                job.events.append(
+                    {"kind": "preempted", "reason": "draining"}
+                )
+                job.events.close()
+                self.preempted += 1
+            return False
+        if died.reason == "hard-timeout":
+            self._fail(job, ServiceError(
+                "timeout",
+                f"job exceeded its {self.timeout}s wall-clock budget "
+                "and did not reach a task boundary in the grace window",
+            ))
+            return False
+        if job.worker_deaths >= self.poison_after:
+            self._quarantine_poison(job, died)
+            return False
+        if job.attempts <= max(self.retries, self.poison_after - 1):
+            if self.pool is not None:
+                self.pool.restarts += 1
+            delay = retry_delay(job.attempts, self.backoff, rng=self._rng)
+            job.events.append(
+                {"kind": "retry", "after": round(delay, 3),
+                 "error": "WorkerDied", "reason": died.reason}
+            )
+            if delay:
+                await asyncio.sleep(delay)
+            return True
+        self._fail(job, ServiceError("job-failed", f"WorkerDied: {died}"))
+        return False
+
+    def _poison_key(self, spec: RunSpec | SweepSpec) -> str:
+        """Stable identity of a submission for the poison registry."""
+        blob = json.dumps(spec.to_dict(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def _quarantine_poison(self, job: Job, died: WorkerDied) -> None:
+        """Quarantine a job that keeps killing workers; write diagnostics.
+
+        The bundle under ``spool/poison/`` names everything an operator
+        needs to reproduce offline; the registry entry rejects any
+        resubmission of the same spec for this server's lifetime.
+        """
+        key = self._poison_key(job.spec)
+        bundle_dir = self.spool / "poison"
+        bundle_dir.mkdir(parents=True, exist_ok=True)
+        bundle_path = bundle_dir / f"{key}.json"
+        tail, _ = job.events.since(0)
+        bundle = {
+            "kind": "poison-quarantine",
+            "job_key": key,
+            "job_id": job.id,
+            "label": job.spec.label,
+            "spec": job.spec.to_dict(),
+            "attempts": job.attempts,
+            "worker_deaths": job.worker_deaths,
+            "last_death": {
+                "reason": died.reason,
+                "exitcode": died.exitcode,
+                "signal": died.term_signal,
+                "heartbeat_age_s": round(died.heartbeat_age, 3),
+            },
+            "quarantined_at": time.time(),
+            "events_tail": tail[-20:],
+        }
+        with atomic_write(bundle_path) as fh:
+            json.dump(bundle, fh, indent=2, sort_keys=True)
+        self.poisoned[key] = str(bundle_path)
+        self._fail(job, ServiceError(
+            "poisoned",
+            f"job {job.spec.label!r} killed {job.worker_deaths} worker "
+            f"processes and is quarantined as poison; diagnostic bundle "
+            f"at {bundle_path}",
+        ))
 
     def _finish_ok(self, job: Job) -> None:
         job.result = self._assemble_result(job)
@@ -741,109 +915,22 @@ class JobQueue:
         }
 
     # ------------------------------------------------------------------
-    # the worker-thread attempt
+    # the supervision-thread attempt
     # ------------------------------------------------------------------
 
     def _attempt(self, job: Job, budget: float | None) -> None:
-        """Execute every remaining cell of ``job`` (worker thread).
+        """Run one attempt of ``job`` in an isolated worker process.
 
-        Cells found in the cache are adopted; the rest simulate under a
-        checkpointer whose deadline implements eviction/timeout.  Raises
-        :class:`PreemptedError` out of the thread when a slice expires —
-        the asyncio side classifies it.
+        Blocks the supervision thread inside
+        :meth:`WorkerPool.run_attempt` until the child settles; progress
+        (``cell_done``, events) is applied to the job record as it
+        streams in.  Raises :class:`PreemptedError` on checkpoint-and-
+        stop, :class:`WorkerJobError` for child-side job failures, and
+        :class:`WorkerDied` when the child crashed or lost its lease —
+        the asyncio side classifies all three.
         """
-        slow = float(os.environ.get(SLOW_ENV, "0") or 0.0)
-        if slow > 0:
-            time.sleep(slow)
-        if os.environ.get(CRASH_ENV, "") == job.spec.label:
-            os._exit(99)
-        cfg = job.spec.config()
-        deadline = (
-            time.monotonic() + budget if budget is not None else None
-        )
-        for wl, pol in job.spec.cells():
-            cell = f"{wl}/{pol}"
-            if cell in job.partial:
-                continue
-            key = request_key(cfg, wl, pol, job.spec.seed)
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                job.partial[cell] = cached
-                job.cache_hits += 1
-                job.cells_done += 1
-                job.events.append(
-                    {"kind": "cell_done", "cell": cell, "cache_hit": True}
-                )
-                continue
-            result = self._simulate_cell(job, cfg, wl, pol, key, deadline)
-            job.partial[cell] = result
-            job.cells_done += 1
-            job.events.append(
-                {"kind": "cell_done", "cell": cell, "cache_hit": False}
-            )
+        assert self.pool is not None
+        self.pool.run_attempt(job, budget, on_simulated=self._note_simulated)
 
-    def _simulate_cell(
-        self, job: Job, cfg, wl: str, pol: str, key: str,
-        deadline: float | None,
-    ) -> dict[str, Any]:
-        from repro.api import Session
-        from repro.obs.observer import Observer
-        from repro.obs.stream import CallbackSink
-
-        snap_path = self.spool / f"{key}.snap"
-        ck = Checkpointer(
-            snap_path, every=self.checkpoint_every, deadline=deadline
-        )
-        job.current_ck = ck
-        resume_from = None
-        if snap_path.is_file() and load_or_quarantine(snap_path) is not None:
-            resume_from = snap_path
-        observer = Observer(
-            sink=CallbackSink(job.events.append), timeline=False
-        )
-        session = Session(cfg, seed=job.spec.seed)
-        try:
-            rr = session.run(
-                wl, pol, trace=observer, checkpoint=ck,
-                resume_from=resume_from,
-            )
-        except SnapshotMismatchError:
-            if resume_from is None:
-                raise
-            # The spool snapshot belongs to some other identity (stale
-            # key collision, older build): quarantine it and run fresh.
-            try:
-                os.replace(snap_path, str(snap_path) + ".corrupt")
-            except OSError:
-                pass
-            job.events.append(
-                {"kind": "snapshot_discarded", "cell": f"{wl}/{pol}"}
-            )
-            ck = Checkpointer(
-                snap_path, every=self.checkpoint_every, deadline=deadline
-            )
-            job.current_ck = ck
-            observer = Observer(
-                sink=CallbackSink(job.events.append), timeline=False
-            )
-            session = Session(cfg, seed=job.spec.seed)
-            rr = session.run(wl, pol, trace=observer, checkpoint=ck)
-        finally:
-            job.current_ck = None
+    def _note_simulated(self) -> None:
         self.simulations_run += 1
-        job.simulated += 1
-        result = rr.stats_dict()
-        resumed = rr.experiment.extra.get("resumed_from_task")
-        if resumed is not None:
-            job.resumed_from_task = max(job.resumed_from_task or 0, resumed)
-        if self.cache is not None:
-            self.cache.put(
-                key, result,
-                meta={"workload": wl, "policy": pol, "seed": job.spec.seed,
-                      "scale": job.spec.scale},
-            )
-        try:
-            snap_path.unlink()
-        except OSError:
-            pass
-        return result

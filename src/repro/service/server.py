@@ -74,6 +74,9 @@ class ServiceServer:
         evict_after: float | None = None,
         checkpoint_every: int = 0,
         drain_grace: float = 10.0,
+        worker_mem_mb: int | None = None,
+        lease_timeout: float = 30.0,
+        poison_after: int = 3,
     ) -> None:
         self.host = host
         self.port = port
@@ -89,6 +92,9 @@ class ServiceServer:
             checkpoint_every=checkpoint_every,
             spool_dir=spool_dir,
             cache=self.cache,
+            worker_mem_mb=worker_mem_mb,
+            lease_timeout=lease_timeout,
+            poison_after=poison_after,
         )
         self._server: asyncio.base_events.Server | None = None
         self._drained = asyncio.Event()

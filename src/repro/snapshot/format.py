@@ -30,6 +30,7 @@ import warnings
 import zlib
 from pathlib import Path
 
+from repro import failpoints
 from repro.ioutils import atomic_write
 
 __all__ = [
@@ -76,6 +77,9 @@ def write_snapshot_file(path: str | Path, payload: dict) -> Path:
     path = Path(path)
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     crc = zlib.crc32(data) & 0xFFFFFFFF
+    # Chaos site: a byte flipped after the CRC is a torn write — the next
+    # read must detect it and quarantine, never resume from it.
+    data = failpoints.mangle("snapshot.write.torn", data, path=str(path))
     with atomic_write(path, "wb") as fh:
         fh.write(MAGIC)
         fh.write(_HEADER.pack(FORMAT_VERSION, crc))
@@ -90,6 +94,8 @@ def read_snapshot_file(path: str | Path) -> dict:
     :class:`CorruptSnapshotError` for any other failure mode.
     """
     raw = Path(path).read_bytes()
+    # Chaos site: models bit rot between write and read.
+    raw = failpoints.mangle("snapshot.read.corrupt", raw, path=str(path))
     header_len = len(MAGIC) + _HEADER.size
     if len(raw) < header_len:
         raise CorruptSnapshotError(
