@@ -4,16 +4,21 @@
 Wall-clock timing is useless on shared CI runners, but the *number of
 Python function calls* the simulator makes per run is fully deterministic
 (fixed seeds, fixed traces).  This test runs the canonical hot-path case
-(kmeans/tdnuca at 1/256 scale) under cProfile and fails if the total call
-count exceeds a ceiling, so an accidental re-introduction of per-reference
-call overhead (the exact regression the flattened hot path removed) is
-caught on every push.
+(kmeans/tdnuca at 1/256 scale) under cProfile, once per simulation
+kernel, and fails if the total call count exceeds that kernel's ceiling,
+so an accidental re-introduction of per-reference call overhead (the
+exact regression the flattened hot path removed) is caught on every push.
 
-The ceiling is the measured count (~0.99M calls after the hot-path
-flattening; it was ~3.6M before) plus ~15% headroom for legitimate
-feature growth.  If you trip it with a real feature, re-measure with
-``scripts/profile_simulator.py --json`` and raise the ceiling in the same
-commit, stating the new measured count.
+Ceilings are the measured counts plus ~15% headroom for legitimate
+feature growth (reference: ~0.99M calls after the hot-path flattening —
+it was ~3.6M before; vector: ~0.86M, the fused engine inlines the
+coherence/eviction call chains).  If you trip one with a real feature,
+re-measure with ``scripts/profile_simulator.py --json --kernel <k>`` and
+raise the ceiling in the same commit, stating the new measured count.
+
+When NumPy is unavailable the vector kernel falls back to the reference
+path per task; its leg is then checked against the reference ceiling, so
+the no-numpy CI job still runs this script unchanged.
 
 Usage: ``PYTHONPATH=src python scripts/perf_smoke.py``
 """
@@ -27,49 +32,68 @@ ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
 from profile_simulator import profile_run  # noqa: E402
+from repro.sim.kernels import numpy_available  # noqa: E402
 
 WORKLOAD = "kmeans"
 POLICY = "tdnuca"
 DENOM = 256
-#: measured 985,574 calls after the hot-path flattening (+15% headroom).
-CALL_CEILING = 1_150_000
+#: per-kernel measured call counts (+~15% headroom).  reference: 986,935
+#: after the hot-path flattening; vector: 860,047 with the fused engine.
+CALL_CEILINGS = {
+    "reference": 1_150_000,
+    "vector": 1_000_000,
+}
 #: tracing must stay off the per-reference path: a traced run may make at
 #: most 5% more function calls than the identical untraced run (events
 #: fire at task/phase boundaries only, so the overhead is O(tasks), which
-#: is a rounding error next to O(references)).
+#: is a rounding error next to O(references)).  Checked under the
+#: reference kernel only — tracing forces the vector kernel to fall back,
+#: so a vector-vs-traced ratio would measure kernel dispatch, not tracing.
 TRACED_RATIO_CEILING = 1.05
 
 
 def main() -> int:
-    result, stats = profile_run(WORKLOAD, POLICY, DENOM)
-    calls = stats.total_calls
-    references = result.machine.l1.accesses
-    print(
-        f"{WORKLOAD}/{POLICY} @1/{DENOM}: {references:,} references, "
-        f"{calls:,} function calls (ceiling {CALL_CEILING:,})"
-    )
-    if calls > CALL_CEILING:
+    reference_calls = reference_refs = None
+    for kernel in ("reference", "vector"):
+        ceiling = CALL_CEILINGS[kernel]
+        if kernel == "vector" and not numpy_available():
+            ceiling = CALL_CEILINGS["reference"]
+        result, stats = profile_run(WORKLOAD, POLICY, DENOM, kernel=kernel)
+        calls = stats.total_calls
+        references = result.machine.l1.accesses
         print(
-            "FAIL: call count exceeds the hot-path ceiling — a per-reference "
-            "call chain has probably crept back in.  Profile with "
-            "scripts/profile_simulator.py and either flatten it or raise "
-            "CALL_CEILING with a re-measured baseline.",
-            file=sys.stderr,
+            f"{WORKLOAD}/{POLICY} @1/{DENOM} [{kernel}]: "
+            f"{references:,} references, {calls:,} function calls "
+            f"(ceiling {ceiling:,})"
         )
-        return 1
+        if calls > ceiling:
+            print(
+                f"FAIL: [{kernel}] call count exceeds the hot-path ceiling — "
+                "a per-reference call chain has probably crept back in.  "
+                "Profile with scripts/profile_simulator.py --kernel and "
+                "either flatten it or raise the ceiling with a re-measured "
+                "baseline.",
+                file=sys.stderr,
+            )
+            return 1
+        if kernel == "reference":
+            reference_calls = calls
+            reference_refs = references
 
-    traced_result, traced_stats = profile_run(WORKLOAD, POLICY, DENOM, trace=True)
-    if traced_result.machine.l1.accesses != references:
+    traced_result, traced_stats = profile_run(
+        WORKLOAD, POLICY, DENOM, trace=True, kernel="reference"
+    )
+    if traced_result.machine.l1.accesses != reference_refs:
         print(
             "FAIL: tracing changed the simulated work "
             f"({traced_result.machine.l1.accesses:,} references vs "
-            f"{references:,} untraced) — observability must be read-only.",
+            f"{reference_refs:,} untraced) — observability must be read-only.",
             file=sys.stderr,
         )
         return 1
-    ratio = traced_stats.total_calls / max(1, calls)
+    ratio = traced_stats.total_calls / max(1, reference_calls)
     print(
-        f"traced: {traced_stats.total_calls:,} function calls -> "
+        f"traced [reference]: {traced_stats.total_calls:,} function calls -> "
         f"{ratio:.4f}x untraced (ceiling {TRACED_RATIO_CEILING}x)"
     )
     if ratio > TRACED_RATIO_CEILING:

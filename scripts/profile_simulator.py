@@ -28,14 +28,22 @@ from repro.ioutils import atomic_write
 JSON_SCHEMA_VERSION = 1
 
 
-def profile_run(workload: str, policy: str, denom: int, trace: bool = False):
+def profile_run(
+    workload: str,
+    policy: str,
+    denom: int,
+    trace: bool = False,
+    kernel: str = "auto",
+):
     """Run one experiment under cProfile; returns ``(result, stats)``.
 
     The session is built outside the profiled region so only simulation
     work is measured; ``trace=True`` profiles the observability-enabled
-    path (used by the perf smoke test to bound tracing overhead).
+    path (used by the perf smoke test to bound tracing overhead), and
+    ``kernel`` pins a simulation backend so per-kernel call counts can
+    be compared.
     """
-    session = Session(scaled_config(1.0 / denom))
+    session = Session(scaled_config(1.0 / denom), kernel=kernel)
     profiler = cProfile.Profile()
     profiler.enable()
     result = session.run(workload, policy, trace=trace)
@@ -53,10 +61,13 @@ def main(argv: list[str] | None = None) -> int:
                     help="also write a machine-readable summary to PATH")
     ap.add_argument("--trace", action="store_true",
                     help="profile with the observability layer attached")
+    ap.add_argument("--kernel", default="auto",
+                    help="simulation kernel to profile (default auto)")
     args = ap.parse_args(argv)
 
     result, stats = profile_run(
-        args.workload, args.policy, args.denom, trace=args.trace
+        args.workload, args.policy, args.denom,
+        trace=args.trace, kernel=args.kernel,
     )
 
     accesses = result.machine.l1.accesses
@@ -75,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
             "policy": args.policy,
             "scale_denominator": args.denom,
             "traced": args.trace,
+            "kernel": args.kernel,
             "references": accesses,
             "total_seconds": round(total, 6),
             "us_per_reference": round(us_per_ref, 4),

@@ -182,11 +182,16 @@ class Session:
         *,
         scale: float | None = None,
         seed: int = 0,
+        kernel: str | None = None,
     ) -> None:
         if config is not None and scale is not None:
             raise ValueError("pass config or scale, not both")
         if config is None:
             config = scaled_config(scale) if scale is not None else default_config()
+        if kernel is not None:
+            # Execution backend only — byte-identical results are enforced
+            # by the golden gate, so this never changes what a run returns.
+            config = replace(config, kernel=kernel)
         config.validate()
         self.config = config
         self.seed = seed

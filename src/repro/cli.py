@@ -317,6 +317,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
+    from repro.sim.kernels import KERNEL_NAMES
+
     parser.add_argument(
         "--scale",
         type=int,
@@ -324,10 +326,23 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="capacities at 1/N of Table I (default 64)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default="auto",
+        help="simulation backend (results are byte-identical across "
+        "kernels; REPRO_KERNEL overrides; default %(default)s)",
+    )
 
 
 def _cfg(args):
-    return scaled_config(1.0 / args.scale)
+    from dataclasses import replace
+
+    cfg = scaled_config(1.0 / args.scale)
+    kernel = getattr(args, "kernel", "auto")
+    if kernel != "auto":
+        cfg = replace(cfg, kernel=kernel)
+    return cfg
 
 
 def cmd_list(args) -> int:
@@ -544,6 +559,11 @@ def cmd_sweep(args) -> int:
                 strict_invariants=bool(req.get("strict")),
             )
             cfg.validate()
+        # The kernel is an execution strategy, not part of the sweep's
+        # identity — the current invocation's choice applies on resume.
+        kernel = getattr(args, "kernel", "auto")
+        if kernel != "auto":
+            cfg = replace(cfg, kernel=kernel)
         jobs = [harness.Job(wl, pol, seed) for wl, pol, seed in manifest["jobs"]]
         out = args.out or req.get("out")
         if not out:
@@ -738,6 +758,7 @@ def cmd_submit(args) -> int:
             scale=args.scale,
             faults=args.faults,
             strict=args.strict,
+            kernel=getattr(args, "kernel", "auto"),
         )
         if args.no_wait:
             print(job["id"])

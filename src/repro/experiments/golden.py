@@ -155,11 +155,18 @@ def canonical_stats(result) -> dict[str, Any]:
     return out
 
 
-def run_case(case: GoldenCase) -> dict[str, Any]:
-    """Execute one golden case and return its canonical snapshot."""
+def run_case(case: GoldenCase, kernel: str = "auto") -> dict[str, Any]:
+    """Execute one golden case and return its canonical snapshot.
+
+    ``kernel`` pins a simulation backend; the snapshots are the
+    cross-kernel equivalence gate, so every backend must reproduce them
+    byte-identically (``REPRO_KERNEL`` still takes precedence, as
+    everywhere else).
+    """
     from repro.api import _run_one
 
-    result = _run_one(
-        case.workload, case.policy, case.config(), seed=case.seed
-    )
+    cfg = case.config()
+    if kernel != "auto":
+        cfg = replace(cfg, kernel=kernel)
+    result = _run_one(case.workload, case.policy, cfg, seed=case.seed)
     return canonical_stats(result)

@@ -120,6 +120,7 @@ SITES: dict[str, str] = {
     "cache.write.torn": "corrupt",    # torn result-cache entry write
     "snapshot.write.torn": "corrupt",  # torn snapshot write
     "snapshot.read.corrupt": "corrupt",  # bit rot on snapshot read
+    "kernel.dispatch.mismatch": "corrupt",  # forge a kernel-verify divergence
 }
 
 ACTIONS = (

@@ -80,25 +80,84 @@ def trace_signature(task: Task) -> tuple:
 
 
 #: signature-cache ceiling; programs with more distinct kernel shapes than
-#: this simply stop sharing (correctness is unaffected).
+#: this evict their least-recently-used expansions (correctness is
+#: unaffected, only sharing).
 _TRACE_CACHE_MAX = 4096
 
 
+class TraceCache:
+    """Bounded LRU of expanded traces, shared across machines and kernels.
+
+    Keyed by (address-map geometry, task signature), so one process-wide
+    instance serves every machine: a sweep that runs the same workload
+    under several policies — or the verify kernel running two backends
+    over one machine — expands each distinct kernel shape once.  Traces
+    are immutable, so sharing is safe; the bound keeps long sweeps from
+    growing the cache without limit, and eviction is oldest-unused-first
+    rather than the old clear-everything overflow behavior.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_entries")
+
+    def __init__(self, max_entries: int = _TRACE_CACHE_MAX) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[tuple, TaskTrace] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get_or_build(self, task: Task, amap: AddressMap) -> TaskTrace:
+        entries = self._entries
+        key = (
+            (amap.block_bytes, amap.page_bytes, amap.physical_address_bits),
+            trace_signature(task),
+        )
+        trace = entries.pop(key, None)
+        if trace is None:
+            self.misses += 1
+            if len(entries) >= self.max_entries:
+                # dicts iterate in insertion order; with the pop/reinsert
+                # on every hit below, the first key is the LRU entry.
+                del entries[next(iter(entries))]
+            trace = build_trace(task, amap)
+        else:
+            self.hits += 1
+        entries[key] = trace  # (re)insert at the most-recent position
+        return trace
+
+
+#: the process-wide instance every machine uses by default.
+shared_trace_cache = TraceCache()
+
+
 def build_trace_cached(
-    task: Task, amap: AddressMap, cache: dict[tuple, TaskTrace]
+    task: Task,
+    amap: AddressMap,
+    cache: TraceCache | dict[tuple, TaskTrace] | None = None,
 ) -> TaskTrace:
     """Memoized :func:`build_trace`.
 
-    ``cache`` is owned by the caller (one per machine) because traces
-    depend on the address map's block geometry.  Returned traces are
-    shared and must be treated as immutable, which every consumer already
-    does — translation and census read them, nothing writes.
+    With no ``cache`` (or a :class:`TraceCache`), the geometry-keyed
+    shared LRU is used.  A plain dict keeps the old per-caller behavior
+    (keyed by task signature alone — the caller owns one address map),
+    now with LRU eviction instead of clear-on-overflow.  Returned traces
+    are shared and must be treated as immutable, which every consumer
+    already does — translation and census read them, nothing writes.
     """
+    if cache is None:
+        cache = shared_trace_cache
+    if isinstance(cache, TraceCache):
+        return cache.get_or_build(task, amap)
     sig = trace_signature(task)
-    trace = cache.get(sig)
+    trace = cache.pop(sig, None)
     if trace is None:
         if len(cache) >= _TRACE_CACHE_MAX:
-            cache.clear()
+            del cache[next(iter(cache))]
         trace = build_trace(task, amap)
-        cache[sig] = trace
+    cache[sig] = trace
     return trace

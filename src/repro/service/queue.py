@@ -99,12 +99,14 @@ CRASH_ENV = "REPRO_SERVICE_CRASH"
 JOB_STATES = ("queued", "running", "done", "failed", "preempted")
 
 
-def _build_config(scale: int, faults: str, strict: bool):
+def _build_config(scale: int, faults: str, strict: bool, kernel: str = "auto"):
     from repro.config import scaled_config
 
     cfg = scaled_config(1.0 / scale)
-    if faults or strict:
-        cfg = replace(cfg, fault_spec=faults, strict_invariants=strict)
+    if faults or strict or kernel != "auto":
+        cfg = replace(
+            cfg, fault_spec=faults, strict_invariants=strict, kernel=kernel
+        )
     cfg.validate()
     return cfg
 
@@ -119,6 +121,9 @@ class RunSpec:
     scale: int = 64
     faults: str = ""
     strict: bool = False
+    #: simulation backend; never changes results, so it is deliberately
+    #: absent from the result-cache request key (see ``request_key``).
+    kernel: str = "auto"
 
     kind = "run"
 
@@ -138,7 +143,7 @@ class RunSpec:
         self.config()
 
     def config(self):
-        return _build_config(self.scale, self.faults, self.strict)
+        return _build_config(self.scale, self.faults, self.strict, self.kernel)
 
     def cells(self) -> list[tuple[str, str]]:
         return [(self.workload, self.policy)]
@@ -156,6 +161,7 @@ class RunSpec:
             "scale": self.scale,
             "faults": self.faults,
             "strict": self.strict,
+            "kernel": self.kernel,
         }
 
 
@@ -169,6 +175,7 @@ class SweepSpec:
     scale: int = 64
     faults: str = ""
     strict: bool = False
+    kernel: str = "auto"
 
     kind = "sweep"
 
@@ -179,10 +186,10 @@ class SweepSpec:
             (self.workloads[0], p) for p in self.policies
         ]:
             RunSpec(wl, pol, self.seed, self.scale,
-                    self.faults, self.strict).validate()
+                    self.faults, self.strict, self.kernel).validate()
 
     def config(self):
-        return _build_config(self.scale, self.faults, self.strict)
+        return _build_config(self.scale, self.faults, self.strict, self.kernel)
 
     def cells(self) -> list[tuple[str, str]]:
         return [(wl, pol) for wl in self.workloads for pol in self.policies]
@@ -200,6 +207,7 @@ class SweepSpec:
             "scale": self.scale,
             "faults": self.faults,
             "strict": self.strict,
+            "kernel": self.kernel,
         }
 
 
@@ -217,6 +225,7 @@ def spec_from_dict(raw: dict[str, Any]) -> RunSpec | SweepSpec:
         "scale": raw.get("scale", 64),
         "faults": raw.get("faults", ""),
         "strict": bool(raw.get("strict", False)),
+        "kernel": str(raw.get("kernel", "auto")),
     }
     if kind == "run":
         if "workload" not in raw or "policy" not in raw:

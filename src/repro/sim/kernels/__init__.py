@@ -1,0 +1,166 @@
+"""Pluggable simulation kernels for the per-reference hot path.
+
+A :class:`SimKernel` owns the inner loop of :meth:`Machine._run_blocks`:
+given one task's translated block trace it drives the L1s, the NUCA LLC,
+the directory, DRAM and all the batched stat/traffic accounting.  Two
+implementations exist:
+
+``reference``
+    The flat single-reference interpreter (PR 3), extracted verbatim from
+    ``Machine._run_blocks``.  Always available, always exact; every other
+    backend is defined as "byte-identical MachineStats to reference".
+
+``vector``
+    A numpy backend that batches the per-trace work — RRT resolution via
+    ``np.searchsorted``, bank decode over unique masks, prefix-summable
+    flag counters — around a lean event loop.  Optional: it requires
+    numpy and falls back (warning once) to ``reference`` when numpy is
+    missing, and it dispatches per task, deferring to the reference loop
+    whenever the machine is in a state it does not model (tracing hooks,
+    DRAM transients, dead banks, non-PLRU replacement, D-NUCA).
+
+``verify``
+    A debug harness that runs *both* kernels on every task and raises
+    :class:`KernelMismatchError` on the first divergence (chaos-testable
+    through the ``kernel.dispatch.mismatch`` failpoint).
+
+Selection precedence: ``REPRO_KERNEL`` env var > ``SystemConfig.kernel``;
+``auto`` resolves to ``vector`` when numpy is importable (and not masked
+by ``REPRO_KERNEL_DISABLE_NUMPY=1``), else ``reference``.  The golden
+snapshot suite is the equivalence gate — see DESIGN.md §13.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+
+__all__ = [
+    "KERNEL_NAMES",
+    "KernelMismatchError",
+    "KernelStats",
+    "SimKernel",
+    "make_kernel",
+    "numpy_available",
+    "resolve_kernel_name",
+]
+
+#: accepted values for ``SystemConfig.kernel`` / ``--kernel`` / ``REPRO_KERNEL``.
+KERNEL_NAMES = ("auto", "reference", "vector", "verify")
+
+#: env var overriding the configured kernel (highest precedence).
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: env var simulating a numpy-less install for the optional-dependency
+#: path (the package core itself needs numpy, so CI proves the reference
+#: kernel never touches the vector module through this gate instead).
+DISABLE_NUMPY_ENV = "REPRO_KERNEL_DISABLE_NUMPY"
+
+
+class KernelMismatchError(AssertionError):
+    """``verify`` mode found the two kernels disagreeing on a task."""
+
+
+@dataclass
+class KernelStats:
+    """Dispatch accounting, kept on the kernel object (never inside
+    ``MachineStats`` — result payloads must stay backend-agnostic so the
+    service result cache can share entries across kernels)."""
+
+    tasks_total: int = 0
+    #: tasks fully executed by the vector fast path.
+    tasks_vector: int = 0
+    #: tasks executed by the reference loop (including per-task fallbacks).
+    tasks_reference: int = 0
+    #: tasks the vector kernel started but finished with a reference
+    #: suffix after an own-core back-invalidation hazard.
+    tasks_mixed: int = 0
+    #: tasks double-executed by verify mode.
+    tasks_verified: int = 0
+    #: reasons the vector kernel declined a task, by gate name.
+    fallback_reasons: dict = field(default_factory=dict)
+
+    def count_fallback(self, reason: str) -> None:
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+
+
+class SimKernel:
+    """Interface: one strategy for executing a task's block trace."""
+
+    #: registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = KernelStats()
+
+    def run_blocks(self, machine, core, pblocks, writes, compute_per_access=None):
+        """Execute the trace on ``machine``; returns memory+compute cycles.
+
+        Implementations must leave the machine in exactly the state the
+        reference interpreter would (the golden snapshots enforce this),
+        including the pending-traffic flush at the end of the task.
+        """
+        raise NotImplementedError
+
+
+def numpy_available() -> bool:
+    """True when the vector kernel's numpy dependency is usable."""
+    if os.environ.get(DISABLE_NUMPY_ENV, "") == "1":
+        return False
+    try:  # pragma: no cover - import always succeeds in-repo
+        import numpy  # noqa: F401
+    except Exception:  # pragma: no cover - exercised via the env gate
+        return False
+    return True
+
+
+def resolve_kernel_name(configured: str = "auto") -> str:
+    """Apply the ``REPRO_KERNEL`` override and validate the name."""
+    name = os.environ.get(KERNEL_ENV) or configured or "auto"
+    if name not in KERNEL_NAMES:
+        raise ValueError(
+            f"unknown simulation kernel {name!r}; expected one of {KERNEL_NAMES}"
+        )
+    return name
+
+
+_warned_no_numpy = False
+
+
+def _warn_no_numpy_once(requested: str) -> None:
+    global _warned_no_numpy
+    if not _warned_no_numpy:
+        _warned_no_numpy = True
+        warnings.warn(
+            f"kernel {requested!r} requested but numpy is unavailable; "
+            "falling back to the reference kernel (install the [vector] "
+            "extra to enable the batched backend)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def make_kernel(name: str = "auto") -> SimKernel:
+    """Build the kernel for a resolved or raw selector name.
+
+    ``auto`` prefers ``vector`` and silently uses ``reference`` when
+    numpy is unavailable; an explicit ``vector``/``verify`` request warns
+    once before degrading.
+    """
+    name = resolve_kernel_name(name)
+    from repro.sim.kernels.reference import ReferenceKernel
+
+    if name == "reference":
+        return ReferenceKernel()
+    if not numpy_available():
+        if name in ("vector", "verify"):
+            _warn_no_numpy_once(name)
+        return ReferenceKernel()
+    from repro.sim.kernels.vector import VectorKernel
+
+    if name in ("vector", "auto"):
+        return VectorKernel()
+    from repro.sim.kernels.verify import VerifyKernel
+
+    return VerifyKernel()

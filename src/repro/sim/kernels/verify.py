@@ -1,0 +1,69 @@
+"""The verify kernel: run both backends on every task, demand equality.
+
+``REPRO_KERNEL=verify`` is the debug/chaos harness behind the golden
+equivalence gate: each task runs on the vector kernel, the full machine
+state is digested, the machine is rolled back (via the PR-5 snapshot
+layer) and the task re-runs on the reference interpreter.  Any
+divergence — state digest or returned cycle count — raises
+:class:`KernelMismatchError` naming the first bad task.
+
+The ``kernel.dispatch.mismatch`` failpoint mangles the vector digest so
+the chaos suite can prove the comparison actually trips (a verifier that
+cannot fail verifies nothing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro import failpoints
+from repro.sim.kernels import KernelMismatchError, SimKernel
+from repro.sim.kernels.reference import run_blocks_interpreted
+from repro.sim.kernels.vector import VectorKernel
+
+__all__ = ["VerifyKernel"]
+
+#: failpoint site: corrupts the vector-side digest to force a mismatch.
+MISMATCH_SITE = "kernel.dispatch.mismatch"
+
+
+def _digest(state: dict) -> bytes:
+    blob = json.dumps(state, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).digest()
+
+
+class VerifyKernel(SimKernel):
+    """Double-execution harness; returns the reference result."""
+
+    name = "verify"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._vector = VectorKernel()
+
+    def run_blocks(self, m, core, pblocks, writes, compute_per_access=None):
+        self.stats.tasks_total += 1
+        self.stats.tasks_verified += 1
+        # state_dict() demands a quiescent machine; page-classification
+        # flushes may have left pending traffic deltas.
+        m._flush_traffic()
+        before = m.state_dict()
+        v_cycles = self._vector.run_blocks(
+            m, core, pblocks, writes, compute_per_access
+        )
+        v_digest = failpoints.mangle(MISMATCH_SITE, _digest(m.state_dict()))
+        m.load_state_dict(before)
+        r_cycles = run_blocks_interpreted(
+            m, core, pblocks, writes, compute_per_access
+        )
+        r_digest = _digest(m.state_dict())
+        if v_digest != r_digest or v_cycles != r_cycles:
+            task_no = m.tasks_completed + 1
+            raise KernelMismatchError(
+                f"vector/reference divergence at task {task_no} on core "
+                f"{core} (policy {m.policy.name}): cycles "
+                f"{v_cycles} vs {r_cycles}, state digests "
+                f"{v_digest.hex()[:16]} vs {r_digest.hex()[:16]}"
+            )
+        return r_cycles

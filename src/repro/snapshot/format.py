@@ -68,7 +68,12 @@ def config_sha256(cfg) -> str:
     Stored in every snapshot and checked on resume so a snapshot can never
     be restored into a machine with different geometry.
     """
-    blob = json.dumps(dataclasses.asdict(cfg), sort_keys=True, default=str)
+    payload = dataclasses.asdict(cfg)
+    # The simulation kernel is an execution strategy, not machine geometry:
+    # every backend is byte-identical (golden gate), so snapshots resume and
+    # cached results match across kernels.
+    payload.pop("kernel", None)
+    blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

@@ -76,3 +76,76 @@ class TestDerivedTraces:
 
         with pytest.raises(ValueError):
             TaskTrace(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=bool))
+
+
+class TestTraceCache:
+    """The shared geometry-keyed LRU behind build_trace_cached."""
+
+    def _task(self, start=0x1000, size=0x100):
+        region = Region(start, size)
+        return Task(
+            "t",
+            (Dependency(region, DepMode.IN),),
+            (AccessChunk(region, False, 1),),
+        )
+
+    def test_shared_across_address_map_instances(self):
+        from repro.runtime.trace import TraceCache
+
+        cache = TraceCache()
+        amap_twin = AddressMap(64, 512)
+        tr1 = cache.get_or_build(self._task(), AMAP)
+        tr2 = cache.get_or_build(self._task(), amap_twin)
+        assert tr1 is tr2
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_distinct_geometry_distinct_entries(self):
+        from repro.runtime.trace import TraceCache
+
+        cache = TraceCache()
+        tr1 = cache.get_or_build(self._task(), AMAP)
+        tr2 = cache.get_or_build(self._task(), AddressMap(64, 4096))
+        assert tr1 is not tr2
+        assert len(cache) == 2
+
+    def test_lru_eviction_keeps_recently_used(self):
+        from repro.runtime.trace import TraceCache
+
+        cache = TraceCache(max_entries=2)
+        a = cache.get_or_build(self._task(0x0000), AMAP)
+        cache.get_or_build(self._task(0x1000), AMAP)
+        # Touch `a` so the 0x1000 expansion is the LRU victim.
+        assert cache.get_or_build(self._task(0x0000), AMAP) is a
+        cache.get_or_build(self._task(0x2000), AMAP)
+        assert len(cache) == 2
+        assert cache.get_or_build(self._task(0x0000), AMAP) is a  # still hot
+        before = cache.misses
+        cache.get_or_build(self._task(0x1000), AMAP)  # evicted -> rebuild
+        assert cache.misses == before + 1
+
+    def test_default_cache_is_process_shared(self):
+        from repro.runtime.trace import build_trace_cached, shared_trace_cache
+
+        t = self._task(0x8000)
+        tr1 = build_trace_cached(t, AMAP)
+        hits_before = shared_trace_cache.hits
+        tr2 = build_trace_cached(self._task(0x8000), AMAP)
+        assert tr1 is tr2
+        assert shared_trace_cache.hits == hits_before + 1
+
+    def test_legacy_dict_cache_evicts_lru_not_everything(self):
+        from repro.runtime import trace as trace_mod
+        from repro.runtime.trace import build_trace_cached
+
+        cache = {}
+        old_max = trace_mod._TRACE_CACHE_MAX
+        trace_mod._TRACE_CACHE_MAX = 2
+        try:
+            a = build_trace_cached(self._task(0x0000), AMAP, cache)
+            build_trace_cached(self._task(0x1000), AMAP, cache)
+            assert build_trace_cached(self._task(0x0000), AMAP, cache) is a
+            build_trace_cached(self._task(0x2000), AMAP, cache)
+            assert len(cache) == 2
+            assert build_trace_cached(self._task(0x0000), AMAP, cache) is a
+        finally:
+            trace_mod._TRACE_CACHE_MAX = old_max

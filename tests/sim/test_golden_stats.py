@@ -7,6 +7,12 @@ optimizations (batched counters, allocation-free probes, precomputed
 geometry) must be statistically invisible down to the last counter and
 derived float.
 
+Every case runs under *each* simulation kernel against the same
+snapshot: the suite doubles as the cross-kernel equivalence gate (the
+vector backend's contract is byte-identical MachineStats, DESIGN.md
+§13).  When numpy is unavailable the vector leg degrades to the
+reference path by design, so it still must (and does) match.
+
 Regenerate snapshots only for intentional modelling changes:
 ``PYTHONPATH=src python scripts/update_golden_stats.py``.
 """
@@ -19,8 +25,11 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.golden import GOLDEN_CASES, run_case
+from repro.sim.kernels import KERNEL_ENV
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+KERNELS = ("reference", "vector")
 
 
 def _flatten(prefix: str, value, out: dict) -> None:
@@ -31,17 +40,19 @@ def _flatten(prefix: str, value, out: dict) -> None:
         out[prefix] = value
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize(
     "case", GOLDEN_CASES, ids=[c.case_id for c in GOLDEN_CASES]
 )
-def test_stats_match_golden_snapshot(case):
+def test_stats_match_golden_snapshot(case, kernel, monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
     path = GOLDEN_DIR / f"{case.case_id}.json"
     assert path.exists(), (
         f"missing golden snapshot {path}; run "
         "'PYTHONPATH=src python scripts/update_golden_stats.py'"
     )
     expected = json.loads(path.read_text())
-    actual = run_case(case)
+    actual = run_case(case, kernel=kernel)
 
     flat_expected: dict = {}
     flat_actual: dict = {}
@@ -53,6 +64,6 @@ def test_stats_match_golden_snapshot(case):
         if flat_expected.get(key) != flat_actual.get(key)
     )
     assert not diffs, (
-        f"{case.case_id}: {len(diffs)} statistic(s) drifted from the golden "
-        "snapshot:\n  " + "\n  ".join(diffs)
+        f"{case.case_id} [{kernel}]: {len(diffs)} statistic(s) drifted from "
+        "the golden snapshot:\n  " + "\n  ".join(diffs)
     )

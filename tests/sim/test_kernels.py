@@ -1,0 +1,305 @@
+"""Simulation-kernel dispatch, selection, equivalence and degradation.
+
+The golden suite (tests/sim/test_golden_stats.py) is the byte-identical
+equivalence gate over the curated case matrix; this module covers the
+kernel *machinery* around it: selection precedence, the per-task
+dispatch gate and its fallback accounting, the phased numpy engine
+(which the golden traces are too short to reach), randomized
+cross-kernel equivalence beyond the golden grid, graceful degradation
+when numpy is masked away, the verify kernel's double-execution, and
+the backend-agnosticism of cache/snapshot fingerprints.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.sim.kernels as kernels_mod
+import repro.sim.kernels.vector as vector_mod
+from repro import failpoints
+from repro.api import Session
+from repro.config import scaled_config
+from repro.sim.kernels import (
+    DISABLE_NUMPY_ENV,
+    KERNEL_ENV,
+    KERNEL_NAMES,
+    KernelMismatchError,
+    make_kernel,
+    numpy_available,
+    resolve_kernel_name,
+)
+from repro.sim.kernels.reference import ReferenceKernel
+from repro.sim.kernels.vector import VectorKernel
+from repro.sim.kernels.verify import MISMATCH_SITE, VerifyKernel
+from repro.sim.machine import build_machine
+
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(autouse=True)
+def _clean_kernel_env(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    monkeypatch.delenv(DISABLE_NUMPY_ENV, raising=False)
+
+
+def small_config(denom=1024, **overrides):
+    cfg = scaled_config(1.0 / denom)
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def run_stats(workload, policy, kernel, denom=1024, seed=0, **overrides):
+    cfg = small_config(denom, kernel=kernel, **overrides)
+    return Session(cfg, seed=seed).run(workload, policy).stats_dict()
+
+
+def make_machine(policy="tdnuca", kernel="vector", **cfg_kw):
+    cfg = replace(tiny_config(**cfg_kw), kernel=kernel)
+    return build_machine(cfg, policy, fragmentation=0.0)
+
+
+def drive(machine, blocks, writes=None, core=0):
+    arr = np.asarray(blocks, dtype=np.int64)
+    w = (
+        np.zeros(len(arr), dtype=bool)
+        if writes is None
+        else np.asarray(writes, dtype=bool)
+    )
+    return machine._run_blocks(core, arr, w)
+
+
+class TestSelection:
+    def test_auto_prefers_vector_with_numpy(self):
+        assert numpy_available()
+        assert isinstance(make_kernel("auto"), VectorKernel)
+
+    def test_explicit_names(self):
+        assert isinstance(make_kernel("reference"), ReferenceKernel)
+        assert isinstance(make_kernel("vector"), VectorKernel)
+        assert isinstance(make_kernel("verify"), VerifyKernel)
+
+    def test_env_overrides_configured(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "reference")
+        assert resolve_kernel_name("vector") == "reference"
+        assert isinstance(make_kernel("vector"), ReferenceKernel)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulation kernel"):
+            resolve_kernel_name("turbo")
+
+    def test_config_validates_kernel(self):
+        with pytest.raises(ValueError, match="unknown simulation kernel"):
+            replace(tiny_config(), kernel="turbo").validate()
+        for name in KERNEL_NAMES:
+            replace(tiny_config(), kernel=name).validate()
+
+    def test_machine_inherits_config_kernel(self):
+        assert make_machine(kernel="reference").kernel.name == "reference"
+        assert make_machine(kernel="vector").kernel.name == "vector"
+
+
+class TestDispatchGate:
+    """The vector kernel defers per task whenever it cannot model the
+    machine's current state, and accounts for every decision."""
+
+    def test_tdnuca_takes_the_vector_path(self):
+        m = make_machine("tdnuca")
+        drive(m, [100, 101, 102, 100])
+        st = m.kernel.stats
+        assert st.tasks_total == 1
+        assert st.tasks_vector == 1
+        assert st.tasks_reference == 0
+        assert st.fallback_reasons == {}
+
+    def test_snuca_takes_the_vector_path(self):
+        m = make_machine("snuca")
+        drive(m, [100, 101])
+        assert m.kernel.stats.tasks_vector == 1
+
+    def test_dnuca_falls_back(self):
+        m = make_machine("dnuca")
+        drive(m, [100, 101])
+        st = m.kernel.stats
+        assert st.tasks_vector == 0
+        assert st.tasks_reference == 1
+        assert st.fallback_reasons == {"dnuca": 1}
+
+    def test_unmodelled_policy_falls_back(self):
+        m = make_machine("rnuca")
+        drive(m, [100, 101])
+        assert m.kernel.stats.fallback_reasons == {"policy": 1}
+
+    def test_fallback_still_produces_reference_state(self):
+        blocks = [100, 101, 102, 100, 103]
+        ref = make_machine("rnuca", kernel="reference")
+        vec = make_machine("rnuca", kernel="vector")
+        c_ref = drive(ref, blocks)
+        c_vec = drive(vec, blocks)
+        assert c_ref == c_vec
+        assert ref.state_dict() == vec.state_dict()
+
+    def test_phased_engine_runs_above_threshold(self, monkeypatch):
+        monkeypatch.setattr(vector_mod, "NUMPY_MIN_REFS", 0)
+        m = make_machine("tdnuca")
+        drive(m, [100, 101, 102, 100])
+        st = m.kernel.stats
+        assert st.tasks_vector + st.tasks_mixed == 1
+
+    def test_dispatch_stats_stay_off_machine_stats(self):
+        # Result payloads must be backend-agnostic (the service result
+        # cache shares entries across kernels), so dispatch accounting
+        # lives on the kernel object only.
+        stats = run_stats("kmeans", "tdnuca", kernel="vector", denom=2048)
+        blob = repr(stats)
+        assert "tasks_vector" not in blob
+        assert "fallback" not in blob
+
+
+class TestCrossKernelEquivalence:
+    """Randomized sampling beyond the golden grid: any (workload,
+    policy, seed) must produce byte-identical stats on both kernels."""
+
+    COMBOS = [
+        ("gauss", "tdnuca", 1),
+        ("md5", "snuca", 2),
+        ("redblack", "tdnuca-bypass-only", 3),
+        ("knn", "tdnuca", 4),
+    ]
+
+    @pytest.mark.parametrize(
+        "workload,policy,seed", COMBOS,
+        ids=[f"{w}-{p}-s{s}" for w, p, s in COMBOS],
+    )
+    def test_random_cell_matches(self, workload, policy, seed):
+        ref = run_stats(workload, policy, "reference", denom=2048, seed=seed)
+        vec = run_stats(workload, policy, "vector", denom=2048, seed=seed)
+        assert ref == vec
+
+    def test_random_traces_match_per_task(self):
+        """Drive both kernels over identical random block traces
+        (mixed reads/writes, heavy reuse to force evictions and
+        coherence) and demand identical cycles and machine state."""
+        rng = random.Random(0xC0FFEE)
+        ref = make_machine("tdnuca", kernel="reference")
+        vec = make_machine("tdnuca", kernel="vector")
+        for task in range(8):
+            core = rng.randrange(ref.num_cores)
+            n = rng.randrange(50, 400)
+            blocks = [rng.randrange(0, 512) for _ in range(n)]
+            writes = [rng.random() < 0.3 for _ in range(n)]
+            c_ref = drive(ref, blocks, writes, core=core)
+            c_vec = drive(vec, blocks, writes, core=core)
+            assert c_ref == c_vec, f"cycle divergence at task {task}"
+            assert ref.state_dict() == vec.state_dict(), (
+                f"state divergence at task {task}"
+            )
+
+    def test_phased_engine_matches_reference(self, monkeypatch):
+        """Force every task through the phased numpy path (threshold 0)
+        and hold it to the same equivalence bar."""
+        monkeypatch.setattr(vector_mod, "NUMPY_MIN_REFS", 0)
+        for workload, policy in (("kmeans", "tdnuca"), ("histo", "snuca")):
+            ref = run_stats(workload, policy, "reference", denom=2048)
+            vec = run_stats(workload, policy, "vector", denom=2048)
+            assert ref == vec, f"{workload}/{policy} phased-engine drift"
+
+
+class TestNoNumpyDegradation:
+    def test_numpy_available_respects_mask(self, monkeypatch):
+        assert numpy_available()
+        monkeypatch.setenv(DISABLE_NUMPY_ENV, "1")
+        assert not numpy_available()
+
+    def test_explicit_vector_warns_once_then_falls_back(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_NUMPY_ENV, "1")
+        monkeypatch.setattr(kernels_mod, "_warned_no_numpy", False)
+        with pytest.warns(RuntimeWarning, match="falling back to the reference"):
+            k = make_kernel("vector")
+        assert isinstance(k, ReferenceKernel)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert isinstance(make_kernel("vector"), ReferenceKernel)
+
+    def test_auto_degrades_silently(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_NUMPY_ENV, "1")
+        monkeypatch.setattr(kernels_mod, "_warned_no_numpy", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert isinstance(make_kernel("auto"), ReferenceKernel)
+
+    def test_degraded_run_matches_reference(self, monkeypatch):
+        ref = run_stats("kmeans", "tdnuca", "reference", denom=2048)
+        monkeypatch.setenv(DISABLE_NUMPY_ENV, "1")
+        monkeypatch.setattr(kernels_mod, "_warned_no_numpy", True)
+        degraded = run_stats("kmeans", "tdnuca", "vector", denom=2048)
+        assert ref == degraded
+
+
+class TestVerifyKernel:
+    @pytest.fixture(autouse=True)
+    def _clean_failpoints(self):
+        failpoints.reset()
+        yield
+        failpoints.reset()
+
+    def test_clean_run_passes_and_counts(self):
+        m = make_machine("tdnuca", kernel="verify")
+        drive(m, [100, 101, 102, 100])
+        drive(m, [200, 201], core=1)
+        st = m.kernel.stats
+        assert st.tasks_total == 2
+        assert st.tasks_verified == 2
+
+    def test_verify_session_matches_reference(self):
+        ref = run_stats("kmeans", "tdnuca", "reference", denom=2048)
+        ver = run_stats("kmeans", "tdnuca", "verify", denom=2048)
+        assert ref == ver
+
+    def test_mismatch_failpoint_trips_the_comparison(self):
+        # A verifier that cannot fail verifies nothing: corrupt the
+        # vector-side digest through the failpoint and demand the raise.
+        failpoints.configure(f"{MISMATCH_SITE}=1@action:corrupt")
+        m = make_machine("tdnuca", kernel="verify")
+        with pytest.raises(KernelMismatchError, match="divergence at task"):
+            drive(m, [100, 101, 102])
+
+    def test_mismatch_failpoint_in_full_run(self):
+        failpoints.configure(f"{MISMATCH_SITE}=1@action:corrupt@after:3")
+        cfg = small_config(2048, kernel="verify")
+        with pytest.raises(KernelMismatchError):
+            Session(cfg).run("kmeans", "tdnuca")
+
+
+class TestBackendAgnosticFingerprints:
+    def test_config_sha_ignores_kernel(self):
+        from repro.snapshot.format import config_sha256
+
+        cfg = small_config(1024)
+        assert config_sha256(replace(cfg, kernel="vector")) == config_sha256(
+            replace(cfg, kernel="reference")
+        )
+
+    def test_service_request_key_shared_across_kernels(self):
+        from repro.service.cache import request_key
+
+        cfg = small_config(1024)
+        keys = {
+            request_key(replace(cfg, kernel=k), "kmeans", "tdnuca", 0)
+            for k in ("auto", "reference", "vector")
+        }
+        assert len(keys) == 1
+
+    def test_run_spec_round_trips_kernel(self):
+        from repro.service.queue import RunSpec, spec_from_dict
+
+        spec = RunSpec("kmeans", "tdnuca", scale=1024, kernel="vector")
+        assert spec.config().kernel == "vector"
+        raw = spec.to_dict()
+        assert raw["kernel"] == "vector"
+        back = spec_from_dict(raw)
+        assert back.kernel == "vector"
+        assert spec_from_dict(RunSpec("kmeans", "tdnuca").to_dict()).kernel == "auto"
