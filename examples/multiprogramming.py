@@ -99,6 +99,26 @@ def main() -> None:
     freed = ext.terminate(2)
     print(f"process 2 killed: OS dropped {freed} stale PID-tagged entries")
 
+    # The declarative route to the same machinery: a multiprog scenario
+    # co-schedules real benchmarks with automatic per-process address
+    # rebasing (see scenarios/multiprog-duo.yaml, runnable as
+    # `repro run multiprog-duo`).
+    from repro import Scenario
+    from repro.scenario import CoRunner, MachineSpec, run_multiprog
+
+    duo = Scenario(
+        name="duo",
+        corunners=(CoRunner("md5"), CoRunner("histo")),
+        policy="tdnuca",
+        machine=MachineSpec(scale=2048),
+    )
+    result = run_multiprog(duo)
+    print(
+        f"\nscenario {duo.name!r}: {result.workload} co-scheduled, "
+        f"{result.execution.tasks_executed} tasks, "
+        f"{result.extra['context_switches']} RRT context switches"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -15,9 +15,10 @@ capacity scale 1/N (default 64, the calibrated scale).
 import argparse
 import time
 
-from repro.config import scaled_config
+from repro import Scenario, Session
 from repro.experiments import figures
-from repro.experiments.runner import run_suite
+from repro.scenario.model import MachineSpec
+from repro.workloads.registry import workload_names
 
 
 def main() -> None:
@@ -26,12 +27,24 @@ def main() -> None:
     ap.add_argument("--quick", action="store_true", help="3 benchmarks only")
     args = ap.parse_args()
 
-    cfg = scaled_config(1.0 / args.scale)
-    workloads = ["kmeans", "lu", "md5"] if args.quick else None
+    workloads = ["kmeans", "lu", "md5"] if args.quick else workload_names()
+    # The declarative form of this sweep; `repro run` on the same mapping
+    # saved as YAML (or on the curated 'paper-table1' scenario) produces
+    # the identical fingerprints.
+    scenario = Scenario(
+        name="policy-comparison",
+        workloads=tuple(workloads),
+        policies=("snuca", "rnuca", "tdnuca"),
+        machine=MachineSpec(scale=args.scale),
+    )
     print(f"Running the suite at scale 1/{args.scale} "
           f"({'quick subset' if args.quick else 'all 8 benchmarks'})...")
     t0 = time.time()
-    results = run_suite(workloads=workloads, cfg=cfg)
+    session = Session.from_scenario(scenario)
+    results = session.suite(
+        workloads=list(scenario.workloads),
+        policies=list(scenario.policies),
+    )
     print(f"...done in {time.time() - t0:.0f}s\n")
 
     for build in (

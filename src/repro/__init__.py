@@ -18,6 +18,21 @@ keyword away::
 :class:`~repro.experiments.runner.ExperimentResult` and adds the trace
 accessors, so reporting code accepts either.
 
+Experiments are described declaratively by :class:`Scenario` — one
+versioned YAML/JSON document capturing machine geometry, workload mix,
+policy, faults, co-runners, kernel and seeds — and the curated library
+under ``scenarios/`` is loadable by name::
+
+    from repro import load_scenario, run_scenario
+
+    result = run_scenario("stress-8x8")          # 64 cores, 8x8 mesh
+    scenario = load_scenario("multiprog-duo")    # inspect before running
+    print(scenario.to_config().num_cores)
+
+Session kwargs, CLI flags, service submissions and scenario files all
+compile through :meth:`Scenario.to_config`, so the same logical run is
+fingerprint-identical whichever way it is expressed.
+
 Other entry points:
 
 * :meth:`Session.sweep` / :meth:`Session.suite` — the crash-tolerant
@@ -34,11 +49,12 @@ The pre-1.1 functional paths (``run_experiment`` / ``run_suite``) still
 work but emit :class:`DeprecationWarning` pointing at :class:`Session`.
 """
 
-from repro.api import RunResult, Session
+from repro.api import RunResult, Session, run_scenario
 from repro.config import SystemConfig, paper_config, scaled_config
 from repro.deps import DepMode
+from repro.scenario import Scenario, ScenarioError, load_scenario, scenario_names
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Session",
@@ -47,5 +63,10 @@ __all__ = [
     "paper_config",
     "scaled_config",
     "DepMode",
+    "Scenario",
+    "ScenarioError",
+    "load_scenario",
+    "run_scenario",
+    "scenario_names",
     "__version__",
 ]

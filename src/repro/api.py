@@ -41,10 +41,11 @@ from repro.obs.events import DEFAULT_CAPACITY, EventTrace
 from repro.obs.observer import DEFAULT_SAMPLE_EVERY, Observer
 from repro.runtime.executor import Executor
 from repro.runtime.scheduler import Scheduler
+from repro.scenario import Scenario, load_scenario
 from repro.sim.machine import POLICIES, build_machine
 from repro.workloads.registry import get_workload
 
-__all__ = ["Session", "RunResult"]
+__all__ = ["Session", "RunResult", "run_scenario"]
 
 #: policies a suite/sweep runs by default (the paper's three-way comparison).
 DEFAULT_POLICIES = ("snuca", "rnuca", "tdnuca")
@@ -199,6 +200,14 @@ class Session:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Session(llc_bank_bytes={self.config.llc_bank_bytes}, seed={self.seed})"
 
+    @classmethod
+    def from_scenario(cls, scenario: Scenario | str) -> "Session":
+        """A session on the scenario's machine (by value or library name/
+        path); the scenario's seed becomes the session seed."""
+        if isinstance(scenario, (str, Path)):
+            scenario = load_scenario(scenario)
+        return cls(scenario.to_config(), seed=scenario.seed)
+
     def _configured(self, faults: str, strict: bool) -> SystemConfig:
         cfg = self.config
         if faults or strict:
@@ -237,6 +246,13 @@ class Session:
         ``checkpoint`` (a :class:`~repro.snapshot.Checkpointer`) enables
         task-boundary snapshots; ``resume_from`` continues a snapshotted
         run from its file, byte-identically.
+
+        This method is a thin shim over :class:`~repro.scenario.Scenario`:
+        when the session's config is scenario-expressible the kwargs are
+        lifted into a scenario and compiled through
+        :meth:`Scenario.to_config` (the canonical path shared with the CLI
+        and the service — identical ``config_sha256`` by construction);
+        hand-tuned configs keep the direct path.
         """
         observer: Observer | None = None
         if trace:
@@ -246,10 +262,17 @@ class Session:
                 else Observer(sample_every=sample_every,
                               capacity=trace_capacity)
             )
+        cfg = self._configured(faults, strict)
+        scenario = Scenario.from_config(
+            cfg, name=f"{workload}-{policy}", workload=workload, policy=policy,
+            seed=self.seed if seed is None else seed,
+        )
+        if scenario is not None:
+            cfg = scenario.to_config()
         experiment = _run_one(
             workload,
             policy,
-            self._configured(faults, strict),
+            cfg,
             seed=self.seed if seed is None else seed,
             rrt_lookup_cycles=rrt_lookup_cycles,
             scheduler=scheduler,
@@ -376,6 +399,59 @@ class Session:
         }
 
 
+def run_scenario(
+    scenario: Scenario | str,
+    *,
+    jobs: int = 1,
+    run_dir=None,
+    resume: bool = False,
+):
+    """Execute a scenario (by value, library name, or file path).
+
+    Dispatch follows :attr:`Scenario.kind`:
+
+    * ``run`` — one simulation; returns a :class:`RunResult` (traced when
+      the scenario says so, Chrome trace written to ``trace.out`` if set).
+    * ``multiprog`` — co-scheduled processes through
+      :func:`repro.scenario.run_multiprog`; returns a :class:`RunResult`.
+    * ``sweep`` — the grid through the crash-tolerant harness (``jobs``
+      workers, resumable in ``run_dir``); returns its
+      :class:`~repro.experiments.harness.SweepOutcome`.
+    """
+    from repro.scenario import run_multiprog
+
+    if isinstance(scenario, (str, Path)):
+        scenario = load_scenario(scenario)
+    session = Session(scenario.to_config(), seed=scenario.seed)
+    if scenario.kind == "sweep":
+        return session.sweep(
+            list(scenario.workloads),
+            list(scenario.policies),
+            jobs=jobs,
+            run_dir=run_dir,
+            resume=resume,
+            checkpoint_every=scenario.checkpoint.every,
+            deadline=scenario.checkpoint.deadline,
+        )
+    observer: Observer | None = None
+    if scenario.trace.enabled:
+        observer = Observer(sample_every=scenario.trace.sample_every)
+    if scenario.kind == "multiprog":
+        experiment = run_multiprog(
+            scenario, session.config, observer=observer
+        )
+        result = RunResult(experiment, observer)
+    else:
+        result = session.run(
+            scenario.workload,
+            scenario.policy,
+            trace=observer if observer is not None else False,
+        )
+    if scenario.trace.out and result.traced:
+        result.write_chrome_trace(scenario.trace.out)
+    return result
+
+
 def _run_one(
     workload: str,
     policy: str,
@@ -405,7 +481,9 @@ def _run_one(
     from repro.runtime.extensions import TdNucaRuntime
 
     if policy not in POLICIES:
-        raise ValueError(f"unknown policy {policy!r}")
+        raise ValueError(
+            f"unknown policy {policy!r}; valid policies: {', '.join(POLICIES)}"
+        )
     cfg = cfg if cfg is not None else default_config()
     cfg.validate()  # fail early, with a clear message, on nonsense configs
 

@@ -3,28 +3,39 @@
     python -m repro list                      # benchmarks and policies
     python -m repro config [--scale N]        # print the machine (Table I)
     python -m repro run lu tdnuca [...]       # one experiment, full stats
+    python -m repro run stress-8x8            # run a curated scenario
+    python -m repro run my-scenario.yaml      # ... or a scenario file
+    python -m repro scenario list             # the curated library
+    python -m repro scenario validate *.yaml  # schema-check scenario files
     python -m repro trace lu tdnuca --out t.json  # traced run + heatmaps
     python -m repro figures [...]             # the paper's figures 3, 8-14
     python -m repro sweep --out results.json  # archive a suite as JSON
     python -m repro sweep --resume DIR        # finish an interrupted sweep
     python -m repro serve --port 8642         # simulation-as-a-service
     python -m repro submit lu tdnuca          # run via the server (cached)
+    python -m repro submit gridlock-16x16     # submit a scenario
 
 Scale is given as ``--scale N`` meaning capacities at 1/N of Table I
-(default 64, the calibrated experiment scale).  Every simulation command
-is a thin shell over :class:`repro.api.Session`.
+(default 64, the calibrated experiment scale); ``--mesh WxH`` /
+``--cluster WxH`` scale the machine out (8x8 and 16x16 meshes pick their
+calibrated latency tables).  Every simulation command is a thin shell
+over :class:`repro.api.Session`, and every way of describing a run —
+flags, scenario file, library name, service submission — compiles
+through :class:`repro.scenario.Scenario`, so fingerprints agree.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from repro.api import Session
-from repro.config import scaled_config
+from repro.api import Session, run_scenario
 from repro.experiments import figures
 from repro.obs.observer import DEFAULT_SAMPLE_EVERY
+from repro.scenario import ScenarioError, load_scenario, scenario_names
+from repro.scenario.model import MachineSpec, Scenario, _parse_geometry
 from repro.sim.machine import POLICIES
 from repro.stats.report import fault_report_rows, format_table
 from repro.workloads.registry import get_workload, workload_names
@@ -61,9 +72,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_config = sub.add_parser("config", help="print the machine configuration")
     _add_scale(p_config)
 
-    p_run = sub.add_parser("run", help="run one (workload, policy) experiment")
-    p_run.add_argument("workload", choices=workload_names())
-    p_run.add_argument("policy", choices=list(POLICIES))
+    p_run = sub.add_parser(
+        "run",
+        help="run one (workload, policy) experiment, or a scenario by "
+        "library name / file path",
+    )
+    p_run.add_argument(
+        "workload", type=_workload_or_scenario,
+        help="benchmark name, curated scenario name, or scenario file",
+    )
+    p_run.add_argument(
+        "policy", type=_policy_name, nargs="?", default=None,
+        help="NUCA policy (omit when running a scenario)",
+    )
     _add_scale(p_run)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--json", action="store_true", help="emit JSON stats")
@@ -278,11 +299,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(default %(default)s)",
     )
 
-    p_sub = sub.add_parser(
-        "submit", help="submit a run to a 'repro serve' server and wait"
+    p_scen = sub.add_parser(
+        "scenario", help="list, show and validate declarative scenarios"
     )
-    p_sub.add_argument("workload", choices=workload_names())
-    p_sub.add_argument("policy", choices=list(POLICIES))
+    scen_sub = p_scen.add_subparsers(dest="scenario_cmd", required=True)
+    scen_sub.add_parser("list", help="list the curated scenario library")
+    p_scen_show = scen_sub.add_parser(
+        "show", help="print a scenario (resolved) and its compiled machine"
+    )
+    p_scen_show.add_argument("name", help="library name or file path")
+    p_scen_val = scen_sub.add_parser(
+        "validate", help="schema-check scenario files; exit 1 on any error"
+    )
+    p_scen_val.add_argument("files", nargs="+", metavar="FILE",
+                            help="scenario files (or library names)")
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit a run (or a scenario) to a 'repro serve' server and wait",
+    )
+    p_sub.add_argument(
+        "workload", type=_workload_or_scenario,
+        help="benchmark name, curated scenario name, or scenario file",
+    )
+    p_sub.add_argument(
+        "policy", type=_policy_name, nargs="?", default=None,
+        help="NUCA policy (omit when submitting a scenario)",
+    )
     _add_scale(p_sub)
     p_sub.add_argument("--seed", type=int, default=0)
     p_sub.add_argument(
@@ -316,6 +359,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _workload_or_scenario(value: str) -> str:
+    """Argparse type for positionals accepting a workload OR a scenario.
+
+    Unknown names fail at parse time (SystemExit 2) with both registries
+    listed — a typo never reaches the simulation layer.
+    """
+    if value in workload_names(include_extra=True):
+        return value
+    if value.endswith((".yaml", ".yml", ".json")) or "/" in value:
+        return value  # scenario file; existence is checked by the command
+    known = scenario_names()
+    if value in known:
+        return value
+    raise argparse.ArgumentTypeError(
+        f"{value!r} is neither a workload ({', '.join(workload_names())}) "
+        f"nor a scenario file/name"
+        + (f" ({', '.join(known)})" if known else "")
+    )
+
+
+def _policy_name(value: str) -> str:
+    if value in POLICIES:
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown policy {value!r}; valid policies: {', '.join(POLICIES)}"
+    )
+
+
+def _geometry(value: str):
+    try:
+        return _parse_geometry(value, "geometry")
+    except ScenarioError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _add_scale(parser: argparse.ArgumentParser) -> None:
     from repro.sim.kernels import KERNEL_NAMES
 
@@ -333,16 +411,38 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         help="simulation backend (results are byte-identical across "
         "kernels; REPRO_KERNEL overrides; default %(default)s)",
     )
+    parser.add_argument(
+        "--mesh", type=_geometry, default=None, metavar="WxH",
+        help="mesh geometry, e.g. 8x8 or 16x16 (default 4x4; larger "
+        "meshes use their calibrated latency tables)",
+    )
+    parser.add_argument(
+        "--cluster", type=_geometry, default=None, metavar="WxH",
+        help="replication-cluster geometry (default 2x2)",
+    )
+
+
+def _machine_spec(args) -> MachineSpec:
+    mesh = getattr(args, "mesh", None) or (4, 4)
+    cluster = getattr(args, "cluster", None) or (2, 2)
+    return MachineSpec(
+        scale=args.scale,
+        mesh_width=mesh[0],
+        mesh_height=mesh[1],
+        cluster_width=cluster[0],
+        cluster_height=cluster[1],
+    )
 
 
 def _cfg(args):
-    from dataclasses import replace
-
-    cfg = scaled_config(1.0 / args.scale)
-    kernel = getattr(args, "kernel", "auto")
-    if kernel != "auto":
-        cfg = replace(cfg, kernel=kernel)
-    return cfg
+    # Flags compile through the same Scenario path as YAML files and
+    # service specs — one canonical run description, identical sha256.
+    scenario = Scenario(
+        name="cli",
+        machine=_machine_spec(args),
+        kernel=getattr(args, "kernel", "auto"),
+    )
+    return scenario.to_config()
 
 
 def cmd_list(args) -> int:
@@ -366,10 +466,136 @@ def cmd_config(args) -> int:
     return 0
 
 
+def _run_result_rows(result) -> list[list[str]]:
+    m = result.machine
+    rows = [
+        ["makespan (cycles)", f"{result.makespan:,}"],
+        ["tasks executed", f"{result.execution.tasks_executed:,}"],
+        ["LLC accesses", f"{m.llc_accesses:,}"],
+        ["LLC hit ratio", f"{m.llc_hit_ratio:.2%}"],
+        ["NUCA distance (hops)", f"{m.mean_nuca_distance:.2f}"],
+        ["NoC router-bytes", f"{m.router_bytes:,}"],
+        ["DRAM reads / writes", f"{m.dram_reads:,} / {m.dram_writes:,}"],
+        ["LLC dynamic energy (pJ)", f"{m.energy.llc:,.0f}"],
+        ["NoC dynamic energy (pJ)", f"{m.energy.noc:,.0f}"],
+    ]
+    if m.faults is not None:
+        rows += fault_report_rows(m.faults)
+    if "invariants" in m.extra:
+        inv = m.extra["invariants"]
+        rows.append(
+            [
+                "invariant checks (violations)",
+                f"{inv['checks_run']:,} (+{inv['full_sweeps']} full sweeps, "
+                f"{inv['violations']} violations)",
+            ]
+        )
+    if result.runtime is not None:
+        rows += [
+            ["bypass / local / replicate",
+             f"{result.runtime.bypass_decisions} / "
+             f"{result.runtime.local_decisions} / "
+             f"{result.runtime.replicate_decisions}"],
+            ["RRT occupancy mean / max",
+             f"{result.runtime.mean_rrt_occupancy:.1f} / "
+             f"{result.runtime.occupancy_max}"],
+        ]
+    if "context_switches" in result.extra:
+        rows.append(
+            ["RRT context switches", f"{result.extra['context_switches']:,}"]
+        )
+    return rows
+
+
+def _cmd_run_scenario(args) -> int:
+    """``repro run <scenario>``: execute a scenario file or library name."""
+    import dataclasses
+    import json
+
+    from repro.stats.report import sweep_summary_rows
+
+    if args.policy is not None:
+        print(
+            "error: a scenario carries its own policy; "
+            "'repro run SCENARIO' takes no policy argument",
+            file=sys.stderr,
+        )
+        return 2
+    # A scenario is self-contained: machine geometry, faults, seed and
+    # trace/checkpoint options all come from the document.  Flags that
+    # would silently lose to the scenario are rejected, not ignored —
+    # --kernel (an execution detail, never part of the fingerprint) and
+    # --json are the only overrides.
+    overridden = [
+        flag
+        for flag, active in (
+            ("--scale", args.scale != 64),
+            ("--mesh", getattr(args, "mesh", None) is not None),
+            ("--cluster", getattr(args, "cluster", None) is not None),
+            ("--seed", args.seed != 0),
+            ("--faults", bool(args.faults)),
+            ("--strict", args.strict),
+            ("--trace", args.trace is not None),
+            ("--checkpoint-every", bool(args.checkpoint_every)),
+            ("--deadline", args.deadline is not None),
+            ("--checkpoint-to", args.checkpoint_to is not None),
+            ("--resume-from", args.resume_from is not None),
+        )
+        if active
+    ]
+    if overridden:
+        print(
+            f"error: {', '.join(overridden)} cannot override a scenario; "
+            "edit the scenario document instead "
+            f"(see 'repro scenario show {args.workload}')",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        scenario = load_scenario(args.workload)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kernel = getattr(args, "kernel", "auto")
+    if kernel != "auto":
+        scenario = dataclasses.replace(scenario, kernel=kernel)
+    t0 = time.time()
+    outcome = run_scenario(scenario)
+    elapsed = time.time() - t0
+    if scenario.kind == "sweep":
+        print(format_table(["metric", "value"], sweep_summary_rows(outcome),
+                           f"scenario {scenario.name} (sweep)"))
+        return 1 if outcome.failures else 0
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        format_table(
+            ["metric", "value"], _run_result_rows(outcome),
+            f"scenario {scenario.name}: {outcome.workload} under "
+            f"{outcome.policy}",
+        )
+    )
+    if scenario.trace.out and outcome.traced:
+        print(f"\nwrote {scenario.trace.out} — open at https://ui.perfetto.dev")
+    print(f"\nsimulated in {elapsed:.1f}s wall time")
+    return 0
+
+
 def cmd_run(args) -> int:
     import signal
 
     from repro.snapshot import Checkpointer, EXIT_PREEMPTED, PreemptedError
+
+    if args.workload not in workload_names(include_extra=True):
+        return _cmd_run_scenario(args)
+    if args.policy is None:
+        print(
+            f"error: 'repro run {args.workload}' needs a policy "
+            f"({', '.join(POLICIES)})",
+            file=sys.stderr,
+        )
+        return 2
 
     checkpointing = bool(
         args.checkpoint_every or args.deadline is not None
@@ -432,42 +658,10 @@ def cmd_run(args) -> int:
 
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
-    m = result.machine
-    rows = [
-        ["makespan (cycles)", f"{result.makespan:,}"],
-        ["tasks executed", f"{result.execution.tasks_executed:,}"],
-        ["LLC accesses", f"{m.llc_accesses:,}"],
-        ["LLC hit ratio", f"{m.llc_hit_ratio:.2%}"],
-        ["NUCA distance (hops)", f"{m.mean_nuca_distance:.2f}"],
-        ["NoC router-bytes", f"{m.router_bytes:,}"],
-        ["DRAM reads / writes", f"{m.dram_reads:,} / {m.dram_writes:,}"],
-        ["LLC dynamic energy (pJ)", f"{m.energy.llc:,.0f}"],
-        ["NoC dynamic energy (pJ)", f"{m.energy.noc:,.0f}"],
-    ]
-    if m.faults is not None:
-        rows += fault_report_rows(m.faults)
-    if "invariants" in m.extra:
-        inv = m.extra["invariants"]
-        rows.append(
-            [
-                "invariant checks (violations)",
-                f"{inv['checks_run']:,} (+{inv['full_sweeps']} full sweeps, "
-                f"{inv['violations']} violations)",
-            ]
-        )
-    if result.runtime is not None:
-        rows += [
-            ["bypass / local / replicate",
-             f"{result.runtime.bypass_decisions} / "
-             f"{result.runtime.local_decisions} / "
-             f"{result.runtime.replicate_decisions}"],
-            ["RRT occupancy mean / max",
-             f"{result.runtime.mean_rrt_occupancy:.1f} / "
-             f"{result.runtime.occupancy_max}"],
-        ]
     print(
         format_table(
-            ["metric", "value"], rows, f"{args.workload} under {args.policy}"
+            ["metric", "value"], _run_result_rows(result),
+            f"{args.workload} under {args.policy}",
         )
     )
     if args.trace:
@@ -539,8 +733,6 @@ def cmd_figures(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from dataclasses import replace
-
     from repro.experiments import harness
     from repro.experiments.serialize import sweep_to_json
     from repro.ioutils import atomic_write
@@ -551,19 +743,23 @@ def cmd_sweep(args) -> int:
         manifest = harness.load_manifest(run_dir)
         req = manifest.get("request", {})
         scale = req.get("scale", args.scale)
-        cfg = scaled_config(1.0 / scale)
-        if req.get("faults") or req.get("strict"):
-            cfg = replace(
-                cfg,
-                fault_spec=req.get("faults", ""),
-                strict_invariants=bool(req.get("strict")),
-            )
-            cfg.validate()
+        mesh = tuple(req.get("mesh") or (4, 4))
+        cluster = tuple(req.get("cluster") or (2, 2))
+        # Rebuild through Scenario so a resumed sweep compiles the exact
+        # config (geometry, latency table, faults) the original one did.
         # The kernel is an execution strategy, not part of the sweep's
         # identity — the current invocation's choice applies on resume.
-        kernel = getattr(args, "kernel", "auto")
-        if kernel != "auto":
-            cfg = replace(cfg, kernel=kernel)
+        cfg = Scenario(
+            name="sweep-resume",
+            machine=MachineSpec(
+                scale=scale,
+                mesh_width=mesh[0], mesh_height=mesh[1],
+                cluster_width=cluster[0], cluster_height=cluster[1],
+            ),
+            faults=req.get("faults", ""),
+            strict=bool(req.get("strict")),
+            kernel=getattr(args, "kernel", "auto"),
+        ).to_config()
         jobs = [harness.Job(wl, pol, seed) for wl, pol, seed in manifest["jobs"]]
         out = args.out or req.get("out")
         if not out:
@@ -575,12 +771,13 @@ def cmd_sweep(args) -> int:
         if not args.out:
             print("error: --out is required unless resuming with --resume DIR")
             return 2
-        cfg = _cfg(args)
-        if args.faults or args.strict:
-            cfg = replace(
-                cfg, fault_spec=args.faults, strict_invariants=args.strict
-            )
-            cfg.validate()
+        cfg = Scenario(
+            name="sweep",
+            machine=_machine_spec(args),
+            faults=args.faults,
+            strict=args.strict,
+            kernel=getattr(args, "kernel", "auto"),
+        ).to_config()
         workloads = args.workloads or workload_names()
         policies = args.policies or ["snuca", "rnuca", "tdnuca"]
         jobs = [
@@ -600,6 +797,10 @@ def cmd_sweep(args) -> int:
             "strict": args.strict,
             "out": out,
         }
+        if args.mesh:
+            request["mesh"] = list(args.mesh)
+        if args.cluster:
+            request["cluster"] = list(args.cluster)
 
     total = len(jobs)
     progress = {"done": 0}
@@ -749,17 +950,75 @@ def cmd_submit(args) -> int:
     from repro.service.envelope import ServiceError
     from repro.snapshot import EXIT_PREEMPTED
 
+    scenario = None
+    if args.workload not in workload_names(include_extra=True):
+        import dataclasses
+
+        if args.policy is not None:
+            print(
+                "error: a scenario carries its own policy; "
+                "'repro submit SCENARIO' takes no policy argument",
+                file=sys.stderr,
+            )
+            return 2
+        overridden = [
+            flag
+            for flag, active in (
+                ("--scale", args.scale != 64),
+                ("--mesh", getattr(args, "mesh", None) is not None),
+                ("--cluster", getattr(args, "cluster", None) is not None),
+                ("--seed", args.seed != 0),
+                ("--faults", bool(args.faults)),
+                ("--strict", args.strict),
+            )
+            if active
+        ]
+        if overridden:
+            print(
+                f"error: {', '.join(overridden)} cannot override a "
+                "scenario; edit the scenario document instead "
+                f"(see 'repro scenario show {args.workload}')",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            scenario = load_scenario(args.workload)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if scenario.kind == "multiprog":
+            print(
+                f"error: scenario {scenario.name!r} is multiprogrammed; "
+                "the service caches per-(workload, policy) cells, so run "
+                f"it locally: repro run {args.workload}",
+                file=sys.stderr,
+            )
+            return 2
+        kernel = getattr(args, "kernel", "auto")
+        if kernel != "auto":
+            scenario = dataclasses.replace(scenario, kernel=kernel)
+    elif args.policy is None:
+        print(
+            f"error: 'repro submit {args.workload}' needs a policy "
+            f"({', '.join(POLICIES)})",
+            file=sys.stderr,
+        )
+        return 2
+
     client = ServiceClient(args.host, args.port)
     try:
-        job = client.submit_run(
-            workload=args.workload,
-            policy=args.policy,
-            seed=args.seed,
-            scale=args.scale,
-            faults=args.faults,
-            strict=args.strict,
-            kernel=getattr(args, "kernel", "auto"),
-        )
+        if scenario is not None:
+            job = client.submit_scenario(scenario)
+        else:
+            job = client.submit_run(
+                workload=args.workload,
+                policy=args.policy,
+                seed=args.seed,
+                scale=args.scale,
+                faults=args.faults,
+                strict=args.strict,
+                kernel=getattr(args, "kernel", "auto"),
+            )
         if args.no_wait:
             print(job["id"])
             return 0
@@ -784,15 +1043,75 @@ def cmd_submit(args) -> int:
         return EXIT_PREEMPTED if exc.retryable else 1
     if args.json:
         print(json.dumps(data["result"], indent=2, sort_keys=True))
+        return 0
+    hit = "cache hit" if final.get("simulated", 0) == 0 else "simulated"
+    label = (
+        f"scenario {scenario.name}" if scenario is not None
+        else f"{args.workload}/{args.policy}"
+    )
+    status = (
+        f"{label}: {final['state']} ({hit}, {final['attempts']} attempt(s), "
+        f"{final['evictions']} eviction(s))"
+    )
+    if "runs" in data["result"]:  # sweep: one line per finished cell
+        print(f"{status} — {len(data['result']['runs'])} cell(s)")
+        for cell, run in sorted(data["result"]["runs"].items()):
+            print(f"  {cell}: makespan {run['makespan_cycles']:,} cycles")
     else:
-        hit = "cache hit" if final.get("simulated", 0) == 0 else "simulated"
-        print(
-            f"{args.workload}/{args.policy}: {final['state']} ({hit}, "
-            f"{final['attempts']} attempt(s), "
-            f"{final['evictions']} eviction(s)) — "
-            f"makespan {data['result']['makespan_cycles']:,} cycles"
-        )
+        print(f"{status} — makespan "
+              f"{data['result']['makespan_cycles']:,} cycles")
     return 0
+
+
+def cmd_scenario(args) -> int:
+    from repro.scenario.loader import dump_scenario
+    from repro.snapshot.format import config_sha256
+
+    if args.scenario_cmd == "list":
+        rows = []
+        for name in scenario_names():
+            try:
+                sc = load_scenario(name)
+            except ScenarioError as exc:
+                rows.append([name, "-", f"INVALID: {exc}"])
+                continue
+            rows.append([name, sc.kind, sc.description or ""])
+        if not rows:
+            print("no curated scenarios found (scenarios/ is empty)")
+            return 0
+        print(format_table(["name", "kind", "description"], rows,
+                           "curated scenario library"))
+        return 0
+
+    if args.scenario_cmd == "show":
+        try:
+            sc = load_scenario(args.name)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(dump_scenario(sc), end="")
+        cfg = sc.to_config()
+        print(f"# kind: {sc.kind}")
+        print(f"# machine: {cfg.num_cores} cores, "
+              f"{cfg.mesh_width}x{cfg.mesh_height} mesh, "
+              f"{cfg.llc_total_bytes / (1024 * 1024):g} MB LLC, "
+              f"{cfg.rrt_entries}-entry RRT")
+        print(f"# config_sha256: {config_sha256(cfg)}")
+        return 0
+
+    # validate: schema-check every file; exit 1 if any fails.
+    failures = 0
+    for path in args.files:
+        try:
+            sc = load_scenario(path)
+        except ScenarioError as exc:
+            failures += 1
+            print(f"FAIL {path}: {exc}")
+            continue
+        print(f"ok   {path} ({sc.kind}: {sc.name})")
+    if failures:
+        print(f"\n{failures} of {len(args.files)} scenario(s) invalid")
+    return 1 if failures else 0
 
 
 def cmd_tdg(args) -> int:
@@ -818,13 +1137,21 @@ _COMMANDS = {
     "compare": cmd_compare,
     "serve": cmd_serve,
     "submit": cmd_submit,
+    "scenario": cmd_scenario,
     "tdg": cmd_tdg,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream reader (e.g. `| head`) closed the pipe; exit quietly
+        # with the conventional SIGPIPE status instead of a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

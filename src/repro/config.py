@@ -184,12 +184,40 @@ class SystemConfig:
                 "mesh dimensions must be positive (a machine needs at least "
                 "one core and one LLC bank)"
             )
+        cores = self.num_cores
+        if cores & (cores - 1):
+            raise ValueError(
+                f"total tile count must be a power of two for address "
+                f"interleaving, got {self.mesh_width}x{self.mesh_height} = "
+                f"{cores} tiles (use e.g. 4x4, 8x8, 8x16, 16x16)"
+            )
+        if cores > 1024:
+            raise ValueError(
+                f"mesh {self.mesh_width}x{self.mesh_height} has {cores} tiles; "
+                "meshes beyond 1024 tiles are not calibrated (latency tables "
+                "stop at the 256-core band and the trace-driven model has no "
+                "validation data past that scale)"
+            )
         if self.cluster_width <= 0 or self.cluster_height <= 0:
             raise ValueError("cluster dimensions must be positive")
         if self.mesh_width % self.cluster_width:
-            raise ValueError("mesh_width must be a multiple of cluster_width")
+            raise ValueError(
+                f"mesh_width ({self.mesh_width}) must be a multiple of "
+                f"cluster_width ({self.cluster_width}); clusters must tile "
+                "the mesh exactly"
+            )
         if self.mesh_height % self.cluster_height:
-            raise ValueError("mesh_height must be a multiple of cluster_height")
+            raise ValueError(
+                f"mesh_height ({self.mesh_height}) must be a multiple of "
+                f"cluster_height ({self.cluster_height}); clusters must tile "
+                "the mesh exactly"
+            )
+        if self.cluster_size & (self.cluster_size - 1):
+            raise ValueError(
+                f"cluster size must be a power of two for rotational "
+                f"interleaving, got {self.cluster_width}x{self.cluster_height}"
+                f" = {self.cluster_size} tiles"
+            )
         for name in ("block_bytes", "page_bytes", "l1_bytes", "llc_bank_bytes"):
             value = getattr(self, name)
             if value <= 0 or value & (value - 1):

@@ -32,22 +32,40 @@ GOLDEN_SCALE = 1.0 / 1024.0
 
 @dataclass(frozen=True)
 class GoldenCase:
-    """One snapshot: a workload under a policy, optionally with faults."""
+    """One snapshot: a workload under a policy, optionally with faults.
+
+    ``mesh`` is ``None`` for the paper's 4x4 geometry; a ``(width, height)``
+    pair pins a scale-out machine instead (per-mesh latency table applied,
+    clusters stay 2x2).
+    """
 
     workload: str
     policy: str
     fault_spec: str = ""
     seed: int = 0
+    mesh: tuple[int, int] | None = None
 
     @property
     def case_id(self) -> str:
         tag = f"{self.workload}-{self.policy}"
+        if self.mesh is not None:
+            tag += f"-{self.mesh[0]}x{self.mesh[1]}"
         if self.fault_spec:
             tag += "-faulted"
         return tag
 
     def config(self) -> SystemConfig:
         cfg = scaled_config(GOLDEN_SCALE)
+        if self.mesh is not None:
+            from repro.sim.latency import latency_for_mesh
+
+            width, height = self.mesh
+            cfg = replace(
+                cfg,
+                mesh_width=width,
+                mesh_height=height,
+                latency=latency_for_mesh(width, height),
+            )
         if self.fault_spec:
             cfg = replace(cfg, fault_spec=self.fault_spec)
         return cfg
@@ -73,6 +91,11 @@ GOLDEN_CASES: tuple[GoldenCase, ...] = tuple(
     GoldenCase("kmeans", "snuca", "bank:5@task=0"),
     GoldenCase("jacobi", "rnuca", "link:5-6@task=3"),
     GoldenCase("jacobi", "dnuca", "bank:2@task=1,dram:transient:p=0.02:retries=4"),
+    # Scale-out cells: an 8x8 mesh exercises the 64-core latency band, the
+    # wider interleave masks and 16 replication clusters — pinned under
+    # both kernels so scale-out never drifts from the reference model.
+    GoldenCase("kmeans", "tdnuca", mesh=(8, 8)),
+    GoldenCase("jacobi", "snuca", mesh=(8, 8)),
 )
 
 

@@ -1,0 +1,135 @@
+"""Loading scenarios from files and the curated library.
+
+YAML parsing is gated on PyYAML being importable: the package never hard
+-depends on it (JSON scenarios always work), but a ``.yaml`` file without
+the parser fails with an actionable message rather than an ImportError
+five frames deep.
+
+Library resolution for ``load_scenario("stress-8x8")``: an explicit path
+wins; otherwise a ``scenarios/`` directory in the current working
+directory, then the repository's curated library next to this package.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.scenario.model import Scenario, ScenarioError, parse_scenario
+
+__all__ = ["load_scenario", "scenario_names", "library_dir", "loads_scenario"]
+
+_SUFFIXES = (".yaml", ".yml", ".json")
+
+
+def _yaml():
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - environment without PyYAML
+        return None
+    return yaml
+
+
+def library_dir() -> Path:
+    """The curated scenario library shipped at the repository root."""
+    return Path(__file__).resolve().parents[3] / "scenarios"
+
+
+def _library_dirs() -> list[Path]:
+    dirs = [Path.cwd() / "scenarios", library_dir()]
+    seen: set[Path] = set()
+    out = []
+    for d in dirs:
+        if d not in seen and d.is_dir():
+            seen.add(d)
+            out.append(d)
+    return out
+
+
+def scenario_names() -> list[str]:
+    """Names of every library scenario (sorted, deduplicated — a cwd
+    ``scenarios/`` shadows the shipped library file of the same name)."""
+    names: dict[str, Path] = {}
+    for d in _library_dirs():
+        for path in sorted(d.iterdir()):
+            if path.suffix in _SUFFIXES and path.stem not in names:
+                names[path.stem] = path
+    return sorted(names)
+
+
+def _resolve_library(name: str) -> Path:
+    candidates = []
+    for d in _library_dirs():
+        for suffix in _SUFFIXES:
+            path = d / f"{name}{suffix}"
+            if path.is_file():
+                return path
+        candidates.append(str(d))
+    known = scenario_names()
+    raise ScenarioError(
+        f"no scenario named {name!r} in {' or '.join(candidates) or 'the library'}"
+        + (f"; known scenarios: {', '.join(known)}" if known else ""),
+        source=name,
+    )
+
+
+def loads_scenario(text: str, *, source: str = "") -> Scenario:
+    """Parse scenario text (YAML when available, JSON always)."""
+    yaml = _yaml()
+    if yaml is not None:
+        try:
+            raw = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(f"invalid YAML: {exc}", source=source) from exc
+    else:
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"invalid JSON (PyYAML is not installed, so only JSON "
+                f"scenarios can be read): {exc}",
+                source=source,
+            ) from exc
+    return parse_scenario(raw, source=source)
+
+
+def load_scenario(name_or_path: str | Path) -> Scenario:
+    """Load a scenario by library name or file path.
+
+    Anything that looks like a file — an existing path, or a string with a
+    scenario suffix or a directory separator — is read as a file; anything
+    else is resolved against the library (cwd ``scenarios/`` first, then
+    the shipped library).
+    """
+    path = Path(name_or_path)
+    looks_like_file = (
+        path.suffix in _SUFFIXES
+        or "/" in str(name_or_path)
+        or path.is_file()
+    )
+    if looks_like_file:
+        if not path.is_file():
+            raise ScenarioError("scenario file not found", source=str(path))
+    else:
+        path = _resolve_library(str(name_or_path))
+    if path.suffix in (".yaml", ".yml") and _yaml() is None:
+        raise ScenarioError(
+            "PyYAML is not installed; install it or convert the scenario "
+            "to JSON",
+            source=str(path),
+        )
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario: {exc}", source=str(path)) from exc
+    return loads_scenario(text, source=str(path))
+
+
+def dump_scenario(scenario: Scenario) -> str:
+    """Serialize to library text (YAML when available, else JSON)."""
+    data: dict[str, Any] = scenario.to_dict()
+    yaml = _yaml()
+    if yaml is not None:
+        return yaml.safe_dump(data, sort_keys=False)
+    return json.dumps(data, indent=2) + "\n"

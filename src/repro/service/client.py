@@ -115,6 +115,28 @@ class ServiceClient:
         """Submit a sweep; returns the job record."""
         return self.request("POST", "/v1/sweep", spec)["data"]["job"]
 
+    def submit_scenario(self, scenario) -> dict[str, Any]:
+        """Submit a :class:`~repro.scenario.Scenario` (by value or
+        curated-library name); returns the job record.
+
+        The canonical submission path: the body is ``{"scenario": ...}``
+        and the endpoint follows the scenario's kind.  Multiprog
+        scenarios are rejected by the server (run those locally via
+        ``repro.run_scenario``).
+        """
+        if isinstance(scenario, str):
+            body: Any = scenario
+            from repro.scenario import load_scenario
+
+            kind = load_scenario(scenario).kind
+        else:
+            body = scenario.to_dict()
+            kind = scenario.kind
+        endpoint = "/v1/sweep" if kind == "sweep" else "/v1/run"
+        return self.request(
+            "POST", endpoint, {"scenario": body}
+        )["data"]["job"]
+
     def job(self, job_id: str) -> dict[str, Any]:
         return self.request("GET", f"/v1/jobs/{job_id}")["data"]["job"]
 

@@ -99,21 +99,44 @@ CRASH_ENV = "REPRO_SERVICE_CRASH"
 JOB_STATES = ("queued", "running", "done", "failed", "preempted")
 
 
-def _build_config(scale: int, faults: str, strict: bool, kernel: str = "auto"):
-    from repro.config import scaled_config
+def _machine_spec(scale: int, mesh, cluster, rrt_entries):
+    from repro.scenario.model import MachineSpec
 
-    cfg = scaled_config(1.0 / scale)
-    if faults or strict or kernel != "auto":
-        cfg = replace(
-            cfg, fault_spec=faults, strict_invariants=strict, kernel=kernel
-        )
-    cfg.validate()
-    return cfg
+    mesh = mesh or (4, 4)
+    cluster = cluster or (2, 2)
+    return MachineSpec(
+        scale=scale,
+        mesh_width=mesh[0],
+        mesh_height=mesh[1],
+        cluster_width=cluster[0],
+        cluster_height=cluster[1],
+        rrt_entries=rrt_entries,
+    )
+
+
+def _geometry_dict(spec) -> dict[str, Any]:
+    """Geometry keys for ``to_dict`` — emitted ONLY when non-default, so
+    the serialized form (and therefore poison keys and legacy readers) of
+    every pre-scenario spec is byte-identical to what it always was."""
+    out: dict[str, Any] = {}
+    if spec.mesh is not None:
+        out["mesh"] = list(spec.mesh)
+    if spec.cluster is not None:
+        out["cluster"] = list(spec.cluster)
+    if spec.rrt_entries is not None:
+        out["rrt_entries"] = spec.rrt_entries
+    return out
 
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One (workload, policy) simulation request."""
+    """One (workload, policy) simulation request.
+
+    A thin, wire-stable veneer over :class:`repro.scenario.Scenario`:
+    validation and config compilation both route through the scenario it
+    denotes, so a service submission fingerprints identically to the same
+    run expressed as a YAML scenario, CLI flags or Session kwargs.
+    """
 
     workload: str
     policy: str
@@ -124,26 +147,45 @@ class RunSpec:
     #: simulation backend; never changes results, so it is deliberately
     #: absent from the result-cache request key (see ``request_key``).
     kernel: str = "auto"
+    #: scale-out geometry; ``None`` keeps the paper's 4x4 mesh / 2x2
+    #: clusters / 64-entry RRTs (and keeps ``to_dict`` byte-identical to
+    #: the pre-scenario wire format).
+    mesh: tuple[int, int] | None = None
+    cluster: tuple[int, int] | None = None
+    rrt_entries: int | None = None
 
     kind = "run"
 
-    def validate(self) -> None:
-        from repro.workloads.registry import workload_names
+    def scenario(self):
+        """The :class:`~repro.scenario.Scenario` this spec denotes."""
+        from repro.scenario.model import Scenario
 
-        if self.workload not in workload_names(include_extra=True):
-            raise ValueError(f"unknown workload {self.workload!r}")
-        if self.policy not in POLICIES:
-            raise ValueError(f"unknown policy {self.policy!r}")
-        if not isinstance(self.scale, int) or self.scale < 1:
-            raise ValueError(f"scale must be a positive integer, got {self.scale!r}")
-        if not isinstance(self.seed, int):
+        return Scenario(
+            name=self.label,
+            workload=self.workload,
+            policy=self.policy,
+            machine=_machine_spec(
+                self.scale, self.mesh, self.cluster, self.rrt_entries
+            ),
+            faults=self.faults,
+            strict=self.strict,
+            kernel=self.kernel,
+            seed=self.seed,
+        )
+
+    def validate(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ValueError(f"seed must be an integer, got {self.seed!r}")
-        # Build (and therefore validate) the config now so a nonsense
-        # fault spec is rejected at submission, not deep inside a worker.
-        self.config()
+        if not isinstance(self.scale, int) or isinstance(self.scale, bool):
+            raise ValueError(
+                f"scale must be a positive integer, got {self.scale!r}"
+            )
+        # Scenario validation compiles the config too, so a nonsense fault
+        # spec or geometry is rejected at submission, not inside a worker.
+        self.scenario().validate()
 
     def config(self):
-        return _build_config(self.scale, self.faults, self.strict, self.kernel)
+        return self.scenario().to_config()
 
     def cells(self) -> list[tuple[str, str]]:
         return [(self.workload, self.policy)]
@@ -162,6 +204,7 @@ class RunSpec:
             "faults": self.faults,
             "strict": self.strict,
             "kernel": self.kernel,
+            **_geometry_dict(self),
         }
 
 
@@ -176,20 +219,41 @@ class SweepSpec:
     faults: str = ""
     strict: bool = False
     kernel: str = "auto"
+    mesh: tuple[int, int] | None = None
+    cluster: tuple[int, int] | None = None
+    rrt_entries: int | None = None
 
     kind = "sweep"
+
+    def scenario(self):
+        from repro.scenario.model import Scenario
+
+        return Scenario(
+            name=self.label,
+            workloads=tuple(self.workloads),
+            policies=tuple(self.policies),
+            machine=_machine_spec(
+                self.scale, self.mesh, self.cluster, self.rrt_entries
+            ),
+            faults=self.faults,
+            strict=self.strict,
+            kernel=self.kernel,
+            seed=self.seed,
+        )
 
     def validate(self) -> None:
         if not self.workloads or not self.policies:
             raise ValueError("sweep needs at least one workload and one policy")
-        for wl, pol in [(w, self.policies[0]) for w in self.workloads] + [
-            (self.workloads[0], p) for p in self.policies
-        ]:
-            RunSpec(wl, pol, self.seed, self.scale,
-                    self.faults, self.strict, self.kernel).validate()
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.scale, int) or isinstance(self.scale, bool):
+            raise ValueError(
+                f"scale must be a positive integer, got {self.scale!r}"
+            )
+        self.scenario().validate()
 
     def config(self):
-        return _build_config(self.scale, self.faults, self.strict, self.kernel)
+        return self.scenario().to_config()
 
     def cells(self) -> list[tuple[str, str]]:
         return [(wl, pol) for wl in self.workloads for pol in self.policies]
@@ -208,11 +272,81 @@ class SweepSpec:
             "faults": self.faults,
             "strict": self.strict,
             "kernel": self.kernel,
+            **_geometry_dict(self),
         }
 
 
-def spec_from_dict(raw: dict[str, Any]) -> RunSpec | SweepSpec:
+def spec_from_scenario(scenario) -> RunSpec | SweepSpec:
+    """Lower a :class:`~repro.scenario.Scenario` to a service spec.
+
+    Multiprogrammed scenarios are rejected with a clear message — they
+    need the merged-program execution path, which runs through
+    ``Session``/``repro run``, not the cell-cached service.
+    """
+    m = scenario.machine
+    geometry: dict[str, Any] = {}
+    if (m.mesh_width, m.mesh_height) != (4, 4):
+        geometry["mesh"] = (m.mesh_width, m.mesh_height)
+    if (m.cluster_width, m.cluster_height) != (2, 2):
+        geometry["cluster"] = (m.cluster_width, m.cluster_height)
+    if m.rrt_entries is not None:
+        geometry["rrt_entries"] = m.rrt_entries
+    common = dict(
+        seed=scenario.seed,
+        scale=m.scale,
+        faults=scenario.faults,
+        strict=scenario.strict,
+        kernel=scenario.kernel,
+        **geometry,
+    )
+    if scenario.kind == "run":
+        spec: RunSpec | SweepSpec = RunSpec(
+            scenario.workload, scenario.policy, **common
+        )
+    elif scenario.kind == "sweep":
+        spec = SweepSpec(
+            tuple(scenario.workloads), tuple(scenario.policies), **common
+        )
+    else:
+        raise ValueError(
+            f"multiprog scenario {scenario.name!r} cannot run through the "
+            "service (co-runners share one merged machine, which defeats "
+            "per-cell caching); run it with 'repro run' or "
+            "repro.run_scenario()"
+        )
+    spec.validate()
+    return spec
+
+
+def _parse_wire_geometry(raw: dict[str, Any]) -> dict[str, Any]:
+    from repro.scenario.model import _parse_geometry
+
+    out: dict[str, Any] = {}
+    if raw.get("mesh") is not None:
+        out["mesh"] = _parse_geometry(raw["mesh"], "mesh")
+    if raw.get("cluster") is not None:
+        out["cluster"] = _parse_geometry(raw["cluster"], "cluster")
+    if raw.get("rrt_entries") is not None:
+        rrt = raw["rrt_entries"]
+        if not isinstance(rrt, int) or rrt < 1:
+            raise ValueError(
+                f"rrt_entries must be a positive integer, got {rrt!r}"
+            )
+        out["rrt_entries"] = rrt
+    return out
+
+
+def spec_from_dict(raw: dict[str, Any], *,
+                   warn_legacy: bool = False) -> RunSpec | SweepSpec:
     """Parse a submission body into a validated spec.
+
+    The canonical body is ``{"scenario": {...}}`` (a scenario mapping) or
+    ``{"scenario": "name"}`` (a curated-library name).  The legacy flat
+    form (``workload``/``policy``/``scale``/... at top level) is still
+    accepted and translated through the same :class:`Scenario` path;
+    ``warn_legacy=True`` (the server's external boundary) additionally
+    emits a :class:`DeprecationWarning` — internal round-trips (worker
+    payloads, poison keys) stay silent and byte-stable.
 
     Raises plain :class:`ValueError` with a message naming the problem;
     the server maps it to a typed ``invalid-request`` envelope.
@@ -220,12 +354,40 @@ def spec_from_dict(raw: dict[str, Any]) -> RunSpec | SweepSpec:
     if not isinstance(raw, dict):
         raise ValueError("request body must be a JSON object")
     kind = raw.get("kind", "run")
+    if "scenario" in raw:
+        from repro.scenario.loader import load_scenario
+        from repro.scenario.model import parse_scenario
+
+        body = raw["scenario"]
+        if isinstance(body, str):
+            scenario = load_scenario(body)
+        else:
+            scenario = parse_scenario(body, source="request")
+        # multiprog falls through to spec_from_scenario's rejection, which
+        # explains where such scenarios *can* run.
+        if ("kind" in raw and scenario.kind != kind
+                and scenario.kind != "multiprog"):
+            raise ValueError(
+                f"scenario {scenario.name!r} is a {scenario.kind} but was "
+                f"submitted to the {kind} endpoint"
+            )
+        return spec_from_scenario(scenario)
+    if warn_legacy:
+        import warnings
+
+        warnings.warn(
+            "flat service request bodies are deprecated; submit "
+            "{'scenario': {...}} or {'scenario': '<library-name>'} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     common = {
         "seed": raw.get("seed", 0),
         "scale": raw.get("scale", 64),
         "faults": raw.get("faults", ""),
         "strict": bool(raw.get("strict", False)),
         "kernel": str(raw.get("kernel", "auto")),
+        **_parse_wire_geometry(raw),
     }
     if kind == "run":
         if "workload" not in raw or "policy" not in raw:

@@ -280,7 +280,10 @@ class ServiceServer:
             raise ServiceError("invalid-request", "missing JSON request body")
         kind = "sweep" if path.endswith("/sweep") else "run"
         try:
-            spec = spec_from_dict({**body, "kind": kind})
+            # warn_legacy: flat (pre-scenario) bodies still work but emit a
+            # DeprecationWarning at this external boundary only — internal
+            # spec round-trips stay silent.
+            spec = spec_from_dict({**body, "kind": kind}, warn_legacy=True)
         except ValueError as exc:
             raise ServiceError("invalid-request", str(exc)) from exc
         job = self.queue.submit(spec)  # raises saturated/draining

@@ -4,13 +4,61 @@ All end-to-end latencies are built from the Table-I components; round
 trips over the NoC cost ``2 * hops * (link + router)`` cycles.  Kept as a
 small object with precomputed per-hop cost so the machine's hot loop does
 plain integer arithmetic.
+
+Table I describes a 16-core 4x4 mesh.  Larger meshes are not just "more
+hops": bigger tag arrays, longer H-trees, wider arbiters and a more
+loaded network raise the per-component costs themselves, so scale-out
+scenarios select a calibrated per-mesh-size table via
+:func:`latency_for_mesh` instead of stretching the 4x4 numbers.  The
+tables are keyed by core count bands; a non-square mesh uses the band its
+tile count falls in (a 4x8 mesh pays 8x8-class latencies).
 """
 
 from __future__ import annotations
 
 from repro.config import LatencyConfig
 
-__all__ = ["LatencyModel"]
+__all__ = ["LatencyModel", "MESH_LATENCY_TABLES", "latency_for_mesh"]
+
+#: calibrated component latencies per mesh-size band, keyed by the
+#: *maximum* core count the band covers.  The 16-core row is exactly
+#: Table I (so paper-geometry configs are untouched); the 64- and
+#: 256-core rows model the slower LLC banks (deeper tag/data arrays),
+#: costlier miss probes, higher average NoC queueing of a busier fabric,
+#: and the longer board trip to the memory controllers of a bigger chip.
+MESH_LATENCY_TABLES: dict[int, LatencyConfig] = {
+    16: LatencyConfig(),
+    64: LatencyConfig(
+        llc_hit=18,
+        llc_miss_probe=6,
+        dram=130,
+        dram_row_hit=50,
+        noc_contention=3,
+    ),
+    256: LatencyConfig(
+        llc_hit=22,
+        llc_miss_probe=8,
+        dram=140,
+        dram_row_hit=55,
+        noc_contention=4,
+    ),
+}
+
+
+def latency_for_mesh(width: int, height: int) -> LatencyConfig:
+    """The calibrated :class:`LatencyConfig` for a ``width x height`` mesh.
+
+    Selection is by tile count: the smallest band that fits the mesh.
+    Meshes beyond the largest table (256 cores) use the 256-core numbers —
+    by then distance, not component latency, dominates.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("mesh dimensions must be positive")
+    cores = width * height
+    for band in sorted(MESH_LATENCY_TABLES):
+        if cores <= band:
+            return MESH_LATENCY_TABLES[band]
+    return MESH_LATENCY_TABLES[max(MESH_LATENCY_TABLES)]
 
 
 class LatencyModel:

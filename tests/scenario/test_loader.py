@@ -1,0 +1,72 @@
+"""Scenario loading: library resolution, files, YAML/JSON, errors."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import ScenarioError, load_scenario, scenario_names
+from repro.scenario.loader import dump_scenario, loads_scenario
+from repro.snapshot.format import config_sha256
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestLibrary:
+    def test_curated_library_has_at_least_ten(self):
+        assert len(scenario_names()) >= 10
+
+    def test_every_curated_scenario_loads(self):
+        for name in scenario_names():
+            sc = load_scenario(name)
+            assert sc.name == name
+            sc.to_config()  # compiles
+
+    def test_unknown_name_lists_library(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            load_scenario("no-such-scenario")
+        assert "stress-8x8" in str(excinfo.value)
+
+    def test_load_by_path_and_by_name_agree(self):
+        from repro.scenario.loader import library_dir
+
+        by_name = load_scenario("stress-8x8")
+        by_path = load_scenario(str(library_dir() / "stress-8x8.yaml"))
+        assert config_sha256(by_path.to_config()) == config_sha256(
+            by_name.to_config()
+        )
+
+
+class TestFiles:
+    def test_malformed_fixture_names_file_and_field(self):
+        path = FIXTURES / "malformed.yaml"
+        with pytest.raises(ScenarioError) as excinfo:
+            load_scenario(str(path))
+        err = excinfo.value
+        assert path.name in str(err)
+        assert err.field == "machine.mesh"
+
+    def test_missing_file(self):
+        with pytest.raises(ScenarioError):
+            load_scenario("/nonexistent/dir/thing.yaml")
+
+    def test_json_scenario_loads_without_yaml(self, tmp_path):
+        doc = {"scenario": 1, "name": "j", "workload": "kmeans",
+               "policy": "tdnuca"}
+        path = tmp_path / "j.json"
+        path.write_text(json.dumps(doc))
+        assert load_scenario(str(path)).workload == "kmeans"
+
+    def test_loads_json_string(self):
+        doc = {"scenario": 1, "name": "s", "workload": "jacobi",
+               "policy": "snuca"}
+        sc = loads_scenario(json.dumps(doc), source="inline")
+        assert sc.policy == "snuca"
+
+
+class TestDump:
+    def test_dump_round_trips(self):
+        sc = load_scenario("fault-storm")
+        text = dump_scenario(sc)
+        rt = loads_scenario(text, source="dumped")
+        assert config_sha256(rt.to_config()) == config_sha256(sc.to_config())

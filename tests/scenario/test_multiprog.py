@@ -1,0 +1,119 @@
+"""Multiprogrammed scenarios: address rebasing and co-scheduled execution."""
+
+import pytest
+
+from repro.scenario import (
+    CoRunner,
+    MachineSpec,
+    Scenario,
+    ScenarioError,
+    rebase_program,
+    run_multiprog,
+)
+from repro.scenario.model import PID_ADDRESS_STRIDE
+from repro.workloads.registry import get_workload
+
+SMALL = MachineSpec(scale=2048)
+
+
+def _cfg():
+    return Scenario(name="m", machine=SMALL).to_config()
+
+
+def _duo(policy="tdnuca", **kwargs) -> Scenario:
+    return Scenario(
+        name="duo",
+        corunners=(CoRunner("md5"), CoRunner("histo", seed=3)),
+        policy=policy,
+        machine=SMALL,
+        **kwargs,
+    )
+
+
+class TestRebase:
+    def test_regions_shift_by_offset(self):
+        cfg = _cfg()
+        program = get_workload("md5").build(cfg, 0)
+        before = {
+            d.region.start for t in program.tasks for d in t.deps
+        }
+        rebase_program(program, PID_ADDRESS_STRIDE)
+        after = {
+            d.region.start for t in program.tasks for d in t.deps
+        }
+        assert after == {start + PID_ADDRESS_STRIDE for start in before}
+
+    def test_value_identity_preserved(self):
+        # Two deps naming the same region must still name *one* region
+        # value after the move — the RRT keys its table on region values.
+        cfg = _cfg()
+        program = get_workload("kmeans").build(cfg, 0)
+        rebase_program(program, PID_ADDRESS_STRIDE)
+        seen = {}
+        for task in program.tasks:
+            for dep in task.deps:
+                key = (dep.region.start, dep.region.size, dep.region.name)
+                assert seen.setdefault(key, dep.region) == dep.region
+
+    def test_zero_offset_is_noop(self):
+        cfg = _cfg()
+        program = get_workload("md5").build(cfg, 0)
+        assert rebase_program(program, 0) is program
+
+    def test_negative_offset_rejected(self):
+        cfg = _cfg()
+        program = get_workload("md5").build(cfg, 0)
+        with pytest.raises(ValueError):
+            rebase_program(program, -1)
+
+    def test_corunner_slices_are_disjoint(self):
+        cfg = _cfg()
+        spans = []
+        for pid, name in ((1, "md5"), (2, "histo")):
+            program = rebase_program(
+                get_workload(name).build(cfg, 0), pid * PID_ADDRESS_STRIDE
+            )
+            starts = [
+                d.region.start for t in program.tasks for d in t.deps
+            ]
+            ends = [
+                d.region.start + d.region.size
+                for t in program.tasks for d in t.deps
+            ]
+            spans.append((min(starts), max(ends)))
+        (lo1, hi1), (lo2, hi2) = spans
+        assert hi1 <= lo2 or hi2 <= lo1
+
+
+class TestRunMultiprog:
+    def test_tdnuca_duo_runs_and_interleaves(self):
+        result = run_multiprog(_duo())
+        assert result.workload == "md5+histo"
+        assert result.execution.tasks_executed > 0
+        assert result.extra["context_switches"] > 0
+        per_pid = result.extra["per_pid"]
+        assert set(per_pid) == {1, 2}
+        assert per_pid[1]["workload"] == "md5"
+        assert per_pid[2]["workload"] == "histo"
+
+    def test_baseline_policy_runs_without_rrt_state(self):
+        result = run_multiprog(_duo(policy="snuca"))
+        assert result.workload == "md5+histo"
+        assert "context_switches" not in result.extra
+
+    def test_noisa_rejected(self):
+        with pytest.raises(ScenarioError, match="tdnuca-noisa"):
+            run_multiprog(_duo(policy="tdnuca-noisa"))
+
+    def test_single_process_scenario_rejected(self):
+        single = Scenario(
+            name="s", workload="kmeans", policy="tdnuca", machine=SMALL
+        )
+        with pytest.raises(ScenarioError, match="multiprog"):
+            run_multiprog(single)
+
+    def test_deterministic_across_repeats(self):
+        a = run_multiprog(_duo())
+        b = run_multiprog(_duo())
+        assert a.makespan == b.makespan
+        assert a.machine.llc_accesses == b.machine.llc_accesses

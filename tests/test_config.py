@@ -91,6 +91,62 @@ class TestValidation:
             cfg.validate()
 
 
+class TestMeshScaleValidation:
+    """The hardened geometry checks behind --mesh/--cluster scale-out."""
+
+    @pytest.mark.parametrize("w,h", [(8, 8), (8, 16), (16, 16), (2, 2)])
+    def test_power_of_two_meshes_accepted(self, w, h):
+        replace(SystemConfig(), mesh_width=w, mesh_height=h).validate()
+
+    @pytest.mark.parametrize("w,h", [(3, 4), (5, 5), (6, 8), (10, 10)])
+    def test_non_power_of_two_tile_count_rejected(self, w, h):
+        cfg = replace(
+            SystemConfig(), mesh_width=w, mesh_height=h,
+            cluster_width=1, cluster_height=1,
+        )
+        with pytest.raises(ValueError, match="power of two"):
+            cfg.validate()
+
+    def test_non_square_power_of_two_mesh_valid(self):
+        cfg = replace(SystemConfig(), mesh_width=8, mesh_height=16,
+                      cluster_width=4, cluster_height=4)
+        cfg.validate()
+        assert cfg.num_cores == 128
+
+    def test_oversized_mesh_rejected(self):
+        cfg = replace(SystemConfig(), mesh_width=64, mesh_height=64)
+        with pytest.raises(ValueError, match="tiles"):
+            cfg.validate()
+
+    @pytest.mark.parametrize("cw,ch", [(3, 2), (2, 3), (5, 1)])
+    def test_cluster_divisibility_failure_names_values(self, cw, ch):
+        cfg = replace(SystemConfig(), mesh_width=8, mesh_height=8,
+                      cluster_width=cw, cluster_height=ch)
+        with pytest.raises(ValueError) as excinfo:
+            cfg.validate()
+        # The message must carry the actual numbers, not just the rule.
+        assert str(cw) in str(excinfo.value) or str(ch) in str(excinfo.value)
+
+    def test_non_power_of_two_cluster_rejected(self):
+        cfg = replace(SystemConfig(), mesh_width=12, mesh_height=12,
+                      cluster_width=6, cluster_height=6)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_zero_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            replace(SystemConfig(), mesh_width=0).validate()
+
+    def test_rrt_pressure_config_at_scale(self):
+        # >64-core machine with a deliberately small RRT is a legal
+        # (pressure-study) configuration, not a validation error.
+        cfg = replace(SystemConfig(), mesh_width=16, mesh_height=16,
+                      cluster_width=4, cluster_height=4, rrt_entries=16)
+        cfg.validate()
+        assert cfg.num_cores == 256
+        assert cfg.rrt_entries < cfg.num_cores
+
+
 class TestScaledConfig:
     def test_identity_scale(self):
         cfg = scaled_config(1.0)
