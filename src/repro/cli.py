@@ -298,6 +298,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine a job after it kills N worker processes "
         "(default %(default)s)",
     )
+    p_serve.add_argument(
+        "--fleet-dir", default=None, metavar="DIR",
+        help="join the fleet coordinated through this shared directory: "
+        "N servers over one fleet dir act as one logical service "
+        "(shared result store, lease-fenced job ownership, work "
+        "stealing, reclamation of dead hosts' jobs)",
+    )
+    p_serve.add_argument(
+        "--host-id", default=None, metavar="ID",
+        help="this host's fleet identity (default <hostname>-<pid>)",
+    )
+    p_serve.add_argument(
+        "--host-lease-timeout", type=float, default=15.0, metavar="SECONDS",
+        help="peers treat this host as suspect after this much observed "
+        "heartbeat silence, and reclaim its jobs after twice it "
+        "(default %(default)s)",
+    )
+
+    p_fleet = sub.add_parser(
+        "fleet", help="inspect a fleet directory from the filesystem alone"
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_cmd", required=True)
+    p_fleet_status = fleet_sub.add_parser(
+        "status",
+        help="print the host table, claims, queue shards and store stats "
+        "— works on a dead fleet, no server needed",
+    )
+    p_fleet_status.add_argument("fleet_dir", metavar="DIR")
+    p_fleet_status.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
 
     p_scen = sub.add_parser(
         "scenario", help="list, show and validate declarative scenarios"
@@ -899,14 +930,22 @@ def cmd_compare(args) -> int:
 
 def cmd_serve(args) -> int:
     import asyncio
+    from pathlib import Path
 
     from repro.service.server import ServiceServer
 
+    spool_dir = args.spool_dir
+    if args.fleet_dir is not None and spool_dir == "service-spool":
+        # Fleet mode defaults the spool INTO the fleet dir: snapshots are
+        # request_key-addressed, so a survivor resumes a dead peer's job
+        # from the shared spool with zero extra plumbing.  An explicit
+        # --spool-dir opts out (private snapshots, no cross-host resume).
+        spool_dir = str(Path(args.fleet_dir) / "spool")
     server = ServiceServer(
         args.host,
         args.port,
         cache_dir=args.cache_dir,
-        spool_dir=args.spool_dir,
+        spool_dir=spool_dir,
         workers=args.workers,
         max_pending=args.max_pending,
         timeout=args.timeout,
@@ -917,6 +956,9 @@ def cmd_serve(args) -> int:
         worker_mem_mb=args.worker_mem_mb,
         lease_timeout=args.lease_timeout,
         poison_after=args.poison_after,
+        fleet_dir=args.fleet_dir,
+        host_id=args.host_id,
+        host_lease_timeout=args.host_lease_timeout,
     )
 
     async def run() -> int:
@@ -925,6 +967,14 @@ def cmd_serve(args) -> int:
         code = await server.serve_forever()
         stats = server.queue.stats()
         pool = stats.get("pool") or {}
+        fleet_bits = ""
+        if server.fleet is not None:
+            fs = server.fleet.status()
+            fleet_bits = (
+                f" reclaims={fs['reclaims']} steals={fs['steals']} "
+                f"fenced={fs['fenced_writes']} "
+                f"adopted={stats.get('adopted', 0)}"
+            )
         print(
             "drained: "
             f"completed={stats['completed']} failed={stats['failed']} "
@@ -934,12 +984,70 @@ def cmd_serve(args) -> int:
             f"lease_expired={pool.get('lease_expired', 0)} "
             f"workers_alive={pool.get('alive', 0)} "
             f"concurrency={pool.get('concurrency', 0)} "
-            f"poisoned={stats['poisoned']}",
+            f"poisoned={stats['poisoned']}"
+            f"{fleet_bits}",
             flush=True,
         )
         return code
 
     return asyncio.run(run())
+
+
+def cmd_fleet(args) -> int:
+    import json
+
+    from repro.service.fleet import fleet_status
+
+    try:
+        status = fleet_status(args.fleet_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"fleet: {status['fleet_dir']}")
+    hosts = status["hosts"]
+    print(f"\nhosts ({len(hosts)}):")
+    if hosts:
+        print(
+            f"  {'HOST':<28} {'PID':>7} {'ADDR':<21} {'SEQ':>6} "
+            f"{'LEASE':>6} {'STAMPED':>9}"
+        )
+        for h in hosts:
+            print(
+                f"  {str(h['host_id']):<28} {str(h['pid'] or '?'):>7} "
+                f"{str(h['addr'] or '-'):<21} {str(h['seq']):>6} "
+                f"{str(h['lease_timeout'] or '-'):>6} "
+                f"{h['stamped_age_s']:>8.1f}s"
+            )
+        print(
+            "  (stamped ages are wall-clock diagnostics; live liveness "
+            "uses heartbeat observation)"
+        )
+    claims = status["claims"]
+    print(f"\nclaims in flight ({len(claims)}):")
+    for c in claims:
+        owner = c["owner"] or "(released)"
+        print(
+            f"  {c['key']}  {c['label']:<24} owner={owner} "
+            f"epoch={c['epoch']} host_deaths={c['host_deaths']}"
+        )
+    queued = status["queued"]
+    depth = sum(queued.values())
+    print(f"\nqueued jobs ({depth}):")
+    for host_name in sorted(queued):
+        if queued[host_name]:
+            print(f"  {host_name}: {queued[host_name]}")
+    print(
+        f"\nshared store: {status['results']} result(s), "
+        f"{status['snapshots']} spool snapshot(s)"
+    )
+    if status["poison"]:
+        print(f"poisoned keys ({len(status['poison'])}):")
+        for key in status["poison"]:
+            print(f"  {key}")
+    return 0
 
 
 def cmd_submit(args) -> int:
@@ -1137,6 +1245,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "serve": cmd_serve,
     "submit": cmd_submit,
+    "fleet": cmd_fleet,
     "scenario": cmd_scenario,
     "tdg": cmd_tdg,
 }

@@ -121,6 +121,10 @@ SITES: dict[str, str] = {
     "snapshot.write.torn": "corrupt",  # torn snapshot write
     "snapshot.read.corrupt": "corrupt",  # bit rot on snapshot read
     "kernel.dispatch.mismatch": "corrupt",  # forge a kernel-verify divergence
+    "fleet.claim.stall": "sleep",     # stall between claim decision and link
+    "fleet.lease.skew": "sleep",      # stall host heartbeats (lease skew)
+    "fleet.publish.torn": "corrupt",  # torn shared-store publish
+    "fleet.steal.race": "sleep",      # widen the pick-then-claim steal window
 }
 
 ACTIONS = (

@@ -15,7 +15,7 @@ import tempfile
 from contextlib import contextmanager
 from pathlib import Path
 
-__all__ = ["atomic_write"]
+__all__ = ["atomic_write", "atomic_publish"]
 
 
 @contextmanager
@@ -59,6 +59,49 @@ def atomic_write(path: str | Path, mode: str = "w", *, fsync: bool = True):
         except OSError:
             pass
         raise
+
+
+def atomic_publish(path: str | Path, data: bytes, *, fsync: bool = True) -> bool:
+    """Exclusive single-writer publish: ``data`` becomes ``path`` iff no one
+    published first.
+
+    Unlike :func:`atomic_write` (last-writer-wins via ``os.replace``),
+    this links a fully-written, fsynced temporary file to ``path`` with
+    ``os.link`` — which fails atomically when ``path`` already exists, on
+    local filesystems and on NFS alike.  Readers therefore never observe
+    partial content, and exactly one of N racing publishers wins; the
+    rest get ``False`` and keep the existing entry.  This is the fleet
+    result store's and claim protocol's arbitration primitive.
+    """
+    path = Path(path)
+    directory = str(path.parent) if str(path.parent) else "."
+    try:
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=path.name + ".", suffix=".pub"
+        )
+    except FileNotFoundError as exc:
+        raise FileNotFoundError(
+            f"atomic_publish target directory does not exist: {directory!r} "
+            f"(writing {path.name!r}); create it first"
+        ) from exc
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        if fsync:
+            _fsync_dir(directory)
+        return True
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
 
 def _fsync_dir(directory: str) -> None:

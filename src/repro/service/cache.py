@@ -14,6 +14,20 @@ no entry or a complete one.  Reads CRC-validate; a corrupt entry (bit
 rot, truncated copy) is quarantined to ``<name>.corrupt`` with a
 structured warning and reported as a miss, so the caller recomputes
 instead of serving garbage.
+
+Fleet tier
+----------
+When constructed with ``fleet_dir`` (fleet mode), the cache is two-tier:
+the private per-host directory in front of a shared directory all hosts
+publish into.  Reads fall back to the shared tier (promoting valid
+entries locally); writes land locally and are then *published* to the
+shared tier through :func:`repro.ioutils.atomic_publish` — an exclusive
+link of a complete, fsynced file — so of N hosts racing the same key
+exactly one entry appears and it is never torn.  A publish is preceded
+by the caller's fence check (``fence=...``): a stale owner whose claim
+was reclaimed is counted in ``fleet_fenced`` and its bytes never reach
+the shared tier.  Losing the exclusive-link race is *not* an error:
+simulation is deterministic, so the winner's bytes are the loser's bytes.
 """
 
 from __future__ import annotations
@@ -26,10 +40,10 @@ import threading
 import warnings
 import zlib
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro import failpoints
-from repro.ioutils import atomic_write
+from repro.ioutils import atomic_publish, atomic_write
 from repro.snapshot import config_sha256
 
 __all__ = ["ResultCache", "request_key", "CACHE_MAGIC", "CACHE_VERSION"]
@@ -65,17 +79,32 @@ class ResultCache:
     smoke's "zero new simulation work on a duplicate submit" assertion.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, *, fleet_dir: str | Path | None = None
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fleet_dir = Path(fleet_dir) if fleet_dir is not None else None
+        if self.fleet_dir is not None:
+            self.fleet_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
+        # fleet-tier counters (surfaced in stats() only in fleet mode)
+        self.fleet_hits = 0
+        self.fleet_stores = 0
+        self.fleet_fenced = 0
+        self.fleet_corrupt = 0
         self._lock = threading.Lock()
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.rcache"
+
+    def fleet_path_for(self, key: str) -> Path:
+        if self.fleet_dir is None:
+            raise ValueError("cache has no fleet tier")
+        return self.fleet_dir / f"{key}.rcache"
 
     # ------------------------------------------------------------------
 
@@ -90,26 +119,77 @@ class ResultCache:
         try:
             raw = path.read_bytes()
         except FileNotFoundError:
-            with self._lock:
-                self.misses += 1
-            return None
+            result = self._fleet_get(key)
+            if result is None:
+                with self._lock:
+                    self.misses += 1
+            return result
         try:
             entry = self._decode(path, raw)
         except ValueError as exc:
             self._quarantine(path, exc)
-            return None
+            return self._fleet_get(key)
         if entry.get("key") != key:
             # Entry content does not match its address (renamed file?):
             # treat exactly like corruption.
             self._quarantine(path, ValueError(f"{path}: key mismatch"))
-            return None
+            return self._fleet_get(key)
         with self._lock:
             self.hits += 1
         return entry["result"]
 
+    def _fleet_get(self, key: str) -> dict[str, Any] | None:
+        """Shared-tier read: validate, count, and promote to the local
+        tier (byte-for-byte, so the promoted copy carries the same CRC)."""
+        if self.fleet_dir is None:
+            return None
+        path = self.fleet_path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            entry = self._decode(path, raw)
+            if entry.get("key") != key:
+                raise ValueError(f"{path}: key mismatch")
+        except ValueError as exc:
+            # A torn/corrupt shared entry is quarantined *in the shared
+            # tier* so every host stops tripping over it; the publisher
+            # slot reopens and the next owner republishes clean bytes.
+            quarantine = path.with_name(path.name + ".corrupt")
+            try:
+                os.replace(path, quarantine)
+                where = f"quarantined to {quarantine}"
+            except OSError:
+                where = "could not be quarantined"
+            with self._lock:
+                self.fleet_corrupt += 1
+            warnings.warn(
+                f"ignoring corrupt fleet cache entry ({exc}); {where}; "
+                f"recomputing",
+                stacklevel=3,
+            )
+            return None
+        with self._lock:
+            self.fleet_hits += 1
+        try:
+            with atomic_write(self.path_for(key), "wb") as fh:
+                fh.write(raw)
+        except OSError:
+            pass  # promotion is an optimisation, never load-bearing
+        return entry["result"]
+
     def put(self, key: str, result: dict[str, Any],
-            meta: dict[str, Any] | None = None) -> Path:
-        """Store ``result`` under ``key`` atomically; returns the path."""
+            meta: dict[str, Any] | None = None, *,
+            fence: Callable[[], bool] | None = None) -> Path:
+        """Store ``result`` under ``key`` atomically; returns the path.
+
+        In fleet mode the entry is also published to the shared tier —
+        but only if ``fence`` (when given) still approves: a stale owner
+        whose claim was reclaimed is counted in :attr:`fleet_fenced` and
+        its bytes never leave the host.  Losing the exclusive-publish
+        race to a peer is silent by design (deterministic bytes).
+        """
         entry = {
             "key": key,
             "meta": dict(meta or {}),
@@ -127,23 +207,64 @@ class ResultCache:
             fh.write(payload)
         with self._lock:
             self.stores += 1
+        if self.fleet_dir is not None:
+            self._fleet_publish(key, entry, fence)
         return path
 
+    def _fleet_publish(
+        self,
+        key: str,
+        entry: dict[str, Any],
+        fence: Callable[[], bool] | None,
+    ) -> None:
+        payload = json.dumps(entry, sort_keys=True).encode("utf-8")
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        # Chaos site: a torn *shared* publish.  CRC is computed first, so
+        # the mangled entry is detectable by every reader and quarantined
+        # fleet-wide rather than served.
+        payload = failpoints.mangle("fleet.publish.torn", payload, key=key)
+        # The fence check sits as close to the publish as possible: after
+        # it passes, the only remaining race is against a *legitimate*
+        # owner publishing the same deterministic bytes, and the
+        # exclusive link lets exactly one of those land.
+        if fence is not None and not fence():
+            with self._lock:
+                self.fleet_fenced += 1
+            return
+        blob = CACHE_MAGIC + _HEADER.pack(CACHE_VERSION, crc) + payload
+        if atomic_publish(self.fleet_path_for(key), blob):
+            with self._lock:
+                self.fleet_stores += 1
+
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).is_file()
+        if self.path_for(key).is_file():
+            return True
+        return (
+            self.fleet_dir is not None
+            and self.fleet_path_for(key).is_file()
+        )
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.rcache"))
 
     def stats(self) -> dict[str, int]:
         with self._lock:
-            return {
+            out = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "corrupt": self.corrupt,
                 "stores": self.stores,
                 "entries": len(self),
             }
+            if self.fleet_dir is not None:
+                out["fleet_hits"] = self.fleet_hits
+                out["fleet_stores"] = self.fleet_stores
+                out["fleet_fenced"] = self.fleet_fenced
+                out["fleet_corrupt"] = self.fleet_corrupt
+                out["fleet_entries"] = sum(
+                    1 for _ in self.fleet_dir.glob("*.rcache")
+                )
+        return out
 
     # ------------------------------------------------------------------
 

@@ -1,13 +1,24 @@
 """A small retrying HTTP client for the simulation service.
 
 Used by the ``repro submit`` CLI and the smoke/chaos tests.  Connection
-failures and retryable envelopes (``saturated``/``draining``/``timeout``)
-are retried with the same capped exponential backoff + full jitter the
-sweep harness uses (:func:`repro.experiments.harness.retry_delay`),
-honouring the server's ``Retry-After`` hint when one is given.  A
+failures — including connection-refused from a host that is restarting
+or dead — and retryable envelopes (``saturated``/``draining``/
+``timeout``) are retried under a bounded attempt budget with
+**decorrelated jitter** (each delay is drawn from
+``[backoff, 3 * previous_delay]``, capped), which spreads a thundering
+herd of retrying clients better than correlated exponential backoff;
+the server's ``Retry-After`` hint is honoured when one is given.  A
 non-retryable error envelope is raised as the corresponding typed
 :class:`~repro.service.envelope.ServiceError` — the caller never parses
 HTTP status codes.
+
+Fleet failover: extra ``failover=[(host, port), ...]`` targets are
+rotated to whenever the current target fails at the connection level, so
+a killed fleet host degrades into a retry against its peers instead of a
+hard error.  The shared result store makes the failed-over *submission*
+cheap (a duplicate submit is a store hit), but job *records* live on the
+host that accepted them — a ``job_id`` minted by a dead host is gone
+with it; resubmit and let the store answer.
 """
 
 from __future__ import annotations
@@ -16,16 +27,18 @@ import http.client
 import json
 import random
 import time
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
-from repro.experiments.harness import retry_delay
 from repro.service.envelope import ServiceError
 
 __all__ = ["ServiceClient"]
 
+#: upper bound for one retry sleep (seconds).
+MAX_RETRY_DELAY = 30.0
+
 
 class ServiceClient:
-    """Talk to a :class:`~repro.service.server.ServiceServer`."""
+    """Talk to a :class:`~repro.service.server.ServiceServer` (or several)."""
 
     def __init__(
         self,
@@ -36,13 +49,39 @@ class ServiceClient:
         backoff: float = 0.2,
         timeout: float = 30.0,
         jitter_seed: int | None = None,
+        failover: Iterable[tuple[str, int]] = (),
     ) -> None:
-        self.host = host
-        self.port = port
         self.retries = retries
         self.backoff = backoff
         self.timeout = timeout
         self._rng = random.Random(jitter_seed)
+        self._targets: list[tuple[str, int]] = [(host, port), *failover]
+        self._target_idx = 0
+
+    @property
+    def host(self) -> str:
+        return self._targets[self._target_idx][0]
+
+    @property
+    def port(self) -> int:
+        return self._targets[self._target_idx][1]
+
+    def _rotate_target(self) -> None:
+        """Point at the next failover target (no-op with a single one)."""
+        self._target_idx = (self._target_idx + 1) % len(self._targets)
+
+    def _next_delay(self, prev: float | None) -> float:
+        """Decorrelated jitter: uniform over ``[backoff, 3 * prev]``.
+
+        Successive delays random-walk upward (bounded by
+        :data:`MAX_RETRY_DELAY`) while staying uncorrelated between
+        clients — N clients refused by the same restarting host do not
+        come back as one synchronized wave.
+        """
+        if self.backoff <= 0:
+            return 0.0
+        high = max(self.backoff, 3.0 * (prev if prev else self.backoff))
+        return min(MAX_RETRY_DELAY, self._rng.uniform(self.backoff, high))
 
     # ------------------------------------------------------------------
     # transport
@@ -78,8 +117,15 @@ class ServiceClient:
     def request(
         self, method: str, path: str, body: dict[str, Any] | None = None
     ) -> dict[str, Any]:
-        """One API call with retries; returns the whole ``ok`` envelope."""
+        """One API call with retries; returns the whole ``ok`` envelope.
+
+        Connection-level failures (refused, reset, timeout) are
+        retryable, not terminal: the target rotates to the next failover
+        host (if any) and the attempt repeats after a decorrelated-jitter
+        delay, up to the bounded attempt budget.
+        """
         attempt = 0
+        prev_delay: float | None = None
         while True:
             attempt += 1
             try:
@@ -95,9 +141,11 @@ class ServiceClient:
                         f"cannot reach service at {self.host}:{self.port} "
                         f"after {attempt} attempts: {exc}",
                     ) from exc
+                self._rotate_target()
                 delay = None
             if delay is None:
-                delay = retry_delay(attempt, self.backoff, rng=self._rng)
+                delay = self._next_delay(prev_delay)
+            prev_delay = delay
             time.sleep(delay)
 
     # ------------------------------------------------------------------
@@ -175,13 +223,38 @@ class ServiceClient:
             time.sleep(poll)
 
     def iter_events(self, job_id: str) -> Iterator[dict[str, Any]]:
-        """Yield the job's NDJSON progress events (hello envelope first)."""
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        """Yield the job's NDJSON progress events (hello envelope first).
+
+        *Establishing* the stream retries connection failures under the
+        same policy as :meth:`request`; once streaming, a dropped
+        connection surfaces to the caller (events are progress telemetry,
+        and replaying them from another host would duplicate history).
+        """
+        attempt = 0
+        prev_delay: float | None = None
+        while True:
+            attempt += 1
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request("GET", f"/v1/jobs/{job_id}/events")
+                resp = conn.getresponse()
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                conn.close()
+                if attempt > self.retries:
+                    raise ServiceError(
+                        "internal",
+                        f"cannot reach service at {self.host}:{self.port} "
+                        f"after {attempt} attempts: {exc}",
+                    ) from exc
+                self._rotate_target()
+                delay = self._next_delay(prev_delay)
+                prev_delay = delay
+                time.sleep(delay)
+                continue
+            break
         try:
-            conn.request("GET", f"/v1/jobs/{job_id}/events")
-            resp = conn.getresponse()
             if resp.status != 200:
                 raw = resp.read()
                 try:

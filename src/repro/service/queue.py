@@ -43,6 +43,22 @@ module adds:
 * **Graceful degradation** — bursts of worker deaths shed pool
   concurrency toward 1; healthy completions restore it.
 
+In **fleet mode** (constructed with a
+:class:`~repro.service.fleet.FleetNode`) the queue additionally:
+
+* claims every job through the fleet's lease-fenced ownership protocol
+  before running it (``_acquire_claim``) — a job someone else owns is
+  awaited, not re-run, and completes from the shared store;
+* publishes queued jobs into this host's fleet queue shard so idle
+  peers can steal them;
+* runs a periodic fleet tick (heartbeat, peer scan, reclaim of dead
+  hosts' claims, bounded steal) that adopts orphaned work as
+  client-invisible **ghost jobs**, resumed byte-identically from the
+  shared spool snapshot;
+* carries poison quarantine fleet-wide: a job that kills
+  ``poison_after`` *hosts* (claim-tracked) or workers is rejected by
+  every host, not just this one.
+
 Failure injection for all of the above goes through the deterministic
 failpoint registry (:mod:`repro.failpoints`); the old ad-hoc env hooks
 remain as deprecated aliases.
@@ -66,6 +82,7 @@ from repro.experiments.harness import PERMANENT_ERRORS, retry_delay
 from repro.ioutils import atomic_write
 from repro.service.cache import ResultCache, request_key
 from repro.service.envelope import ServiceError
+from repro.service.fleet import FleetNode
 from repro.service.workers import (
     HARD_TIMEOUT_GRACE,
     WorkerDied,
@@ -475,6 +492,14 @@ class Job:
     result: dict[str, Any] | None = None
     resumed_from_task: int | None = None
     snapshot: str | None = None
+    #: how this job entered the queue: ``submit`` (a client), ``reclaim``
+    #: (adopted from a dead peer's claim) or ``steal`` (pulled from a
+    #: loaded peer's shard).  Non-submit jobs are "ghosts": client-
+    #: invisible, but visible in stats for the chaos asserts.
+    origin: str = "submit"
+    #: the fleet :class:`~repro.service.fleet.ClaimHandle` this job runs
+    #: under (fleet mode only); the single release token.
+    fleet_claim: Any = None
     created: float = field(default_factory=time.time)
     started: float | None = None
     finished: float | None = None
@@ -509,6 +534,8 @@ class Job:
             out["resumed_from_task"] = self.resumed_from_task
         if self.snapshot is not None:
             out["snapshot"] = self.snapshot
+        if self.origin != "submit":
+            out["origin"] = self.origin
         return out
 
     @property
@@ -577,6 +604,7 @@ class JobQueue:
         poison_after: int = 3,
         degrade_after: int = 2,
         degrade_window: float = 60.0,
+        fleet: FleetNode | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -608,6 +636,9 @@ class JobQueue:
         self.spool = Path(spool_dir)
         self.spool.mkdir(parents=True, exist_ok=True)
         self.cache = cache
+        self.fleet = fleet
+        #: ghost jobs adopted from peers (reclaims + steals).
+        self.adopted = 0
         self.breaker = CircuitBreaker(max_pending)
         self.jobs: dict[str, Job] = {}
         #: poison-quarantined spec keys -> diagnostic bundle path.
@@ -650,11 +681,19 @@ class JobQueue:
             checkpoint_every=self.checkpoint_every,
             degrade_after=self.degrade_after,
             degrade_window=self.degrade_window,
+            fleet_dir=None if self.fleet is None else self.fleet.root,
+            fleet_host=None if self.fleet is None else self.fleet.host_id,
         )
         self._tasks = [
             asyncio.create_task(self._worker_loop(), name=f"jobworker-{i}")
             for i in range(self.workers)
         ]
+        if self.fleet is not None:
+            self.pool.on_fenced = self.fleet.note_fenced
+            self.fleet.register()
+            self._tasks.append(
+                asyncio.create_task(self._fleet_loop(), name="fleet-tick")
+            )
 
     async def drain(self, grace: float = 10.0) -> int:
         """Graceful shutdown: checkpoint in-flight work, stop the workers.
@@ -703,6 +742,17 @@ class JobQueue:
             task.cancel()
         if self._pool is not None:
             self._pool.shutdown(wait=False)
+        if self.fleet is not None:
+            # Hand unfinished work back to the fleet: every claim this
+            # host still holds is released ownerless (same epoch, so the
+            # adopter's takeover still bumps it) and re-published into the
+            # queue shard for peers to find; then the lease goes away so
+            # peers see a clean departure, not a death.
+            for job in self.jobs.values():
+                handle, job.fleet_claim = job.fleet_claim, None
+                if handle is not None:
+                    self.fleet.release(handle, done=False, requeue=True)
+            self.fleet.deregister()
         return stopped
 
     # ------------------------------------------------------------------
@@ -735,6 +785,15 @@ class JobQueue:
                 f"repeatedly killed its worker process; diagnostic bundle "
                 f"at {self.poisoned[poison_key]}",
             )
+        if self.fleet is not None:
+            fleet_bundle = self.fleet.poisoned(poison_key)
+            if fleet_bundle is not None:
+                raise ServiceError(
+                    "poisoned",
+                    f"job {spec.label!r} (key {poison_key}) is quarantined "
+                    f"fleet-wide as poison; diagnostic bundle at "
+                    f"{fleet_bundle}",
+                )
         job = Job(
             id=uuid.uuid4().hex[:12], spec=spec,
             cells_total=len(spec.cells()),
@@ -747,6 +806,11 @@ class JobQueue:
         self.submitted += 1
         self.jobs[job.id] = job
         job.events.append({"kind": "queued", "label": spec.label})
+        if self.fleet is not None:
+            # Visible in this host's fleet queue shard from this moment:
+            # an idle peer may steal it, in which case _acquire_claim
+            # below waits for the thief and completes from the store.
+            self.fleet.enqueue(poison_key, spec.to_dict(), job_id=job.id)
         self._ready.put_nowait(job.id)
         return job
 
@@ -776,6 +840,22 @@ class JobQueue:
                 "shed": self.breaker.shed,
             },
             "draining": self.draining,
+            **(
+                {
+                    "adopted": self.adopted,
+                    "ghost_jobs": [
+                        {
+                            "id": j.id,
+                            "origin": j.origin,
+                            "state": j.state,
+                            "resumed_from_task": j.resumed_from_task,
+                        }
+                        for j in self.jobs.values()
+                        if j.origin != "submit"
+                    ],
+                }
+                if self.fleet is not None else {}
+            ),
         }
 
     def _cache_fast_path(self, job: Job) -> bool:
@@ -836,11 +916,159 @@ class JobQueue:
             finally:
                 self._inflight -= 1
 
+    async def _fleet_loop(self) -> None:
+        """Periodic fleet duties: heartbeat, peer scan, reclaim, steal.
+
+        Runs at a quarter of the host lease timeout so a peer observes
+        several missed beats before declaring us suspect.  Failures in a
+        tick are contained — a transient shared-filesystem error must
+        never take the serving loop down with it.
+        """
+        assert self.fleet is not None
+        period = max(0.05, self.fleet.lease_timeout / 4)
+        while True:
+            await asyncio.sleep(period)
+            try:
+                self._fleet_tick()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - tick must survive
+                import warnings
+
+                warnings.warn(f"fleet tick failed: {exc}", stacklevel=2)
+
+    def _fleet_tick(self) -> None:
+        assert self.fleet is not None
+        self.fleet.heartbeat()
+        self.fleet.scan()
+        if self.draining:
+            return
+        for handle, claim in self.fleet.reclaim_dead():
+            self._adopt(handle, claim.get("spec"), origin="reclaim")
+        if self.depth() == 0:
+            # Idle: pull at most one job per tick from a dead or clearly
+            # more-loaded peer; bounded so a thundering herd of idle
+            # hosts cannot strip a healthy peer bare in one beat.
+            for handle, entry in self.fleet.steal(self.depth(), limit=1):
+                self._adopt(handle, entry.get("spec"), origin="steal")
+
+    def _adopt(self, handle: Any, spec_dict: Any, origin: str) -> None:
+        """Admit a reclaimed/stolen claim as a client-invisible ghost job.
+
+        The ghost resumes from the shared spool snapshot exactly like a
+        local crash retry would: the snapshot is keyed by ``request_key``
+        and identity-checked on load, so resuming a dead peer's work is
+        byte-identical to the peer having finished it.
+        """
+        assert self.fleet is not None and self._ready is not None
+        try:
+            spec = spec_from_dict(dict(spec_dict or {}))
+        except (ValueError, TypeError) as exc:
+            # Unparseable claim (version skew, corruption): settle it so
+            # the fleet stops re-adopting it every tick.
+            import warnings
+
+            warnings.warn(
+                f"dropping unparseable fleet claim {handle.key}: {exc}",
+                stacklevel=2,
+            )
+            self.fleet.release(handle, done=True)
+            return
+        job = Job(
+            id=uuid.uuid4().hex[:12], spec=spec,
+            cells_total=len(spec.cells()),
+            origin=origin, fleet_claim=handle,
+        )
+        self.adopted += 1
+        self.jobs[job.id] = job
+        job.events.append(
+            {"kind": "adopted", "origin": origin, "epoch": handle.epoch,
+             "key": handle.key}
+        )
+        if self._cache_fast_path(job):
+            handle, job.fleet_claim = job.fleet_claim, None
+            self.fleet.release(handle, done=True)
+            return
+        self._ready.put_nowait(job.id)
+
     async def _run_job(self, job: Job) -> None:
-        loop = asyncio.get_running_loop()
         job.state = "running"
         if job.started is None:
             job.started = time.time()
+        try:
+            if self.fleet is not None and not await self._acquire_claim(job):
+                return  # settled without running: remote result, poison…
+            await self._run_attempts(job)
+        finally:
+            self._settle_fleet(job)
+
+    async def _acquire_claim(self, job: Job) -> bool:
+        """Fleet mode: own the job before running it; ``False`` = settled.
+
+        Loops until one of: we win the claim (run it), the result shows
+        up in the shared store (a peer — possibly a thief — finished it;
+        complete from cache), the job is fleet-poisoned, or we start
+        draining.  The loop occupies this worker slot while a live peer
+        owns the job, which is exactly the back-pressure we want: the
+        work *is* in flight, just elsewhere.
+        """
+        assert self.fleet is not None
+        if job.fleet_claim is not None:
+            return True  # requeued (eviction/crash retry): still ours
+        key = self._poison_key(job.spec)
+        poll = max(0.05, min(0.5, self.fleet.lease_timeout / 10))
+        while True:
+            if self.draining:
+                job.state = "preempted"
+                job.events.append(
+                    {"kind": "preempted", "reason": "draining"}
+                )
+                job.events.close()
+                self.preempted += 1
+                return False
+            if self.cache is not None and self._cache_fast_path(job):
+                self.fleet.remove_queue_entry(key)
+                return False
+            bundle = self.fleet.poisoned(key)
+            if bundle is not None:
+                self.fleet.remove_queue_entry(key)
+                self._fail(job, ServiceError(
+                    "poisoned",
+                    f"job {job.spec.label!r} (key {key}) was quarantined "
+                    f"fleet-wide as poison; diagnostic bundle at {bundle}",
+                ))
+                return False
+            handle = self.fleet.try_claim(key, job.spec.to_dict())
+            if handle is not None:
+                job.fleet_claim = handle
+                job.events.append(
+                    {"kind": "claimed", "epoch": handle.epoch}
+                )
+                self.fleet.remove_queue_entry(key)
+                return True
+            await asyncio.sleep(poll)
+
+    def _settle_fleet(self, job: Job) -> None:
+        """Release the job's claim to match its settled state.
+
+        Requeued jobs (``queued``: eviction or crash retry) keep their
+        claim — they come back through :meth:`_run_job` and skip
+        re-acquisition.  ``done``/``failed`` delete the claim (the work
+        is settled fleet-wide); ``preempted`` hands it back ownerless,
+        with a queue-shard entry, so a peer adopts it.
+        """
+        if self.fleet is None or job.state == "queued":
+            return
+        handle, job.fleet_claim = job.fleet_claim, None
+        if handle is None:
+            return
+        if job.state in ("done", "failed"):
+            self.fleet.release(handle, done=True)
+        else:
+            self.fleet.release(handle, done=False, requeue=True)
+
+    async def _run_attempts(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
         while True:
             job.attempts += 1
             job.events.append({"kind": "attempt", "n": job.attempts})
@@ -1042,6 +1270,10 @@ class JobQueue:
         with atomic_write(bundle_path) as fh:
             json.dump(bundle, fh, indent=2, sort_keys=True)
         self.poisoned[key] = str(bundle_path)
+        if self.fleet is not None:
+            # One host diagnosing poison is enough for the whole fleet:
+            # publish the bundle so no peer pays the same worker deaths.
+            self.fleet.poison(key, bundle)
         self._fail(job, ServiceError(
             "poisoned",
             f"job {job.spec.label!r} killed {job.worker_deaths} worker "

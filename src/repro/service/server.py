@@ -8,7 +8,7 @@ never sees a stack trace; the worst case is a typed ``internal`` error.
 Routes (all under ``/v1``):
 
 ========================  ======================================================
-``GET  /v1/health``       queue + cache statistics, breaker state
+``GET  /v1/health``       queue + cache statistics, breaker state, fleet gauges
 ``POST /v1/run``          submit one (workload, policy) job
 ``POST /v1/sweep``        submit a workloads x policies grid job
 ``GET  /v1/jobs/<id>``    job record (state, attempts, evictions, cache hits)
@@ -39,6 +39,7 @@ from typing import Any, Callable
 
 from repro.service.cache import ResultCache
 from repro.service.envelope import ServiceError, error_envelope, ok_envelope
+from repro.service.fleet import DEFAULT_HOST_LEASE_TIMEOUT, FleetNode
 from repro.service.queue import JobQueue, spec_from_dict
 
 __all__ = ["ServiceServer", "EXIT_DRAINED", "MAX_BODY"]
@@ -77,11 +78,27 @@ class ServiceServer:
         worker_mem_mb: int | None = None,
         lease_timeout: float = 30.0,
         poison_after: int = 3,
+        fleet_dir: str | Path | None = None,
+        host_id: str | None = None,
+        host_lease_timeout: float = DEFAULT_HOST_LEASE_TIMEOUT,
     ) -> None:
         self.host = host
         self.port = port
         self.drain_grace = drain_grace
-        self.cache = ResultCache(cache_dir)
+        self.fleet: FleetNode | None = None
+        if fleet_dir is not None:
+            self.fleet = FleetNode(
+                fleet_dir,
+                host_id=host_id,
+                lease_timeout=host_lease_timeout,
+                poison_after=poison_after,
+            )
+        self.cache = ResultCache(
+            cache_dir,
+            fleet_dir=(
+                None if self.fleet is None else self.fleet.results_dir
+            ),
+        )
         self.queue = JobQueue(
             workers=workers,
             max_pending=max_pending,
@@ -95,6 +112,7 @@ class ServiceServer:
             worker_mem_mb=worker_mem_mb,
             lease_timeout=lease_timeout,
             poison_after=poison_after,
+            fleet=self.fleet,
         )
         self._server: asyncio.base_events.Server | None = None
         self._drained = asyncio.Event()
@@ -111,6 +129,11 @@ class ServiceServer:
             self._handle, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.fleet is not None:
+            # The bound port is only known now: refresh the host lease so
+            # peers (and ``repro fleet status``) see a dialable address.
+            self.fleet.addr = f"{self.host}:{self.port}"
+            self.fleet.register()
 
     async def serve_forever(self, *, install_signals: bool = True) -> int:
         """Run until drained; returns the intended process exit code."""
@@ -272,6 +295,10 @@ class ServiceServer:
                 "status": "draining" if self.queue.draining else "ok",
                 "queue": self.queue.stats(),
                 "cache": self.cache.stats(),
+                **(
+                    {"fleet": self.fleet.status()}
+                    if self.fleet is not None else {}
+                ),
             }),
         )
 

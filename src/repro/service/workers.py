@@ -13,11 +13,15 @@ thread-based) attempt slot:
   and writes results/snapshots to the shared cache/spool directories —
   both atomic, so a child dying mid-write leaves either the old bytes or
   the new bytes, never a torn file the parent would trust.
-* **Heartbeat lease** — the child stamps a shared ``Value`` at every
+* **Heartbeat lease** — the child stamps a shared array at every
   dispatch boundary (through a :class:`Checkpointer` subclass).  The
   supervisor kills any child silent past ``lease_timeout``: a hung
   worker is indistinguishable from a dead one, and both become a
   :class:`WorkerDied` the queue requeues under its retry budget.
+  Lease age is judged on ``time.monotonic()`` deltas (parent and child
+  share one host, so one monotonic clock) — an NTP step can slew the
+  wall clock by minutes without making a healthy worker look dead; the
+  wall-clock stamp rides along for diagnostics only.
   Byte-identical resume comes for free: the retry attempt resumes from
   the dead worker's last periodic snapshot in the spool (the PR-5
   replay-journal guarantee).
@@ -69,6 +73,17 @@ HARD_TIMEOUT_GRACE = 30.0
 
 #: how long a worker may go without a heartbeat before its lease expires.
 DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: heartbeat array slots: lease decisions read the monotonic stamp; the
+#: wall stamp exists only so humans can line logs up against it.
+_HB_MONO = 0
+_HB_WALL = 1
+
+
+def _stamp(hb: Any) -> None:
+    """Stamp the heartbeat lease (child side, every task boundary)."""
+    hb[_HB_MONO] = time.monotonic()
+    hb[_HB_WALL] = time.time()
 
 
 class WorkerDied(Exception):
@@ -139,7 +154,14 @@ class AttemptHandle:
         self.preempt_requested = True
 
     def heartbeat_age(self) -> float:
-        return max(0.0, time.time() - self.hb.value)
+        """Seconds since the child's last stamp, on the shared monotonic
+        clock — immune to wall-clock (NTP) steps in either direction."""
+        return max(0.0, time.monotonic() - self.hb[_HB_MONO])
+
+    def heartbeat_wall(self) -> float:
+        """The wall-clock time of the last stamp — diagnostics only,
+        never used for lease-expiry decisions."""
+        return self.hb[_HB_WALL]
 
 
 class WorkerPool:
@@ -164,6 +186,8 @@ class WorkerPool:
         degrade_after: int = 2,
         degrade_window: float = 60.0,
         mp_context: str = "spawn",
+        fleet_dir: str | Path | None = None,
+        fleet_host: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -180,6 +204,11 @@ class WorkerPool:
         self.degrade_after = degrade_after
         self.degrade_window = degrade_window
         self._mp_context = mp_context
+        self.fleet_dir = None if fleet_dir is None else str(fleet_dir)
+        self.fleet_host = fleet_host
+        #: wired to FleetNode.note_fenced by the server in fleet mode, so
+        #: a child's fence loss shows up in the /v1/health gauges.
+        self.on_fenced: Callable[[], None] | None = None
         #: current admission width; sheds toward 1 under repeated worker
         #: deaths, recovers toward ``workers`` on healthy completions.
         self.concurrency = workers
@@ -212,7 +241,9 @@ class WorkerPool:
         """
         ctx = multiprocessing.get_context(self._mp_context)
         recv, send = ctx.Pipe(duplex=False)
-        hb = ctx.Value("d", time.time(), lock=False)
+        # [monotonic, wall]: CLOCK_MONOTONIC is per-boot, so parent and
+        # child (same host by construction) read the same timeline.
+        hb = ctx.Array("d", [time.monotonic(), time.time()], lock=False)
         payload = self._payload(job, budget)
         proc = ctx.Process(
             target=_attempt_main, args=(send, hb, payload),
@@ -302,6 +333,18 @@ class WorkerPool:
             [wl, pol] for wl, pol in job.spec.cells()
             if f"{wl}/{pol}" not in done
         ]
+        claim = getattr(job, "fleet_claim", None)
+        fleet = None
+        if self.fleet_dir is not None and claim is not None:
+            # The child re-checks this (dir, key, epoch) fence right
+            # before every shared-store publish: once a peer reclaims the
+            # claim at a higher epoch, this attempt can no longer write.
+            fleet = {
+                "dir": self.fleet_dir,
+                "host_id": self.fleet_host,
+                "job_key": claim.key,
+                "epoch": claim.epoch,
+            }
         return {
             "spec": job.spec.to_dict(),
             "label": job.spec.label,
@@ -314,6 +357,7 @@ class WorkerPool:
             "mem_limit_mb": self.mem_limit_mb,
             "parent_pid": os.getpid(),
             "failpoints": failpoints.active_spec(),
+            "fleet": fleet,
         }
 
     def _handle_message(
@@ -333,6 +377,11 @@ class WorkerPool:
             return None
         if kind == "snapshot_discarded":
             job.events.append({"kind": "snapshot_discarded", "cell": msg[1]})
+            return None
+        if kind == "fleet_fenced":
+            job.events.append({"kind": "fleet_fenced", "cell": msg[1]})
+            if self.on_fenced is not None:
+                self.on_fenced()
             return None
         if kind == "cell_done":
             _, cell, result, cache_hit, resumed = msg
@@ -499,7 +548,7 @@ def _attempt_main(conn: Any, hb: Any, payload: dict[str, Any]) -> None:
 
     signal.signal(signal.SIGTERM, _on_term)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    hb.value = time.time()
+    _stamp(hb)
     _safe_send(conn, ("ready",))
     fctx = {"job": payload["label"], "attempt": payload["attempt"]}
     try:
@@ -538,8 +587,14 @@ def _run_cells(
 
     spec = spec_from_dict(payload["spec"])
     cfg = spec.config()
+    fleet = payload.get("fleet")
     cache = (
-        ResultCache(payload["cache_dir"])
+        ResultCache(
+            payload["cache_dir"],
+            fleet_dir=(
+                Path(fleet["dir"]) / "results" if fleet is not None else None
+            ),
+        )
         if payload.get("cache_dir") else None
     )
     spool = Path(payload["spool"])
@@ -547,7 +602,7 @@ def _run_cells(
     deadline = time.monotonic() + budget if budget is not None else None
     for wl, pol in payload["cells"]:
         cell = f"{wl}/{pol}"
-        hb.value = time.time()
+        _stamp(hb)
         key = request_key(cfg, wl, pol, spec.seed)
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
@@ -575,7 +630,7 @@ class _WorkerCheckpointer(Checkpointer):
 
     def after_dispatch(self, executor: Any, name: str, duration: int) -> None:
         if self._hb is not None:
-            self._hb.value = time.time()
+            _stamp(self._hb)
         if self._fp_active:
             ctx = dict(self._fctx, task=executor.machine.tasks_completed)
             failpoints.fire("worker.crash", **ctx)
@@ -640,11 +695,32 @@ def _simulate(
     result = rr.stats_dict()
     resumed = rr.experiment.extra.get("resumed_from_task")
     if cache is not None:
+        fleet = payload.get("fleet")
+        fence = None
+        if fleet is not None:
+            from repro.service.fleet import claim_matches
+
+            def fence() -> bool:
+                # Re-read the claim file at the last possible moment: a
+                # peer that reclaimed this job holds a higher epoch, so a
+                # stale attempt fails here and never publishes.
+                return claim_matches(
+                    fleet["dir"], fleet["job_key"],
+                    fleet["host_id"], fleet["epoch"],
+                )
+
+        fenced_before = cache.fleet_fenced
         cache.put(
             key, result,
             meta={"workload": wl, "policy": pol, "seed": spec.seed,
                   "scale": spec.scale},
+            fence=fence,
         )
+        if cache.fleet_fenced > fenced_before:
+            # Fenced: a peer owns this job now.  Leave the shared spool
+            # snapshot alone — it is the new owner's resume point.
+            _safe_send(conn, ("fleet_fenced", f"{wl}/{pol}"))
+            return result, resumed
     try:
         snap_path.unlink()
     except OSError:

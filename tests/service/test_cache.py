@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
@@ -124,3 +125,110 @@ class TestCorruption:
         with pytest.warns(UserWarning) as caught:
             cache.get(key)
         assert path.name in str(caught[0].message)
+
+
+class TestFleetTier:
+    """Two-tier reads/writes against a shared fleet directory."""
+
+    def test_miss_falls_through_to_fleet_and_promotes(self, tmp_path):
+        fleet = tmp_path / "fleet"
+        writer = ResultCache(tmp_path / "w", fleet_dir=fleet)
+        reader = ResultCache(tmp_path / "r", fleet_dir=fleet)
+        key = request_key(CFG, "md5", "tdnuca", 0)
+        writer.put(key, RESULT, meta={})
+        assert writer.fleet_stores == 1
+        assert reader.get(key) == RESULT
+        assert reader.fleet_hits == 1 and reader.misses == 0
+        # promoted: the next read is local (byte-identical copy)
+        assert reader.path_for(key).is_file()
+        assert reader.get(key) == RESULT
+        assert reader.hits == 1 and reader.fleet_hits == 1
+
+    def test_fence_rejection_never_reaches_the_shared_tier(self, tmp_path):
+        fleet = tmp_path / "fleet"
+        cache = ResultCache(tmp_path / "c", fleet_dir=fleet)
+        key = request_key(CFG, "md5", "tdnuca", 0)
+        cache.put(key, RESULT, meta={}, fence=lambda: False)
+        assert cache.fleet_fenced == 1 and cache.fleet_stores == 0
+        assert not cache.fleet_path_for(key).is_file()
+        # the local tier still holds it (private, non-authoritative)
+        assert cache.get(key) == RESULT
+
+    def test_fleet_stats_keys_only_in_fleet_mode(self, tmp_path):
+        plain = ResultCache(tmp_path / "plain")
+        assert "fleet_hits" not in plain.stats()
+        fleeted = ResultCache(tmp_path / "c", fleet_dir=tmp_path / "fleet")
+        stats = fleeted.stats()
+        for key in ("fleet_hits", "fleet_stores", "fleet_fenced",
+                    "fleet_corrupt", "fleet_entries"):
+            assert key in stats, key
+
+
+class TestConcurrentPublishers:
+    """N writers racing one ``request_key``: exactly one valid,
+    non-torn shared entry, and counters that add up."""
+
+    def _race(self, caches, puts):
+        barrier = threading.Barrier(len(puts))
+
+        def run(cache, payload):
+            barrier.wait()
+            cache.put(*payload)
+
+        threads = [
+            threading.Thread(target=run, args=(c, p))
+            for c, p in zip(caches, puts)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_same_payload_racers_elect_one_publisher(self, tmp_path):
+        fleet = tmp_path / "fleet"
+        key = request_key(CFG, "md5", "tdnuca", 0)
+        caches = [
+            ResultCache(tmp_path / f"c{i}", fleet_dir=fleet)
+            for i in range(4)
+        ]
+        self._race(caches, [(key, RESULT, {}) for _ in caches])
+        # exclusive link: exactly one racer's bytes landed, never torn
+        assert sum(c.fleet_stores for c in caches) == 1
+        assert sum(c.stores for c in caches) == 4
+        assert len(list(fleet.glob("*.rcache"))) == 1
+        assert not list(fleet.glob("*.corrupt"))
+        for c in caches:
+            assert c.get(key) == RESULT
+        reader = ResultCache(tmp_path / "reader", fleet_dir=fleet)
+        assert reader.get(key) == RESULT
+        assert reader.fleet_hits == 1 and reader.corrupt == 0
+
+    def test_different_payload_racers_still_one_valid_entry(self, tmp_path):
+        """Divergent bytes (a bug upstream — simulation is deterministic)
+        still cannot tear the shared tier: one complete entry wins."""
+        fleet = tmp_path / "fleet"
+        key = request_key(CFG, "md5", "tdnuca", 0)
+        a = ResultCache(tmp_path / "a", fleet_dir=fleet)
+        b = ResultCache(tmp_path / "b", fleet_dir=fleet)
+        result_a = {**RESULT, "makespan_cycles": 111}
+        result_b = {**RESULT, "makespan_cycles": 222}
+        self._race([a, b], [(key, result_a, {}), (key, result_b, {})])
+        assert a.fleet_stores + b.fleet_stores == 1
+        assert len(list(fleet.glob("*.rcache"))) == 1
+        reader = ResultCache(tmp_path / "reader", fleet_dir=fleet)
+        got = reader.get(key)  # valid and whole: one of the two, no CRC trip
+        assert got in (result_a, result_b)
+        assert reader.corrupt == 0 and reader.fleet_corrupt == 0
+
+    def test_same_root_racers_leave_a_whole_local_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = request_key(CFG, "md5", "tdnuca", 0)
+        result_a = {**RESULT, "makespan_cycles": 111}
+        result_b = {**RESULT, "makespan_cycles": 222}
+        self._race(
+            [cache, cache], [(key, result_a, {}), (key, result_b, {})]
+        )
+        assert cache.stores == 2
+        got = cache.get(key)  # atomic replace: last whole write wins
+        assert got in (result_a, result_b)
+        assert cache.corrupt == 0

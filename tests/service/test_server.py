@@ -233,3 +233,48 @@ class TestClientRetry:
             assert client.wait(job["id"])["state"] == "done"
         finally:
             queue.breaker = real
+
+
+class TestClientConnectionRetry:
+    """Connection-level failures are retryable, not terminal (a fleet
+    host restarting must degrade into a delay, not an error)."""
+
+    @staticmethod
+    def _dead_port():
+        import socket
+
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            return s.getsockname()[1]  # closed again: refuses connections
+
+    def test_connection_refused_retries_until_budget(self):
+        client = ServiceClient(
+            "127.0.0.1", self._dead_port(), retries=2, backoff=0.0
+        )
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.type == "internal"
+        assert "3 attempts" in str(err.value)
+
+    def test_refused_primary_fails_over_to_a_live_peer(self, served):
+        client = ServiceClient(
+            "127.0.0.1", self._dead_port(), retries=3, backoff=0.0,
+            failover=[("127.0.0.1", served.port)],
+        )
+        assert client.health()["status"] == "ok"
+        assert client.port == served.port  # rotated and stayed
+
+    def test_decorrelated_jitter_is_bounded_and_growing(self):
+        client = ServiceClient(jitter_seed=7, retries=1, backoff=0.2)
+        delay = None
+        seen = []
+        for _ in range(50):
+            delay = client._next_delay(delay)
+            seen.append(delay)
+            assert 0.2 <= delay <= 30.0
+        # the random walk actually explores upwards of the floor
+        assert max(seen) > 0.2
+
+    def test_zero_backoff_means_zero_delay(self):
+        client = ServiceClient(backoff=0.0)
+        assert client._next_delay(None) == 0.0

@@ -246,3 +246,36 @@ class TestPoisonQuarantine:
         assert degraded == 1, "2+ deaths in the window must shed to 1"
         assert healthy.state == "done"
         assert restored == 2
+
+
+class TestMonotonicHeartbeats:
+    """Lease-expiry decisions must ride the monotonic clock: an NTP step
+    in either direction cannot make a healthy worker look dead."""
+
+    def test_heartbeat_age_ignores_wall_clock_steps(self):
+        from repro.service.workers import (
+            _HB_MONO,
+            _HB_WALL,
+            _stamp,
+            AttemptHandle,
+        )
+
+        hb = [0.0, 0.0]
+        _stamp(hb)
+        handle = AttemptHandle(proc=None, hb=hb)
+        # a wall-clock step decades backwards: diagnostics move, age not
+        hb[_HB_WALL] = 0.0
+        assert handle.heartbeat_age() < 1.0
+        assert handle.heartbeat_wall() == 0.0
+        # a *monotonic* silence is what ages the lease
+        hb[_HB_MONO] = time.monotonic() - 42.0
+        assert 41.0 < handle.heartbeat_age() < 44.0
+
+    def test_stamp_fills_both_slots(self):
+        from repro.service.workers import _HB_MONO, _HB_WALL, _stamp
+
+        hb = [0.0, 0.0]
+        before_wall = time.time()
+        _stamp(hb)
+        assert abs(hb[_HB_MONO] - time.monotonic()) < 1.0
+        assert hb[_HB_WALL] >= before_wall
